@@ -1,0 +1,62 @@
+//! Criterion companion to the §9.2 tuning-budget discussion: what each
+//! importance measurement costs to compute on a fixed observation pool.
+//! Ablation and SHAP pay for surrogate-guided path walking / permutation
+//! sampling; Lasso and Gini are the cheap end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbtune_core::importance::{ImportanceInput, MeasureKind};
+use dbtune_core::sampling;
+use dbtune_core::space::TuningSpace;
+use dbtune_dbsim::{DbSimulator, Hardware, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn importance_cost(c: &mut Criterion) {
+    // A 30-knob slice of the catalog keeps each iteration affordable
+    // while preserving the relative ordering of the measurements.
+    let mut sim = DbSimulator::new(Workload::Sysbench, Hardware::B, 1);
+    let catalog = sim.catalog().clone();
+    let selected: Vec<usize> = (0..30).collect();
+    let space = TuningSpace::with_default_base(&catalog, selected.clone(), Hardware::B);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let x: Vec<Vec<f64>> = sampling::lhs(space.space(), 300, &mut rng);
+    let y: Vec<f64> = x
+        .iter()
+        .map(|sub| {
+            let out = sim.evaluate(&space.full_config(sub));
+            if out.failed {
+                0.0
+            } else {
+                out.value
+            }
+        })
+        .collect();
+    let specs: Vec<_> = selected.iter().map(|&i| catalog.spec(i).clone()).collect();
+    let default: Vec<f64> = selected
+        .iter()
+        .map(|&i| catalog.default_config(Hardware::B)[i])
+        .collect();
+
+    let mut group = c.benchmark_group("importance_300x30");
+    group.sample_size(10);
+    for &kind in &MeasureKind::ALL {
+        group.bench_function(kind.label().replace(' ', "_"), |b| {
+            let measure = kind.build();
+            b.iter(|| {
+                black_box(measure.scores(&ImportanceInput {
+                    specs: &specs,
+                    default: &default,
+                    x: &x,
+                    y: &y,
+                    seed: 3,
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, importance_cost);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion companion to Table 9's practicality dimension: fit and
+//! predict costs of the surrogate-model zoo on a fixed sample. RF and GB
+//! must be affordable enough to refit inside optimizers; the GP's cubic
+//! fit cost is the contrast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbtune_benchmark::surrogate::SurrogateModelKind;
+use dbtune_core::gp::{GaussianProcess, Matern52Kernel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn sample(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rng.gen::<f64>()).collect()).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| r.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v).sum::<f64>())
+        .collect();
+    (x, y)
+}
+
+fn model_fit(c: &mut Criterion) {
+    let (x, y) = sample(300, 10, 1);
+    let mut group = c.benchmark_group("model_fit_300x10");
+    group.sample_size(10);
+    for &kind in &SurrogateModelKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut m = kind.build(10, 3);
+                m.fit(black_box(&x), black_box(&y));
+                black_box(m.predict(&x[0]))
+            })
+        });
+    }
+    group.bench_function("GP(Matern52)", |b| {
+        b.iter(|| {
+            let gp = GaussianProcess::fit(
+                Box::new(Matern52Kernel { lengthscale: 0.3 }),
+                black_box(&x),
+                black_box(&y),
+                1e-6,
+            );
+            black_box(gp.predict(&x[0]))
+        })
+    });
+    group.finish();
+}
+
+fn model_predict(c: &mut Criterion) {
+    let (x, y) = sample(300, 10, 2);
+    let mut group = c.benchmark_group("model_predict_300x10");
+    for &kind in &[SurrogateModelKind::RandomForest, SurrogateModelKind::GradientBoosting] {
+        let mut m = kind.build(10, 3);
+        m.fit(&x, &y);
+        group.bench_function(kind.label(), |b| b.iter(|| black_box(m.predict(black_box(&x[7])))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, model_fit, model_predict);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion companion to Figure 9: the per-suggestion algorithm overhead
+//! of every optimizer at growing history sizes. The global GP methods
+//! (vanilla / mixed-kernel BO) should grow super-linearly; SMAC, TPE,
+//! DDPG, and GA stay near-flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbtune_core::optimizer::OptimizerKind;
+use dbtune_core::sampling;
+use dbtune_core::space::TuningSpace;
+use dbtune_dbsim::{DbSimulator, Hardware, Workload, METRICS_DIM};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn medium_space() -> TuningSpace {
+    let sim = DbSimulator::new(Workload::Job, Hardware::B, 0);
+    let cat = sim.catalog().clone();
+    let selected: Vec<usize> = [
+        "innodb_buffer_pool_size",
+        "join_buffer_size",
+        "sort_buffer_size",
+        "optimizer_search_depth",
+        "innodb_stats_persistent_sample_pages",
+        "tmp_table_size",
+        "read_rnd_buffer_size",
+        "read_buffer_size",
+        "innodb_read_io_threads",
+        "query_cache_type",
+        "query_cache_size",
+        "innodb_adaptive_hash_index",
+        "innodb_flush_method",
+        "innodb_flush_neighbors",
+        "innodb_change_buffering",
+        "innodb_io_capacity",
+        "innodb_thread_concurrency",
+        "max_connections",
+        "innodb_log_file_size",
+        "innodb_old_blocks_pct",
+    ]
+    .iter()
+    .map(|n| cat.expect_index(n))
+    .collect();
+    TuningSpace::with_default_base(&cat, selected, Hardware::B)
+}
+
+fn suggest_overhead(c: &mut Criterion) {
+    let space = medium_space();
+    let mut sim = DbSimulator::new(Workload::Job, Hardware::B, 1);
+    let mut group = c.benchmark_group("suggest_overhead");
+    group.sample_size(10);
+
+    for &n_obs in &[25usize, 100] {
+        // Pre-generate a shared history of n_obs evaluated configurations.
+        let mut rng = StdRng::seed_from_u64(2);
+        let history: Vec<(Vec<f64>, f64, Vec<f64>)> = sampling::lhs(space.space(), n_obs, &mut rng)
+            .into_iter()
+            .map(|sub| {
+                let out = sim.evaluate(&space.full_config(&sub));
+                let score = if out.failed { -1e6 } else { -out.value };
+                (sub, score, out.metrics)
+            })
+            .collect();
+
+        for &kind in &OptimizerKind::PAPER {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), n_obs),
+                &n_obs,
+                |b, _| {
+                    let mut opt = kind.build(space.space(), METRICS_DIM, 3);
+                    for (cfg, score, metrics) in &history {
+                        opt.observe(cfg, *score, metrics);
+                    }
+                    let mut rng = StdRng::seed_from_u64(4);
+                    b.iter(|| black_box(opt.suggest(&mut rng)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, suggest_overhead);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion companion to §8's speedup claim: one surrogate-benchmark
+//! evaluation should sit in the sub-millisecond range, versus 210
+//! simulated seconds of workload replay — the source of the paper's
+//! 150–311× end-to-end speedup. Also measures the raw simulator
+//! evaluation, which is what the benchmark's offline collection pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbtune_benchmark::collect::collect_samples;
+use dbtune_benchmark::objective::SurrogateBenchmark;
+use dbtune_core::space::TuningSpace;
+use dbtune_core::tuner::SimObjective;
+use dbtune_dbsim::{DbSimulator, Hardware, Objective, Workload};
+use std::hint::black_box;
+
+fn bench_space(sim: &DbSimulator) -> TuningSpace {
+    let cat = sim.catalog();
+    let selected: Vec<usize> = [
+        "innodb_flush_log_at_trx_commit",
+        "sync_binlog",
+        "innodb_log_file_size",
+        "innodb_io_capacity",
+        "innodb_thread_concurrency",
+    ]
+    .iter()
+    .map(|n| cat.expect_index(n))
+    .collect();
+    TuningSpace::with_default_base(cat, selected, Hardware::B)
+}
+
+fn evaluations(c: &mut Criterion) {
+    let mut sim = DbSimulator::new(Workload::Sysbench, Hardware::B, 5);
+    let space = bench_space(&sim);
+    let ds = collect_samples(&mut sim, &space, 300, 7);
+    let mut bench = SurrogateBenchmark::train(space.clone(), Objective::Throughput, &ds, 1);
+    let cfg = space.full_config(&space.default_sub());
+
+    let mut group = c.benchmark_group("evaluation");
+    group.bench_function("surrogate_predict", |b| {
+        b.iter(|| black_box(SimObjective::evaluate(&mut bench, black_box(&cfg)).value))
+    });
+    group.bench_function("simulator_evaluate", |b| {
+        b.iter(|| black_box(sim.evaluate(black_box(&cfg)).value))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, evaluations);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out —
+//! beyond the paper's own tables, these justify the defaults this
+//! implementation ships with:
+//!
+//! 1. SMAC's interleaved random configurations (on vs off);
+//! 2. categorical encoding: Hamming kernel vs ordinal RBF on a
+//!    heterogeneous space (the §6.2.2 mechanism, isolated);
+//! 3. TuRBO trust-region restarts (on vs off);
+//! 4. failure handling: worst-seen substitution vs discarding crashes;
+//! 5. RGPE ensemble vs naive observation pooling on a *dissimilar*
+//!    source (negative-transfer resistance).
+//!
+//! Arguments: `samples=6250 iters=120 seeds=2`.
+
+use dbtune_bench::{full_pool, pct, print_table, save_json, top_k_knobs, ExpArgs};
+use dbtune_core::importance::MeasureKind;
+use dbtune_core::optimizer::{
+    BoKind, BoOptimizer, Optimizer, Smac, SmacParams, Turbo, TurboParams,
+};
+use dbtune_core::space::TuningSpace;
+use dbtune_core::transfer::{BaseKind, MappedOptimizer, RgpeOptimizer, SourceTask, SurrogateKind};
+use dbtune_core::tuner::{run_session, FailurePolicy, SessionConfig, SessionResult};
+use dbtune_dbsim::{DbSimulator, Hardware, KnobCatalog, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Finding {
+    ablation: String,
+    variant: String,
+    median_improvement: f64,
+}
+
+fn session(
+    wl: Workload,
+    space: &TuningSpace,
+    opt: &mut dyn Optimizer,
+    iters: usize,
+    seed: u64,
+    policy: FailurePolicy,
+) -> SessionResult {
+    let mut sim = DbSimulator::new(wl, Hardware::B, seed);
+    run_session(
+        &mut sim,
+        space,
+        opt,
+        &SessionConfig { iterations: iters, lhs_init: 10, seed, failure_policy: policy },
+    )
+}
+
+fn median_runs(
+    seeds: usize,
+    mut run: impl FnMut(u64) -> f64,
+) -> f64 {
+    let vals: Vec<f64> = (0..seeds).map(|s| run(4000 + s as u64)).collect();
+    dbtune_bench::median(&vals)
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let samples = args.get_usize("samples", 6250);
+    let iters = args.get_usize("iters", 120);
+    let seeds = args.get_usize("seeds", 2);
+
+    let catalog: KnobCatalog = KnobCatalog::mysql57();
+    let pool = full_pool(Workload::Sysbench, samples, 7);
+    let top20 = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 20, 11);
+    let sys_space = TuningSpace::with_default_base(&catalog, top20.clone(), Hardware::B);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let push = |findings: &mut Vec<Finding>, ablation: &str, variant: &str, v: f64| {
+        println!("[{ablation}] {variant}: {}", pct(v));
+        findings.push(Finding {
+            ablation: ablation.to_string(),
+            variant: variant.to_string(),
+            median_improvement: v,
+        });
+    };
+
+    // ---- 1. SMAC random interleaving -------------------------------------
+    for (variant, every) in [("interleave on (default)", 8usize), ("interleave off", 0)] {
+        let v = median_runs(seeds, |seed| {
+            let mut opt = Smac::new(
+                sys_space.space().clone(),
+                SmacParams { random_interleave_every: every, ..Default::default() },
+                seed,
+            );
+            session(Workload::Sysbench, &sys_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
+                .best_improvement()
+        });
+        push(&mut findings, "smac_interleave", variant, v);
+    }
+
+    // ---- 2. categorical encoding on a heterogeneous JOB space -------------
+    let job_pool = full_pool(Workload::Job, samples, 7);
+    let job_scores = dbtune_bench::importance_scores(MeasureKind::Shap, &catalog, &job_pool, 11);
+    let mut cats: Vec<usize> = catalog.categorical_indices();
+    cats.sort_by(|&a, &b| job_scores[b].partial_cmp(&job_scores[a]).expect("NaN"));
+    cats.truncate(5);
+    let mut ints: Vec<usize> = catalog.integer_indices();
+    ints.sort_by(|&a, &b| job_scores[b].partial_cmp(&job_scores[a]).expect("NaN"));
+    ints.truncate(15);
+    let mut hetero = cats;
+    hetero.extend(ints);
+    let het_space = TuningSpace::with_default_base(&catalog, hetero, Hardware::B);
+    for (variant, kind) in [("Hamming kernel (mixed BO)", BoKind::Mixed), ("ordinal RBF (vanilla BO)", BoKind::Vanilla)] {
+        let v = median_runs(seeds, |seed| {
+            let mut opt = BoOptimizer::new(het_space.space().clone(), kind);
+            session(Workload::Job, &het_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
+                .best_improvement()
+        });
+        push(&mut findings, "categorical_encoding", variant, v);
+    }
+
+    // ---- 3. TuRBO restarts --------------------------------------------------
+    for (variant, length_min) in [("restarts on (default)", 0.8 * 0.5f64.powi(6)), ("restarts off", 0.0)] {
+        let v = median_runs(seeds, |seed| {
+            let mut opt = Turbo::new(
+                sys_space.space().clone(),
+                TurboParams { length_min, ..Default::default() },
+            );
+            session(Workload::Sysbench, &sys_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
+                .best_improvement()
+        });
+        push(&mut findings, "turbo_restarts", variant, v);
+    }
+
+    // ---- 4. failure handling -------------------------------------------------
+    // Use a space containing the crash-prone memory knobs.
+    let mut crashy = top20.clone();
+    for name in ["innodb_buffer_pool_size", "tmp_table_size", "innodb_thread_concurrency"] {
+        let i = catalog.expect_index(name);
+        if !crashy.contains(&i) {
+            crashy.push(i);
+        }
+    }
+    let crashy_space = TuningSpace::with_default_base(&catalog, crashy, Hardware::B);
+    for (variant, policy) in [
+        ("worst-seen substitution (§4.1)", FailurePolicy::WorstSeen),
+        ("discard failures", FailurePolicy::Discard),
+    ] {
+        let v = median_runs(seeds, |seed| {
+            let mut opt = Smac::new(crashy_space.space().clone(), SmacParams::default(), seed);
+            session(Workload::Sysbench, &crashy_space, &mut opt, iters, seed, policy)
+                .best_improvement()
+        });
+        push(&mut findings, "failure_handling", variant, v);
+    }
+
+    // ---- 5. RGPE vs naive pooling on a dissimilar source ----------------------
+    // Source: JOB (analytical, latency scores) projected onto the OLTP
+    // space — deliberately unrelated history.
+    let mut src_sim = DbSimulator::new(Workload::Job, Hardware::B, 77);
+    let mut src_opt = Smac::new(sys_space.space().clone(), SmacParams::default(), 77);
+    let src_run = run_session(
+        &mut src_sim,
+        &sys_space,
+        &mut src_opt,
+        &SessionConfig { iterations: 60, lhs_init: 10, seed: 77, ..Default::default() },
+    );
+    let dissimilar = SourceTask {
+        name: "JOB".into(),
+        x: src_run.observations.iter().map(|o| o.config.clone()).collect(),
+        y: src_run.observations.iter().map(|o| o.score).collect(),
+        metrics: src_run.observations.iter().map(|o| o.metrics.clone()).collect(),
+    };
+    let rgpe = median_runs(seeds, |seed| {
+        let mut opt = RgpeOptimizer::new(
+            sys_space.space().clone(),
+            SurrogateKind::RandomForest,
+            std::slice::from_ref(&dissimilar),
+            seed,
+        );
+        session(Workload::Sysbench, &sys_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
+            .best_improvement()
+    });
+    push(&mut findings, "negative_transfer", "RGPE (adaptive weights)", rgpe);
+    let mapped = median_runs(seeds, |seed| {
+        let mut opt = MappedOptimizer::new(
+            sys_space.space().clone(),
+            BaseKind::Smac,
+            vec![dissimilar.clone()],
+            seed,
+        );
+        session(Workload::Sysbench, &sys_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
+            .best_improvement()
+    });
+    push(&mut findings, "negative_transfer", "workload mapping (forced pooling)", mapped);
+
+    println!("\n== Ablation summary (median best improvement) ==");
+    let rows: Vec<Vec<String>> = findings
+        .iter()
+        .map(|f| vec![f.ablation.clone(), f.variant.clone(), pct(f.median_improvement)])
+        .collect();
+    print_table(&["Ablation", "Variant", "Improvement"], &rows);
+
+    save_json("ablations", &findings);
+}

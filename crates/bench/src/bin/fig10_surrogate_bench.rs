@@ -1,0 +1,103 @@
+//! Figure 10 + the §8 speedup claim: tuning on the surrogate benchmark.
+//!
+//! Builds the SYSBENCH medium-space benchmark (offline collection +
+//! random-forest surrogate), runs every optimizer against it for several
+//! sessions, and reports (a) best-performance-over-iteration series that
+//! should reproduce the live ordering (SMAC and mixed-kernel BO on top),
+//! and (b) the replay-vs-surrogate speedup ledger (paper: 150–311×).
+//!
+//! Arguments: `samples=1200 iters=120 runs=5` (paper: 6250/200/10).
+
+use dbtune_bench::{full_pool, pct, print_table, save_json, top_k_knobs, ExpArgs};
+use dbtune_benchmark::collect::{collect_samples, Dataset};
+use dbtune_benchmark::objective::SurrogateBenchmark;
+use dbtune_core::importance::MeasureKind;
+use dbtune_core::optimizer::OptimizerKind;
+use dbtune_core::space::TuningSpace;
+use dbtune_core::tuner::{run_session, SessionConfig};
+use dbtune_dbsim::{DbSimulator, Hardware, Objective, Workload, METRICS_DIM};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Run {
+    optimizer: String,
+    median_trace: Vec<f64>,
+    best_improvement: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let samples = args.get_usize("samples", 1200);
+    let iters = args.get_usize("iters", 120);
+    let runs = args.get_usize("runs", 5);
+
+    let catalog = DbSimulator::new(Workload::Sysbench, Hardware::B, 0).catalog().clone();
+    let pool = full_pool(Workload::Sysbench, samples, 7);
+    let selected = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 20, 11);
+    let space = TuningSpace::with_default_base(&catalog, selected, Hardware::B);
+
+    // Offline collection (LHS + optimizer-driven) and surrogate training.
+    let mut sim = DbSimulator::new(Workload::Sysbench, Hardware::B, 70);
+    let ds: Dataset = collect_samples(&mut sim, &space, samples, 8);
+    let mut bench = SurrogateBenchmark::train(space.clone(), Objective::Throughput, &ds, 1);
+    println!(
+        "offline collection: {} evaluations = {:.1} simulated hours of workload replay",
+        sim.n_evals(),
+        sim.total_simulated_secs() / 3600.0
+    );
+
+    let mut results: Vec<Run> = Vec::new();
+    for &opt_kind in &OptimizerKind::PAPER {
+        let mut traces: Vec<Vec<f64>> = Vec::new();
+        for run in 0..runs {
+            let mut opt = opt_kind.build(space.space(), METRICS_DIM, 3000 + run as u64);
+            let r = run_session(
+                &mut bench,
+                &space,
+                &mut opt,
+                &SessionConfig { iterations: iters, lhs_init: 10, seed: 3000 + run as u64, ..Default::default() },
+            );
+            traces.push(r.improvement_trace());
+        }
+        let median_trace: Vec<f64> = (0..iters)
+            .map(|i| {
+                let vals: Vec<f64> = traces.iter().map(|t| t[i]).collect();
+                dbtune_bench::median(&vals)
+            })
+            .collect();
+        let best = *median_trace.last().expect("nonempty");
+        eprintln!("[{}] best improvement {}", opt_kind.label(), pct(best));
+        results.push(Run {
+            optimizer: opt_kind.label().to_string(),
+            median_trace,
+            best_improvement: best,
+        });
+    }
+
+    println!("\n== Figure 10: tuning performance over the surrogate benchmark ==");
+    let checkpoints: Vec<usize> =
+        [0.25, 0.5, 0.75, 1.0].iter().map(|f| ((iters as f64 * f) as usize).max(1) - 1).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.optimizer.clone()];
+            for &c in &checkpoints {
+                row.push(pct(r.median_trace[c]));
+            }
+            row
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("Optimizer".to_string())
+        .chain(checkpoints.iter().map(|c| format!("iter {}", c + 1)))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+
+    let report = bench.speedup_report();
+    println!(
+        "\nSpeedup ledger: {} surrogate evaluations in {:.2}s vs {:.0}s of simulated replay -> {:.0}x (paper: 150–311x end-to-end)",
+        report.n_evals, report.surrogate_secs, report.replay_secs, report.speedup
+    );
+
+    save_json("fig10_surrogate_bench", &results);
+}

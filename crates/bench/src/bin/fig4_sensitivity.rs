@@ -1,0 +1,184 @@
+//! Figure 4: sensitivity of the importance measurements to the number of
+//! training samples (SYSBENCH).
+//!
+//! Left panel: intersection-over-union of the top-5 knob set from a
+//! random subsample against the full-pool baseline, averaged over
+//! repeats. Right panel: R² of each measurement's underlying surrogate on
+//! a held-out validation split.
+//!
+//! Arguments: `samples=1500 repeats=5` (paper: 6250/10).
+
+use dbtune_bench::{full_pool, importance_scores, print_table, save_json, ExpArgs, Pool};
+use dbtune_core::importance::{top_k, ImportanceInput, MeasureKind};
+use dbtune_dbsim::{DbSimulator, Hardware, KnobCatalog, Workload};
+use dbtune_linalg::stats::{intersection_over_union, r_squared};
+use dbtune_ml::{LassoRegression, RandomForest, RandomForestParams, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    measure: String,
+    n_samples: usize,
+    similarity: f64,
+    r2: f64,
+}
+
+/// R² of the surrogate family backing a measurement, on a held-out split.
+fn surrogate_r2(
+    kind: MeasureKind,
+    catalog: &KnobCatalog,
+    pool: &Pool,
+    train: &[usize],
+    test: &[usize],
+    seed: u64,
+) -> f64 {
+    let gather = |idx: &[usize]| -> (Vec<Vec<f64>>, Vec<f64>) {
+        (
+            idx.iter().map(|&i| pool.x[i].clone()).collect(),
+            idx.iter().map(|&i| pool.y[i]).collect(),
+        )
+    };
+    let (xt, yt) = gather(train);
+    let (xv, yv) = gather(test);
+    match kind {
+        MeasureKind::Lasso => {
+            // Unit-encoded linear model (matching the measurement).
+            let enc = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
+                rows.iter()
+                    .map(|r| {
+                        r.iter()
+                            .zip(catalog.specs())
+                            .map(|(v, s)| s.domain.to_unit(*v))
+                            .collect()
+                    })
+                    .collect()
+            };
+            let mut m = LassoRegression::new(0.01);
+            m.fit(&enc(&xt), &yt);
+            r_squared(&m.predict_batch(&enc(&xv)), &yv)
+        }
+        // Gini / fANOVA / ablation / SHAP all ride on the random forest.
+        _ => {
+            let kinds = xt[0]
+                .iter()
+                .zip(catalog.specs())
+                .map(|(_, s)| match &s.domain {
+                    dbtune_dbsim::knob::Domain::Cat { choices } => {
+                        dbtune_ml::FeatureKind::Categorical { cardinality: choices.len() }
+                    }
+                    _ => dbtune_ml::FeatureKind::Continuous,
+                })
+                .collect();
+            let mut rf = RandomForest::new(
+                RandomForestParams { n_trees: 40, seed, ..Default::default() },
+                kinds,
+            );
+            rf.fit(&xt, &yt);
+            r_squared(&rf.predict_batch(&xv), &yv)
+        }
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let samples = args.get_usize("samples", 1500);
+    let repeats = args.get_usize("repeats", 5);
+
+    let catalog = DbSimulator::new(Workload::Sysbench, Hardware::B, 0).catalog().clone();
+    let pool = full_pool(Workload::Sysbench, samples, 7);
+
+    // Baseline top-5 sets from the full pool.
+    let baselines: Vec<(MeasureKind, Vec<usize>)> = MeasureKind::ALL
+        .iter()
+        .map(|&m| (m, top_k(&importance_scores(m, &catalog, &pool, 11), 5)))
+        .collect();
+
+    let fractions = [0.1, 0.2, 0.4, 0.6, 0.8];
+    let mut points: Vec<Point> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    for &frac in &fractions {
+        let n_sub = ((samples as f64) * frac) as usize;
+        for &(measure, ref baseline) in &baselines {
+            let mut sims = Vec::with_capacity(repeats);
+            let mut r2s = Vec::with_capacity(repeats);
+            for rep in 0..repeats {
+                let mut idx: Vec<usize> = (0..samples).collect();
+                idx.shuffle(&mut rng);
+                let (train, test) = idx.split_at(n_sub);
+                let sub = Pool {
+                    workload: pool.workload.clone(),
+                    x: train.iter().map(|&i| pool.x[i].clone()).collect(),
+                    y: train.iter().map(|&i| pool.y[i]).collect(),
+                    metrics: Vec::new(),
+                    default_cfg: pool.default_cfg.clone(),
+                };
+                let m = measure.build();
+                let scores = m.scores(&ImportanceInput {
+                    specs: catalog.specs(),
+                    default: &sub.default_cfg,
+                    x: &sub.x,
+                    y: &sub.y,
+                    seed: rep as u64,
+                });
+                sims.push(intersection_over_union(&top_k(&scores, 5), baseline));
+                let test_cap = &test[..test.len().min(300)];
+                r2s.push(surrogate_r2(measure, &catalog, &pool, train, test_cap, rep as u64));
+            }
+            points.push(Point {
+                measure: measure.label().to_string(),
+                n_samples: n_sub,
+                similarity: dbtune_linalg::stats::mean(&sims),
+                r2: dbtune_linalg::stats::mean(&r2s),
+            });
+            eprintln!(
+                "[{} n={}] similarity {:.3}, R2 {:.3}",
+                measure.label(),
+                n_sub,
+                points.last().unwrap().similarity,
+                points.last().unwrap().r2
+            );
+        }
+    }
+
+    println!("\n== Figure 4 (left): top-5 similarity score vs #samples ==");
+    let mut rows = Vec::new();
+    for &m in &MeasureKind::ALL {
+        let mut row = vec![m.label().to_string()];
+        for &frac in &fractions {
+            let n_sub = ((samples as f64) * frac) as usize;
+            let p = points
+                .iter()
+                .find(|p| p.measure == m.label() && p.n_samples == n_sub)
+                .expect("computed");
+            row.push(format!("{:.3}", p.similarity));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("Measurement".to_string())
+        .chain(fractions.iter().map(|f| format!("n={}", ((samples as f64) * f) as usize)))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+
+    println!("\n== Figure 4 (right): surrogate R² vs #samples ==");
+    let mut rows = Vec::new();
+    for &m in &MeasureKind::ALL {
+        let mut row = vec![m.label().to_string()];
+        for &frac in &fractions {
+            let n_sub = ((samples as f64) * frac) as usize;
+            let p = points
+                .iter()
+                .find(|p| p.measure == m.label() && p.n_samples == n_sub)
+                .expect("computed");
+            row.push(format!("{:.3}", p.r2));
+        }
+        rows.push(row);
+    }
+    print_table(&header_refs, &rows);
+
+    save_json("fig4_sensitivity", &points);
+}

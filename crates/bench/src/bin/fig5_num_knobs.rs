@@ -1,0 +1,79 @@
+//! Figure 5: performance improvement and tuning cost as the number of
+//! tuned knobs grows (SHAP ranking, vanilla BO, JOB & SYSBENCH).
+//!
+//! "Tuning cost" is the iteration at which the best configuration of the
+//! session was first found — the paper's definition.
+//!
+//! Arguments: `samples=6250 iters=240 seeds=1` (paper: 6250/600/3).
+
+use dbtune_bench::{full_pool, pct, print_table, run_tuning, save_json, top_k_knobs, ExpArgs};
+use dbtune_core::importance::MeasureKind;
+use dbtune_core::optimizer::OptimizerKind;
+use dbtune_dbsim::{DbSimulator, Hardware, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    workload: String,
+    n_knobs: usize,
+    median_improvement: f64,
+    median_cost_iters: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let samples = args.get_usize("samples", 6250);
+    let iters = args.get_usize("iters", 240);
+    let seeds = args.get_usize("seeds", 1);
+
+    let catalog = DbSimulator::new(Workload::Job, Hardware::B, 0).catalog().clone();
+    let knob_counts = [5usize, 10, 20, 40, 80, 197];
+
+    let mut points: Vec<Point> = Vec::new();
+    for &wl in &[Workload::Job, Workload::Sysbench] {
+        let pool = full_pool(wl, samples, 7);
+        let full_rank = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 197, 11);
+        for &k in &knob_counts {
+            let selected = full_rank[..k].to_vec();
+            let mut improvements = Vec::with_capacity(seeds);
+            let mut costs = Vec::with_capacity(seeds);
+            for s in 0..seeds {
+                let r = run_tuning(wl, selected.clone(), OptimizerKind::VanillaBo, iters, 500 + s as u64);
+                improvements.push(r.best_improvement());
+                costs.push(r.iterations_to_best() as f64);
+            }
+            let point = Point {
+                workload: wl.name().to_string(),
+                n_knobs: k,
+                median_improvement: dbtune_bench::median(&improvements),
+                median_cost_iters: dbtune_bench::median(&costs),
+            };
+            eprintln!(
+                "[{} k={}] improvement {}, cost {:.0} iters",
+                wl.name(),
+                k,
+                pct(point.median_improvement),
+                point.median_cost_iters
+            );
+            points.push(point);
+        }
+    }
+
+    for &wl in &[Workload::Job, Workload::Sysbench] {
+        println!("\n== Figure 5 ({}): improvement & tuning cost vs #knobs ==", wl.name());
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.workload == wl.name())
+            .map(|p| {
+                vec![
+                    p.n_knobs.to_string(),
+                    pct(p.median_improvement),
+                    format!("{:.0}", p.median_cost_iters),
+                ]
+            })
+            .collect();
+        print_table(&["#knobs", "Median improvement", "Tuning cost (iters)"], &rows);
+    }
+
+    save_json("fig5_num_knobs", &points);
+}

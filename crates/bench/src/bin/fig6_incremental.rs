@@ -1,0 +1,118 @@
+//! Figure 6: incremental knob selection — increasing (OtterTune-style)
+//! vs decreasing (Tuneful-style) the number of tuned knobs over the
+//! session, against fixed top-5 and top-20 baselines (SHAP ranking,
+//! vanilla BO, JOB & SYSBENCH).
+//!
+//! Arguments: `samples=6250 iters=120 seeds=1` (paper: 6250/200/3).
+
+use dbtune_bench::{full_pool, pct, print_table, save_json, top_k_knobs, ExpArgs};
+use dbtune_core::importance::MeasureKind;
+use dbtune_core::incremental::{run_incremental_session, IncrementalStrategy};
+use dbtune_core::optimizer::{BoKind, BoOptimizer, Optimizer};
+use dbtune_core::space::ConfigSpace;
+use dbtune_core::tuner::SessionConfig;
+use dbtune_dbsim::{DbSimulator, Hardware, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    workload: String,
+    strategy: String,
+    improvement_trace: Vec<f64>,
+    best_improvement: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let samples = args.get_usize("samples", 6250);
+    let iters = args.get_usize("iters", 120);
+    let seeds = args.get_usize("seeds", 1);
+
+    let catalog = DbSimulator::new(Workload::Job, Hardware::B, 0).catalog().clone();
+    let make_opt = |space: &ConfigSpace, _seed: u64| -> Box<dyn Optimizer> {
+        Box::new(BoOptimizer::new(space.clone(), BoKind::Vanilla))
+    };
+
+    let mut series: Vec<Series> = Vec::new();
+    for &wl in &[Workload::Job, Workload::Sysbench] {
+        let pool = full_pool(wl, samples, 7);
+        let ranked = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 40, 11);
+        let phase = (iters / 6).max(10);
+
+        let strategies: Vec<(String, IncrementalStrategy)> = vec![
+            (
+                "Fixed top-5".into(),
+                IncrementalStrategy::Increase { start: 5, step: 0, every: iters.max(1), cap: 5 },
+            ),
+            (
+                "Fixed top-20".into(),
+                IncrementalStrategy::Increase { start: 20, step: 0, every: iters.max(1), cap: 20 },
+            ),
+            (
+                "Increase 4->20".into(),
+                IncrementalStrategy::Increase { start: 4, step: 4, every: phase, cap: 20 },
+            ),
+            (
+                "Decrease 20->4".into(),
+                IncrementalStrategy::Decrease { start: 20, step: 4, every: phase, floor: 4 },
+            ),
+        ];
+
+        for (label, strategy) in strategies {
+            let mut traces: Vec<Vec<f64>> = Vec::new();
+            for s in 0..seeds {
+                let mut sim = DbSimulator::new(wl, Hardware::B, 600 + s as u64);
+                let base = catalog.default_config(Hardware::B);
+                let r = run_incremental_session(
+                    &mut sim,
+                    &catalog,
+                    &base,
+                    &ranked,
+                    strategy,
+                    &make_opt,
+                    &SessionConfig { iterations: iters, lhs_init: 10, seed: 600 + s as u64, ..Default::default() },
+                );
+                traces.push(r.improvement_trace());
+            }
+            // Median trace across seeds.
+            let trace: Vec<f64> = (0..iters)
+                .map(|i| {
+                    let vals: Vec<f64> = traces.iter().map(|t| t[i]).collect();
+                    dbtune_bench::median(&vals)
+                })
+                .collect();
+            let best = *trace.last().expect("nonempty trace");
+            eprintln!("[{} {}] final improvement {}", wl.name(), label, pct(best));
+            series.push(Series {
+                workload: wl.name().to_string(),
+                strategy: label,
+                improvement_trace: trace,
+                best_improvement: best,
+            });
+        }
+    }
+
+    for &wl in &[Workload::Job, Workload::Sysbench] {
+        println!("\n== Figure 6 ({}): best improvement over iterations ==", wl.name());
+        let checkpoints: Vec<usize> =
+            [0.2, 0.4, 0.6, 0.8, 1.0].iter().map(|f| ((iters as f64 * f) as usize).max(1) - 1).collect();
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .filter(|s| s.workload == wl.name())
+            .map(|s| {
+                let mut row = vec![s.strategy.clone()];
+                for &c in &checkpoints {
+                    row.push(pct(s.improvement_trace[c]));
+                }
+                row
+            })
+            .collect();
+        let headers: Vec<String> = std::iter::once("Strategy".to_string())
+            .chain(checkpoints.iter().map(|c| format!("iter {}", c + 1)))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(&header_refs, &rows);
+    }
+
+    save_json("fig6_incremental", &series);
+}

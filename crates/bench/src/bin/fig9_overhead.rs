@@ -1,0 +1,73 @@
+//! Figure 9: algorithm overhead — the wall-clock time each optimizer
+//! spends choosing the next configuration, as the iteration count grows
+//! (JOB, medium space). The global GP methods show the cubic blow-up; the
+//! forest/heuristic methods stay flat.
+//!
+//! Arguments: `samples=6250 iters=400` (paper: 6250/400).
+
+use dbtune_bench::{full_pool, print_table, run_tuning, save_json, top_k_knobs, ExpArgs};
+use dbtune_core::importance::MeasureKind;
+use dbtune_core::optimizer::OptimizerKind;
+use dbtune_dbsim::{DbSimulator, Hardware, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    optimizer: String,
+    /// Per-iteration suggest() time, seconds.
+    overhead_secs: Vec<f64>,
+    total_secs: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let samples = args.get_usize("samples", 6250);
+    let iters = args.get_usize("iters", 400);
+
+    let catalog = DbSimulator::new(Workload::Job, Hardware::B, 0).catalog().clone();
+    let pool = full_pool(Workload::Job, samples, 7);
+    let selected = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 20, 11);
+
+    let mut series: Vec<Series> = Vec::new();
+    for &opt in &OptimizerKind::PAPER {
+        let r = run_tuning(Workload::Job, selected.clone(), opt, iters, 900);
+        let total: f64 = r.overhead_secs.iter().sum();
+        eprintln!("[{}] total overhead {:.2}s over {iters} iterations", opt.label(), total);
+        series.push(Series {
+            optimizer: opt.label().to_string(),
+            overhead_secs: r.overhead_secs,
+            total_secs: total,
+        });
+    }
+
+    println!("\n== Figure 9: per-iteration algorithm overhead (seconds) ==");
+    let checkpoints: Vec<usize> = [50usize, 100, 200, 300, 400]
+        .iter()
+        .copied()
+        .filter(|&c| c <= iters)
+        .collect();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.optimizer.clone()];
+            for &c in &checkpoints {
+                // Average over a small window around the checkpoint to
+                // smooth scheduler jitter.
+                let lo = c.saturating_sub(5).max(1) - 1;
+                let hi = c.min(s.overhead_secs.len());
+                let window = &s.overhead_secs[lo..hi];
+                row.push(format!("{:.4}", dbtune_linalg::stats::mean(window)));
+            }
+            row.push(format!("{:.2}", s.total_secs));
+            row
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("Optimizer".to_string())
+        .chain(checkpoints.iter().map(|c| format!("@iter {c}")))
+        .chain(std::iter::once("total (s)".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+
+    save_json("fig9_overhead", &series);
+}

@@ -1,0 +1,56 @@
+//! Tables 4 & 5: workload profiles and hardware configurations, printed
+//! from the simulator's own metadata, plus the default performance of
+//! every workload (sanity anchor for all other experiments).
+
+use dbtune_bench::print_table;
+use dbtune_dbsim::{DbSimulator, Hardware, Objective, Workload};
+
+fn main() {
+    println!("== Table 4: Profile information for workloads ==");
+    let rows: Vec<Vec<String>> = Workload::ALL
+        .iter()
+        .map(|w| {
+            let p = w.profile();
+            vec![
+                w.name().to_string(),
+                format!("{:?}", p.class),
+                if p.size_gb >= 0.01 {
+                    format!("{:.1}G", p.size_gb)
+                } else {
+                    format!("{:.2}M", p.size_gb * 1024.0)
+                },
+                p.tables.to_string(),
+                format!("{:.1}%", p.read_only_frac * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&["Workload", "Class", "Size", "Tables", "Read-Only Txns"], &rows);
+
+    println!("\n== Table 5: Hardware configurations for database instances ==");
+    let rows: Vec<Vec<String>> = Hardware::ALL
+        .iter()
+        .map(|h| {
+            vec![
+                h.label().to_string(),
+                format!("{} cores", h.cores()),
+                format!("{}GB", h.ram_mb() / 1024.0),
+            ]
+        })
+        .collect();
+    print_table(&["Instance", "CPU", "RAM"], &rows);
+
+    println!("\n== Default performance on instance B (simulator anchor) ==");
+    let rows: Vec<Vec<String>> = Workload::ALL
+        .iter()
+        .map(|&w| {
+            let sim = DbSimulator::new(w, Hardware::B, 0);
+            let v = sim.expected_value(sim.default_config()).expect("default must not crash");
+            let unit = match sim.objective() {
+                Objective::Throughput => format!("{v:.0} tx/s"),
+                Objective::Latency95 => format!("{v:.1} s (95th pct latency)"),
+            };
+            vec![w.name().to_string(), unit]
+        })
+        .collect();
+    print_table(&["Workload", "Default performance"], &rows);
+}

@@ -1,0 +1,248 @@
+//! Shared plumbing for the experiment drivers (one binary per paper table
+//! or figure — see `src/bin/`) and the Criterion micro-benchmarks.
+//!
+//! Every driver accepts `key=value` command-line overrides (`iters=200`,
+//! `seeds=3`, `samples=6250`, …). Defaults are scaled for a single-core
+//! machine; `EXPERIMENTS.md` records both the defaults used and the
+//! paper-scale settings.
+
+use dbtune_core::importance::{ImportanceInput, MeasureKind};
+use dbtune_core::optimizer::OptimizerKind;
+use dbtune_core::sampling;
+use dbtune_core::space::TuningSpace;
+use dbtune_core::tuner::{orient, run_session, SessionConfig, SessionResult, SimObjective};
+use dbtune_dbsim::{DbSimulator, Hardware, KnobCatalog, Workload, METRICS_DIM};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// `key=value` command-line arguments with typed getters.
+pub struct ExpArgs {
+    map: HashMap<String, String>,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        let mut map = HashMap::new();
+        for arg in std::env::args().skip(1) {
+            if let Some((k, v)) = arg.split_once('=') {
+                map.insert(k.trim_start_matches('-').to_string(), v.to_string());
+            }
+        }
+        Self { map }
+    }
+
+    /// Integer argument with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.map
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {key}: {v}")))
+            .unwrap_or(default)
+    }
+
+    /// u64 argument with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.map
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {key}: {v}")))
+            .unwrap_or(default)
+    }
+}
+
+/// Directory where drivers persist JSON results (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Persists a serializable result under `results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let file = std::fs::File::create(&path).expect("create result file");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), value).expect("serialize result");
+    println!("[saved {}]", path.display());
+}
+
+/// An LHS observation pool over the full 197-knob catalog for one
+/// workload: configurations, maximize-oriented scores, and metric vectors.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Pool {
+    /// Workload name (for cache-file identification).
+    pub workload: String,
+    /// Full-catalog raw configurations.
+    pub x: Vec<Vec<f64>>,
+    /// Maximize-oriented scores (failures mapped to worst seen).
+    pub y: Vec<f64>,
+    /// Internal-metric vectors per observation.
+    pub metrics: Vec<Vec<f64>>,
+    /// The hardware-adjusted default configuration.
+    pub default_cfg: Vec<f64>,
+}
+
+/// Collects (or loads from `results/`) an LHS pool of `n` observations of
+/// `workload` on instance B — the §5.1 sample-collection step.
+pub fn full_pool(workload: Workload, n: usize, seed: u64) -> Pool {
+    let cache = results_dir().join(format!(
+        "pool_{}_{}_{}.json",
+        workload.name().replace('-', ""),
+        n,
+        seed
+    ));
+    if let Ok(file) = std::fs::File::open(&cache) {
+        if let Ok(pool) = serde_json::from_reader::<_, Pool>(std::io::BufReader::new(file)) {
+            if pool.x.len() == n {
+                println!("[pool cache hit: {}]", cache.display());
+                return pool;
+            }
+        }
+    }
+
+    let mut sim = DbSimulator::new(workload, Hardware::B, seed);
+    let catalog = sim.catalog().clone();
+    let default_cfg = catalog.default_config(Hardware::B);
+    let all: Vec<usize> = (0..catalog.len()).collect();
+    let space = TuningSpace::new(&catalog, all, default_cfg.clone());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9001);
+    let obj = SimObjective::objective(&sim);
+
+    let mut pool = Pool {
+        workload: workload.name().to_string(),
+        x: Vec::with_capacity(n),
+        y: Vec::with_capacity(n),
+        metrics: Vec::with_capacity(n),
+        default_cfg,
+    };
+    let mut worst = f64::INFINITY;
+    for cfg in sampling::lhs(space.space(), n, &mut rng) {
+        let res = SimObjective::evaluate(&mut sim, &cfg);
+        let score = if res.failed {
+            if worst.is_finite() {
+                worst
+            } else {
+                orient(obj, sim.reference_value(space.base())) - 1.0
+            }
+        } else {
+            orient(obj, res.value)
+        };
+        worst = worst.min(score);
+        pool.x.push(cfg);
+        pool.y.push(score);
+        pool.metrics.push(res.metrics);
+    }
+
+    if let Ok(file) = std::fs::File::create(&cache) {
+        let _ = serde_json::to_writer(std::io::BufWriter::new(file), &pool);
+        println!("[pool cached: {}]", cache.display());
+    }
+    pool
+}
+
+/// Runs one importance measurement over a pool, returning per-knob scores.
+pub fn importance_scores(
+    kind: MeasureKind,
+    catalog: &KnobCatalog,
+    pool: &Pool,
+    seed: u64,
+) -> Vec<f64> {
+    let measure = kind.build();
+    measure.scores(&ImportanceInput {
+        specs: catalog.specs(),
+        default: &pool.default_cfg,
+        x: &pool.x,
+        y: &pool.y,
+        seed,
+    })
+}
+
+/// Top-`k` knob indices under a measurement.
+pub fn top_k_knobs(
+    kind: MeasureKind,
+    catalog: &KnobCatalog,
+    pool: &Pool,
+    k: usize,
+    seed: u64,
+) -> Vec<usize> {
+    dbtune_core::importance::top_k(&importance_scores(kind, catalog, pool, seed), k)
+}
+
+/// Runs a full tuning session of `opt_kind` over the selected knobs of
+/// `workload` on instance B.
+pub fn run_tuning(
+    workload: Workload,
+    selected: Vec<usize>,
+    opt_kind: OptimizerKind,
+    iters: usize,
+    seed: u64,
+) -> SessionResult {
+    let mut sim = DbSimulator::new(workload, Hardware::B, seed);
+    let catalog = sim.catalog().clone();
+    let space = TuningSpace::with_default_base(&catalog, selected, Hardware::B);
+    let mut opt = opt_kind.build(space.space(), METRICS_DIM, seed);
+    run_session(
+        &mut sim,
+        &space,
+        &mut opt,
+        &SessionConfig { iterations: iters, lhs_init: 10, seed, ..Default::default() },
+    )
+}
+
+/// Median of a slice (convenience re-export for drivers).
+pub fn median(xs: &[f64]) -> f64 {
+    dbtune_linalg::stats::median(xs)
+}
+
+/// Renders a plain-text table with padded columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a fraction as a signed percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{:+.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_signed_percent() {
+        assert_eq!(pct(0.3802), "+38.02%");
+        assert_eq!(pct(-0.015), "-1.50%");
+    }
+
+    #[test]
+    fn args_typed_getters() {
+        let mut map = HashMap::new();
+        map.insert("iters".to_string(), "42".to_string());
+        let args = ExpArgs { map };
+        assert_eq!(args.get_usize("iters", 7), 42);
+        assert_eq!(args.get_usize("seeds", 7), 7);
+        assert_eq!(args.get_u64("seed", 3), 3);
+    }
+}

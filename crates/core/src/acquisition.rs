@@ -1,0 +1,194 @@
+//! Acquisition functions and their optimization.
+//!
+//! Expected Improvement (the paper's acquisition for every BO variant) over
+//! any surrogate exposing `(mean, variance)`, maximized by random candidate
+//! sampling plus local refinement around the incumbents — the standard
+//! gradient-free scheme that works uniformly across continuous,
+//! heterogeneous, and tree-based surrogates.
+
+use crate::space::ConfigSpace;
+use rand::Rng;
+
+/// Expected Improvement for maximization at a point with predictive
+/// `(mean, var)`, given the incumbent value `best`.
+///
+/// `xi` is the exploration jitter (0.01 is the conventional default).
+pub fn expected_improvement(mean: f64, var: f64, best: f64, xi: f64) -> f64 {
+    let sigma = var.max(1e-18).sqrt();
+    let z = (mean - best - xi) / sigma;
+    let (pdf, cdf) = norm_pdf_cdf(z);
+    let ei = (mean - best - xi) * cdf + sigma * pdf;
+    ei.max(0.0)
+}
+
+/// Upper Confidence Bound for maximization: `μ + β·σ`.
+///
+/// A simple exploration/exploitation dial; `β ≈ 2` is the conventional
+/// default. Used by the acquisition ablation.
+pub fn upper_confidence_bound(mean: f64, var: f64, beta: f64) -> f64 {
+    mean + beta * var.max(0.0).sqrt()
+}
+
+/// Probability of Improvement over the incumbent `best` (with jitter
+/// `xi`): `Φ((μ − best − ξ)/σ)`. Greedier than EI — it ignores *how much*
+/// improvement is expected.
+pub fn probability_of_improvement(mean: f64, var: f64, best: f64, xi: f64) -> f64 {
+    let sigma = var.max(1e-18).sqrt();
+    let (_, cdf) = norm_pdf_cdf((mean - best - xi) / sigma);
+    cdf
+}
+
+/// Standard normal pdf and cdf at `z` (Abramowitz–Stegun erf approximation).
+pub fn norm_pdf_cdf(z: f64) -> (f64, f64) {
+    let pdf = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let cdf = 0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2));
+    (pdf, cdf)
+}
+
+/// Error function via the A&S 7.1.26 polynomial (|ε| < 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Maximizes an acquisition value over a configuration space.
+///
+/// `score` maps a raw configuration to its acquisition value. The search
+/// draws `n_random` uniform candidates plus local neighbourhoods around
+/// the provided `incumbents`, then polishes the best candidate with a few
+/// rounds of single-dimension moves.
+pub fn maximize<F>(
+    space: &ConfigSpace,
+    score: F,
+    incumbents: &[Vec<f64>],
+    n_random: usize,
+    rng: &mut impl Rng,
+) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let mut best_cfg: Option<Vec<f64>> = None;
+    let mut best_val = f64::NEG_INFINITY;
+    let consider = |cfg: Vec<f64>, val: f64, best_cfg: &mut Option<Vec<f64>>, best_val: &mut f64| {
+        if val > *best_val {
+            *best_val = val;
+            *best_cfg = Some(cfg);
+        }
+    };
+
+    for _ in 0..n_random {
+        let cfg = space.sample(rng);
+        let v = score(&cfg);
+        consider(cfg, v, &mut best_cfg, &mut best_val);
+    }
+    for inc in incumbents {
+        for _ in 0..16 {
+            let cfg = space.neighbour(inc, 0.1, rng);
+            let v = score(&cfg);
+            consider(cfg, v, &mut best_cfg, &mut best_val);
+        }
+    }
+
+    // Local polish: greedy single-dimension perturbations.
+    let mut cur = best_cfg.expect("no candidates generated");
+    let mut cur_val = best_val;
+    for _ in 0..4 {
+        let mut improved = false;
+        for d in 0..space.dim() {
+            for &step in &[0.05, 0.2] {
+                let mut cand = cur.clone();
+                space.mutate_dim(&mut cand, d, step, rng);
+                let v = score(&cand);
+                if v > cur_val {
+                    cur_val = v;
+                    cur = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtune_dbsim::knob::KnobSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ei_increases_with_mean_and_variance() {
+        let base = expected_improvement(1.0, 1.0, 0.0, 0.0);
+        assert!(expected_improvement(2.0, 1.0, 0.0, 0.0) > base);
+        let low_var = expected_improvement(-1.0, 0.01, 0.0, 0.0);
+        let high_var = expected_improvement(-1.0, 4.0, 0.0, 0.0);
+        assert!(high_var > low_var, "exploration term missing");
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_zero_certain_nonimprovement() {
+        let ei = expected_improvement(-5.0, 1e-18, 0.0, 0.0);
+        assert!(ei >= 0.0 && ei < 1e-9);
+    }
+
+    #[test]
+    fn ucb_orders_by_mean_and_variance() {
+        assert!(upper_confidence_bound(1.0, 1.0, 2.0) > upper_confidence_bound(0.5, 1.0, 2.0));
+        assert!(upper_confidence_bound(1.0, 4.0, 2.0) > upper_confidence_bound(1.0, 1.0, 2.0));
+        // β = 0 is pure exploitation.
+        assert_eq!(upper_confidence_bound(1.5, 9.0, 0.0), 1.5);
+    }
+
+    #[test]
+    fn pi_is_a_probability_and_monotone_in_mean() {
+        let p = probability_of_improvement(0.0, 1.0, 0.0, 0.0);
+        assert!((p - 0.5).abs() < 1e-6, "PI at the incumbent should be 1/2: {p}");
+        let hi = probability_of_improvement(2.0, 1.0, 0.0, 0.0);
+        let lo = probability_of_improvement(-2.0, 1.0, 0.0, 0.0);
+        assert!(hi > 0.9 && lo < 0.1);
+        for m in [-3.0, 0.0, 3.0] {
+            let v = probability_of_improvement(m, 2.0, 0.5, 0.01);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn maximize_finds_peak_of_simple_function() {
+        let space = ConfigSpace::new(vec![
+            KnobSpec::real("a", 0.0, 1.0, false, 0.5),
+            KnobSpec::real("b", 0.0, 1.0, false, 0.5),
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Peak at (0.7, 0.3).
+        let score = |c: &[f64]| -((c[0] - 0.7).powi(2) + (c[1] - 0.3).powi(2));
+        let best = maximize(&space, score, &[vec![0.5, 0.5]], 200, &mut rng);
+        assert!((best[0] - 0.7).abs() < 0.1, "{best:?}");
+        assert!((best[1] - 0.3).abs() < 0.1, "{best:?}");
+    }
+
+    #[test]
+    fn maximize_handles_categorical_dims() {
+        let space = ConfigSpace::new(vec![KnobSpec::cat("c", vec!["a", "b", "c", "d"], 0)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let score = |c: &[f64]| if c[0] == 2.0 { 1.0 } else { 0.0 };
+        let best = maximize(&space, score, &[], 50, &mut rng);
+        assert_eq!(best[0], 2.0);
+    }
+}

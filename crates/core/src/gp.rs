@@ -1,0 +1,282 @@
+//! Gaussian-process regression for the BO-based optimizers.
+//!
+//! Kernels: RBF (vanilla BO, as in OtterTune), Matérn-5/2, Hamming
+//! (categorical), and the Matérn×Hamming product of mixed-kernel BO. The
+//! posterior follows Eq. (3) of the paper via Cholesky factorization;
+//! kernel hyper-parameters (a single shared lengthscale and the noise
+//! level) are chosen by log-marginal-likelihood over a small grid — cheap,
+//! robust, and deterministic.
+
+use dbtune_linalg::stats;
+use dbtune_linalg::{Cholesky, Matrix};
+
+/// A positive-definite covariance function over encoded configurations.
+pub trait Kernel: Send + Sync {
+    /// Evaluates `k(a, b)`.
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+    /// Returns a copy with a different lengthscale (for the grid search).
+    fn with_lengthscale(&self, ls: f64) -> Box<dyn Kernel>;
+}
+
+/// Squared-exponential kernel on the unit cube (vanilla BO / OtterTune).
+#[derive(Clone, Debug)]
+pub struct RbfKernel {
+    /// Shared lengthscale.
+    pub lengthscale: f64,
+}
+
+impl Kernel for RbfKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2 = dbtune_linalg::matrix::sq_dist(a, b);
+        (-0.5 * d2 / (self.lengthscale * self.lengthscale)).exp()
+    }
+
+    fn with_lengthscale(&self, ls: f64) -> Box<dyn Kernel> {
+        Box::new(RbfKernel { lengthscale: ls })
+    }
+}
+
+/// Matérn-5/2 kernel on the unit cube.
+#[derive(Clone, Debug)]
+pub struct Matern52Kernel {
+    /// Shared lengthscale.
+    pub lengthscale: f64,
+}
+
+impl Kernel for Matern52Kernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r = dbtune_linalg::matrix::sq_dist(a, b).sqrt() / self.lengthscale;
+        let s5 = (5.0f64).sqrt() * r;
+        (1.0 + s5 + 5.0 * r * r / 3.0) * (-s5).exp()
+    }
+
+    fn with_lengthscale(&self, ls: f64) -> Box<dyn Kernel> {
+        Box::new(Matern52Kernel { lengthscale: ls })
+    }
+}
+
+/// Matérn-5/2 × Hamming product kernel for heterogeneous spaces
+/// (mixed-kernel BO). Continuous dimensions use Matérn on unit encodings;
+/// categorical dimensions use a smoothed Hamming similarity.
+#[derive(Clone, Debug)]
+pub struct MixedKernel {
+    /// Indices of continuous/integer dimensions (unit-encoded).
+    pub cont_dims: Vec<usize>,
+    /// Indices of categorical dimensions (category codes).
+    pub cat_dims: Vec<usize>,
+    /// Matérn lengthscale for the continuous part.
+    pub lengthscale: f64,
+    /// Hamming sharpness: weight of a category mismatch.
+    pub hamming_weight: f64,
+}
+
+impl Kernel for MixedKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        // Matérn-5/2 over continuous dims.
+        let mut d2 = 0.0;
+        for &i in &self.cont_dims {
+            let d = a[i] - b[i];
+            d2 += d * d;
+        }
+        let r = d2.sqrt() / self.lengthscale;
+        let s5 = (5.0f64).sqrt() * r;
+        let cont = (1.0 + s5 + 5.0 * r * r / 3.0) * (-s5).exp();
+
+        // Hamming part: exp(−w · mismatch-fraction).
+        let cat = if self.cat_dims.is_empty() {
+            1.0
+        } else {
+            let mismatches = self
+                .cat_dims
+                .iter()
+                .filter(|&&i| (a[i] - b[i]).abs() > 0.5)
+                .count() as f64;
+            (-self.hamming_weight * mismatches / self.cat_dims.len() as f64).exp()
+        };
+        cont * cat
+    }
+
+    fn with_lengthscale(&self, ls: f64) -> Box<dyn Kernel> {
+        Box::new(MixedKernel { lengthscale: ls, ..self.clone() })
+    }
+}
+
+/// A fitted Gaussian process with standardized targets.
+pub struct GaussianProcess {
+    kernel: Box<dyn Kernel>,
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    y_mean: f64,
+    y_std: f64,
+    noise: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP with fixed kernel and noise level.
+    ///
+    /// Targets are standardized internally; predictions are returned on
+    /// the original scale.
+    pub fn fit(kernel: Box<dyn Kernel>, x: &[Vec<f64>], y: &[f64], noise: f64) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "GP fit on empty data");
+        let y_mean = stats::mean(y);
+        let y_std = stats::std_dev(y).max(1e-12);
+        let yn: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let n = x.len();
+        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
+        k.add_diagonal(noise);
+        let (chol, _) = Cholesky::decompose_with_jitter(&k, 1e-8, 12)
+            .expect("GP covariance not PD even with jitter");
+        let alpha = chol.solve(&yn);
+        Self { kernel, x: x.to_vec(), alpha, chol, y_mean, y_std, noise }
+    }
+
+    /// Fits with lengthscale and noise selected by maximizing the log
+    /// marginal likelihood over a small grid.
+    pub fn fit_auto(kernel: Box<dyn Kernel>, x: &[Vec<f64>], y: &[f64]) -> Self {
+        let (ls, noise) = select_hyperparams(kernel.as_ref(), x, y);
+        Self::fit(kernel.with_lengthscale(ls), x, y, noise)
+    }
+
+    /// Posterior mean and variance at `q` (original target scale).
+    pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
+        let mean_n = dbtune_linalg::matrix::dot(&kstar, &self.alpha);
+        let v = self.chol.solve_lower(&kstar);
+        let kss = self.kernel.eval(q, q) + self.noise;
+        let var_n = (kss - v.iter().map(|vi| vi * vi).sum::<f64>()).max(1e-12);
+        (mean_n * self.y_std + self.y_mean, var_n * self.y_std * self.y_std)
+    }
+
+    /// Number of training points.
+    pub fn n_train(&self) -> usize {
+        self.x.len()
+    }
+}
+
+/// Selects `(lengthscale, noise)` by log marginal likelihood over a small
+/// grid. Exposed so optimizers can cache the selection and refresh it
+/// periodically instead of re-running the grid on every iteration.
+pub fn select_hyperparams(kernel: &dyn Kernel, x: &[Vec<f64>], y: &[f64]) -> (f64, f64) {
+    const LENGTHSCALES: [f64; 6] = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6];
+    const NOISES: [f64; 3] = [1e-6, 1e-4, 1e-2];
+    let mut best: Option<(f64, f64, f64)> = None; // (lml, ls, noise)
+    for &ls in &LENGTHSCALES {
+        let k = kernel.with_lengthscale(ls);
+        for &noise in &NOISES {
+            if let Some(lml) = log_marginal_likelihood(k.as_ref(), x, y, noise) {
+                if best.is_none_or(|(b, _, _)| lml > b) {
+                    best = Some((lml, ls, noise));
+                }
+            }
+        }
+    }
+    let (_, ls, noise) = best.expect("no admissible GP hyper-parameters");
+    (ls, noise)
+}
+
+/// Log marginal likelihood of standardized targets under the kernel;
+/// `None` if the covariance cannot be factorized.
+fn log_marginal_likelihood(kernel: &dyn Kernel, x: &[Vec<f64>], y: &[f64], noise: f64) -> Option<f64> {
+    let n = x.len();
+    let y_mean = stats::mean(y);
+    let y_std = stats::std_dev(y).max(1e-12);
+    let yn: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+    let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
+    k.add_diagonal(noise);
+    let (chol, _) = Cholesky::decompose_with_jitter(&k, 1e-8, 8).ok()?;
+    let alpha = chol.solve(&yn);
+    let fit: f64 = dbtune_linalg::matrix::dot(&yn, &alpha);
+    Some(-0.5 * fit - 0.5 * chol.log_determinant() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 6.0).sin() * 3.0 + 10.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let (x, y) = toy_data();
+        let gp = GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.2 }), &x, &y, 1e-8);
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, v) = gp.predict(xi);
+            assert!((m - yi).abs() < 1e-3, "mean {m} vs target {yi}");
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (x, y) = toy_data();
+        let gp = GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.2 }), &x, &y, 1e-6);
+        let (_, v_in) = gp.predict(&x[5]);
+        let (_, v_out) = gp.predict(&[3.0]);
+        assert!(v_out > v_in * 10.0);
+    }
+
+    #[test]
+    fn fit_auto_selects_reasonable_fit() {
+        let (x, y) = toy_data();
+        let gp = GaussianProcess::fit_auto(Box::new(RbfKernel { lengthscale: 1.0 }), &x, &y);
+        let (m, _) = gp.predict(&[0.5]);
+        let truth = (0.5f64 * 6.0).sin() * 3.0 + 10.0;
+        assert!((m - truth).abs() < 0.5, "auto GP mean {m} vs truth {truth}");
+    }
+
+    #[test]
+    fn matern_kernel_basic_properties() {
+        let k = Matern52Kernel { lengthscale: 0.5 };
+        assert!((k.eval(&[0.3], &[0.3]) - 1.0).abs() < 1e-12);
+        assert!(k.eval(&[0.0], &[0.1]) > k.eval(&[0.0], &[0.9]));
+    }
+
+    #[test]
+    fn mixed_kernel_penalizes_category_mismatch() {
+        let k = MixedKernel {
+            cont_dims: vec![0],
+            cat_dims: vec![1],
+            lengthscale: 0.5,
+            hamming_weight: 2.0,
+        };
+        let same = k.eval(&[0.5, 1.0], &[0.5, 1.0]);
+        let diff = k.eval(&[0.5, 1.0], &[0.5, 2.0]);
+        assert!((same - 1.0).abs() < 1e-12);
+        assert!(diff < same);
+        // Ordinal distance between categories is irrelevant: mismatch is
+        // mismatch (unlike the RBF ordinal encoding).
+        let diff_far = k.eval(&[0.5, 0.0], &[0.5, 3.0]);
+        assert!((diff - diff_far).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_kernel_without_categories_reduces_to_matern() {
+        let mk = MixedKernel {
+            cont_dims: vec![0, 1],
+            cat_dims: vec![],
+            lengthscale: 0.7,
+            hamming_weight: 2.0,
+        };
+        let m = Matern52Kernel { lengthscale: 0.7 };
+        let a = [0.2, 0.8];
+        let b = [0.6, 0.1];
+        assert!((mk.eval(&a, &b) - m.eval(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_on_original_scale() {
+        // Targets far from zero: standardization must be undone.
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 / 4.0]).collect();
+        let y = vec![1000.0, 1010.0, 1020.0, 1030.0, 1040.0];
+        let gp = GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.5 }), &x, &y, 1e-8);
+        let (m, _) = gp.predict(&[0.0]);
+        assert!((m - 1000.0).abs() < 2.0);
+    }
+}

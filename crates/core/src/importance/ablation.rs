@@ -1,0 +1,150 @@
+//! Ablation analysis (Biedenkapp/Fawcett & Hoos): walks greedy paths from
+//! the default configuration to well-performing configurations, flipping
+//! one knob at a time toward the target and crediting each knob with the
+//! (surrogate-predicted) improvement its flip contributes.
+//!
+//! As in the paper, real evaluations are replaced by cheap random-forest
+//! predictions. The method's known weakness — it needs *good* training
+//! configurations better than the default — is preserved: with poor
+//! samples the paths are walked toward mediocre targets and the ranking
+//! degrades (§5.2).
+
+use super::gini::fit_forest;
+use super::{ImportanceInput, ImportanceMeasure};
+use dbtune_ml::Regressor;
+
+/// Ablation-analysis importance measurement.
+#[derive(Clone, Debug)]
+pub struct AblationImportance {
+    /// Number of forest trees in the surrogate.
+    pub n_trees: usize,
+    /// Maximum number of target configurations to walk paths to.
+    pub max_targets: usize,
+}
+
+impl Default for AblationImportance {
+    fn default() -> Self {
+        Self { n_trees: 40, max_targets: 12 }
+    }
+}
+
+impl ImportanceMeasure for AblationImportance {
+    fn name(&self) -> &'static str {
+        "Ablation Analysis"
+    }
+
+    fn scores(&self, input: &ImportanceInput<'_>) -> Vec<f64> {
+        let rf = fit_forest(input, self.n_trees);
+        let d = input.specs.len();
+        let default_pred = rf.predict(input.default);
+
+        // Targets: observed configurations better than the (predicted)
+        // default, best first; fall back to the overall best if none beat
+        // the default — this is where the method degrades with bad samples.
+        let mut order: Vec<usize> = (0..input.y.len()).collect();
+        order.sort_by(|&a, &b| input.y[b].partial_cmp(&input.y[a]).expect("NaN score"));
+        let mut targets: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| input.y[i] > default_pred)
+            .take(self.max_targets)
+            .collect();
+        if targets.is_empty() {
+            targets = order.into_iter().take(self.max_targets.min(4)).collect();
+        }
+
+        let mut scores = vec![0.0; d];
+        for &t in &targets {
+            let target = &input.x[t];
+            let mut cur = input.default.to_vec();
+            let mut cur_pred = default_pred;
+            let mut remaining: Vec<usize> =
+                (0..d).filter(|&j| (cur[j] - target[j]).abs() > 1e-12).collect();
+
+            while !remaining.is_empty() {
+                // Pick the flip with the best predicted improvement.
+                let mut best: Option<(usize, f64, f64)> = None; // (pos, delta, pred)
+                for (pos, &j) in remaining.iter().enumerate() {
+                    let mut cand = cur.clone();
+                    cand[j] = target[j];
+                    let pred = rf.predict(&cand);
+                    let delta = pred - cur_pred;
+                    if best.is_none_or(|(_, bd, _)| delta > bd) {
+                        best = Some((pos, delta, pred));
+                    }
+                }
+                let (pos, delta, pred) = best.expect("remaining nonempty");
+                let j = remaining.swap_remove(pos);
+                if delta > 0.0 {
+                    scores[j] += delta;
+                }
+                cur[j] = target[j];
+                cur_pred = pred;
+            }
+        }
+        for s in &mut scores {
+            *s /= targets.len() as f64;
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::importance::top_k;
+    use dbtune_dbsim::knob::KnobSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ablation_credits_tunable_knob_over_trap() {
+        // Knob 0: tunable (default 0.0, optimum 1.0).
+        // Knob 1: trap — big variance but default already optimal.
+        let specs = vec![
+            KnobSpec::real("tunable", 0.0, 1.0, false, 0.0),
+            KnobSpec::real("trap", 0.0, 1.0, false, 0.5),
+        ];
+        let default = vec![0.0, 0.5];
+        let mut rng = StdRng::seed_from_u64(10);
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let f = |r: &[f64]| 5.0 * r[0] - 20.0 * (r[1] - 0.5) * (r[1] - 0.5);
+        let y: Vec<f64> = x.iter().map(|r| f(r)).collect();
+        let m = AblationImportance::default();
+        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        assert_eq!(top_k(&scores, 1), vec![0], "trap knob out-ranked tunable: {scores:?}");
+    }
+
+    #[test]
+    fn ablation_handles_all_worse_than_default_gracefully() {
+        // Default is the global optimum: nothing should blow up, scores ≈ 0.
+        let specs = vec![KnobSpec::real("k", 0.0, 1.0, false, 0.5)];
+        let default = vec![0.5];
+        let mut rng = StdRng::seed_from_u64(11);
+        let x: Vec<Vec<f64>> = (0..100).map(|_| vec![rng.gen::<f64>()]).collect();
+        let y: Vec<f64> = x.iter().map(|r| -(r[0] - 0.5).abs()).collect();
+        let m = AblationImportance::default();
+        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        assert!(scores[0] >= 0.0);
+        assert!(scores[0] < 0.1, "near-zero tunability expected: {scores:?}");
+    }
+
+    #[test]
+    fn irrelevant_knobs_get_no_credit() {
+        let specs = vec![
+            KnobSpec::real("useful", 0.0, 1.0, false, 0.0),
+            KnobSpec::real("junk", 0.0, 1.0, false, 0.5),
+        ];
+        let default = vec![0.0, 0.5];
+        let mut rng = StdRng::seed_from_u64(12);
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0]).collect();
+        let m = AblationImportance::default();
+        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        assert!(scores[0] > scores[1] * 5.0, "{scores:?}");
+    }
+}

@@ -1,0 +1,337 @@
+//! Functional ANOVA (Hutter et al.): decomposes the variance of the
+//! forest-predicted response surface into per-knob (unary) contributions
+//! under a uniform input distribution.
+//!
+//! Each tree is a piecewise-constant function over axis-aligned boxes, so
+//! total variance and per-feature marginal variances have closed forms:
+//! box volumes are measured in the *unit* encoding of each knob (matching
+//! the LHS sampling measure — log-scaled knobs are uniform in log space),
+//! and categorical widths are category-set fractions.
+
+use super::gini::{feature_kinds, fit_forest};
+use super::{ImportanceInput, ImportanceMeasure};
+use dbtune_dbsim::knob::KnobSpec;
+use dbtune_ml::{DecisionTree, FeatureKind, Node, SplitRule};
+
+/// fANOVA importance measurement.
+#[derive(Clone, Debug)]
+pub struct FanovaImportance {
+    /// Number of forest trees.
+    pub n_trees: usize,
+}
+
+impl Default for FanovaImportance {
+    fn default() -> Self {
+        Self { n_trees: 24 }
+    }
+}
+
+/// Per-feature range of a leaf box.
+#[derive(Clone, Debug)]
+enum Range {
+    /// Unit-space interval `[lo, hi)`.
+    Interval(f64, f64),
+    /// Allowed category codes (bitmask) with total cardinality.
+    Cats(u64, usize),
+}
+
+impl Range {
+    fn width(&self) -> f64 {
+        match self {
+            Range::Interval(lo, hi) => (hi - lo).max(0.0),
+            Range::Cats(mask, k) => mask.count_ones() as f64 / *k as f64,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            Range::Interval(lo, hi) => *lo <= 0.0 && *hi >= 1.0,
+            Range::Cats(mask, k) => mask.count_ones() as usize == *k,
+        }
+    }
+}
+
+/// One leaf of a tree, as a weighted box.
+struct LeafBox {
+    value: f64,
+    volume: f64,
+    ranges: Vec<Range>,
+}
+
+/// Extracts all leaf boxes of a tree, measuring numeric thresholds in the
+/// unit encoding of each knob.
+fn leaf_boxes(tree: &DecisionTree, specs: &[KnobSpec]) -> Vec<LeafBox> {
+    let init: Vec<Range> = specs
+        .iter()
+        .zip(tree.feature_kinds())
+        .map(|(_, k)| match k {
+            FeatureKind::Categorical { cardinality } => {
+                let mask = if *cardinality >= 64 { u64::MAX } else { (1u64 << cardinality) - 1 };
+                Range::Cats(mask, *cardinality)
+            }
+            FeatureKind::Continuous => Range::Interval(0.0, 1.0),
+        })
+        .collect();
+    let mut out = Vec::new();
+    walk(tree, specs, tree.root_index(), init, &mut out);
+    out
+}
+
+fn walk(tree: &DecisionTree, specs: &[KnobSpec], node: usize, ranges: Vec<Range>, out: &mut Vec<LeafBox>) {
+    match &tree.nodes()[node] {
+        Node::Leaf { value, .. } => {
+            let volume: f64 = ranges.iter().map(Range::width).product();
+            if volume > 0.0 {
+                out.push(LeafBox { value: *value, volume, ranges });
+            }
+        }
+        Node::Internal { rule, left, right } => {
+            match *rule {
+                SplitRule::Numeric { feature, threshold } => {
+                    let t = specs[feature].domain.to_unit(threshold);
+                    let (lo, hi) = match ranges[feature] {
+                        Range::Interval(lo, hi) => (lo, hi),
+                        _ => unreachable!("numeric split on categorical feature"),
+                    };
+                    if t > lo {
+                        let mut l = ranges.clone();
+                        l[feature] = Range::Interval(lo, t.min(hi));
+                        walk(tree, specs, *left, l, out);
+                    }
+                    if t < hi {
+                        let mut r = ranges;
+                        r[feature] = Range::Interval(t.max(lo), hi);
+                        walk(tree, specs, *right, r, out);
+                    }
+                }
+                SplitRule::Categorical { feature, left_mask } => {
+                    let (mask, k) = match ranges[feature] {
+                        Range::Cats(mask, k) => (mask, k),
+                        _ => unreachable!("categorical split on numeric feature"),
+                    };
+                    let lm = mask & left_mask;
+                    let rm = mask & !left_mask;
+                    if lm != 0 {
+                        let mut l = ranges.clone();
+                        l[feature] = Range::Cats(lm, k);
+                        walk(tree, specs, *left, l, out);
+                    }
+                    if rm != 0 {
+                        let mut r = ranges;
+                        r[feature] = Range::Cats(rm, k);
+                        walk(tree, specs, *right, r, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-feature unary variance fractions for one tree.
+fn tree_variance_fractions(tree: &DecisionTree, specs: &[KnobSpec]) -> Option<Vec<f64>> {
+    let leaves = leaf_boxes(tree, specs);
+    let mean: f64 = leaves.iter().map(|l| l.volume * l.value).sum();
+    let total_var: f64 =
+        leaves.iter().map(|l| l.volume * l.value * l.value).sum::<f64>() - mean * mean;
+    if total_var <= 1e-15 {
+        return None;
+    }
+
+    let d = specs.len();
+    // Leaves restricted in feature j (everything else contributes a
+    // constant base to every marginal segment).
+    let mut restricted: Vec<Vec<usize>> = vec![Vec::new(); d];
+    for (li, leaf) in leaves.iter().enumerate() {
+        for (j, r) in leaf.ranges.iter().enumerate() {
+            if !r.is_full() {
+                restricted[j].push(li);
+            }
+        }
+    }
+
+    let mut fractions = vec![0.0; d];
+    for j in 0..d {
+        if restricted[j].is_empty() {
+            continue; // marginal is constant → zero unary variance
+        }
+        // Base contribution from leaves unrestricted in j.
+        let mut base = 0.0;
+        for (li, leaf) in leaves.iter().enumerate() {
+            if leaf.ranges[j].is_full() {
+                base += leaf.volume * leaf.value;
+            }
+            debug_assert!(li < leaves.len());
+        }
+
+        let var_j = match &leaves[restricted[j][0]].ranges[j] {
+            Range::Cats(_, k) => {
+                let k = *k;
+                let mut var = 0.0;
+                for c in 0..k {
+                    let mut m = base;
+                    for &li in &restricted[j] {
+                        if let Range::Cats(mask, kk) = leaves[li].ranges[j] {
+                            if mask & (1u64 << c) != 0 {
+                                // Conditional density over the remaining dims.
+                                m += leaves[li].volume * leaves[li].value
+                                    / (mask.count_ones() as f64 / kk as f64);
+                            }
+                        }
+                    }
+                    var += (m - mean) * (m - mean) / k as f64;
+                }
+                var
+            }
+            Range::Interval(..) => {
+                // Segment the unit interval at every distinct endpoint.
+                let mut cuts: Vec<f64> = vec![0.0, 1.0];
+                for &li in &restricted[j] {
+                    if let Range::Interval(lo, hi) = leaves[li].ranges[j] {
+                        cuts.push(lo);
+                        cuts.push(hi);
+                    }
+                }
+                cuts.sort_by(|a, b| a.partial_cmp(b).expect("NaN cut"));
+                cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+                let mut var = 0.0;
+                for w in cuts.windows(2) {
+                    let (a, b) = (w[0], w[1]);
+                    let len = b - a;
+                    if len <= 0.0 {
+                        continue;
+                    }
+                    let mid = 0.5 * (a + b);
+                    let mut m = base;
+                    for &li in &restricted[j] {
+                        if let Range::Interval(lo, hi) = leaves[li].ranges[j] {
+                            if mid > lo && mid < hi {
+                                m += leaves[li].volume * leaves[li].value / (hi - lo);
+                            }
+                        }
+                    }
+                    var += len * (m - mean) * (m - mean);
+                }
+                var
+            }
+        };
+        fractions[j] = (var_j / total_var).max(0.0);
+    }
+    Some(fractions)
+}
+
+impl ImportanceMeasure for FanovaImportance {
+    fn name(&self) -> &'static str {
+        "fANOVA"
+    }
+
+    fn scores(&self, input: &ImportanceInput<'_>) -> Vec<f64> {
+        let _ = feature_kinds(input.specs); // shared path sanity
+        let rf = fit_forest(input, self.n_trees);
+        let d = input.specs.len();
+        let mut sums = vec![0.0; d];
+        let mut n_used = 0usize;
+        for tree in rf.trees() {
+            if let Some(fracs) = tree_variance_fractions(tree, input.specs) {
+                for (s, f) in sums.iter_mut().zip(&fracs) {
+                    *s += f;
+                }
+                n_used += 1;
+            }
+        }
+        if n_used > 0 {
+            for s in &mut sums {
+                *s /= n_used as f64;
+            }
+        }
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::importance::top_k;
+    use dbtune_dbsim::knob::KnobSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fanova_fractions_reflect_effect_sizes() {
+        let specs = vec![
+            KnobSpec::real("big", 0.0, 1.0, false, 0.5),
+            KnobSpec::real("small", 0.0, 1.0, false, 0.5),
+            KnobSpec::real("zero", 0.0, 1.0, false, 0.5),
+        ];
+        let default = vec![0.5; 3];
+        let mut rng = StdRng::seed_from_u64(6);
+        let x: Vec<Vec<f64>> = (0..500)
+            .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 10.0 * r[0] + 2.0 * r[1]).collect();
+        let m = FanovaImportance::default();
+        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        assert_eq!(top_k(&scores, 3), vec![0, 1, 2]);
+        // Variance shares: 100:4 ratio between big and small.
+        assert!(scores[0] > scores[1] * 5.0, "{scores:?}");
+        assert!(scores[2] < 0.05, "{scores:?}");
+    }
+
+    #[test]
+    fn fanova_handles_categorical_effects() {
+        let specs = vec![
+            KnobSpec::cat("mode", vec!["a", "b", "c", "d"], 0),
+            KnobSpec::real("noise", 0.0, 1.0, false, 0.5),
+        ];
+        let default = vec![0.0, 0.5];
+        let mut rng = StdRng::seed_from_u64(7);
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(0..4) as f64, rng.gen::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] == 2.0 { 10.0 } else { 0.0 }).collect();
+        let m = FanovaImportance::default();
+        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        assert!(scores[0] > 0.5, "{scores:?}");
+        assert!(scores[1] < 0.1, "{scores:?}");
+    }
+
+    #[test]
+    fn unary_fractions_are_bounded() {
+        let specs = vec![
+            KnobSpec::real("a", 0.0, 1.0, false, 0.5),
+            KnobSpec::real("b", 0.0, 1.0, false, 0.5),
+        ];
+        let default = vec![0.5; 2];
+        let mut rng = StdRng::seed_from_u64(8);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..2).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[1]).collect();
+        let m = FanovaImportance::default();
+        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        for s in &scores {
+            assert!((0.0..=1.0).contains(s), "{scores:?}");
+        }
+        // Interaction-only surfaces still expose unary variance here
+        // (E[x·y | x] = x/2), so both features should register.
+        assert!(scores[0] > 0.05 && scores[1] > 0.05, "{scores:?}");
+    }
+
+    #[test]
+    fn leaf_boxes_partition_unit_volume() {
+        let specs = vec![
+            KnobSpec::real("a", 0.0, 10.0, false, 5.0),
+            KnobSpec::cat("c", vec!["x", "y", "z"], 0),
+        ];
+        let mut rng = StdRng::seed_from_u64(9);
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![rng.gen::<f64>() * 10.0, rng.gen_range(0..3) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] + if r[1] == 1.0 { 5.0 } else { 0.0 }).collect();
+        let kinds = feature_kinds(&specs);
+        let mut tree = dbtune_ml::DecisionTree::new(Default::default(), kinds);
+        dbtune_ml::Regressor::fit(&mut tree, &x, &y);
+        let boxes = leaf_boxes(&tree, &specs);
+        let total: f64 = boxes.iter().map(|b| b.volume).sum();
+        assert!((total - 1.0).abs() < 1e-9, "volumes must partition: {total}");
+    }
+}

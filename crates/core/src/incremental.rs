@@ -1,0 +1,198 @@
+//! Incremental knob selection (§5.3, Figure 6): instead of fixing the
+//! tuning space up front, grow it (OtterTune) or shrink it (Tuneful) as
+//! the session progresses, re-seeding the optimizer with the projected
+//! history at every phase boundary.
+
+use crate::optimizer::Optimizer;
+use crate::space::{ConfigSpace, TuningSpace};
+use crate::tuner::{orient, un_orient, Observation, SessionConfig, SessionResult, SimObjective};
+use dbtune_dbsim::KnobCatalog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// How the number of tuning knobs evolves over the session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IncrementalStrategy {
+    /// OtterTune: start small, add knobs (in importance order) over time.
+    Increase {
+        /// Initial number of knobs.
+        start: usize,
+        /// Knobs added per phase.
+        step: usize,
+        /// Iterations per phase.
+        every: usize,
+        /// Ceiling on the knob count.
+        cap: usize,
+    },
+    /// Tuneful: start large, drop the least important knobs over time.
+    Decrease {
+        /// Initial number of knobs.
+        start: usize,
+        /// Knobs removed per phase.
+        step: usize,
+        /// Iterations per phase.
+        every: usize,
+        /// Floor on the knob count.
+        floor: usize,
+    },
+}
+
+impl IncrementalStrategy {
+    /// Number of knobs in use at (0-based) iteration `it`.
+    pub fn knobs_at(&self, it: usize) -> usize {
+        match *self {
+            IncrementalStrategy::Increase { start, step, every, cap } => {
+                (start + step * (it / every)).min(cap)
+            }
+            IncrementalStrategy::Decrease { start, step, every, floor } => {
+                start.saturating_sub(step * (it / every)).max(floor)
+            }
+        }
+    }
+}
+
+/// Runs a tuning session whose knob set follows `strategy` over a knob
+/// ranking (`ranked`, most important first). `make_opt` builds a fresh
+/// optimizer for each phase; the evaluated history is replayed into it,
+/// projected onto the new subspace.
+pub fn run_incremental_session(
+    objective: &mut dyn SimObjective,
+    catalog: &KnobCatalog,
+    base: &[f64],
+    ranked: &[usize],
+    strategy: IncrementalStrategy,
+    make_opt: &dyn Fn(&ConfigSpace, u64) -> Box<dyn Optimizer>,
+    cfg: &SessionConfig,
+) -> SessionResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let obj = objective.objective();
+    let default_value = objective.reference_value(base);
+
+    // Full-configuration history (projectable onto any phase subspace).
+    let mut full_history: Vec<(Vec<f64>, f64)> = Vec::new();
+    let mut observations = Vec::with_capacity(cfg.iterations);
+    let mut best_trace = Vec::with_capacity(cfg.iterations);
+    let mut overheads = Vec::with_capacity(cfg.iterations);
+    let mut best = f64::NEG_INFINITY;
+    let mut worst_seen = f64::INFINITY;
+    let mut simulated = 0.0;
+
+    let mut current_k = 0usize;
+    let mut space_opt: Option<(TuningSpace, Box<dyn Optimizer>)> = None;
+
+    for it in 0..cfg.iterations {
+        let k = strategy.knobs_at(it).clamp(1, ranked.len());
+        if k != current_k || space_opt.is_none() {
+            current_k = k;
+            let selected = ranked[..k].to_vec();
+            let space = TuningSpace::new(catalog, selected, base.to_vec());
+            let mut opt = make_opt(space.space(), cfg.seed ^ it as u64);
+            // Replay history projected onto the new subspace.
+            for (full, score) in &full_history {
+                opt.observe(&space.project(full), *score, &[]);
+            }
+            space_opt = Some((space, opt));
+        }
+        let (space, opt) = space_opt.as_mut().expect("phase initialized above");
+
+        let t0 = Instant::now();
+        let sub = if it < cfg.lhs_init && full_history.is_empty() && opt.wants_lhs_init() {
+            // Initial design inside the first phase's space.
+            crate::sampling::lhs(space.space(), 1, &mut rng).pop().expect("one sample")
+        } else {
+            opt.suggest(&mut rng)
+        };
+        overheads.push(t0.elapsed().as_secs_f64());
+
+        let full = space.full_config(&sub);
+        let res = objective.evaluate(&full);
+        simulated += res.simulated_secs;
+
+        let (score, value, failed) = if res.failed {
+            let fallback = if worst_seen.is_finite() {
+                worst_seen
+            } else {
+                orient(obj, default_value) - orient(obj, default_value).abs().max(1.0)
+            };
+            (fallback, un_orient(obj, fallback), true)
+        } else {
+            (orient(obj, res.value), res.value, false)
+        };
+        worst_seen = worst_seen.min(score);
+        best = best.max(score);
+
+        opt.observe(&sub, score, &res.metrics);
+        full_history.push((full, score));
+        observations.push(Observation { config: sub, value, score, failed, metrics: res.metrics });
+        best_trace.push(best);
+    }
+
+    SessionResult {
+        observations,
+        best_score_trace: best_trace,
+        default_value,
+        objective: obj,
+        overhead_secs: overheads,
+        simulated_secs: simulated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{Smac, SmacParams};
+    use dbtune_dbsim::{DbSimulator, Hardware, Workload};
+
+    #[test]
+    fn strategy_schedules_knob_counts() {
+        let inc = IncrementalStrategy::Increase { start: 4, step: 2, every: 10, cap: 10 };
+        assert_eq!(inc.knobs_at(0), 4);
+        assert_eq!(inc.knobs_at(9), 4);
+        assert_eq!(inc.knobs_at(10), 6);
+        assert_eq!(inc.knobs_at(100), 10);
+        let dec = IncrementalStrategy::Decrease { start: 10, step: 3, every: 5, floor: 4 };
+        assert_eq!(dec.knobs_at(0), 10);
+        assert_eq!(dec.knobs_at(5), 7);
+        assert_eq!(dec.knobs_at(10), 4);
+        assert_eq!(dec.knobs_at(50), 4);
+    }
+
+    #[test]
+    fn incremental_session_runs_and_improves() {
+        let mut sim = DbSimulator::new(Workload::Tpcc, Hardware::B, 9);
+        let cat = sim.catalog().clone();
+        let base = cat.default_config(Hardware::B);
+        let ranked: Vec<usize> = [
+            "innodb_flush_log_at_trx_commit",
+            "sync_binlog",
+            "innodb_log_file_size",
+            "innodb_io_capacity",
+            "innodb_doublewrite",
+            "innodb_thread_concurrency",
+            "innodb_flush_neighbors",
+            "max_dirty_pages_pct_dummy", // replaced below
+        ]
+        .iter()
+        .filter_map(|n| cat.index_of(n))
+        .collect();
+        let strategy = IncrementalStrategy::Increase { start: 3, step: 2, every: 15, cap: ranked.len() };
+        let make_opt = |space: &ConfigSpace, seed: u64| -> Box<dyn Optimizer> {
+            Box::new(Smac::new(space.clone(), SmacParams { n_candidates: 100, ..Default::default() }, seed))
+        };
+        let result = run_incremental_session(
+            &mut sim,
+            &cat,
+            &base,
+            &ranked,
+            strategy,
+            &make_opt,
+            &SessionConfig { iterations: 45, lhs_init: 5, seed: 11, ..Default::default() },
+        );
+        assert_eq!(result.observations.len(), 45);
+        assert!(result.best_improvement() > 0.2, "improvement {}", result.best_improvement());
+        for w in result.best_score_trace.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+}

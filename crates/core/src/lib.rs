@@ -1,0 +1,34 @@
+//! Core database-configuration-tuning library.
+//!
+//! Implements the three modules of the paper's unified tuning pipeline:
+//!
+//! * **Knob selection** ([`importance`]): Lasso (OtterTune), Gini score
+//!   (Tuneful), fANOVA, ablation analysis, and SHAP — five importance
+//!   measurements ranking the 197 knobs, from which top-k tuning spaces
+//!   are derived (§5).
+//! * **Configuration optimization** ([`optimizer`]): vanilla BO,
+//!   mixed-kernel BO, SMAC, TPE, TuRBO, DDPG, GA, and random search — the
+//!   seven optimizers of Table 3 plus a control (§6).
+//! * **Knowledge transfer** ([`transfer`]): workload mapping (OtterTune),
+//!   RGPE ensembles (ResTune), and DDPG fine-tuning (CDBTune) (§7).
+//!
+//! The [`tuner`] module drives full tuning sessions against a
+//! `dbtune-dbsim` instance (or any [`tuner::SimObjective`] implementor, e.g.
+//! the surrogate benchmark): LHS initialization, failure handling by
+//! worst-seen substitution, improvement accounting, and per-iteration
+//! algorithm-overhead measurement.
+
+pub mod space;
+pub mod sampling;
+pub mod gp;
+pub mod acquisition;
+pub mod optimizer;
+pub mod importance;
+pub mod transfer;
+pub mod tuner;
+pub mod repository;
+pub mod service;
+pub mod incremental;
+
+pub use space::{ConfigSpace, TuningSpace};
+pub use tuner::{run_session, Observation, SessionConfig, SessionResult, SimObjective};

@@ -1,0 +1,195 @@
+//! Genetic algorithm (Table 3's meta-heuristic entry): tournament
+//! selection, uniform crossover, domain-aware mutation, elitism.
+//!
+//! Categorical knobs are supported natively — mutation resamples a
+//! different category, crossover swaps whole genes — which is why the
+//! paper lists GA as heterogeneity-capable despite its simplicity.
+
+use super::Optimizer;
+use crate::space::ConfigSpace;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// GA hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct GaParams {
+    /// Population size.
+    pub population: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-gene crossover swap probability.
+    pub crossover_p: f64,
+    /// Expected mutated genes per child (rate = mutations/dim).
+    pub mutations_per_child: f64,
+    /// Number of elites copied unchanged into each generation.
+    pub elites: usize,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        Self { population: 20, tournament: 3, crossover_p: 0.5, mutations_per_child: 2.0, elites: 2 }
+    }
+}
+
+/// Steady-batch genetic algorithm: proposes one individual at a time, and
+/// breeds a new generation whenever the current one is fully evaluated.
+pub struct Ga {
+    space: ConfigSpace,
+    params: GaParams,
+    /// Evaluated individuals of all generations: (genome, fitness).
+    evaluated: Vec<(Vec<f64>, f64)>,
+    /// Individuals proposed but not yet observed.
+    pending: Vec<Vec<f64>>,
+    /// Individuals of the current generation awaiting proposal.
+    queue: Vec<Vec<f64>>,
+}
+
+impl Ga {
+    /// Creates the GA over `space`.
+    pub fn new(space: ConfigSpace, params: GaParams) -> Self {
+        assert!(params.population >= 4, "population too small");
+        Self { space, params, evaluated: Vec::new(), pending: Vec::new(), queue: Vec::new() }
+    }
+
+    /// Breeds the next generation from the evaluated pool.
+    fn breed(&mut self, rng: &mut StdRng) {
+        let pool = &self.evaluated;
+        let n = self.params.population;
+        let mut next: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+        // Elitism: keep the best genomes as-is.
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        order.sort_by(|&a, &b| pool[b].1.partial_cmp(&pool[a].1).expect("NaN fitness"));
+        for &i in order.iter().take(self.params.elites.min(pool.len())) {
+            next.push(pool[i].0.clone());
+        }
+
+        let tournament = |rng: &mut StdRng| -> &Vec<f64> {
+            let mut best: Option<usize> = None;
+            for _ in 0..self.params.tournament {
+                let i = rng.gen_range(0..pool.len());
+                if best.is_none_or(|b| pool[i].1 > pool[b].1) {
+                    best = Some(i);
+                }
+            }
+            &pool[best.expect("nonempty pool")].0
+        };
+
+        let dim = self.space.dim();
+        let mut_rate = (self.params.mutations_per_child / dim as f64).min(1.0);
+        while next.len() < n {
+            let pa = tournament(rng).clone();
+            let pb = tournament(rng).clone();
+            // Uniform crossover.
+            let mut child: Vec<f64> = pa
+                .iter()
+                .zip(&pb)
+                .map(|(a, b)| if rng.gen::<f64>() < self.params.crossover_p { *b } else { *a })
+                .collect();
+            // Domain-aware mutation.
+            for d in 0..dim {
+                if rng.gen::<f64>() < mut_rate {
+                    self.space.mutate_dim(&mut child, d, 0.25, rng);
+                }
+            }
+            next.push(child);
+        }
+        self.queue = next;
+    }
+}
+
+impl Optimizer for Ga {
+    fn name(&self) -> &str {
+        "GA"
+    }
+
+    fn suggest(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        if self.queue.is_empty() {
+            if self.evaluated.len() >= self.params.population {
+                self.breed(rng);
+            } else {
+                // Initial population: random individuals.
+                self.queue.push(self.space.sample(rng));
+            }
+        }
+        let cfg = self.queue.pop().expect("queue refilled above");
+        self.pending.push(cfg.clone());
+        cfg
+    }
+
+    fn observe(&mut self, cfg: &[f64], score: f64, _metrics: &[f64]) {
+        // Match (and drop) the pending entry; external observations are
+        // absorbed directly into the pool.
+        if let Some(pos) = self.pending.iter().position(|p| p.as_slice() == cfg) {
+            self.pending.swap_remove(pos);
+        }
+        self.evaluated.push((cfg.to_vec(), score));
+    }
+
+    fn wants_lhs_init(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtune_dbsim::knob::KnobSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ga_improves_over_generations() {
+        let space = ConfigSpace::new(vec![
+            KnobSpec::real("x", 0.0, 1.0, false, 0.5),
+            KnobSpec::real("y", 0.0, 1.0, false, 0.5),
+            KnobSpec::cat("c", vec!["a", "b", "c"], 0),
+        ]);
+        let f = |cfg: &[f64]| {
+            let cat_bonus = if cfg[2] == 1.0 { 0.5 } else { 0.0 };
+            cat_bonus - (cfg[0] - 0.3).powi(2) - (cfg[1] - 0.7).powi(2)
+        };
+        let mut ga = Ga::new(space, GaParams::default());
+        let mut rng = StdRng::seed_from_u64(17);
+
+        let mut first_gen_best = f64::NEG_INFINITY;
+        let mut overall_best = f64::NEG_INFINITY;
+        for i in 0..120 {
+            let cfg = ga.suggest(&mut rng);
+            let y = f(&cfg);
+            if i < 20 {
+                first_gen_best = first_gen_best.max(y);
+            }
+            overall_best = overall_best.max(y);
+            ga.observe(&cfg, y, &[]);
+        }
+        assert!(
+            overall_best > first_gen_best,
+            "GA failed to improve: {first_gen_best} -> {overall_best}"
+        );
+        assert!(overall_best > 0.3, "GA should find the categorical bonus: {overall_best}");
+    }
+
+    #[test]
+    fn ga_does_not_want_lhs_init() {
+        let space = ConfigSpace::new(vec![KnobSpec::real("x", 0.0, 1.0, false, 0.5)]);
+        let ga = Ga::new(space, GaParams::default());
+        assert!(!ga.wants_lhs_init());
+    }
+
+    #[test]
+    fn suggestions_are_legal() {
+        let space = ConfigSpace::new(vec![
+            KnobSpec::int("a", 1, 100, true, 10),
+            KnobSpec::cat("c", vec!["x", "y"], 0),
+        ]);
+        let mut ga = Ga::new(space.clone(), GaParams::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..60 {
+            let cfg = ga.suggest(&mut rng);
+            let mut c = cfg.clone();
+            space.clamp(&mut c);
+            assert_eq!(c, cfg, "illegal suggestion at iteration {i}");
+            ga.observe(&cfg, -((cfg[0] - 42.0).abs()), &[]);
+        }
+    }
+}

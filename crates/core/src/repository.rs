@@ -1,0 +1,208 @@
+//! The data repository of the tuning architecture (Figure 2 of the
+//! paper): persistent storage of per-task tuning history, so knowledge
+//! transfer can draw on observations gathered in earlier sessions.
+//!
+//! Records are stored as JSON, one file per repository, holding any number
+//! of named tasks. The format is intentionally simple and stable: a task
+//! is `(name, knob names, configurations, scores, metrics)`; knob names
+//! are stored rather than indices so histories survive catalog reordering.
+
+use crate::space::TuningSpace;
+use crate::transfer::SourceTask;
+use crate::tuner::SessionResult;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// One task's stored history.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Knob names, aligned with configuration columns.
+    pub knobs: Vec<String>,
+    /// Raw subspace configurations.
+    pub x: Vec<Vec<f64>>,
+    /// Maximize-oriented scores.
+    pub y: Vec<f64>,
+    /// Internal-metric vectors per observation.
+    pub metrics: Vec<Vec<f64>>,
+}
+
+/// A collection of task histories, persisted as one JSON file.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Repository {
+    tasks: BTreeMap<String, TaskRecord>,
+}
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a repository from `path` (empty repository if absent).
+    pub fn load(path: &Path) -> io::Result<Self> {
+        match std::fs::File::open(path) {
+            Ok(file) => serde_json::from_reader(io::BufReader::new(file))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Persists the repository to `path` (pretty JSON).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer_pretty(io::BufWriter::new(file), self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Task names currently stored.
+    pub fn task_names(&self) -> Vec<&str> {
+        self.tasks.keys().map(String::as_str).collect()
+    }
+
+    /// Number of stored tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Records (appends to) a task's history from a finished session.
+    pub fn record_session(&mut self, task: &str, space: &TuningSpace, result: &SessionResult) {
+        let knobs: Vec<String> =
+            space.space().specs().iter().map(|s| s.name.to_string()).collect();
+        let entry = self.tasks.entry(task.to_string()).or_insert_with(|| TaskRecord {
+            knobs: knobs.clone(),
+            ..Default::default()
+        });
+        assert_eq!(entry.knobs, knobs, "knob set changed for task {task}");
+        for o in &result.observations {
+            entry.x.push(o.config.clone());
+            entry.y.push(o.score);
+            entry.metrics.push(o.metrics.clone());
+        }
+    }
+
+    /// Returns one task as a transfer [`SourceTask`], checking that the
+    /// stored knob names match the requested tuning space.
+    pub fn source_task(&self, task: &str, space: &TuningSpace) -> Option<SourceTask> {
+        let record = self.tasks.get(task)?;
+        let expected: Vec<&str> = space.space().specs().iter().map(|s| s.name).collect();
+        if record.knobs != expected {
+            return None; // incompatible knob set
+        }
+        Some(SourceTask {
+            name: task.to_string(),
+            x: record.x.clone(),
+            y: record.y.clone(),
+            metrics: record.metrics.clone(),
+        })
+    }
+
+    /// All stored tasks (with matching knob sets) as transfer sources,
+    /// excluding `exclude` (usually the target task itself).
+    pub fn all_sources(&self, space: &TuningSpace, exclude: &str) -> Vec<SourceTask> {
+        self.tasks
+            .keys()
+            .filter(|name| name.as_str() != exclude)
+            .filter_map(|name| self.source_task(name, space))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{OptimizerKind, Optimizer};
+    use crate::tuner::{run_session, SessionConfig};
+    use dbtune_dbsim::{DbSimulator, Hardware, Workload, METRICS_DIM};
+
+    fn space() -> (DbSimulator, TuningSpace) {
+        let sim = DbSimulator::new(Workload::Voter, Hardware::B, 3);
+        let cat = sim.catalog().clone();
+        let selected = vec![
+            cat.expect_index("sync_binlog"),
+            cat.expect_index("innodb_flush_log_at_trx_commit"),
+        ];
+        let ts = TuningSpace::with_default_base(&cat, selected, Hardware::B);
+        (sim, ts)
+    }
+
+    fn run_once(seed: u64) -> (TuningSpace, SessionResult) {
+        let (mut sim, ts) = space();
+        let mut opt = OptimizerKind::Random.build(ts.space(), METRICS_DIM, seed);
+        let r = run_session(
+            &mut sim,
+            &ts,
+            &mut opt,
+            &SessionConfig { iterations: 12, lhs_init: 0, seed, ..Default::default() },
+        );
+        (ts, r)
+    }
+
+    #[test]
+    fn record_and_retrieve_round_trip() {
+        let (ts, r) = run_once(1);
+        let mut repo = Repository::new();
+        repo.record_session("voter", &ts, &r);
+        assert_eq!(repo.len(), 1);
+        let task = repo.source_task("voter", &ts).expect("stored");
+        assert_eq!(task.x.len(), 12);
+        assert_eq!(task.y, r.observations.iter().map(|o| o.score).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (ts, r) = run_once(2);
+        let mut repo = Repository::new();
+        repo.record_session("voter", &ts, &r);
+        let dir = std::env::temp_dir().join("dbtune_repo_test");
+        let path = dir.join("history.json");
+        repo.save(&path).expect("save");
+        let loaded = Repository::load(&path).expect("load");
+        assert_eq!(loaded.task_names(), vec!["voter"]);
+        assert_eq!(loaded.source_task("voter", &ts).expect("stored").y.len(), 12);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let repo = Repository::load(Path::new("/nonexistent/dir/none.json")).expect("empty");
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn mismatched_knob_sets_are_rejected() {
+        let (ts, r) = run_once(3);
+        let mut repo = Repository::new();
+        repo.record_session("voter", &ts, &r);
+        // A space over a different knob set must not receive the history.
+        let cat = dbtune_dbsim::KnobCatalog::mysql57();
+        let other = TuningSpace::with_default_base(
+            &cat,
+            vec![cat.expect_index("innodb_io_capacity")],
+            Hardware::B,
+        );
+        assert!(repo.source_task("voter", &other).is_none());
+        assert!(repo.all_sources(&other, "nobody").is_empty());
+    }
+
+    #[test]
+    fn all_sources_excludes_target() {
+        let (ts, r) = run_once(4);
+        let mut repo = Repository::new();
+        repo.record_session("a", &ts, &r);
+        repo.record_session("b", &ts, &r);
+        let sources = repo.all_sources(&ts, "a");
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].name, "b");
+    }
+}

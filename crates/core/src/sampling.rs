@@ -1,0 +1,102 @@
+//! Space-filling sampling: Latin Hypercube Sampling (McKay), the paper's
+//! initializer for BO-based optimizers (§4.1) and the generator of the
+//! 6250-sample pools behind the knob-selection study and the surrogate
+//! benchmark (§5.1, §8).
+
+use crate::space::ConfigSpace;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws `n` Latin-Hypercube samples in the unit cube: each dimension is
+/// cut into `n` strata, each stratum used exactly once, with uniform jitter
+/// inside the stratum.
+pub fn lhs_unit(n: usize, dim: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    assert!(n > 0 && dim > 0);
+    // One permutation of strata per dimension.
+    let mut strata: Vec<Vec<usize>> = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(rng);
+        strata.push(perm);
+    }
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| (strata[d][i] as f64 + rng.gen::<f64>()) / n as f64)
+                .collect()
+        })
+        .collect()
+}
+
+/// Draws `n` LHS samples as legal raw configurations of `space`.
+pub fn lhs(space: &ConfigSpace, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    lhs_unit(n, space.dim(), rng)
+        .into_iter()
+        .map(|u| space.from_unit(&u))
+        .collect()
+}
+
+/// Draws `n` uniform random raw configurations.
+pub fn uniform(space: &ConfigSpace, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    (0..n).map(|_| space.sample(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtune_dbsim::knob::KnobSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lhs_stratifies_every_dimension() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 16;
+        let samples = lhs_unit(n, 3, &mut rng);
+        assert_eq!(samples.len(), n);
+        for d in 0..3 {
+            let mut seen = vec![false; n];
+            for s in &samples {
+                let stratum = (s[d] * n as f64) as usize;
+                assert!(!seen[stratum.min(n - 1)], "stratum reused in dim {d}");
+                seen[stratum.min(n - 1)] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "stratum missed in dim {d}");
+        }
+    }
+
+    #[test]
+    fn lhs_produces_legal_configs() {
+        let space = ConfigSpace::new(vec![
+            KnobSpec::int("a", 1, 100, false, 10),
+            KnobSpec::cat("b", vec!["x", "y", "z", "w"], 0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(8);
+        for cfg in lhs(&space, 20, &mut rng) {
+            let mut c = cfg.clone();
+            space.clamp(&mut c);
+            assert_eq!(c, cfg);
+        }
+    }
+
+    #[test]
+    fn lhs_covers_categories_roughly_uniformly() {
+        let space = ConfigSpace::new(vec![KnobSpec::cat("b", vec!["x", "y", "z", "w"], 0)]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples = lhs(&space, 400, &mut rng);
+        let mut counts = [0usize; 4];
+        for s in &samples {
+            counts[s[0] as usize] += 1;
+        }
+        for c in counts {
+            assert!((70..=130).contains(&c), "unbalanced category counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_sample_count() {
+        let space = ConfigSpace::new(vec![KnobSpec::real("a", 0.0, 1.0, false, 0.5)]);
+        let mut rng = StdRng::seed_from_u64(10);
+        assert_eq!(uniform(&space, 13, &mut rng).len(), 13);
+    }
+}

@@ -1,0 +1,227 @@
+//! High-level tuning service mirroring the paper's system architecture
+//! (Figure 2): controller + data repository + the three modules wired
+//! together behind one call.
+//!
+//! [`TuningService`] owns a [`Repository`] and exposes the workflow a
+//! DBA-facing tool would: collect an observation pool, select knobs with
+//! an importance measurement, pick an optimizer, optionally accelerate
+//! with the stored history of other tasks (RGPE), run the session, and
+//! record the new observations back into the repository.
+
+use crate::importance::{top_k, ImportanceInput, MeasureKind};
+use crate::optimizer::{Optimizer, OptimizerKind};
+use crate::repository::Repository;
+use crate::sampling;
+use crate::space::TuningSpace;
+use crate::transfer::{RgpeOptimizer, SurrogateKind};
+use crate::tuner::{orient, run_session, SessionConfig, SessionResult, SimObjective};
+use dbtune_dbsim::{KnobCatalog, METRICS_DIM};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What the service should run for one task.
+#[derive(Clone, Debug)]
+pub struct TuningRequest {
+    /// Task name (repository key; also the transfer exclusion key).
+    pub task: String,
+    /// Importance measurement for knob selection.
+    pub measure: MeasureKind,
+    /// Observation-pool size for knob selection.
+    pub pool_samples: usize,
+    /// Number of knobs to tune.
+    pub n_knobs: usize,
+    /// Optimizer for the configuration-optimization module.
+    pub optimizer: OptimizerKind,
+    /// Accelerate with RGPE over the repository's other tasks.
+    pub transfer: bool,
+    /// Pin the knob set (catalog indices) instead of running knob
+    /// selection — e.g. to reuse the space of an earlier task so its
+    /// history transfers.
+    pub knobs_override: Option<Vec<usize>>,
+    /// Session parameters (iterations, LHS init, seed, failure policy).
+    pub session: SessionConfig,
+}
+
+impl Default for TuningRequest {
+    fn default() -> Self {
+        Self {
+            task: "default-task".into(),
+            measure: MeasureKind::Shap,
+            pool_samples: 1000,
+            n_knobs: 10,
+            optimizer: OptimizerKind::Smac,
+            transfer: false,
+            knobs_override: None,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a service run.
+pub struct TuningReport {
+    /// Catalog indices of the selected knobs, importance order.
+    pub selected: Vec<usize>,
+    /// The tuning space that was searched.
+    pub space: TuningSpace,
+    /// The full session result.
+    pub result: SessionResult,
+    /// Number of source tasks used for transfer (0 = from scratch).
+    pub n_sources: usize,
+}
+
+/// The tuning server of Figure 2: repository + module wiring.
+pub struct TuningService {
+    catalog: KnobCatalog,
+    repository: Repository,
+}
+
+impl TuningService {
+    /// Creates a service with an empty repository.
+    pub fn new(catalog: KnobCatalog) -> Self {
+        Self { catalog, repository: Repository::new() }
+    }
+
+    /// Creates a service around an existing repository.
+    pub fn with_repository(catalog: KnobCatalog, repository: Repository) -> Self {
+        Self { catalog, repository }
+    }
+
+    /// The data repository (histories recorded so far).
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// Knob selection: collect an LHS pool on the objective and rank all
+    /// catalog knobs with the requested measurement.
+    pub fn select_knobs(
+        &self,
+        objective: &mut dyn SimObjective,
+        measure: MeasureKind,
+        pool_samples: usize,
+        n_knobs: usize,
+        seed: u64,
+    ) -> Vec<usize> {
+        let default_cfg = self.catalog.default_config(dbtune_dbsim::Hardware::B);
+        let all: Vec<usize> = (0..self.catalog.len()).collect();
+        let full_space = TuningSpace::new(&self.catalog, all, default_cfg.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obj = objective.objective();
+
+        let mut x = Vec::with_capacity(pool_samples);
+        let mut y = Vec::with_capacity(pool_samples);
+        let mut worst = f64::INFINITY;
+        for cfg in sampling::lhs(full_space.space(), pool_samples, &mut rng) {
+            let res = objective.evaluate(&cfg);
+            let score = if res.failed {
+                if worst.is_finite() {
+                    worst
+                } else {
+                    orient(obj, objective.reference_value(full_space.base())) - 1.0
+                }
+            } else {
+                orient(obj, res.value)
+            };
+            worst = worst.min(score);
+            x.push(cfg);
+            y.push(score);
+        }
+
+        let scores = measure.build().scores(&ImportanceInput {
+            specs: self.catalog.specs(),
+            default: &default_cfg,
+            x: &x,
+            y: &y,
+            seed,
+        });
+        top_k(&scores, n_knobs)
+    }
+
+    /// Runs the full pipeline for one request against `objective`,
+    /// recording the session into the repository.
+    pub fn tune(&mut self, objective: &mut dyn SimObjective, req: &TuningRequest) -> TuningReport {
+        let selected = match &req.knobs_override {
+            Some(knobs) => knobs.clone(),
+            None => self.select_knobs(
+                objective,
+                req.measure,
+                req.pool_samples,
+                req.n_knobs,
+                req.session.seed,
+            ),
+        };
+        let base = self.catalog.default_config(dbtune_dbsim::Hardware::B);
+        let space = TuningSpace::new(&self.catalog, selected.clone(), base);
+
+        let sources = if req.transfer {
+            self.repository.all_sources(&space, &req.task)
+        } else {
+            Vec::new()
+        };
+        let n_sources = sources.len();
+
+        let result = if n_sources > 0 {
+            let mut opt = RgpeOptimizer::new(
+                space.space().clone(),
+                SurrogateKind::RandomForest,
+                &sources,
+                req.session.seed,
+            );
+            run_session(objective, &space, &mut opt, &req.session)
+        } else {
+            let mut opt: Box<dyn Optimizer> =
+                req.optimizer.build(space.space(), METRICS_DIM, req.session.seed);
+            run_session(objective, &space, &mut opt, &req.session)
+        };
+
+        self.repository.record_session(&req.task, &space, &result);
+        TuningReport { selected, space, result, n_sources }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtune_dbsim::{DbSimulator, Hardware, Workload};
+
+    fn request(task: &str, transfer: bool, seed: u64) -> TuningRequest {
+        TuningRequest {
+            task: task.into(),
+            measure: MeasureKind::Gini, // cheapest tree measure for tests
+            pool_samples: 250,
+            n_knobs: 5,
+            optimizer: OptimizerKind::Smac,
+            transfer,
+            knobs_override: None,
+            session: SessionConfig { iterations: 25, lhs_init: 8, seed, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn end_to_end_pipeline_improves_and_records() {
+        let mut sim = DbSimulator::new(Workload::Smallbank, Hardware::B, 91);
+        let mut service = TuningService::new(sim.catalog().clone());
+        let report = service.tune(&mut sim, &request("smallbank", false, 91));
+        assert_eq!(report.selected.len(), 5);
+        assert_eq!(report.n_sources, 0);
+        assert!(report.result.best_improvement() > 0.0);
+        assert_eq!(service.repository().task_names(), vec!["smallbank"]);
+    }
+
+    #[test]
+    fn second_task_transfers_from_the_first_when_spaces_match() {
+        let catalog = KnobCatalog::mysql57();
+        let mut service = TuningService::new(catalog);
+
+        let mut src = DbSimulator::new(Workload::Smallbank, Hardware::B, 92);
+        let first = service.tune(&mut src, &request("smallbank", false, 92));
+
+        // Pin the first run's knob set so the stored history is usable.
+        let mut tgt = DbSimulator::new(Workload::Smallbank, Hardware::B, 93);
+        let mut req = request("smallbank-rerun", true, 92);
+        req.knobs_override = Some(first.selected.clone());
+        let second = service.tune(&mut tgt, &req);
+        assert_eq!(second.n_sources, 1, "history should have been used");
+        assert!(second.result.best_improvement() > 0.0);
+        assert_eq!(service.repository().len(), 2);
+    }
+}

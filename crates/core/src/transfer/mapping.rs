@@ -1,0 +1,220 @@
+//! OtterTune's workload mapping: at each iteration, match the target
+//! workload to the most similar source task by internal-metric distance
+//! and pool the matched task's observations into the base optimizer's
+//! surrogate alongside the target observations.
+//!
+//! The pooled source scores are rank-preserved but rescaled to the target
+//! score distribution (OtterTune bins/rescales for the same reason: raw
+//! performance scales differ across workloads). Pooling an imperfectly
+//! matched source is exactly the documented negative-transfer risk of
+//! this framework (§7.2).
+
+use super::SourceTask;
+use crate::optimizer::{BoKind, BoOptimizer, Optimizer, Smac, SmacParams};
+use crate::space::ConfigSpace;
+use rand::rngs::StdRng;
+
+/// The base optimizer the mapping framework accelerates (Table 8 pairs it
+/// with both of the best-performing BO-style optimizers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaseKind {
+    /// Mixed-kernel GP BO base.
+    MixedBo,
+    /// SMAC (random-forest) base.
+    Smac,
+}
+
+/// Workload-mapping-accelerated optimizer.
+pub struct MappedOptimizer {
+    space: ConfigSpace,
+    base: BaseKind,
+    sources: Vec<SourceTask>,
+    /// Target observations.
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    /// Running mean of observed target metrics.
+    metric_sum: Vec<f64>,
+    metric_count: usize,
+    seed: u64,
+    n_suggest: usize,
+    /// Index of the last matched source (diagnostics).
+    pub last_match: Option<usize>,
+}
+
+impl MappedOptimizer {
+    /// Creates the wrapper with historical `sources`.
+    pub fn new(space: ConfigSpace, base: BaseKind, sources: Vec<SourceTask>, seed: u64) -> Self {
+        Self {
+            space,
+            base,
+            sources,
+            x: Vec::new(),
+            y: Vec::new(),
+            metric_sum: Vec::new(),
+            metric_count: 0,
+            seed,
+            n_suggest: 0,
+            last_match: None,
+        }
+    }
+
+    /// The source most similar to the target by mean-metric Euclidean
+    /// distance; `None` when no metrics have been observed yet.
+    fn match_source(&self) -> Option<usize> {
+        if self.metric_count == 0 || self.sources.is_empty() {
+            return None;
+        }
+        let target: Vec<f64> =
+            self.metric_sum.iter().map(|v| v / self.metric_count as f64).collect();
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in self.sources.iter().enumerate() {
+            let sig = s.mean_metrics();
+            if sig.len() != target.len() {
+                continue;
+            }
+            let d = dbtune_linalg::matrix::sq_dist(&sig, &target);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Rescales a source task's scores onto the target score distribution
+    /// (rank-preserving affine map via standardization).
+    fn rescale_source_y(&self, task: &SourceTask) -> Vec<f64> {
+        let tz = task.standardized_y();
+        let t_mean = dbtune_linalg::stats::mean(&self.y);
+        let t_std = dbtune_linalg::stats::std_dev(&self.y).max(1e-12);
+        tz.iter().map(|z| z * t_std + t_mean).collect()
+    }
+}
+
+impl Optimizer for MappedOptimizer {
+    fn name(&self) -> &str {
+        match self.base {
+            BaseKind::MixedBo => "Mapping (Mixed-Kernel BO)",
+            BaseKind::Smac => "Mapping (SMAC)",
+        }
+    }
+
+    fn suggest(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.n_suggest += 1;
+        if self.y.len() < 2 {
+            return self.space.sample(rng);
+        }
+        self.last_match = self.match_source();
+
+        // Pool: mapped source first, then target observations (later
+        // observations dominate the surrogate where they collide).
+        let mut px: Vec<Vec<f64>> = Vec::new();
+        let mut py: Vec<f64> = Vec::new();
+        if let Some(i) = self.last_match {
+            let task = &self.sources[i];
+            px.extend(task.x.iter().cloned());
+            py.extend(self.rescale_source_y(task));
+        }
+        px.extend(self.x.iter().cloned());
+        py.extend(self.y.iter().cloned());
+
+        // EI's incumbent must come from *target* observations only —
+        // rescaled source scores are model food, not ground truth.
+        let target_best = self.y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        match self.base {
+            BaseKind::MixedBo => {
+                let mut bo = BoOptimizer::new(self.space.clone(), BoKind::Mixed);
+                bo.ei_best_override = Some(target_best);
+                bo.absorb(&px, &py);
+                bo.suggest(rng)
+            }
+            BaseKind::Smac => {
+                let mut smac = Smac::new(
+                    self.space.clone(),
+                    SmacParams::default(),
+                    self.seed ^ self.n_suggest as u64,
+                );
+                smac.ei_best_override = Some(target_best);
+                smac.absorb(&px, &py);
+                smac.suggest(rng)
+            }
+        }
+    }
+
+    fn observe(&mut self, cfg: &[f64], score: f64, metrics: &[f64]) {
+        self.x.push(cfg.to_vec());
+        self.y.push(score);
+        if !metrics.is_empty() {
+            if self.metric_sum.len() != metrics.len() {
+                self.metric_sum = vec![0.0; metrics.len()];
+                self.metric_count = 0;
+            }
+            for (acc, v) in self.metric_sum.iter_mut().zip(metrics) {
+                *acc += v;
+            }
+            self.metric_count += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtune_dbsim::knob::KnobSpec;
+    use rand::SeedableRng;
+
+    fn space1() -> ConfigSpace {
+        ConfigSpace::new(vec![KnobSpec::real("x", 0.0, 1.0, false, 0.5)])
+    }
+
+    fn source(fm: impl Fn(f64) -> f64, sig: Vec<f64>, name: &str) -> SourceTask {
+        let x: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 / 24.0]).collect();
+        let y: Vec<f64> = x.iter().map(|c| fm(c[0])).collect();
+        let metrics = vec![sig; 25];
+        SourceTask { name: name.into(), x, y, metrics }
+    }
+
+    #[test]
+    fn maps_to_metrically_closest_source() {
+        let s1 = source(|x| -(x - 0.9f64).powi(2), vec![1.0, 0.0], "near");
+        let s2 = source(|x| -(x - 0.1f64).powi(2), vec![0.0, 1.0], "far");
+        let mut opt =
+            MappedOptimizer::new(space1(), BaseKind::Smac, vec![s1, s2], 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Target metrics match source 1's signature.
+        for i in 0..5 {
+            let cfg = opt.suggest(&mut rng);
+            opt.observe(&cfg, -(cfg[0] - 0.9f64).powi(2) + i as f64 * 0.0, &[0.95, 0.05]);
+        }
+        let _ = opt.suggest(&mut rng);
+        assert_eq!(opt.last_match, Some(0));
+    }
+
+    #[test]
+    fn matched_source_speeds_up_search() {
+        let good = source(|x| -(x - 0.77f64).powi(2), vec![0.5], "twin");
+        let mut opt = MappedOptimizer::new(space1(), BaseKind::Smac, vec![good], 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..10 {
+            let cfg = opt.suggest(&mut rng);
+            let y = -(cfg[0] - 0.77f64).powi(2);
+            best = best.max(y);
+            opt.observe(&cfg, y, &[0.5]);
+        }
+        assert!(best > -0.01, "mapping failed to exploit twin source: {best}");
+    }
+
+    #[test]
+    fn works_without_any_metrics() {
+        let s = source(|x| x, vec![0.5], "s");
+        let mut opt = MappedOptimizer::new(space1(), BaseKind::MixedBo, vec![s], 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..4 {
+            let cfg = opt.suggest(&mut rng);
+            opt.observe(&cfg, cfg[0], &[]); // no metrics observed
+        }
+        let cfg = opt.suggest(&mut rng);
+        assert!((0.0..=1.0).contains(&cfg[0]));
+        assert_eq!(opt.last_match, None);
+    }
+}

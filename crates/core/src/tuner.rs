@@ -1,0 +1,416 @@
+//! The tuning-session driver: the iterate–evaluate–observe loop of §2.2,
+//! with the paper's experimental conventions baked in (§4.1):
+//!
+//! * 10 LHS initialization iterations for BO-based optimizers;
+//! * failed configurations replaced by the worst performance seen so far
+//!   (avoiding surrogate scaling problems);
+//! * throughput maximized, 95th-percentile latency minimized (scores are
+//!   internally maximize-oriented);
+//! * per-iteration algorithm overhead measured around `suggest` (model
+//!   fit + probe), which is what Figure 9 plots;
+//! * a simulated wall-clock ledger so speedups can be reported.
+
+use crate::optimizer::Optimizer;
+use crate::sampling;
+use crate::space::TuningSpace;
+use dbtune_dbsim::{DbSimulator, Objective};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Result of evaluating a full configuration on some objective backend.
+#[derive(Clone, Debug)]
+pub struct EvalResult {
+    /// Raw metric (tx/s or seconds).
+    pub value: f64,
+    /// Whether the DBMS crashed / failed to start.
+    pub failed: bool,
+    /// Internal metric vector (may be empty for surrogate backends).
+    pub metrics: Vec<f64>,
+    /// Simulated cost of this evaluation in seconds.
+    pub simulated_secs: f64,
+}
+
+/// Anything a tuning session can optimize against: the live simulator or
+/// the cheap surrogate benchmark of §8.
+pub trait SimObjective {
+    /// Evaluates a full catalog-length configuration.
+    fn evaluate(&mut self, full_cfg: &[f64]) -> EvalResult;
+    /// Optimization direction.
+    fn objective(&self) -> Objective;
+    /// Noise-free reference performance of `full_cfg` (used for the
+    /// default-configuration baseline in improvement accounting).
+    fn reference_value(&self, full_cfg: &[f64]) -> f64;
+}
+
+impl SimObjective for DbSimulator {
+    fn evaluate(&mut self, full_cfg: &[f64]) -> EvalResult {
+        let out = DbSimulator::evaluate(self, full_cfg);
+        EvalResult {
+            value: out.value,
+            failed: out.failed,
+            metrics: out.metrics,
+            simulated_secs: out.simulated_secs,
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        DbSimulator::objective(self)
+    }
+
+    fn reference_value(&self, full_cfg: &[f64]) -> f64 {
+        self.expected_value(full_cfg)
+            .expect("reference configuration must not crash")
+    }
+}
+
+/// One evaluated iteration.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// Subspace configuration that was evaluated.
+    pub config: Vec<f64>,
+    /// Raw metric (for failed configs: the substituted worst-seen value).
+    pub value: f64,
+    /// Maximize-oriented score fed to the optimizer.
+    pub score: f64,
+    /// Whether the evaluation crashed.
+    pub failed: bool,
+    /// Internal metrics observed during the evaluation.
+    pub metrics: Vec<f64>,
+}
+
+/// What to feed the optimizer when a configuration crashes the DBMS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// §4.1: substitute the worst performance seen so far (avoids
+    /// surrogate scaling problems). The paper's choice and the default.
+    #[default]
+    WorstSeen,
+    /// Drop the observation entirely (the iteration still consumes
+    /// budget). Ablation switch: surrogates never learn where the cliffs
+    /// are and keep re-proposing crashing configurations.
+    Discard,
+}
+
+/// Session parameters.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Total iterations (including LHS initialization).
+    pub iterations: usize,
+    /// LHS initialization length for optimizers that want it (§4.1: 10).
+    pub lhs_init: usize,
+    /// RNG seed for the session.
+    pub seed: u64,
+    /// Crash handling (§4.1; see [`FailurePolicy`]).
+    pub failure_policy: FailurePolicy,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self { iterations: 200, lhs_init: 10, seed: 0, failure_policy: FailurePolicy::default() }
+    }
+}
+
+/// Everything a tuning session produces.
+#[derive(Clone, Debug)]
+pub struct SessionResult {
+    /// All iterations, in order.
+    pub observations: Vec<Observation>,
+    /// Cumulative best maximize-oriented score after each iteration.
+    pub best_score_trace: Vec<f64>,
+    /// Reference (noise-free default) performance.
+    pub default_value: f64,
+    /// Optimization direction.
+    pub objective: Objective,
+    /// Measured algorithm overhead (seconds) per iteration.
+    pub overhead_secs: Vec<f64>,
+    /// Simulated evaluation cost of the whole session (seconds).
+    pub simulated_secs: f64,
+}
+
+impl SessionResult {
+    /// The maximize-oriented score of the default configuration.
+    pub fn default_score(&self) -> f64 {
+        orient(self.objective, self.default_value)
+    }
+
+    /// Best score over the session.
+    pub fn best_score(&self) -> f64 {
+        *self
+            .best_score_trace
+            .last()
+            .expect("session ran at least one iteration")
+    }
+
+    /// Best raw metric value over the session.
+    pub fn best_value(&self) -> f64 {
+        un_orient(self.objective, self.best_score())
+    }
+
+    /// Performance improvement over the default configuration, as the
+    /// paper reports it: `(tps − tps₀)/tps₀` for throughput,
+    /// `(lat₀ − lat)/lat₀` for latency. May be negative.
+    pub fn best_improvement(&self) -> f64 {
+        improvement(self.objective, self.default_value, self.best_value())
+    }
+
+    /// Improvement trace per iteration (cumulative best).
+    pub fn improvement_trace(&self) -> Vec<f64> {
+        self.best_score_trace
+            .iter()
+            .map(|&s| improvement(self.objective, self.default_value, un_orient(self.objective, s)))
+            .collect()
+    }
+
+    /// 1-based iteration at which the final best was first reached
+    /// ("tuning cost" in Figure 5).
+    pub fn iterations_to_best(&self) -> usize {
+        let best = self.best_score();
+        self.best_score_trace
+            .iter()
+            .position(|&s| s >= best)
+            .expect("best must appear in its own trace")
+            + 1
+    }
+
+    /// First 1-based iteration whose cumulative best beats `score`;
+    /// `None` if never (used by the transfer speedup metric, Eq. 5).
+    pub fn iterations_to_beat(&self, score: f64) -> Option<usize> {
+        self.best_score_trace.iter().position(|&s| s > score).map(|p| p + 1)
+    }
+}
+
+/// Maps a raw metric into maximize orientation, on a **log scale**.
+///
+/// Throughput and latency are ratio-scale metrics spanning orders of
+/// magnitude (a wrecked configuration can be 50× worse than the default);
+/// modelling the log keeps surrogates, importance measurements, and
+/// rewards from being dominated by the catastrophic tail. The transform
+/// is strictly monotone, so rankings, incumbents, and
+/// iterations-to-beat are unchanged, and [`un_orient`] recovers exact
+/// metric values for improvement accounting.
+pub fn orient(obj: Objective, value: f64) -> f64 {
+    debug_assert!(value > 0.0, "performance metrics are positive");
+    match obj {
+        Objective::Throughput => value.max(1e-12).ln(),
+        Objective::Latency95 => -value.max(1e-12).ln(),
+    }
+}
+
+/// Inverse of [`orient`].
+pub fn un_orient(obj: Objective, score: f64) -> f64 {
+    match obj {
+        Objective::Throughput => score.exp(),
+        Objective::Latency95 => (-score).exp(),
+    }
+}
+
+/// Paper-style improvement of `value` over `default_value`.
+pub fn improvement(obj: Objective, default_value: f64, value: f64) -> f64 {
+    match obj {
+        Objective::Throughput => (value - default_value) / default_value,
+        Objective::Latency95 => (default_value - value) / default_value,
+    }
+}
+
+/// Runs one tuning session.
+// The iteration index doubles as the LHS-design cursor.
+#[allow(clippy::needless_range_loop)]
+pub fn run_session(
+    objective: &mut dyn SimObjective,
+    space: &TuningSpace,
+    opt: &mut dyn Optimizer,
+    cfg: &SessionConfig,
+) -> SessionResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let obj = objective.objective();
+    let default_value = objective.reference_value(space.base());
+    let default_score = orient(obj, default_value);
+
+    // Pre-draw the LHS initial design if the optimizer wants it.
+    let n_init = if opt.wants_lhs_init() { cfg.lhs_init.min(cfg.iterations) } else { 0 };
+    let init = sampling::lhs(space.space(), n_init.max(1), &mut rng);
+
+    let mut observations = Vec::with_capacity(cfg.iterations);
+    let mut best_trace = Vec::with_capacity(cfg.iterations);
+    let mut overheads = Vec::with_capacity(cfg.iterations);
+    let mut best = f64::NEG_INFINITY;
+    let mut worst_seen = f64::INFINITY;
+    let mut simulated = 0.0;
+
+    for it in 0..cfg.iterations {
+        let t0 = Instant::now();
+        let sub = if it < n_init { init[it].clone() } else { opt.suggest(&mut rng) };
+        let suggest_secs = t0.elapsed().as_secs_f64();
+
+        let full = space.full_config(&sub);
+        let res = objective.evaluate(&full);
+        simulated += res.simulated_secs;
+
+        // §4.1: failures take the worst performance seen so far (or are
+        // discarded under the ablation policy).
+        let (score, value, failed) = if res.failed {
+            let fallback = if worst_seen.is_finite() {
+                worst_seen
+            } else {
+                default_score - default_score.abs().max(1.0)
+            };
+            (fallback, un_orient(obj, fallback), true)
+        } else {
+            (orient(obj, res.value), res.value, false)
+        };
+        worst_seen = worst_seen.min(score);
+        best = best.max(score);
+
+        // Algorithm overhead (Figure 9) = statistics collection, model
+        // fitting, and model probe — i.e. everything but the evaluation.
+        // Fitting happens inside suggest() for the BO family but inside
+        // observe() for DDPG (replay training), so both are timed.
+        let t1 = Instant::now();
+        if !(failed && cfg.failure_policy == FailurePolicy::Discard) {
+            opt.observe(&sub, score, &res.metrics);
+        }
+        overheads.push(suggest_secs + t1.elapsed().as_secs_f64());
+        observations.push(Observation { config: sub, value, score, failed, metrics: res.metrics });
+        best_trace.push(best);
+    }
+
+    SessionResult {
+        observations,
+        best_score_trace: best_trace,
+        default_value,
+        objective: obj,
+        overhead_secs: overheads,
+        simulated_secs: simulated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{OptimizerKind, RandomSearch};
+    use dbtune_dbsim::{Hardware, Workload, METRICS_DIM};
+
+    fn small_space(sim: &DbSimulator) -> TuningSpace {
+        let cat = sim.catalog();
+        let selected = vec![
+            cat.expect_index("innodb_flush_log_at_trx_commit"),
+            cat.expect_index("sync_binlog"),
+            cat.expect_index("innodb_log_file_size"),
+            cat.expect_index("innodb_io_capacity"),
+            cat.expect_index("innodb_thread_concurrency"),
+        ];
+        TuningSpace::with_default_base(cat, selected, Hardware::B)
+    }
+
+    #[test]
+    fn random_session_improves_write_heavy_workload() {
+        let mut sim = DbSimulator::new(Workload::Tpcc, Hardware::B, 3);
+        let space = small_space(&sim);
+        let mut opt = RandomSearch::new(space.space().clone());
+        let result = run_session(
+            &mut sim,
+            &space,
+            &mut opt,
+            &SessionConfig { iterations: 60, lhs_init: 10, seed: 1, ..Default::default() },
+        );
+        assert_eq!(result.observations.len(), 60);
+        assert!(
+            result.best_improvement() > 0.2,
+            "random search on impactful knobs should improve TPC-C: {}",
+            result.best_improvement()
+        );
+    }
+
+    #[test]
+    fn latency_objective_is_minimized() {
+        let mut sim = DbSimulator::new(Workload::Job, Hardware::B, 4);
+        let cat = sim.catalog();
+        let selected = vec![
+            cat.expect_index("join_buffer_size"),
+            cat.expect_index("optimizer_search_depth"),
+            cat.expect_index("sort_buffer_size"),
+        ];
+        let space = TuningSpace::with_default_base(cat, selected, Hardware::B);
+        let mut opt = RandomSearch::new(space.space().clone());
+        let result = run_session(
+            &mut sim,
+            &space,
+            &mut opt,
+            &SessionConfig { iterations: 40, lhs_init: 10, seed: 2, ..Default::default() },
+        );
+        assert_eq!(result.objective, Objective::Latency95);
+        assert!(result.best_value() < result.default_value, "latency should go down");
+        assert!(result.best_improvement() > 0.0);
+    }
+
+    #[test]
+    fn failures_are_replaced_with_worst_seen() {
+        let mut sim = DbSimulator::new(Workload::Sysbench, Hardware::A, 5);
+        let cat = sim.catalog();
+        // Only the buffer pool: huge values crash (A has 8 GB RAM).
+        let selected = vec![cat.expect_index("innodb_buffer_pool_size")];
+        let space = TuningSpace::with_default_base(cat, selected, Hardware::A);
+        let mut opt = RandomSearch::new(space.space().clone());
+        let result = run_session(
+            &mut sim,
+            &space,
+            &mut opt,
+            &SessionConfig { iterations: 50, lhs_init: 0, seed: 3, ..Default::default() },
+        );
+        let failures: Vec<&Observation> =
+            result.observations.iter().filter(|o| o.failed).collect();
+        assert!(!failures.is_empty(), "upper range must produce crashes");
+        for f in failures {
+            assert!(f.score.is_finite());
+            // A failure never becomes the session best.
+            assert!(f.score <= result.best_score());
+        }
+    }
+
+    #[test]
+    fn best_trace_is_monotone() {
+        let mut sim = DbSimulator::new(Workload::Smallbank, Hardware::B, 6);
+        let space = small_space(&sim);
+        let mut opt = OptimizerKind::Smac.build(space.space(), METRICS_DIM, 1);
+        let result = run_session(
+            &mut sim,
+            &space,
+            &mut opt,
+            &SessionConfig { iterations: 30, lhs_init: 10, seed: 4, ..Default::default() },
+        );
+        for w in result.best_score_trace.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(result.iterations_to_best() <= 30);
+    }
+
+    #[test]
+    fn orientation_helpers_round_trip() {
+        // Log-scale orientation: monotone, exactly invertible.
+        for v in [0.5, 200.0, 16000.0] {
+            assert!((un_orient(Objective::Latency95, orient(Objective::Latency95, v)) - v).abs() < 1e-9);
+            assert!((un_orient(Objective::Throughput, orient(Objective::Throughput, v)) - v).abs() < 1e-9);
+        }
+        // Lower latency / higher throughput => higher score.
+        assert!(orient(Objective::Latency95, 150.0) > orient(Objective::Latency95, 200.0));
+        assert!(orient(Objective::Throughput, 150.0) > orient(Objective::Throughput, 100.0));
+        assert!((improvement(Objective::Latency95, 200.0, 150.0) - 0.25).abs() < 1e-12);
+        assert!((improvement(Objective::Throughput, 100.0, 150.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_is_recorded_per_iteration() {
+        let mut sim = DbSimulator::new(Workload::Voter, Hardware::B, 7);
+        let space = small_space(&sim);
+        let mut opt = RandomSearch::new(space.space().clone());
+        let result = run_session(
+            &mut sim,
+            &space,
+            &mut opt,
+            &SessionConfig { iterations: 10, lhs_init: 0, seed: 5, ..Default::default() },
+        );
+        assert_eq!(result.overhead_secs.len(), 10);
+        assert!(result.simulated_secs > 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! GP-layer quality tests: hyper-parameter selection behaviour and
+//! kernel/acquisition interplay at the integration level.
+
+use dbtune_core::acquisition::{expected_improvement, norm_pdf_cdf};
+use dbtune_core::gp::{select_hyperparams, GaussianProcess, Kernel, Matern52Kernel, RbfKernel};
+
+fn wiggly(n: usize, freq: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+    let y: Vec<f64> = x.iter().map(|v| (v[0] * freq).sin()).collect();
+    (x, y)
+}
+
+#[test]
+fn hyperparameter_selection_adapts_to_smoothness() {
+    // A rapidly oscillating target needs a shorter lengthscale than a
+    // nearly linear one.
+    let (xw, yw) = wiggly(40, 40.0);
+    let (ls_wiggly, _) = select_hyperparams(&RbfKernel { lengthscale: 1.0 }, &xw, &yw);
+    let (xs, ys) = wiggly(40, 1.0);
+    let (ls_smooth, _) = select_hyperparams(&RbfKernel { lengthscale: 1.0 }, &xs, &ys);
+    assert!(
+        ls_wiggly < ls_smooth,
+        "lengthscales should track smoothness: wiggly {ls_wiggly} vs smooth {ls_smooth}"
+    );
+}
+
+#[test]
+fn noise_selection_grows_with_observation_noise() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+    let clean: Vec<f64> = x.iter().map(|v| (v[0] * 4.0).sin()).collect();
+    let noisy: Vec<f64> = clean.iter().map(|v| v + rng.gen::<f64>() * 0.6 - 0.3).collect();
+    let (_, n_clean) = select_hyperparams(&RbfKernel { lengthscale: 1.0 }, &x, &clean);
+    let (_, n_noisy) = select_hyperparams(&RbfKernel { lengthscale: 1.0 }, &x, &noisy);
+    assert!(
+        n_noisy >= n_clean,
+        "noise level should not shrink with noisier data: {n_clean} vs {n_noisy}"
+    );
+}
+
+#[test]
+fn matern_gp_generalizes_on_held_out_points() {
+    let (x, y) = wiggly(60, 6.0);
+    let (train_x, test_x): (Vec<_>, Vec<_>) =
+        x.iter().cloned().enumerate().partition(|(i, _)| i % 3 != 0);
+    let (train_y, test_y): (Vec<_>, Vec<_>) =
+        y.iter().cloned().enumerate().partition(|(i, _)| i % 3 != 0);
+    let tx: Vec<Vec<f64>> = train_x.into_iter().map(|(_, v)| v).collect();
+    let ty: Vec<f64> = train_y.into_iter().map(|(_, v)| v).collect();
+    let gp = GaussianProcess::fit_auto(Box::new(Matern52Kernel { lengthscale: 0.3 }), &tx, &ty);
+    let preds: Vec<f64> = test_x.iter().map(|(_, v)| gp.predict(v).0).collect();
+    let truth: Vec<f64> = test_y.into_iter().map(|(_, v)| v).collect();
+    let r2 = dbtune_linalg::stats::r_squared(&preds, &truth);
+    assert!(r2 > 0.95, "held-out GP quality too low: {r2}");
+}
+
+#[test]
+fn ei_peaks_between_exploitation_and_exploration() {
+    // With two candidate points — one at the incumbent mean with no
+    // variance, one slightly worse mean but high variance — EI must prefer
+    // the uncertain one.
+    let exploit = expected_improvement(1.0, 1e-9, 1.0, 0.01);
+    let explore = expected_improvement(0.9, 1.0, 1.0, 0.01);
+    assert!(explore > exploit);
+}
+
+#[test]
+fn norm_cdf_is_monotone_and_symmetric() {
+    let (_, lo) = norm_pdf_cdf(-2.0);
+    let (_, mid) = norm_pdf_cdf(0.0);
+    let (_, hi) = norm_pdf_cdf(2.0);
+    assert!(lo < mid && mid < hi);
+    assert!((lo + hi - 1.0).abs() < 1e-6, "Φ(−z)+Φ(z)=1 violated");
+    assert!((mid - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn kernels_are_positive_definite_on_random_point_sets() {
+    use dbtune_linalg::{Cholesky, Matrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..5 {
+        let pts: Vec<Vec<f64>> = (0..12)
+            .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        for kernel in [
+            Box::new(RbfKernel { lengthscale: 0.3 }) as Box<dyn Kernel>,
+            Box::new(Matern52Kernel { lengthscale: 0.3 }),
+        ] {
+            let mut k = Matrix::from_fn(12, 12, |i, j| kernel.eval(&pts[i], &pts[j]));
+            k.add_diagonal(1e-9);
+            assert!(
+                Cholesky::decompose(&k).is_ok(),
+                "kernel gram matrix not PD on random points"
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the core tuning library: configuration-space
+//! encodings, LHS stratification, GP posterior sanity, Expected
+//! Improvement bounds, SHAP efficiency, and RGPE weight simplexes.
+
+use dbtune_core::acquisition::expected_improvement;
+use dbtune_core::gp::{GaussianProcess, Matern52Kernel, RbfKernel};
+use dbtune_core::importance::shap::shap_values;
+use dbtune_core::sampling;
+use dbtune_core::space::ConfigSpace;
+use dbtune_dbsim::knob::KnobSpec;
+use dbtune_ml::{RandomForest, RandomForestParams, Regressor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_space() -> ConfigSpace {
+    ConfigSpace::new(vec![
+        KnobSpec::int("a", 1, 4096, true, 64),
+        KnobSpec::real("b", -5.0, 5.0, false, 0.0),
+        KnobSpec::cat("c", vec!["w", "x", "y", "z"], 1),
+        KnobSpec::int("d", 0, 100, false, 50),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn space_unit_round_trip(units in proptest::collection::vec(0.0f64..=1.0, 4)) {
+        let space = mixed_space();
+        let raw = space.from_unit(&units);
+        // Decoded configs are legal and re-encoding is a fixpoint.
+        let mut clamped = raw.clone();
+        space.clamp(&mut clamped);
+        prop_assert_eq!(&clamped, &raw);
+        let again = space.from_unit(&space.to_unit(&raw));
+        prop_assert_eq!(again, raw);
+    }
+
+    #[test]
+    fn lhs_samples_are_legal_and_stratified(n in 2usize..40, seed in 0u64..1000) {
+        let space = mixed_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = sampling::lhs(&space, n, &mut rng);
+        prop_assert_eq!(samples.len(), n);
+        for s in &samples {
+            let mut c = s.clone();
+            space.clamp(&mut c);
+            prop_assert_eq!(&c, s);
+        }
+        // Continuous dim b must hit n distinct strata.
+        let mut strata: Vec<usize> = samples
+            .iter()
+            .map(|s| {
+                let u = (s[1] + 5.0) / 10.0;
+                ((u * n as f64) as usize).min(n - 1)
+            })
+            .collect();
+        strata.sort_unstable();
+        strata.dedup();
+        prop_assert_eq!(strata.len(), n, "stratification violated");
+    }
+
+    #[test]
+    fn gp_posterior_variance_nonnegative_and_interpolates(
+        ys in proptest::collection::vec(-10.0f64..10.0, 5..12),
+        q in 0.0f64..1.0,
+    ) {
+        let n = ys.len();
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let gp = GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.2 }), &x, &ys, 1e-8);
+        // Tolerance scales with the data spread: standardization + jitter
+        // bound the interpolation error relative to the target range.
+        let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let tol = 1e-3 * (1.0 + spread);
+        for (xi, yi) in x.iter().zip(&ys) {
+            let (m, v) = gp.predict(xi);
+            prop_assert!(v >= 0.0);
+            prop_assert!((m - yi).abs() < tol.max(5e-3), "no interpolation: {m} vs {yi}");
+        }
+        let (_, v) = gp.predict(&[q]);
+        prop_assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn matern_kernel_is_bounded_and_symmetric(
+        a in proptest::collection::vec(0.0f64..1.0, 3),
+        b in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        use dbtune_core::gp::Kernel;
+        let k = Matern52Kernel { lengthscale: 0.4 };
+        let kab = k.eval(&a, &b);
+        prop_assert!((k.eval(&b, &a) - kab).abs() < 1e-12);
+        prop_assert!(kab <= 1.0 + 1e-12 && kab >= 0.0);
+    }
+
+    #[test]
+    fn expected_improvement_is_nonnegative(mean in -10.0f64..10.0, var in 0.0f64..25.0, best in -10.0f64..10.0) {
+        let ei = expected_improvement(mean, var, best, 0.01);
+        prop_assert!(ei >= 0.0);
+        prop_assert!(ei.is_finite());
+    }
+
+    #[test]
+    fn shap_efficiency_for_arbitrary_probes(
+        probe in proptest::collection::vec(0.0f64..1.0, 3),
+        baseline in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        // Fixed dataset, arbitrary probe/baseline: Σφ = f(x) − f(base).
+        let mut rng = StdRng::seed_from_u64(5);
+        use rand::Rng;
+        let x: Vec<Vec<f64>> = (0..60).map(|_| (0..3).map(|_| rng.gen::<f64>()).collect()).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - r[1] * r[2]).collect();
+        let mut rf = RandomForest::continuous(RandomForestParams { n_trees: 8, ..Default::default() }, 3);
+        rf.fit(&x, &y);
+        let phi = shap_values(&rf, &baseline, &probe, 6, &mut rng);
+        let total: f64 = phi.iter().sum();
+        let expect = rf.predict(&probe) - rf.predict(&baseline);
+        prop_assert!((total - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbour_moves_stay_legal(seed in 0u64..500, step in 0.01f64..0.5) {
+        let space = mixed_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cur = space.default_config();
+        for _ in 0..20 {
+            cur = space.neighbour(&cur, step, &mut rng);
+            let mut clamped = cur.clone();
+            space.clamp(&mut clamped);
+            prop_assert_eq!(&clamped, &cur);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Hardware instance types (Table 5 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four database instance types the paper deploys on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Hardware {
+    /// 4 cores, 8 GB RAM.
+    A,
+    /// 8 cores, 16 GB RAM (the paper's default target instance).
+    B,
+    /// 16 cores, 32 GB RAM.
+    C,
+    /// 32 cores, 64 GB RAM.
+    D,
+}
+
+impl Hardware {
+    /// All instance types, in Table 5 order.
+    pub const ALL: [Hardware; 4] = [Hardware::A, Hardware::B, Hardware::C, Hardware::D];
+
+    /// CPU core count.
+    pub fn cores(self) -> usize {
+        match self {
+            Hardware::A => 4,
+            Hardware::B => 8,
+            Hardware::C => 16,
+            Hardware::D => 32,
+        }
+    }
+
+    /// RAM in megabytes.
+    pub fn ram_mb(self) -> f64 {
+        match self {
+            Hardware::A => 8.0 * 1024.0,
+            Hardware::B => 16.0 * 1024.0,
+            Hardware::C => 32.0 * 1024.0,
+            Hardware::D => 64.0 * 1024.0,
+        }
+    }
+
+    /// Throughput scale relative to instance B (sub-linear in cores, as
+    /// real OLTP scaling is).
+    pub fn perf_scale(self) -> f64 {
+        (self.cores() as f64 / 8.0).powf(0.8)
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Hardware::A => "A",
+            Hardware::B => "B",
+            Hardware::C => "C",
+            Hardware::D => "D",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_values() {
+        assert_eq!(Hardware::A.cores(), 4);
+        assert_eq!(Hardware::D.cores(), 32);
+        assert_eq!(Hardware::B.ram_mb(), 16384.0);
+    }
+
+    #[test]
+    fn perf_scale_is_monotone_and_anchored_at_b() {
+        assert!((Hardware::B.perf_scale() - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for hw in Hardware::ALL {
+            assert!(hw.perf_scale() > prev);
+            prev = hw.perf_scale();
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic MySQL-5.7-style DBMS simulator.
+//!
+//! The paper evaluates tuning algorithms against RDS MySQL 5.7 instances
+//! replaying OLTP-Bench workloads — hardware we cannot access. This crate
+//! substitutes an *analytic performance model* with the structural
+//! properties the paper's analysis depends on:
+//!
+//! * a **197-knob catalog** mirroring MySQL 5.7 variable names, types,
+//!   domains, and defaults (continuous, integer, and categorical knobs —
+//!   the heterogeneity the paper studies);
+//! * a long tail of near-irrelevant knobs plus a small set of impactful
+//!   ones whose identity depends on the workload;
+//! * **robust defaults** and "trap" knobs whose default is already optimal
+//!   (high variance, zero tunability — the property that separates SHAP
+//!   from variance-based importance measures);
+//! * **knob interactions** (per-thread buffer memory × concurrency) and
+//!   **crash regions** (memory overcommit fails the evaluation, which the
+//!   tuning driver replaces with the worst seen performance, §4.1);
+//! * nine **workload profiles** (Table 4) and four **hardware instance
+//!   types** (Table 5) that move the optimum;
+//! * a 40-dimensional vector of simulated **internal metrics** (the state
+//!   input of DDPG and the distance space of workload mapping);
+//! * multiplicative log-normal **measurement noise** and a simulated
+//!   wall-clock **cost ledger** (3-minute stress tests + restart) so the
+//!   surrogate benchmark can report paper-style speedups.
+
+pub mod knob;
+pub mod catalog;
+pub mod workload;
+pub mod hardware;
+pub mod sim;
+
+pub use catalog::KnobCatalog;
+pub use hardware::Hardware;
+pub use knob::{Domain, KnobSpec};
+pub use sim::{DbSimulator, Objective, Outcome, EVAL_SECONDS, METRICS_DIM, RESTART_SECONDS};
+pub use workload::{Workload, WorkloadClass};

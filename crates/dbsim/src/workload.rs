@@ -1,0 +1,320 @@
+//! The nine benchmark workloads (Table 4) and the response-surface
+//! sensitivities each one induces.
+//!
+//! The first block of fields mirrors Table 4 verbatim (class, size, table
+//! count, read-only transaction fraction). The second block parameterizes
+//! the simulator: how write-bound, scan-bound, contention-bound, … each
+//! workload is. Those weights decide *which knobs matter*, which is what
+//! the knob-selection and optimizer experiments measure.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload category from Table 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Multi-join analytical queries (JOB).
+    Analytical,
+    /// Write-heavy OLTP benchmarks.
+    Transactional,
+    /// Read-mostly web traffic (Twitter).
+    WebOriented,
+    /// DBMS feature micro-tests (SIBench).
+    FeatureTesting,
+}
+
+/// One of the nine evaluation workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Join Order Benchmark: 113 analytical multi-join queries.
+    Job,
+    /// SysBench OLTP read/write mix.
+    Sysbench,
+    /// TPC-C order processing.
+    Tpcc,
+    /// SEATS airline reservation.
+    Seats,
+    /// Smallbank banking transactions.
+    Smallbank,
+    /// TATP telecom transactions.
+    Tatp,
+    /// Voter phone-in voting (pure writes).
+    Voter,
+    /// Twitter web workload.
+    Twitter,
+    /// SIBench snapshot-isolation feature test.
+    Sibench,
+}
+
+/// Static profile of a workload: Table 4 metadata plus simulator weights.
+#[derive(Clone, Debug)]
+pub struct WorkloadProfile {
+    /// Table 4: workload class.
+    pub class: WorkloadClass,
+    /// Table 4: dataset size in GB.
+    pub size_gb: f64,
+    /// Table 4: number of tables.
+    pub tables: usize,
+    /// Table 4: fraction of read-only transactions.
+    pub read_only_frac: f64,
+    /// How much performance is bound by the write/flush path (0..1).
+    pub write_intensity: f64,
+    /// How much performance is bound by random reads (0..1).
+    pub read_intensity: f64,
+    /// How much performance is bound by large scans/sorts (0..1).
+    pub scan_intensity: f64,
+    /// Join-planning complexity (drives optimizer/join-buffer knobs).
+    pub join_complexity: f64,
+    /// Lock/latch contention level (drives concurrency knobs).
+    pub contention: f64,
+    /// Fraction of reads that repeat verbatim (query-cache affinity).
+    pub repeat_read: f64,
+    /// Hot working set as a fraction of the dataset size.
+    pub working_set_frac: f64,
+    /// Default-configuration throughput on instance B (tx/s); ignored for
+    /// latency-objective workloads.
+    pub base_rate: f64,
+}
+
+impl Workload {
+    /// All nine workloads in Table 4 order.
+    pub const ALL: [Workload; 9] = [
+        Workload::Job,
+        Workload::Sysbench,
+        Workload::Tpcc,
+        Workload::Seats,
+        Workload::Smallbank,
+        Workload::Tatp,
+        Workload::Voter,
+        Workload::Twitter,
+        Workload::Sibench,
+    ];
+
+    /// The eight OLTP (throughput-objective) workloads used in the
+    /// knowledge-transfer study.
+    pub const OLTP: [Workload; 8] = [
+        Workload::Sysbench,
+        Workload::Tpcc,
+        Workload::Seats,
+        Workload::Smallbank,
+        Workload::Tatp,
+        Workload::Voter,
+        Workload::Twitter,
+        Workload::Sibench,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Job => "JOB",
+            Workload::Sysbench => "SYSBENCH",
+            Workload::Tpcc => "TPC-C",
+            Workload::Seats => "SEATS",
+            Workload::Smallbank => "Smallbank",
+            Workload::Tatp => "TATP",
+            Workload::Voter => "Voter",
+            Workload::Twitter => "Twitter",
+            Workload::Sibench => "SIBench",
+        }
+    }
+
+    /// The static profile (Table 4 metadata + simulator weights).
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            Workload::Job => WorkloadProfile {
+                class: WorkloadClass::Analytical,
+                size_gb: 9.3,
+                tables: 21,
+                read_only_frac: 1.0,
+                write_intensity: 0.02,
+                read_intensity: 0.85,
+                scan_intensity: 0.9,
+                join_complexity: 0.95,
+                contention: 0.1,
+                repeat_read: 0.15,
+                working_set_frac: 0.9,
+                base_rate: 0.5, // queries/s, unused: JOB is latency-objective
+            },
+            Workload::Sysbench => WorkloadProfile {
+                class: WorkloadClass::Transactional,
+                size_gb: 24.8,
+                tables: 150,
+                read_only_frac: 0.43,
+                write_intensity: 0.75,
+                read_intensity: 0.6,
+                scan_intensity: 0.15,
+                join_complexity: 0.05,
+                contention: 0.7,
+                repeat_read: 0.25,
+                working_set_frac: 0.45,
+                base_rate: 3200.0,
+            },
+            Workload::Tpcc => WorkloadProfile {
+                class: WorkloadClass::Transactional,
+                size_gb: 17.8,
+                tables: 9,
+                read_only_frac: 0.08,
+                write_intensity: 0.9,
+                read_intensity: 0.45,
+                scan_intensity: 0.08,
+                join_complexity: 0.1,
+                contention: 0.85,
+                repeat_read: 0.1,
+                working_set_frac: 0.5,
+                base_rate: 1400.0,
+            },
+            Workload::Seats => WorkloadProfile {
+                class: WorkloadClass::Transactional,
+                size_gb: 12.7,
+                tables: 10,
+                read_only_frac: 0.45,
+                write_intensity: 0.6,
+                read_intensity: 0.6,
+                scan_intensity: 0.12,
+                join_complexity: 0.15,
+                contention: 0.6,
+                repeat_read: 0.2,
+                working_set_frac: 0.4,
+                base_rate: 2600.0,
+            },
+            Workload::Smallbank => WorkloadProfile {
+                class: WorkloadClass::Transactional,
+                size_gb: 2.4,
+                tables: 3,
+                read_only_frac: 0.15,
+                write_intensity: 0.85,
+                read_intensity: 0.4,
+                scan_intensity: 0.02,
+                join_complexity: 0.02,
+                contention: 0.75,
+                repeat_read: 0.15,
+                working_set_frac: 0.6,
+                base_rate: 9000.0,
+            },
+            Workload::Tatp => WorkloadProfile {
+                class: WorkloadClass::Transactional,
+                size_gb: 6.3,
+                tables: 4,
+                read_only_frac: 0.4,
+                write_intensity: 0.55,
+                read_intensity: 0.65,
+                scan_intensity: 0.03,
+                join_complexity: 0.03,
+                contention: 0.5,
+                repeat_read: 0.35,
+                working_set_frac: 0.5,
+                base_rate: 11000.0,
+            },
+            Workload::Voter => WorkloadProfile {
+                class: WorkloadClass::Transactional,
+                size_gb: 0.00006,
+                tables: 3,
+                read_only_frac: 0.0,
+                write_intensity: 0.95,
+                read_intensity: 0.15,
+                scan_intensity: 0.01,
+                join_complexity: 0.01,
+                contention: 0.9,
+                repeat_read: 0.05,
+                working_set_frac: 1.0,
+                base_rate: 16000.0,
+            },
+            Workload::Twitter => WorkloadProfile {
+                class: WorkloadClass::WebOriented,
+                size_gb: 7.9,
+                tables: 5,
+                read_only_frac: 0.009,
+                write_intensity: 0.35,
+                read_intensity: 0.85,
+                scan_intensity: 0.1,
+                join_complexity: 0.08,
+                contention: 0.45,
+                repeat_read: 0.55,
+                working_set_frac: 0.25,
+                base_rate: 7000.0,
+            },
+            Workload::Sibench => WorkloadProfile {
+                class: WorkloadClass::FeatureTesting,
+                size_gb: 0.0005,
+                tables: 1,
+                read_only_frac: 0.5,
+                write_intensity: 0.5,
+                read_intensity: 0.5,
+                scan_intensity: 0.3,
+                join_complexity: 0.01,
+                contention: 0.55,
+                repeat_read: 0.3,
+                working_set_frac: 1.0,
+                base_rate: 12000.0,
+            },
+        }
+    }
+
+    /// Whether the objective is 95th-percentile latency (minimize) rather
+    /// than throughput (maximize) — §4.1: OLAP uses latency.
+    pub fn is_latency_objective(self) -> bool {
+        matches!(self, Workload::Job)
+    }
+
+    /// Hot working-set size in MB.
+    pub fn working_set_mb(self) -> f64 {
+        let p = self.profile();
+        (p.size_gb * 1024.0 * p.working_set_frac).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_metadata_matches_paper() {
+        let job = Workload::Job.profile();
+        assert_eq!(job.class, WorkloadClass::Analytical);
+        assert_eq!(job.tables, 21);
+        assert_eq!(job.read_only_frac, 1.0);
+        let tpcc = Workload::Tpcc.profile();
+        assert!((tpcc.size_gb - 17.8).abs() < 1e-9);
+        assert!((tpcc.read_only_frac - 0.08).abs() < 1e-9);
+        assert_eq!(Workload::Voter.profile().read_only_frac, 0.0);
+    }
+
+    #[test]
+    fn only_job_is_latency_objective() {
+        for w in Workload::ALL {
+            assert_eq!(w.is_latency_objective(), w == Workload::Job);
+        }
+    }
+
+    #[test]
+    fn profiles_are_within_unit_ranges() {
+        for w in Workload::ALL {
+            let p = w.profile();
+            for v in [
+                p.read_only_frac,
+                p.write_intensity,
+                p.read_intensity,
+                p.scan_intensity,
+                p.join_complexity,
+                p.contention,
+                p.repeat_read,
+                p.working_set_frac,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{}: weight {v} out of range", w.name());
+            }
+            assert!(p.base_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn oltp_list_excludes_job() {
+        assert!(!Workload::OLTP.contains(&Workload::Job));
+        assert_eq!(Workload::OLTP.len(), 8);
+    }
+
+    #[test]
+    fn working_set_positive() {
+        for w in Workload::ALL {
+            assert!(w.working_set_mb() >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Cholesky factorization and solves for symmetric positive-definite
+//! systems.
+//!
+//! Gaussian-process covariance matrices are frequently near-singular (two
+//! nearly identical configurations produce nearly identical kernel rows), so
+//! [`Cholesky::decompose_with_jitter`] retries with geometrically increasing
+//! diagonal jitter — the standard trick used by every production GP library.
+
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// Error returned when a matrix is not positive definite (even after
+/// jitter, for the jittered variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite;
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite")
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    pub fn decompose(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Factorizes `a`, adding increasing diagonal jitter on failure.
+    ///
+    /// Starts at `initial_jitter` and multiplies by 10 up to `max_tries`
+    /// times. Returns the factorization together with the jitter that was
+    /// finally applied (0.0 when none was needed).
+    pub fn decompose_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<(Self, f64), NotPositiveDefinite> {
+        if let Ok(c) = Self::decompose(a) {
+            return Ok((c, 0.0));
+        }
+        let mut jitter = initial_jitter;
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            aj.add_diagonal(jitter);
+            if let Ok(c) = Self::decompose(&aj) {
+                return Ok((c, jitter));
+            }
+            jitter *= 10.0;
+        }
+        Err(NotPositiveDefinite)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L x = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            let row = self.l.row(i);
+            for (k, xv) in x.iter().enumerate().take(i) {
+                sum -= row[k] * xv;
+            }
+            x[i] = sum / row[i];
+        }
+        x
+    }
+
+    /// Solves `Lᵀ x = b` (backward substitution).
+    // Index loops keep the triangular-solve recurrence readable.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve_upper(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log |A| = 2 Σ log L_ii` — needed by GP marginal likelihood.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Solves the SPD system `A x = b` via Cholesky with jitter fallback.
+///
+/// Convenience wrapper used by ridge regression and GP ensembles.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefinite> {
+    let (chol, _) = Cholesky::decompose_with_jitter(a, 1e-10, 12)?;
+    Ok(chol.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for B = [[1,2],[3,4],[5,6]] — guaranteed SPD.
+        Matrix::from_rows(&[
+            vec![6.0, 11.0, 17.0],
+            vec![11.0, 26.0, 39.0],
+            vec![17.0, 39.0, 62.0],
+        ])
+    }
+
+    #[test]
+    fn decompose_reconstructs_input() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let l = c.factor();
+        let recon = l.matmul(&l.transpose());
+        assert!(recon.max_abs_diff(&a) < 1e-9, "got {recon:?}");
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let c = Cholesky::decompose(&a).unwrap();
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn jitter_rescues_singular_matrix() {
+        // Rank-1 matrix: singular, but SPD after any positive jitter.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let (c, jitter) = Cholesky::decompose_with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(c.factor().rows(), 2);
+    }
+
+    #[test]
+    fn log_determinant_matches_known_value() {
+        let a = Matrix::from_rows(&[vec![4.0, 0.0], vec![0.0, 9.0]]);
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!((c.log_determinant() - (36.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_spd_wrapper_works() {
+        let a = spd3();
+        let b = a.matvec(&[2.0, 2.0, 2.0]);
+        let x = solve_spd(&a, &b).unwrap();
+        for xi in x {
+            assert!((xi - 2.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lower_and_upper_solves_are_consistent() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let y = c.solve_lower(&b);
+        // L y should reproduce b.
+        let l = c.factor();
+        let back = l.matvec(&y);
+        for (bi, vi) in b.iter().zip(back) {
+            assert!((bi - vi).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Dense linear algebra and statistics substrate for `dbtune`.
+//!
+//! The tuning algorithms in this workspace (Gaussian processes, ridge/lasso
+//! regression, RGPE ensembles) need a small, dependency-free numerical core:
+//! dense matrices, a Cholesky factorization robust enough for ill-conditioned
+//! GP covariance matrices, triangular solves, and descriptive statistics.
+//!
+//! Everything here is implemented from scratch so the workspace carries no
+//! external linear-algebra dependency. Matrices are stored row-major in a
+//! single `Vec<f64>` for cache-friendly traversal, following the sizing and
+//! allocation guidance of the Rust performance book (pre-sized buffers, no
+//! per-element boxing).
+
+pub mod matrix;
+pub mod cholesky;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;

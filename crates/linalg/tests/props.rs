@@ -1,0 +1,96 @@
+//! Property-based tests for the numerics core: Cholesky on arbitrary SPD
+//! matrices, rank/quantile invariants, and statistic bounds.
+
+use dbtune_linalg::stats;
+use dbtune_linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix B (n×n) from which A = B·Bᵀ + εI is SPD.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f64..5.0, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let mut a = b.matmul(&b.transpose());
+        a.add_diagonal(0.1);
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_reconstructs_spd_matrices(a in spd_matrix(5)) {
+        let c = Cholesky::decompose(&a).expect("SPD by construction");
+        let l = c.factor();
+        let recon = l.matmul(&l.transpose());
+        prop_assert!(recon.max_abs_diff(&a) < 1e-6 * (1.0 + a.max_abs_diff(&Matrix::zeros(5,5))));
+    }
+
+    #[test]
+    fn cholesky_solve_satisfies_system(a in spd_matrix(4), x in proptest::collection::vec(-3.0f64..3.0, 4)) {
+        let b = a.matvec(&x);
+        let c = Cholesky::decompose(&a).expect("SPD");
+        let solved = c.solve(&b);
+        let back = a.matvec(&solved);
+        for (bi, vi) in b.iter().zip(back) {
+            prop_assert!((bi - vi).abs() < 1e-6 * (1.0 + bi.abs()));
+        }
+    }
+
+    #[test]
+    fn log_determinant_is_finite_for_spd(a in spd_matrix(4)) {
+        let c = Cholesky::decompose(&a).expect("SPD");
+        prop_assert!(c.log_determinant().is_finite());
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_average(xs in proptest::collection::vec(-100.0f64..100.0, 2..40)) {
+        let r = stats::ranks(&xs);
+        let n = xs.len() as f64;
+        // Ranks always sum to n(n+1)/2 regardless of ties.
+        let total: f64 = r.iter().sum();
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        for v in &r {
+            prop_assert!(*v >= 1.0 && *v <= n);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let q25 = stats::quantile(&xs, 0.25);
+        let q50 = stats::quantile(&xs, 0.5);
+        let q75 = stats::quantile(&xs, 0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q25 >= min && q75 <= max);
+    }
+
+    #[test]
+    fn r_squared_never_exceeds_one(truth in proptest::collection::vec(-10.0f64..10.0, 3..30),
+                                   noise in proptest::collection::vec(-1.0f64..1.0, 3..30)) {
+        let n = truth.len().min(noise.len());
+        let pred: Vec<f64> = truth[..n].iter().zip(&noise[..n]).map(|(t, e)| t + e).collect();
+        prop_assert!(stats::r_squared(&pred, &truth[..n]) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in proptest::collection::vec(0usize..20, 0..10),
+                                    b in proptest::collection::vec(0usize..20, 0..10)) {
+        let ab = stats::intersection_over_union(&a, &b);
+        let ba = stats::intersection_over_union(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn standardizer_output_is_zero_mean(rows in proptest::collection::vec(
+        proptest::collection::vec(-50.0f64..50.0, 3), 2..30)) {
+        let st = stats::Standardizer::fit(&rows);
+        let tr = st.transform_all(&rows);
+        for d in 0..3 {
+            let col: Vec<f64> = tr.iter().map(|r| r[d]).collect();
+            prop_assert!(stats::mean(&col).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Dataset helpers: feature-kind descriptors, train/test splitting, and
+//! k-fold cross-validation index generation (Table 9 uses 10-fold CV).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Describes how a feature column should be interpreted by tree learners.
+///
+/// Continuous columns are split by threshold; categorical columns (encoded
+/// as `0.0..k` category indices) are split by subset. The knob catalog in
+/// `dbtune-dbsim` maps each knob to one of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// A real-valued or integer-valued column, split by `x <= t`.
+    Continuous,
+    /// A categorical column with `cardinality` distinct codes `0..k`.
+    Categorical {
+        /// Number of distinct category codes.
+        cardinality: usize,
+    },
+}
+
+impl FeatureKind {
+    /// True when the column is categorical.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, FeatureKind::Categorical { .. })
+    }
+}
+
+/// Splits `n` sample indices into a shuffled `(train, test)` partition with
+/// `test_fraction` of the data held out.
+pub fn train_test_split(n: usize, test_fraction: f64, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&test_fraction));
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    (train, test)
+}
+
+/// Produces `k` cross-validation folds as `(train_indices, test_indices)`
+/// pairs covering all `n` samples exactly once in the test position.
+pub fn kfold_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(n >= k, "more folds than samples");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let test = idx[lo..hi].to_vec();
+        let mut train = Vec::with_capacity(n - test.len());
+        train.extend_from_slice(&idx[..lo]);
+        train.extend_from_slice(&idx[hi..]);
+        folds.push((train, test));
+    }
+    folds
+}
+
+/// Gathers the rows of `x` (and entries of `y`) selected by `indices`.
+pub fn gather(x: &[Vec<f64>], y: &[f64], indices: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs = indices.iter().map(|&i| x[i].clone()).collect();
+    let ys = indices.iter().map(|&i| y[i]).collect();
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_sizes_add_up() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = train_test_split(100, 0.25, &mut rng);
+        assert_eq!(train.len(), 75);
+        assert_eq!(test.len(), 25);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kfold_covers_every_index_once() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = kfold_indices(53, 10, &mut rng);
+        assert_eq!(folds.len(), 10);
+        let mut seen = vec![0usize; 53];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 53);
+            for &t in test {
+                seen[t] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![10.0, 11.0, 12.0];
+        let (xs, ys) = gather(&x, &y, &[2, 0]);
+        assert_eq!(xs, vec![vec![2.0], vec![0.0]]);
+        assert_eq!(ys, vec![12.0, 10.0]);
+    }
+
+    #[test]
+    fn feature_kind_predicates() {
+        assert!(!FeatureKind::Continuous.is_categorical());
+        assert!(FeatureKind::Categorical { cardinality: 3 }.is_categorical());
+    }
+}

@@ -1,0 +1,109 @@
+//! k-nearest-neighbour regression with inverse-distance weighting, one of
+//! the Table 9 surrogate-model zoo members.
+
+use crate::Regressor;
+use dbtune_linalg::matrix::sq_dist;
+use dbtune_linalg::stats::Standardizer;
+
+/// KNN regressor; features are standardized before distance computation so
+/// wide-range knobs do not dominate.
+#[derive(Clone, Debug)]
+pub struct KnnRegressor {
+    /// Number of neighbours.
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    standardizer: Option<Standardizer>,
+}
+
+impl KnnRegressor {
+    /// Creates an unfitted model with `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self { k, x: Vec::new(), y: Vec::new(), standardizer: None }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let st = Standardizer::fit(x);
+        self.x = st.transform_all(x);
+        self.y = y.to_vec();
+        self.standardizer = Some(st);
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let st = self.standardizer.as_ref().expect("predict on unfitted model");
+        let z = st.transform(row);
+        let k = self.k.min(self.x.len());
+
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .enumerate()
+            .map(|(i, xi)| (sq_dist(xi, &z), i))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        let neighbours = &dists[..k];
+
+        // Inverse-distance weights; an exact match short-circuits.
+        let mut wsum = 0.0;
+        let mut acc = 0.0;
+        for &(d2, i) in neighbours {
+            if d2 < 1e-18 {
+                return self.y[i];
+            }
+            let w = 1.0 / d2.sqrt();
+            wsum += w;
+            acc += w * self.y[i];
+        }
+        acc / wsum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_returns_training_target() {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let y = vec![5.0, 7.0, 9.0];
+        let mut m = KnnRegressor::new(2);
+        m.fit(&x, &y);
+        assert_eq!(m.predict(&[1.0, 1.0]), 7.0);
+    }
+
+    #[test]
+    fn k1_returns_nearest_neighbour() {
+        let x = vec![vec![0.0], vec![10.0]];
+        let y = vec![1.0, 2.0];
+        let mut m = KnnRegressor::new(1);
+        m.fit(&x, &y);
+        assert_eq!(m.predict(&[2.0]), 1.0);
+        assert_eq!(m.predict(&[8.0]), 2.0);
+    }
+
+    #[test]
+    fn interpolates_between_neighbours() {
+        let x = vec![vec![0.0], vec![10.0]];
+        let y = vec![0.0, 10.0];
+        let mut m = KnnRegressor::new(2);
+        m.fit(&x, &y);
+        let mid = m.predict(&[5.0]);
+        assert!((mid - 5.0).abs() < 1e-9, "midpoint should average equally: {mid}");
+    }
+
+    #[test]
+    fn k_larger_than_sample_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![2.0, 4.0];
+        let mut m = KnnRegressor::new(50);
+        m.fit(&x, &y);
+        let p = m.predict(&[0.25]);
+        assert!(p > 2.0 && p < 4.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Machine-learning substrate for `dbtune`.
+//!
+//! Every learner the paper's evaluation relies on is implemented here from
+//! scratch: CART regression trees and random forests (SMAC's surrogate, the
+//! Gini importance source, and the fANOVA carrier), gradient boosting,
+//! linear models with lasso/ridge regularization (OtterTune's knob ranker),
+//! k-nearest-neighbour regression, ε/ν support-vector regression (the Table 9
+//! surrogate-model zoo), and multi-layer perceptrons with Adam (the
+//! CDBTune-style DDPG actor/critic networks).
+//!
+//! All learners implement [`Regressor`] so higher layers (surrogate
+//! benchmark, importance measurements, RGPE) can treat them uniformly.
+
+pub mod dataset;
+pub mod tree;
+pub mod forest;
+pub mod gbdt;
+pub mod linear;
+pub mod knn;
+pub mod svr;
+pub mod mlp;
+
+pub use dataset::{kfold_indices, train_test_split, FeatureKind};
+pub use forest::{RandomForest, RandomForestParams};
+pub use gbdt::{GradientBoosting, GradientBoostingParams};
+pub use knn::KnnRegressor;
+pub use linear::{LassoRegression, LinearRegression, PolynomialFeatures, RidgeRegression};
+pub use mlp::{Activation, Mlp, MlpParams};
+pub use svr::{SvrKind, SvrParams, SvrRegressor};
+pub use tree::{DecisionTree, DecisionTreeParams, Node, SplitRule};
+
+/// A regression model over row-major `f64` feature vectors.
+///
+/// `fit` consumes a training sample; `predict` evaluates a single row.
+/// Implementations must be deterministic given their seed parameters so
+/// experiments are reproducible.
+pub trait Regressor {
+    /// Fits the model to `(x, y)` pairs. `x` is row-major, one row per sample.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+
+    /// Predicts the target for one feature row.
+    fn predict(&self, row: &[f64]) -> f64;
+
+    /// Predicts a batch of rows; the default maps [`Regressor::predict`].
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+/// Mean prediction and predictive variance, for surrogates that expose
+/// uncertainty (random forests via tree disagreement, GPs elsewhere).
+pub trait UncertainRegressor: Regressor {
+    /// Returns `(mean, variance)` of the predictive distribution at `row`.
+    fn predict_with_variance(&self, row: &[f64]) -> (f64, f64);
+}

@@ -1,0 +1,345 @@
+//! Linear models: ordinary least squares, ridge regression (Table 9's "RR"),
+//! lasso via cyclic coordinate descent (OtterTune's knob-importance ranker),
+//! and the degree-2 polynomial feature expansion OtterTune pairs with it.
+//!
+//! All models standardize features internally; lasso additionally centers
+//! the target so no intercept penalty is needed.
+
+use crate::Regressor;
+use dbtune_linalg::cholesky::solve_spd;
+use dbtune_linalg::stats::Standardizer;
+use dbtune_linalg::Matrix;
+
+/// Expands feature rows with pairwise products and squares
+/// (`x_i`, `x_i²`, `x_i·x_j`), the "second-degree polynomial features"
+/// OtterTune adds before its Lasso ranking.
+#[derive(Clone, Debug)]
+pub struct PolynomialFeatures {
+    dim: usize,
+}
+
+impl PolynomialFeatures {
+    /// Creates an expander for `dim`-dimensional inputs.
+    pub fn new(dim: usize) -> Self {
+        Self { dim }
+    }
+
+    /// Output dimensionality: `d + d(d+1)/2`.
+    pub fn output_dim(&self) -> usize {
+        self.dim + self.dim * (self.dim + 1) / 2
+    }
+
+    /// Expands one row.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim);
+        let mut out = Vec::with_capacity(self.output_dim());
+        out.extend_from_slice(row);
+        for i in 0..self.dim {
+            for j in i..self.dim {
+                out.push(row[i] * row[j]);
+            }
+        }
+        out
+    }
+
+    /// Expands a batch of rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Maps an expanded-feature index back to the base feature(s) it
+    /// involves; used to fold polynomial-term importances onto base knobs.
+    pub fn base_features(&self, expanded_index: usize) -> (usize, Option<usize>) {
+        if expanded_index < self.dim {
+            return (expanded_index, None);
+        }
+        let mut k = expanded_index - self.dim;
+        for i in 0..self.dim {
+            let row_len = self.dim - i;
+            if k < row_len {
+                let j = i + k;
+                return if i == j { (i, None) } else { (i, Some(j)) };
+            }
+            k -= row_len;
+        }
+        unreachable!("expanded index {expanded_index} out of range");
+    }
+}
+
+/// Ordinary least squares via the normal equations (tiny ridge for
+/// numerical stability).
+#[derive(Clone, Debug, Default)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+    standardizer: Option<Standardizer>,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fitted coefficients (standardized space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        let (w, b, st) = fit_ridge(x, y, 1e-8);
+        self.weights = w;
+        self.intercept = b;
+        self.standardizer = Some(st);
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let st = self.standardizer.as_ref().expect("predict on unfitted model");
+        let z = st.transform(row);
+        self.intercept + dbtune_linalg::matrix::dot(&self.weights, &z)
+    }
+}
+
+/// Ridge regression (`L2` penalty) solved in closed form via Cholesky.
+#[derive(Clone, Debug)]
+pub struct RidgeRegression {
+    /// L2 penalty strength.
+    pub alpha: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    standardizer: Option<Standardizer>,
+}
+
+impl RidgeRegression {
+    /// Creates an unfitted model with penalty `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        Self { alpha, weights: Vec::new(), intercept: 0.0, standardizer: None }
+    }
+
+    /// Fitted coefficients (standardized space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Regressor for RidgeRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        let (w, b, st) = fit_ridge(x, y, self.alpha);
+        self.weights = w;
+        self.intercept = b;
+        self.standardizer = Some(st);
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let st = self.standardizer.as_ref().expect("predict on unfitted model");
+        let z = st.transform(row);
+        self.intercept + dbtune_linalg::matrix::dot(&self.weights, &z)
+    }
+}
+
+/// Shared ridge solver on standardized features and centered target.
+fn fit_ridge(x: &[Vec<f64>], y: &[f64], alpha: f64) -> (Vec<f64>, f64, Standardizer) {
+    assert_eq!(x.len(), y.len());
+    assert!(!x.is_empty());
+    let st = Standardizer::fit(x);
+    let z = st.transform_all(x);
+    let y_mean = dbtune_linalg::stats::mean(y);
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+    let zm = Matrix::from_rows(&z);
+    let mut gram = zm.gram();
+    gram.add_diagonal(alpha.max(1e-12));
+    let zty = zm.transpose().matvec(&yc);
+    let w = solve_spd(&gram, &zty).expect("ridge normal equations not SPD");
+    (w, y_mean, st)
+}
+
+/// Lasso regression (`L1` penalty) via cyclic coordinate descent on
+/// standardized features.
+#[derive(Clone, Debug)]
+pub struct LassoRegression {
+    /// L1 penalty strength (on the mean-loss scale, as in scikit-learn).
+    pub alpha: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the maximum coefficient change.
+    pub tol: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    standardizer: Option<Standardizer>,
+}
+
+impl LassoRegression {
+    /// Creates an unfitted lasso with penalty `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        Self { alpha, max_iter: 300, tol: 1e-7, weights: Vec::new(), intercept: 0.0, standardizer: None }
+    }
+
+    /// Fitted coefficients (standardized space). Zeros mark pruned features.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of non-zero coefficients.
+    pub fn n_active(&self) -> usize {
+        self.weights.iter().filter(|w| w.abs() > 0.0).count()
+    }
+}
+
+impl Regressor for LassoRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let st = Standardizer::fit(x);
+        let z = st.transform_all(x);
+        let n = z.len();
+        let d = z[0].len();
+        let y_mean = dbtune_linalg::stats::mean(y);
+        let r0: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        // Column-major copy so coordinate updates stream one column.
+        let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); d];
+        for row in &z {
+            for (c, v) in cols.iter_mut().zip(row) {
+                c.push(*v);
+            }
+        }
+        let col_sq: Vec<f64> = cols.iter().map(|c| c.iter().map(|v| v * v).sum::<f64>()).collect();
+
+        let mut w = vec![0.0; d];
+        let mut residual = r0;
+        let lam = self.alpha * n as f64; // scikit-learn objective scaling
+
+        for _ in 0..self.max_iter {
+            let mut max_delta = 0.0f64;
+            for j in 0..d {
+                if col_sq[j] == 0.0 {
+                    continue;
+                }
+                let wj = w[j];
+                // rho = x_jᵀ(residual + x_j w_j)
+                let mut rho = 0.0;
+                for (xv, rv) in cols[j].iter().zip(&residual) {
+                    rho += xv * rv;
+                }
+                rho += col_sq[j] * wj;
+                let new_w = soft_threshold(rho, lam) / col_sq[j];
+                if new_w != wj {
+                    let delta = new_w - wj;
+                    for (rv, xv) in residual.iter_mut().zip(&cols[j]) {
+                        *rv -= delta * xv;
+                    }
+                    w[j] = new_w;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+        self.weights = w;
+        self.intercept = y_mean;
+        self.standardizer = Some(st);
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let st = self.standardizer.as_ref().expect("predict on unfitted model");
+        let z = st.transform(row);
+        self.intercept + dbtune_linalg::matrix::dot(&self.weights, &z)
+    }
+}
+
+#[inline]
+fn soft_threshold(x: f64, lam: f64) -> f64 {
+    if x > lam {
+        x - lam
+    } else if x < -lam {
+        x + lam
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn linear_sample(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let row: Vec<f64> = (0..4).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+            // y = 3 x0 - 2 x1 + 0*x2 + 0*x3 + small noise
+            y.push(3.0 * row[0] - 2.0 * row[1] + rng.gen::<f64>() * 0.01);
+            x.push(row);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn ols_recovers_coefficients() {
+        let (x, y) = linear_sample(200, 1);
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        let pred = m.predict_batch(&x);
+        assert!(dbtune_linalg::stats::r_squared(&pred, &y) > 0.999);
+    }
+
+    #[test]
+    fn ridge_shrinks_relative_to_ols() {
+        let (x, y) = linear_sample(50, 2);
+        let mut ols = LinearRegression::new();
+        ols.fit(&x, &y);
+        let mut ridge = RidgeRegression::new(100.0);
+        ridge.fit(&x, &y);
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(ridge.weights()) < norm(ols.weights()));
+    }
+
+    #[test]
+    fn lasso_zeroes_irrelevant_features() {
+        let (x, y) = linear_sample(300, 3);
+        let mut lasso = LassoRegression::new(0.05);
+        lasso.fit(&x, &y);
+        let w = lasso.weights();
+        assert!(w[0].abs() > 0.5, "informative feature pruned: {w:?}");
+        assert!(w[1].abs() > 0.3, "informative feature pruned: {w:?}");
+        assert!(w[2].abs() < 0.02, "irrelevant feature kept: {w:?}");
+        assert!(w[3].abs() < 0.02, "irrelevant feature kept: {w:?}");
+    }
+
+    #[test]
+    fn lasso_large_alpha_kills_everything() {
+        let (x, y) = linear_sample(100, 4);
+        let mut lasso = LassoRegression::new(1e6);
+        lasso.fit(&x, &y);
+        assert_eq!(lasso.n_active(), 0);
+        // Prediction degenerates to the target mean.
+        let mean_y = dbtune_linalg::stats::mean(&y);
+        assert!((lasso.predict(&x[0]) - mean_y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polynomial_features_expand_and_map_back() {
+        let pf = PolynomialFeatures::new(3);
+        assert_eq!(pf.output_dim(), 3 + 6);
+        let out = pf.transform(&[1.0, 2.0, 3.0]);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 4.0, 6.0, 9.0]);
+        assert_eq!(pf.base_features(0), (0, None));
+        assert_eq!(pf.base_features(3), (0, None)); // x0²
+        assert_eq!(pf.base_features(4), (0, Some(1))); // x0·x1
+        assert_eq!(pf.base_features(8), (2, None)); // x2²
+    }
+
+    #[test]
+    fn soft_threshold_behaviour() {
+        assert_eq!(soft_threshold(5.0, 2.0), 3.0);
+        assert_eq!(soft_threshold(-5.0, 2.0), -3.0);
+        assert_eq!(soft_threshold(1.0, 2.0), 0.0);
+    }
+}

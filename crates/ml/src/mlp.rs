@@ -1,0 +1,448 @@
+//! Multi-layer perceptrons with Adam, the substrate for the DDPG optimizer
+//! (CDBTune's actor/critic networks).
+//!
+//! Beyond standard fit/predict, the network exposes what DDPG needs:
+//! gradients with respect to the *inputs* (the deterministic policy
+//! gradient flows from the critic's Q-value back through the action
+//! inputs), single-sample gradient steps with externally supplied output
+//! gradients, Polyak soft updates between online and target networks, and
+//! flat weight export/import for the fine-tune transfer framework.
+
+use crate::Regressor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Hidden/output activation functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid (CDBTune's actor output squashes to `[0,1]`).
+    Sigmoid,
+    /// Identity (critic output).
+    Linear,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `a`.
+    #[inline]
+    fn derivative_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// MLP architecture and training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct MlpParams {
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Output dimensionality.
+    pub output_dim: usize,
+    /// Hidden activation.
+    pub hidden_activation: Activation,
+    /// Output activation.
+    pub output_activation: Activation,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Weight-initialization / shuffling seed.
+    pub seed: u64,
+}
+
+impl MlpParams {
+    /// A small regression network (used in tests and as a generic learner).
+    pub fn regression(input_dim: usize, seed: u64) -> Self {
+        Self {
+            input_dim,
+            hidden: vec![64, 64],
+            output_dim: 1,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Linear,
+            learning_rate: 1e-3,
+            seed,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Layer {
+    // Row-major weights: out_dim × in_dim.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    in_dim: usize,
+    out_dim: usize,
+    act: Activation,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(in_dim: usize, out_dim: usize, act: Activation, rng: &mut StdRng) -> Self {
+        // He/Xavier-style scaled Gaussian initialization.
+        let scale = (2.0 / (in_dim + out_dim) as f64).sqrt();
+        let normal = Normal::new(0.0, scale).expect("valid normal");
+        let w = (0..in_dim * out_dim).map(|_| normal.sample(rng)).collect();
+        Self {
+            w,
+            b: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            act,
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+        }
+    }
+
+    fn forward(&self, input: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(input.len(), self.in_dim);
+        let mut out = Vec::with_capacity(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let z = self.b[o] + dbtune_linalg::matrix::dot(row, input);
+            out.push(self.act.apply(z));
+        }
+        out
+    }
+}
+
+/// A feed-forward network trained with Adam.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    params: MlpParams,
+    layers: Vec<Layer>,
+    adam_t: u64,
+}
+
+const ADAM_B1: f64 = 0.9;
+const ADAM_B2: f64 = 0.999;
+const ADAM_EPS: f64 = 1e-8;
+
+impl Mlp {
+    /// Builds a network with randomly initialized weights.
+    pub fn new(params: MlpParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut dims = vec![params.input_dim];
+        dims.extend_from_slice(&params.hidden);
+        dims.push(params.output_dim);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() {
+                params.output_activation
+            } else {
+                params.hidden_activation
+            };
+            layers.push(Layer::new(dims[i], dims[i + 1], act, &mut rng));
+        }
+        Self { params, layers, adam_t: 0 }
+    }
+
+    /// Forward pass producing the output vector.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut a = input.to_vec();
+        for layer in &self.layers {
+            a = layer.forward(&a);
+        }
+        a
+    }
+
+    /// Forward pass retaining per-layer activations for backprop.
+    fn forward_cached(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("nonempty"));
+            acts.push(next);
+        }
+        acts
+    }
+
+    /// One Adam step from an externally supplied gradient of the loss with
+    /// respect to the network *output*. Returns the gradient of the loss
+    /// with respect to the *input* (needed by the DDPG actor update).
+    // Index loops mirror the per-unit backprop equations.
+    #[allow(clippy::needless_range_loop)]
+    pub fn step_with_output_gradient(&mut self, input: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        let acts = self.forward_cached(input);
+        self.adam_t += 1;
+        let lr = self.params.learning_rate;
+        let bc1 = 1.0 - ADAM_B1.powi(self.adam_t as i32);
+        let bc2 = 1.0 - ADAM_B2.powi(self.adam_t as i32);
+
+        let mut delta = grad_out.to_vec(); // dL/d(output activations)
+        for (li, layer) in self.layers.iter_mut().enumerate().rev() {
+            let a_out = &acts[li + 1];
+            let a_in = &acts[li];
+            // dL/dz through the activation.
+            for (d, a) in delta.iter_mut().zip(a_out) {
+                *d *= layer.act.derivative_from_output(*a);
+            }
+            // Gradient wrt previous activations before weights change.
+            let mut prev_delta = vec![0.0; layer.in_dim];
+            for o in 0..layer.out_dim {
+                let dz = delta[o];
+                if dz == 0.0 {
+                    continue;
+                }
+                let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                for (p, w) in prev_delta.iter_mut().zip(row) {
+                    *p += dz * w;
+                }
+            }
+            // Adam update of weights and biases.
+            for o in 0..layer.out_dim {
+                let dz = delta[o];
+                let base = o * layer.in_dim;
+                for i in 0..layer.in_dim {
+                    let g = dz * a_in[i];
+                    let k = base + i;
+                    layer.mw[k] = ADAM_B1 * layer.mw[k] + (1.0 - ADAM_B1) * g;
+                    layer.vw[k] = ADAM_B2 * layer.vw[k] + (1.0 - ADAM_B2) * g * g;
+                    let mhat = layer.mw[k] / bc1;
+                    let vhat = layer.vw[k] / bc2;
+                    layer.w[k] -= lr * mhat / (vhat.sqrt() + ADAM_EPS);
+                }
+                layer.mb[o] = ADAM_B1 * layer.mb[o] + (1.0 - ADAM_B1) * dz;
+                layer.vb[o] = ADAM_B2 * layer.vb[o] + (1.0 - ADAM_B2) * dz * dz;
+                let mhat = layer.mb[o] / bc1;
+                let vhat = layer.vb[o] / bc2;
+                layer.b[o] -= lr * mhat / (vhat.sqrt() + ADAM_EPS);
+            }
+            delta = prev_delta;
+        }
+        delta
+    }
+
+    /// Gradient of a scalar projection `wᵀ output` with respect to the input,
+    /// without updating any weights (critic → actor gradient flow).
+    #[allow(clippy::needless_range_loop)]
+    pub fn input_gradient(&self, input: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        let acts = self.forward_cached(input);
+        let mut delta = grad_out.to_vec();
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            let a_out = &acts[li + 1];
+            for (d, a) in delta.iter_mut().zip(a_out) {
+                *d *= layer.act.derivative_from_output(*a);
+            }
+            let mut prev = vec![0.0; layer.in_dim];
+            for o in 0..layer.out_dim {
+                let dz = delta[o];
+                if dz == 0.0 {
+                    continue;
+                }
+                let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                for (p, w) in prev.iter_mut().zip(row) {
+                    *p += dz * w;
+                }
+            }
+            delta = prev;
+        }
+        delta
+    }
+
+    /// One squared-loss SGD/Adam step on a single `(input, target)` pair.
+    /// Returns the pre-update squared error.
+    pub fn train_step(&mut self, input: &[f64], target: &[f64]) -> f64 {
+        let out = self.forward(input);
+        debug_assert_eq!(out.len(), target.len());
+        let n = out.len() as f64;
+        let grad: Vec<f64> = out.iter().zip(target).map(|(o, t)| 2.0 * (o - t) / n).collect();
+        let err: f64 = out.iter().zip(target).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / n;
+        self.step_with_output_gradient(input, &grad);
+        err
+    }
+
+    /// Polyak soft update: `self ← τ·source + (1−τ)·self` (target networks).
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        assert_eq!(self.layers.len(), source.layers.len(), "architecture mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&source.layers) {
+            for (d, s) in dst.w.iter_mut().zip(&src.w) {
+                *d = tau * s + (1.0 - tau) * *d;
+            }
+            for (d, s) in dst.b.iter_mut().zip(&src.b) {
+                *d = tau * s + (1.0 - tau) * *d;
+            }
+        }
+    }
+
+    /// Flattens all weights and biases (fine-tune export).
+    pub fn weights_flat(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend_from_slice(&l.w);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Restores weights from a flat vector produced by
+    /// [`Mlp::weights_flat`] on an identical architecture.
+    pub fn set_weights_flat(&mut self, flat: &[f64]) {
+        let mut off = 0;
+        for l in &mut self.layers {
+            let nw = l.w.len();
+            l.w.copy_from_slice(&flat[off..off + nw]);
+            off += nw;
+            let nb = l.b.len();
+            l.b.copy_from_slice(&flat[off..off + nb]);
+            off += nb;
+        }
+        assert_eq!(off, flat.len(), "flat weight vector length mismatch");
+    }
+
+    /// The architecture parameters.
+    pub fn params(&self) -> &MlpParams {
+        &self.params
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        let mut rng = StdRng::seed_from_u64(self.params.seed.wrapping_add(1));
+        let epochs = 200;
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..epochs {
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut rng);
+            for &i in &order {
+                self.train_step(&x[i], &[y[i]]);
+            }
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.forward(row)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_xor_like_function() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0.0, 1.0, 1.0, 0.0];
+        let mut net = Mlp::new(MlpParams {
+            input_dim: 2,
+            hidden: vec![16, 16],
+            output_dim: 1,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Linear,
+            learning_rate: 5e-3,
+            seed: 3,
+        });
+        net.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((net.predict(xi) - yi).abs() < 0.2, "xor not learned");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let net = Mlp::new(MlpParams {
+            input_dim: 3,
+            hidden: vec![8],
+            output_dim: 1,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Linear,
+            learning_rate: 1e-3,
+            seed: 5,
+        });
+        let x = vec![0.3, -0.2, 0.7];
+        let grad = net.input_gradient(&x, &[1.0]);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (net.forward(&xp)[0] - net.forward(&xm)[0]) / (2.0 * h);
+            assert!((grad[i] - fd).abs() < 1e-5, "grad {i}: {} vs fd {fd}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn soft_update_converges_to_source() {
+        let params = MlpParams::regression(2, 7);
+        let src = Mlp::new(MlpParams { seed: 100, ..params.clone() });
+        let mut dst = Mlp::new(MlpParams { seed: 200, ..params });
+        for _ in 0..2000 {
+            dst.soft_update_from(&src, 0.01);
+        }
+        let a = src.forward(&[0.5, 0.5])[0];
+        let b = dst.forward(&[0.5, 0.5])[0];
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_flat_round_trip() {
+        let params = MlpParams::regression(4, 9);
+        let src = Mlp::new(MlpParams { seed: 1, ..params.clone() });
+        let mut dst = Mlp::new(MlpParams { seed: 2, ..params });
+        dst.set_weights_flat(&src.weights_flat());
+        let x = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(src.forward(&x), dst.forward(&x));
+    }
+
+    #[test]
+    fn sigmoid_output_bounds_actions() {
+        let net = Mlp::new(MlpParams {
+            input_dim: 2,
+            hidden: vec![8],
+            output_dim: 3,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Sigmoid,
+            learning_rate: 1e-3,
+            seed: 11,
+        });
+        let out = net.forward(&[100.0, -100.0]);
+        assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn train_step_reduces_error() {
+        let mut net = Mlp::new(MlpParams::regression(1, 13));
+        let before = net.train_step(&[0.5], &[3.0]);
+        let mut after = before;
+        for _ in 0..500 {
+            after = net.train_step(&[0.5], &[3.0]);
+        }
+        assert!(after < before * 0.01, "training failed: {before} -> {after}");
+    }
+}

@@ -1,0 +1,474 @@
+//! CART regression trees with native categorical-split support.
+//!
+//! This is the workhorse under the random forest (SMAC's surrogate, the Gini
+//! importance and fANOVA carriers) and gradient boosting. Numeric features
+//! split by threshold; categorical features split by subset, found exactly
+//! for squared loss via Breiman's category-mean ordering trick.
+//!
+//! The node arena (`Vec<Node>` with index links) is public because the
+//! fANOVA importance measurement in `dbtune-core` needs to marginalize the
+//! tree's piecewise-constant function analytically.
+
+use crate::dataset::FeatureKind;
+use crate::Regressor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How an internal node routes a sample.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SplitRule {
+    /// Go left when `row[feature] <= threshold`.
+    Numeric {
+        /// Column index being tested.
+        feature: usize,
+        /// Split threshold (midpoint between adjacent training values).
+        threshold: f64,
+    },
+    /// Go left when the category code of `row[feature]` is in `left_mask`.
+    ///
+    /// Category codes must be `< 64`; the knob catalog never exceeds a
+    /// handful of choices per categorical knob.
+    Categorical {
+        /// Column index being tested.
+        feature: usize,
+        /// Bitmask of category codes routed to the left child.
+        left_mask: u64,
+    },
+}
+
+impl SplitRule {
+    /// The feature column this rule tests.
+    pub fn feature(&self) -> usize {
+        match self {
+            SplitRule::Numeric { feature, .. } | SplitRule::Categorical { feature, .. } => *feature,
+        }
+    }
+
+    /// Whether `row` is routed to the left child.
+    #[inline]
+    pub fn goes_left(&self, row: &[f64]) -> bool {
+        match *self {
+            SplitRule::Numeric { feature, threshold } => row[feature] <= threshold,
+            SplitRule::Categorical { feature, left_mask } => {
+                let code = row[feature] as i64;
+                debug_assert!((0..64).contains(&code), "category code out of range");
+                left_mask & (1u64 << code) != 0
+            }
+        }
+    }
+}
+
+/// A node in the tree arena.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Node {
+    /// Internal decision node.
+    Internal {
+        /// Routing rule.
+        rule: SplitRule,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+    /// Terminal node carrying the mean target of its training samples.
+    Leaf {
+        /// Prediction value (training-sample mean).
+        value: f64,
+        /// Number of training samples that reached this leaf.
+        n_samples: usize,
+    },
+}
+
+/// Tuning parameters for a single tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecisionTreeParams {
+    /// Maximum tree depth; `usize::MAX` disables the limit.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf; splits violating this are rejected.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per split; `None` considers all.
+    pub max_features: Option<usize>,
+}
+
+impl Default for DecisionTreeParams {
+    fn default() -> Self {
+        Self { max_depth: usize::MAX, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+    }
+}
+
+/// A fitted CART regression tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecisionTree {
+    params: DecisionTreeParams,
+    feature_kinds: Vec<FeatureKind>,
+    nodes: Vec<Node>,
+    /// Split counts per feature — the raw material of Gini importance.
+    split_counts: Vec<usize>,
+    root: usize,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree. `feature_kinds` describes each column.
+    pub fn new(params: DecisionTreeParams, feature_kinds: Vec<FeatureKind>) -> Self {
+        let d = feature_kinds.len();
+        Self { params, feature_kinds, nodes: Vec::new(), split_counts: vec![0; d], root: 0 }
+    }
+
+    /// Fits using an explicit RNG (used by forests for reproducible feature
+    /// subsampling). `sample_indices` selects the training rows.
+    pub fn fit_indices(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        sample_indices: &[usize],
+        rng: &mut impl Rng,
+    ) {
+        assert_eq!(x.len(), y.len());
+        assert!(!sample_indices.is_empty(), "cannot fit tree on empty sample");
+        self.nodes.clear();
+        self.split_counts.iter_mut().for_each(|c| *c = 0);
+        let mut idx = sample_indices.to_vec();
+        self.root = self.build(x, y, &mut idx, 0, rng);
+    }
+
+    /// The node arena (root at [`DecisionTree::root_index`]).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Arena index of the root node.
+    pub fn root_index(&self) -> usize {
+        self.root
+    }
+
+    /// Number of splits that used each feature (Gini-score numerator).
+    pub fn split_counts(&self) -> &[usize] {
+        &self.split_counts
+    }
+
+    /// The feature descriptors the tree was built with.
+    pub fn feature_kinds(&self) -> &[FeatureKind] {
+        &self.feature_kinds
+    }
+
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let n = idx.len();
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+        let sse: f64 = idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
+
+        let stop = depth >= self.params.max_depth
+            || n < self.params.min_samples_split
+            || sse <= 1e-12;
+        if !stop {
+            if let Some((rule, gain)) = self.best_split(x, y, idx, rng) {
+                if gain > 1e-12 {
+                    // Partition indices in place around the rule.
+                    let mut left: Vec<usize> = Vec::with_capacity(n / 2);
+                    let mut right: Vec<usize> = Vec::with_capacity(n / 2);
+                    for &i in idx.iter() {
+                        if rule.goes_left(&x[i]) {
+                            left.push(i);
+                        } else {
+                            right.push(i);
+                        }
+                    }
+                    if left.len() >= self.params.min_samples_leaf
+                        && right.len() >= self.params.min_samples_leaf
+                    {
+                        self.split_counts[rule.feature()] += 1;
+                        let l = self.build(x, y, &mut left, depth + 1, rng);
+                        let r = self.build(x, y, &mut right, depth + 1, rng);
+                        self.nodes.push(Node::Internal { rule, left: l, right: r });
+                        return self.nodes.len() - 1;
+                    }
+                }
+            }
+        }
+        self.nodes.push(Node::Leaf { value: mean, n_samples: n });
+        self.nodes.len() - 1
+    }
+
+    /// Finds the best split over a (possibly subsampled) feature set,
+    /// returning the rule and its SSE reduction.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        rng: &mut impl Rng,
+    ) -> Option<(SplitRule, f64)> {
+        let d = self.feature_kinds.len();
+        let mut features: Vec<usize> = (0..d).collect();
+        if let Some(k) = self.params.max_features {
+            if k < d {
+                features.shuffle(rng);
+                features.truncate(k);
+            }
+        }
+
+        let n = idx.len() as f64;
+        let sum: f64 = idx.iter().map(|&i| y[i]).sum();
+        let sum_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+        let parent_sse = sum_sq - sum * sum / n;
+
+        let mut best: Option<(SplitRule, f64)> = None;
+        for &f in &features {
+            let candidate = match self.feature_kinds[f] {
+                FeatureKind::Continuous => best_numeric_split(x, y, idx, f, self.params.min_samples_leaf),
+                FeatureKind::Categorical { cardinality } => {
+                    best_categorical_split(x, y, idx, f, cardinality, self.params.min_samples_leaf)
+                }
+            };
+            if let Some((rule, child_sse)) = candidate {
+                let gain = parent_sse - child_sse;
+                if best.as_ref().is_none_or(|(_, g)| gain > *g) {
+                    best = Some((rule, gain));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Exact best threshold split on a numeric feature by sorted prefix scan.
+fn best_numeric_split(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    feature: usize,
+    min_leaf: usize,
+) -> Option<(SplitRule, f64)> {
+    let mut pairs: Vec<(f64, f64)> = idx.iter().map(|&i| (x[i][feature], y[i])).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature value"));
+    let n = pairs.len();
+    if pairs[0].0 == pairs[n - 1].0 {
+        return None; // constant feature
+    }
+    let total: f64 = pairs.iter().map(|p| p.1).sum();
+    let total_sq: f64 = pairs.iter().map(|p| p.1 * p.1).sum();
+
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    let mut best: Option<(f64, f64)> = None; // (threshold, child_sse)
+    for i in 0..n - 1 {
+        left_sum += pairs[i].1;
+        left_sq += pairs[i].1 * pairs[i].1;
+        if pairs[i].0 == pairs[i + 1].0 {
+            continue; // cannot split between equal values
+        }
+        let nl = (i + 1) as f64;
+        let nr = (n - i - 1) as f64;
+        if (i + 1) < min_leaf || (n - i - 1) < min_leaf {
+            continue;
+        }
+        let sse_l = left_sq - left_sum * left_sum / nl;
+        let sse_r = (total_sq - left_sq) - (total - left_sum) * (total - left_sum) / nr;
+        let child = sse_l + sse_r;
+        if best.is_none_or(|(_, b)| child < b) {
+            best = Some((0.5 * (pairs[i].0 + pairs[i + 1].0), child));
+        }
+    }
+    best.map(|(threshold, sse)| (SplitRule::Numeric { feature, threshold }, sse))
+}
+
+/// Exact best subset split on a categorical feature.
+///
+/// (Index loops mirror the prefix-scan math.)
+///
+/// For squared loss the optimal subset respects the ordering of category
+/// target means (Breiman et al., 1984), so we sort categories by mean and
+/// scan as if numeric.
+#[allow(clippy::needless_range_loop)]
+fn best_categorical_split(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    feature: usize,
+    cardinality: usize,
+    min_leaf: usize,
+) -> Option<(SplitRule, f64)> {
+    assert!(cardinality <= 64, "categorical cardinality above bitmask capacity");
+    let mut count = vec![0usize; cardinality];
+    let mut sum = vec![0.0; cardinality];
+    let mut sum_sq = vec![0.0; cardinality];
+    for &i in idx {
+        let c = x[i][feature] as usize;
+        debug_assert!(c < cardinality, "category code {c} >= cardinality {cardinality}");
+        count[c] += 1;
+        sum[c] += y[i];
+        sum_sq[c] += y[i] * y[i];
+    }
+    let present: Vec<usize> = (0..cardinality).filter(|&c| count[c] > 0).collect();
+    if present.len() < 2 {
+        return None;
+    }
+    let mut ordered = present.clone();
+    ordered.sort_by(|&a, &b| {
+        let ma = sum[a] / count[a] as f64;
+        let mb = sum[b] / count[b] as f64;
+        ma.partial_cmp(&mb).expect("NaN category mean")
+    });
+
+    let total_n: usize = ordered.iter().map(|&c| count[c]).sum();
+    let total_sum: f64 = ordered.iter().map(|&c| sum[c]).sum();
+    let total_sq: f64 = ordered.iter().map(|&c| sum_sq[c]).sum();
+
+    let mut left_n = 0usize;
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    let mut best: Option<(u64, f64)> = None;
+    let mut mask = 0u64;
+    for w in 0..ordered.len() - 1 {
+        let c = ordered[w];
+        left_n += count[c];
+        left_sum += sum[c];
+        left_sq += sum_sq[c];
+        mask |= 1u64 << c;
+        let right_n = total_n - left_n;
+        if left_n < min_leaf || right_n < min_leaf {
+            continue;
+        }
+        let sse_l = left_sq - left_sum * left_sum / left_n as f64;
+        let sse_r = (total_sq - left_sq)
+            - (total_sum - left_sum) * (total_sum - left_sum) / right_n as f64;
+        let child = sse_l + sse_r;
+        if best.is_none_or(|(_, b)| child < b) {
+            best = Some((mask, child));
+        }
+    }
+    best.map(|(left_mask, sse)| (SplitRule::Categorical { feature, left_mask }, sse))
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        self.fit_indices(x, y, &idx, &mut rng);
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        assert!(!self.nodes.is_empty(), "predict on unfitted tree");
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Internal { rule, left, right } => {
+                    node = if rule.goes_left(row) { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit_tree(x: &[Vec<f64>], y: &[f64], kinds: Vec<FeatureKind>) -> DecisionTree {
+        let mut t = DecisionTree::new(DecisionTreeParams::default(), kinds);
+        t.fit(x, y);
+        t
+    }
+
+    #[test]
+    fn perfectly_separable_numeric_data() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let t = fit_tree(&x, &y, vec![FeatureKind::Continuous]);
+        assert_eq!(t.predict(&[3.0]), 1.0);
+        assert_eq!(t.predict(&[15.0]), 5.0);
+    }
+
+    #[test]
+    fn interpolates_training_points_without_depth_limit() {
+        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64, (i * 7 % 16) as f64]).collect();
+        let y: Vec<f64> = (0..16).map(|i| (i as f64).sin() * 10.0).collect();
+        let t = fit_tree(&x, &y, vec![FeatureKind::Continuous; 2]);
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((t.predict(xi) - yi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn categorical_split_is_found() {
+        // Category {0,2} -> low, {1,3} -> high. A threshold split cannot
+        // separate these; a subset split can.
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 4) as f64]).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| if i % 4 == 0 || i % 4 == 2 { 0.0 } else { 10.0 })
+            .collect();
+        let t = fit_tree(&x, &y, vec![FeatureKind::Categorical { cardinality: 4 }]);
+        assert_eq!(t.predict(&[0.0]), 0.0);
+        assert_eq!(t.predict(&[2.0]), 0.0);
+        assert_eq!(t.predict(&[1.0]), 10.0);
+        assert_eq!(t.predict(&[3.0]), 10.0);
+        // The root should be a single categorical split: exactly one split
+        // (depth 1) suffices.
+        assert_eq!(t.split_counts()[0], 1);
+    }
+
+    #[test]
+    fn split_counts_track_used_features() {
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, 0.0]) // second feature constant
+            .collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64 * 2.0).collect();
+        let t = fit_tree(&x, &y, vec![FeatureKind::Continuous; 2]);
+        assert!(t.split_counts()[0] > 0);
+        assert_eq!(t.split_counts()[1], 0);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let params = DecisionTreeParams { min_samples_leaf: 4, ..Default::default() };
+        let mut t = DecisionTree::new(params, vec![FeatureKind::Continuous]);
+        t.fit(&x, &y);
+        for node in t.nodes() {
+            if let Node::Leaf { n_samples, .. } = node {
+                assert!(*n_samples >= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_zero_gives_mean_stump() {
+        let x: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let params = DecisionTreeParams { max_depth: 0, ..Default::default() };
+        let mut t = DecisionTree::new(params, vec![FeatureKind::Continuous]);
+        t.fit(&x, &y);
+        assert!((t.predict(&[0.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 8];
+        let t = fit_tree(&x, &y, vec![FeatureKind::Continuous]);
+        assert_eq!(t.nodes().len(), 1);
+        assert_eq!(t.predict(&[100.0]), 3.0);
+    }
+
+    #[test]
+    fn split_rule_routing() {
+        let num = SplitRule::Numeric { feature: 0, threshold: 1.5 };
+        assert!(num.goes_left(&[1.0]));
+        assert!(!num.goes_left(&[2.0]));
+        let cat = SplitRule::Categorical { feature: 0, left_mask: 0b101 };
+        assert!(cat.goes_left(&[0.0]));
+        assert!(!cat.goes_left(&[1.0]));
+        assert!(cat.goes_left(&[2.0]));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the learners: prediction bounds, determinism,
+//! and interface invariants that hold for arbitrary data.
+
+use dbtune_ml::{
+    DecisionTree, DecisionTreeParams, FeatureKind, GradientBoosting, GradientBoostingParams,
+    KnnRegressor, RandomForest, RandomForestParams, Regressor, UncertainRegressor,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small regression dataset with d continuous features.
+fn dataset(d: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    proptest::collection::vec(
+        (proptest::collection::vec(-10.0f64..10.0, d), -100.0f64..100.0),
+        4..40,
+    )
+    .prop_map(|rows| rows.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_predictions_stay_within_target_range((x, y) in dataset(3)) {
+        let mut t = DecisionTree::new(DecisionTreeParams::default(), vec![FeatureKind::Continuous; 3]);
+        t.fit(&x, &y);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for row in &x {
+            let p = t.predict(row);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+        // Probe points outside the training range too: leaves are means,
+        // so predictions can never leave the target hull.
+        let p = t.predict(&[1e6, -1e6, 0.0]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn forest_mean_is_within_target_hull_and_variance_nonnegative((x, y) in dataset(2)) {
+        let mut rf = RandomForest::continuous(
+            RandomForestParams { n_trees: 10, ..Default::default() },
+            2,
+        );
+        rf.fit(&x, &y);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for row in x.iter().take(10) {
+            let (m, v) = rf.predict_with_variance(row);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn forest_is_deterministic_under_fixed_seed((x, y) in dataset(2)) {
+        let fit = || {
+            let mut rf = RandomForest::continuous(
+                RandomForestParams { n_trees: 6, seed: 9, ..Default::default() },
+                2,
+            );
+            rf.fit(&x, &y);
+            rf.predict(&x[0])
+        };
+        prop_assert_eq!(fit(), fit());
+    }
+
+    #[test]
+    fn gbdt_training_error_not_worse_than_mean_model((x, y) in dataset(2)) {
+        let mut gb = GradientBoosting::continuous(
+            GradientBoostingParams { n_stages: 30, ..Default::default() },
+            2,
+        );
+        gb.fit(&x, &y);
+        let mean = dbtune_linalg::stats::mean(&y);
+        let mean_rmse = dbtune_linalg::stats::rmse(&vec![mean; y.len()], &y);
+        let gb_rmse = dbtune_linalg::stats::rmse(&gb.predict_batch(&x), &y);
+        prop_assert!(gb_rmse <= mean_rmse + 1e-9);
+    }
+
+    #[test]
+    fn knn_prediction_is_a_convex_combination((x, y) in dataset(2), k in 1usize..6) {
+        let mut m = KnnRegressor::new(k);
+        m.fit(&x, &y);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = m.predict(&[0.0, 0.0]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn split_counts_bounded_by_node_count((x, y) in dataset(3)) {
+        let mut t = DecisionTree::new(DecisionTreeParams::default(), vec![FeatureKind::Continuous; 3]);
+        t.fit(&x, &y);
+        let total_splits: usize = t.split_counts().iter().sum();
+        // A binary tree with L leaves has L−1 internal nodes (splits).
+        let leaves = t.nodes().iter().filter(|n| matches!(n, dbtune_ml::Node::Leaf { .. })).count();
+        prop_assert_eq!(total_splits, leaves - 1);
+    }
+}

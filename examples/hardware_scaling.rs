@@ -1,0 +1,59 @@
+//! Hardware sensitivity: tune the same workload on all four instance
+//! types of Table 5 and watch the optimum move — the reason the paper's
+//! transfer experiments weight histories from different hardware
+//! adaptively rather than pooling them blindly.
+//!
+//! ```sh
+//! cargo run --release --example hardware_scaling
+//! ```
+
+use dbtune::prelude::*;
+
+fn main() {
+    let catalog = KnobCatalog::mysql57();
+    let selected: Vec<usize> = [
+        "innodb_thread_concurrency",
+        "innodb_buffer_pool_instances",
+        "innodb_write_io_threads",
+        "innodb_flush_log_at_trx_commit",
+        "innodb_io_capacity",
+    ]
+    .iter()
+    .map(|n| catalog.expect_index(n))
+    .collect();
+
+    println!(
+        "{:<9} {:>9} {:>9} {:>7}   best thread_concurrency / bp_instances",
+        "Instance", "default", "tuned", "gain"
+    );
+    for hw in Hardware::ALL {
+        let mut sim = DbSimulator::new(Workload::Tpcc, hw, 5);
+        let space = TuningSpace::with_default_base(&catalog, selected.clone(), hw);
+        let mut opt = OptimizerKind::Smac.build(space.space(), METRICS_DIM, 5);
+        let r = run_session(
+            &mut sim,
+            &space,
+            &mut opt,
+            &SessionConfig { iterations: 80, lhs_init: 10, seed: 5, ..Default::default() },
+        );
+        let best = r
+            .observations
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
+            .expect("session ran");
+        println!(
+            "{:<9} {:>8.0}  {:>8.0}  {:>6.1}%   threads={} instances={}",
+            hw.label(),
+            r.default_value,
+            r.best_value(),
+            r.best_improvement() * 100.0,
+            best.config[0],
+            best.config[1],
+        );
+    }
+    println!(
+        "\nThe concurrency optimum tracks ~2x the core count, which is why a\n\
+         history gathered on instance A misleads a tuner running on instance D\n\
+         unless the transfer framework can down-weight it (RGPE, §7)."
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: tune five write-path knobs of TPC-C with SMAC and print
+//! the best configuration found.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dbtune::prelude::*;
+
+fn main() {
+    // A simulated MySQL 5.7 running TPC-C on an 8-core/16 GB instance.
+    let mut sim = DbSimulator::new(Workload::Tpcc, Hardware::B, 42);
+    let catalog = sim.catalog().clone();
+
+    // Tune the classic write-path knobs.
+    let selected: Vec<usize> = [
+        "innodb_flush_log_at_trx_commit",
+        "sync_binlog",
+        "innodb_log_file_size",
+        "innodb_io_capacity",
+        "innodb_thread_concurrency",
+    ]
+    .iter()
+    .map(|n| catalog.expect_index(n))
+    .collect();
+    let space = TuningSpace::with_default_base(&catalog, selected.clone(), Hardware::B);
+
+    // SMAC (the paper's overall winner), 80 iterations, 10 LHS warm-ups.
+    let mut opt = OptimizerKind::Smac.build(space.space(), METRICS_DIM, 1);
+    let result = run_session(
+        &mut sim,
+        &space,
+        &mut opt,
+        &SessionConfig { iterations: 80, lhs_init: 10, seed: 7, ..Default::default() },
+    );
+
+    println!("default throughput : {:>8.0} tx/s", result.default_value);
+    println!("best throughput    : {:>8.0} tx/s", result.best_value());
+    println!("improvement        : {:+.1}%", result.best_improvement() * 100.0);
+    println!("found at iteration : {}", result.iterations_to_best());
+
+    let best = result
+        .observations
+        .iter()
+        .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"))
+        .expect("session ran");
+    println!("\nbest configuration:");
+    for (&idx, &value) in selected.iter().zip(&best.config) {
+        println!("  {:<35} = {}", catalog.spec(idx).name, value);
+    }
+
+    assert!(
+        result.best_improvement() > 0.0,
+        "tuning should beat the default on a write-heavy workload"
+    );
+}
