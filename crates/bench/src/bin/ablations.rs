@@ -10,9 +10,13 @@
 //! 5. RGPE ensemble vs naive observation pooling on a *dissimilar*
 //!    source (negative-transfer resistance).
 //!
-//! Arguments: `samples=6250 iters=120 seeds=2`.
+//! Arguments: `samples=6250 iters=120 seeds=2 workers= cache=on`.
+//! The dissimilar-source session (a pre-step the negative-transfer
+//! group depends on) stays sequential; the ten ablation variants then
+//! fan out over the executor as a (variant × seed) grid.
 
-use dbtune_bench::{full_pool, pct, print_table, save_json, top_k_knobs, ExpArgs};
+use dbtune_bench::{full_pool, pct, print_table, save_json_with_exec, top_k_knobs, ExpArgs, GridOpts};
+use dbtune_core::exec::{run_grid, CachedObjective, EvalCache};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::{
     BoKind, BoOptimizer, Optimizer, Smac, SmacParams, Turbo, TurboParams,
@@ -22,6 +26,7 @@ use dbtune_core::transfer::{BaseKind, MappedOptimizer, RgpeOptimizer, SourceTask
 use dbtune_core::tuner::{run_session, FailurePolicy, SessionConfig, SessionResult};
 use dbtune_dbsim::{DbSimulator, Hardware, KnobCatalog, Workload};
 use serde::Serialize;
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct Finding {
@@ -37,22 +42,17 @@ fn session(
     iters: usize,
     seed: u64,
     policy: FailurePolicy,
+    cache: Option<Arc<EvalCache>>,
+    noise_seed: u64,
 ) -> SessionResult {
-    let mut sim = DbSimulator::new(wl, Hardware::B, seed);
+    let sim = DbSimulator::new(wl, Hardware::B, seed);
+    let mut obj = CachedObjective::new(sim, cache, noise_seed);
     run_session(
-        &mut sim,
+        &mut obj,
         space,
         opt,
         &SessionConfig { iterations: iters, lhs_init: 10, seed, failure_policy: policy },
     )
-}
-
-fn median_runs(
-    seeds: usize,
-    mut run: impl FnMut(u64) -> f64,
-) -> f64 {
-    let vals: Vec<f64> = (0..seeds).map(|s| run(4000 + s as u64)).collect();
-    dbtune_bench::median(&vals)
 }
 
 fn main() {
@@ -66,31 +66,8 @@ fn main() {
     let top20 = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 20, 11);
     let sys_space = TuningSpace::with_default_base(&catalog, top20.clone(), Hardware::B);
 
-    let mut findings: Vec<Finding> = Vec::new();
-    let push = |findings: &mut Vec<Finding>, ablation: &str, variant: &str, v: f64| {
-        println!("[{ablation}] {variant}: {}", pct(v));
-        findings.push(Finding {
-            ablation: ablation.to_string(),
-            variant: variant.to_string(),
-            median_improvement: v,
-        });
-    };
-
-    // ---- 1. SMAC random interleaving -------------------------------------
-    for (variant, every) in [("interleave on (default)", 8usize), ("interleave off", 0)] {
-        let v = median_runs(seeds, |seed| {
-            let mut opt = Smac::new(
-                sys_space.space().clone(),
-                SmacParams { random_interleave_every: every, ..Default::default() },
-                seed,
-            );
-            session(Workload::Sysbench, &sys_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
-                .best_improvement()
-        });
-        push(&mut findings, "smac_interleave", variant, v);
-    }
-
-    // ---- 2. categorical encoding on a heterogeneous JOB space -------------
+    // ---- Pre-steps shared by the ablation groups -------------------------
+    // 2. categorical encoding: a heterogeneous JOB space.
     let job_pool = full_pool(Workload::Job, samples, 7);
     let job_scores = dbtune_bench::importance_scores(MeasureKind::Shap, &catalog, &job_pool, 11);
     let mut cats: Vec<usize> = catalog.categorical_indices();
@@ -102,30 +79,8 @@ fn main() {
     let mut hetero = cats;
     hetero.extend(ints);
     let het_space = TuningSpace::with_default_base(&catalog, hetero, Hardware::B);
-    for (variant, kind) in [("Hamming kernel (mixed BO)", BoKind::Mixed), ("ordinal RBF (vanilla BO)", BoKind::Vanilla)] {
-        let v = median_runs(seeds, |seed| {
-            let mut opt = BoOptimizer::new(het_space.space().clone(), kind);
-            session(Workload::Job, &het_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
-                .best_improvement()
-        });
-        push(&mut findings, "categorical_encoding", variant, v);
-    }
 
-    // ---- 3. TuRBO restarts --------------------------------------------------
-    for (variant, length_min) in [("restarts on (default)", 0.8 * 0.5f64.powi(6)), ("restarts off", 0.0)] {
-        let v = median_runs(seeds, |seed| {
-            let mut opt = Turbo::new(
-                sys_space.space().clone(),
-                TurboParams { length_min, ..Default::default() },
-            );
-            session(Workload::Sysbench, &sys_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
-                .best_improvement()
-        });
-        push(&mut findings, "turbo_restarts", variant, v);
-    }
-
-    // ---- 4. failure handling -------------------------------------------------
-    // Use a space containing the crash-prone memory knobs.
+    // 4. failure handling: a space containing the crash-prone memory knobs.
     let mut crashy = top20.clone();
     for name in ["innodb_buffer_pool_size", "tmp_table_size", "innodb_thread_concurrency"] {
         let i = catalog.expect_index(name);
@@ -134,21 +89,10 @@ fn main() {
         }
     }
     let crashy_space = TuningSpace::with_default_base(&catalog, crashy, Hardware::B);
-    for (variant, policy) in [
-        ("worst-seen substitution (§4.1)", FailurePolicy::WorstSeen),
-        ("discard failures", FailurePolicy::Discard),
-    ] {
-        let v = median_runs(seeds, |seed| {
-            let mut opt = Smac::new(crashy_space.space().clone(), SmacParams::default(), seed);
-            session(Workload::Sysbench, &crashy_space, &mut opt, iters, seed, policy)
-                .best_improvement()
-        });
-        push(&mut findings, "failure_handling", variant, v);
-    }
 
-    // ---- 5. RGPE vs naive pooling on a dissimilar source ----------------------
-    // Source: JOB (analytical, latency scores) projected onto the OLTP
-    // space — deliberately unrelated history.
+    // 5. negative transfer: JOB (analytical, latency scores) projected
+    // onto the OLTP space — deliberately unrelated history. Sequential:
+    // the grid depends on this source run.
     let mut src_sim = DbSimulator::new(Workload::Job, Hardware::B, 77);
     let mut src_opt = Smac::new(sys_space.space().clone(), SmacParams::default(), 77);
     let src_run = run_session(
@@ -163,28 +107,106 @@ fn main() {
         y: src_run.observations.iter().map(|o| o.score).collect(),
         metrics: src_run.observations.iter().map(|o| o.metrics.clone()).collect(),
     };
-    let rgpe = median_runs(seeds, |seed| {
-        let mut opt = RgpeOptimizer::new(
-            sys_space.space().clone(),
-            SurrogateKind::RandomForest,
-            std::slice::from_ref(&dissimilar),
-            seed,
-        );
-        session(Workload::Sysbench, &sys_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
-            .best_improvement()
+
+    // ---- The ablation grid: (variant × seed) ------------------------------
+    enum Kind {
+        SmacInterleave { every: usize },
+        CatEncoding { bo: BoKind },
+        TurboRestarts { length_min: f64 },
+        Failure { policy: FailurePolicy },
+        Rgpe,
+        Mapped,
+    }
+    let variants: Vec<(&str, &str, Kind)> = vec![
+        ("smac_interleave", "interleave on (default)", Kind::SmacInterleave { every: 8 }),
+        ("smac_interleave", "interleave off", Kind::SmacInterleave { every: 0 }),
+        ("categorical_encoding", "Hamming kernel (mixed BO)", Kind::CatEncoding { bo: BoKind::Mixed }),
+        ("categorical_encoding", "ordinal RBF (vanilla BO)", Kind::CatEncoding { bo: BoKind::Vanilla }),
+        (
+            "turbo_restarts",
+            "restarts on (default)",
+            Kind::TurboRestarts { length_min: 0.8 * 0.5f64.powi(6) },
+        ),
+        ("turbo_restarts", "restarts off", Kind::TurboRestarts { length_min: 0.0 }),
+        (
+            "failure_handling",
+            "worst-seen substitution (§4.1)",
+            Kind::Failure { policy: FailurePolicy::WorstSeen },
+        ),
+        ("failure_handling", "discard failures", Kind::Failure { policy: FailurePolicy::Discard }),
+        ("negative_transfer", "RGPE (adaptive weights)", Kind::Rgpe),
+        ("negative_transfer", "workload mapping (forced pooling)", Kind::Mapped),
+    ];
+    let mut grid: Vec<(usize, u64)> = Vec::new();
+    for vi in 0..variants.len() {
+        for s in 0..seeds {
+            grid.push((vi, 4000 + s as u64));
+        }
+    }
+
+    let opts = GridOpts::from_args(&args, 4000);
+    let cache = opts.make_cache();
+    let improvements = run_grid(&grid, opts.workers, |_, &(vi, seed)| {
+        let run = |wl: Workload, space: &TuningSpace, opt: &mut dyn Optimizer, policy| {
+            session(wl, space, opt, iters, seed, policy, cache.clone(), opts.noise_seed)
+                .best_improvement()
+        };
+        match &variants[vi].2 {
+            Kind::SmacInterleave { every } => {
+                let mut opt = Smac::new(
+                    sys_space.space().clone(),
+                    SmacParams { random_interleave_every: *every, ..Default::default() },
+                    seed,
+                );
+                run(Workload::Sysbench, &sys_space, &mut opt, FailurePolicy::WorstSeen)
+            }
+            Kind::CatEncoding { bo } => {
+                let mut opt = BoOptimizer::new(het_space.space().clone(), *bo);
+                run(Workload::Job, &het_space, &mut opt, FailurePolicy::WorstSeen)
+            }
+            Kind::TurboRestarts { length_min } => {
+                let mut opt = Turbo::new(
+                    sys_space.space().clone(),
+                    TurboParams { length_min: *length_min, ..Default::default() },
+                );
+                run(Workload::Sysbench, &sys_space, &mut opt, FailurePolicy::WorstSeen)
+            }
+            Kind::Failure { policy } => {
+                let mut opt = Smac::new(crashy_space.space().clone(), SmacParams::default(), seed);
+                run(Workload::Sysbench, &crashy_space, &mut opt, *policy)
+            }
+            Kind::Rgpe => {
+                let mut opt = RgpeOptimizer::new(
+                    sys_space.space().clone(),
+                    SurrogateKind::RandomForest,
+                    std::slice::from_ref(&dissimilar),
+                    seed,
+                );
+                run(Workload::Sysbench, &sys_space, &mut opt, FailurePolicy::WorstSeen)
+            }
+            Kind::Mapped => {
+                let mut opt = MappedOptimizer::new(
+                    sys_space.space().clone(),
+                    BaseKind::Smac,
+                    vec![dissimilar.clone()],
+                    seed,
+                );
+                run(Workload::Sysbench, &sys_space, &mut opt, FailurePolicy::WorstSeen)
+            }
+        }
     });
-    push(&mut findings, "negative_transfer", "RGPE (adaptive weights)", rgpe);
-    let mapped = median_runs(seeds, |seed| {
-        let mut opt = MappedOptimizer::new(
-            sys_space.space().clone(),
-            BaseKind::Smac,
-            vec![dissimilar.clone()],
-            seed,
-        );
-        session(Workload::Sysbench, &sys_space, &mut opt, iters, seed, FailurePolicy::WorstSeen)
-            .best_improvement()
-    });
-    push(&mut findings, "negative_transfer", "workload mapping (forced pooling)", mapped);
+    let exec = opts.report(cache.as_ref());
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for ((ablation, variant, _), chunk) in variants.iter().zip(improvements.chunks(seeds)) {
+        let v = dbtune_bench::median(chunk);
+        println!("[{ablation}] {variant}: {}", pct(v));
+        findings.push(Finding {
+            ablation: ablation.to_string(),
+            variant: variant.to_string(),
+            median_improvement: v,
+        });
+    }
 
     println!("\n== Ablation summary (median best improvement) ==");
     let rows: Vec<Vec<String>> = findings
@@ -193,5 +215,9 @@ fn main() {
         .collect();
     print_table(&["Ablation", "Variant", "Improvement"], &rows);
 
-    save_json("ablations", &findings);
+    println!(
+        "\n[exec] workers={} cache hits={} misses={} entries={}",
+        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
+    );
+    save_json_with_exec("ablations", &findings, &exec);
 }

@@ -6,17 +6,28 @@
 //! should reproduce the live ordering (SMAC and mixed-kernel BO on top),
 //! and (b) the replay-vs-surrogate speedup ledger (paper: 150–311×).
 //!
-//! Arguments: `samples=1200 iters=120 runs=5` (paper: 6250/200/10).
+//! Arguments: `samples=1200 iters=120 runs=5 workers= cache=on`
+//! (paper: 6250/200/10). The offline collection stays sequential (it
+//! consumes the live simulator); the tuning sessions then share one
+//! trained surrogate — immutably, via the executor — so the speedup
+//! ledger is computed from the cache counters and the grid's wall
+//! clock rather than from mutable per-benchmark accounting.
 
-use dbtune_bench::{full_pool, pct, print_table, save_json, top_k_knobs, ExpArgs};
+use dbtune_bench::{
+    full_pool, pct, print_table, save_json_with_exec, top_k_knobs, ExpArgs, GridOpts,
+};
 use dbtune_benchmark::collect::{collect_samples, Dataset};
 use dbtune_benchmark::objective::SurrogateBenchmark;
+use dbtune_core::exec::{run_grid, CachedObjective};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
 use dbtune_core::space::TuningSpace;
 use dbtune_core::tuner::{run_session, SessionConfig};
-use dbtune_dbsim::{DbSimulator, Hardware, Objective, Workload, METRICS_DIM};
+use dbtune_dbsim::{
+    DbSimulator, Hardware, Objective, Workload, EVAL_SECONDS, METRICS_DIM, RESTART_SECONDS,
+};
 use serde::Serialize;
+use std::time::Instant;
 
 #[derive(Serialize)]
 struct Run {
@@ -39,26 +50,40 @@ fn main() {
     // Offline collection (LHS + optimizer-driven) and surrogate training.
     let mut sim = DbSimulator::new(Workload::Sysbench, Hardware::B, 70);
     let ds: Dataset = collect_samples(&mut sim, &space, samples, 8);
-    let mut bench = SurrogateBenchmark::train(space.clone(), Objective::Throughput, &ds, 1);
+    let bench = SurrogateBenchmark::train(space.clone(), Objective::Throughput, &ds, 1);
     println!(
         "offline collection: {} evaluations = {:.1} simulated hours of workload replay",
         sim.n_evals(),
         sim.total_simulated_secs() / 3600.0
     );
 
-    let mut results: Vec<Run> = Vec::new();
+    // Grid: (optimizer × run); every cell borrows the one trained
+    // surrogate immutably through the cache adapter.
+    let opts = GridOpts::from_args(&args, 3000);
+    let mut grid: Vec<(OptimizerKind, u64)> = Vec::new();
     for &opt_kind in &OptimizerKind::PAPER {
-        let mut traces: Vec<Vec<f64>> = Vec::new();
         for run in 0..runs {
-            let mut opt = opt_kind.build(space.space(), METRICS_DIM, 3000 + run as u64);
-            let r = run_session(
-                &mut bench,
-                &space,
-                &mut opt,
-                &SessionConfig { iterations: iters, lhs_init: 10, seed: 3000 + run as u64, ..Default::default() },
-            );
-            traces.push(r.improvement_trace());
+            grid.push((opt_kind, 3000 + run as u64));
         }
+    }
+    let cache = opts.make_cache();
+    let t0 = Instant::now();
+    let sessions = run_grid(&grid, opts.workers, |_, &(opt_kind, seed)| {
+        let mut opt = opt_kind.build(space.space(), METRICS_DIM, seed);
+        let mut obj = CachedObjective::new(&bench, cache.clone(), opts.noise_seed);
+        run_session(
+            &mut obj,
+            &space,
+            &mut opt,
+            &SessionConfig { iterations: iters, lhs_init: 10, seed, ..Default::default() },
+        )
+    });
+    let grid_wall_secs = t0.elapsed().as_secs_f64();
+    let exec = opts.report(cache.as_ref());
+
+    let mut results: Vec<Run> = Vec::new();
+    for (opt_kind, chunk) in OptimizerKind::PAPER.iter().zip(sessions.chunks(runs)) {
+        let traces: Vec<Vec<f64>> = chunk.iter().map(|r| r.improvement_trace()).collect();
         let median_trace: Vec<f64> = (0..iters)
             .map(|i| {
                 let vals: Vec<f64> = traces.iter().map(|t| t[i]).collect();
@@ -93,11 +118,29 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table(&header_refs, &rows);
 
-    let report = bench.speedup_report();
+    // Speedup ledger from the executor's counters: sessions × iterations
+    // evaluations would each have cost a full replay + restart on the
+    // live system; on the surrogate the whole grid took `grid_wall_secs`
+    // (which also includes optimizer overhead, so the ratio is
+    // conservative). Wall clock goes to stdout only — the JSON stays
+    // byte-reproducible.
+    let n_evals = {
+        let counted = exec.cache.hits + exec.cache.misses;
+        if counted > 0 { counted as usize } else { grid.len() * iters }
+    };
+    let replay_secs = n_evals as f64 * (EVAL_SECONDS + RESTART_SECONDS);
     println!(
-        "\nSpeedup ledger: {} surrogate evaluations in {:.2}s vs {:.0}s of simulated replay -> {:.0}x (paper: 150–311x end-to-end)",
-        report.n_evals, report.surrogate_secs, report.replay_secs, report.speedup
+        "\nSpeedup ledger: {} surrogate evaluations ({} unique after caching) in {:.2}s vs {:.0}s of simulated replay -> {:.0}x (paper: 150-311x end-to-end)",
+        n_evals,
+        exec.cache.entries,
+        grid_wall_secs,
+        replay_secs,
+        if grid_wall_secs > 0.0 { replay_secs / grid_wall_secs } else { f64::INFINITY }
+    );
+    println!(
+        "[exec] workers={} cache hits={} misses={} entries={}",
+        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
     );
 
-    save_json("fig10_surrogate_bench", &results);
+    save_json_with_exec("fig10_surrogate_bench", &results, &exec);
 }

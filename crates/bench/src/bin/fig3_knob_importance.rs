@@ -7,9 +7,15 @@
 //! (Table 6), and SHAP's average improvement over the traditional
 //! measurements (the paper reports +38.02%).
 //!
-//! Arguments: `samples=6250 iters=120 seeds=2` (paper: 6250/200/3).
+//! Arguments: `samples=6250 iters=120 seeds=2 workers= cache=on`
+//! (paper: 6250/200/3). Tuning sessions run on the parallel executor;
+//! measurements that select overlapping knob sets share cached
+//! evaluations.
 
-use dbtune_bench::{full_pool, pct, print_table, run_tuning, top_k_knobs, save_json, ExpArgs};
+use dbtune_bench::{
+    full_pool, pct, print_table, run_tuning_grid, save_json_with_exec, top_k_knobs, ExpArgs,
+    GridOpts, TuningCell,
+};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
 use dbtune_dbsim::{Hardware, DbSimulator, Workload};
@@ -36,7 +42,12 @@ fn main() {
     let optimizers = [OptimizerKind::VanillaBo, OptimizerKind::Ddpg];
     let catalog = DbSimulator::new(Workload::Job, Hardware::B, 0).catalog().clone();
 
-    let mut cells: Vec<Cell> = Vec::new();
+    let opts = GridOpts::from_args(&args, 100);
+
+    // Grid: (workload × measure × k × optimizer × seed), seed-major
+    // innermost so each scenario's repeats are consecutive.
+    let mut grid: Vec<TuningCell> = Vec::new();
+    let mut scenarios: Vec<(Workload, MeasureKind, usize, OptimizerKind)> = Vec::new();
     for &wl in &workloads {
         let pool = full_pool(wl, samples, 7);
         for &measure in &MeasureKind::ALL {
@@ -50,29 +61,42 @@ fn main() {
                     selected.iter().map(|&i| catalog.spec(i).name).collect::<Vec<_>>()
                 );
                 for &opt in &optimizers {
-                    let improvements: Vec<f64> = (0..seeds)
-                        .map(|s| {
-                            run_tuning(wl, selected.clone(), opt, iters, 100 + s as u64)
-                                .best_improvement()
-                        })
-                        .collect();
-                    let median_improvement = dbtune_bench::median(&improvements);
-                    eprintln!(
-                        "  {} -> median improvement {}",
-                        opt.label(),
-                        pct(median_improvement)
-                    );
-                    cells.push(Cell {
-                        workload: wl.name().to_string(),
-                        measure: measure.label().to_string(),
-                        top_k: k,
-                        optimizer: opt.label().to_string(),
-                        improvements,
-                        median_improvement,
-                    });
+                    scenarios.push((wl, measure, k, opt));
+                    for s in 0..seeds {
+                        grid.push(TuningCell {
+                            workload: wl,
+                            selected: selected.clone(),
+                            opt_kind: opt,
+                            iters,
+                            seed: 100 + s as u64,
+                        });
+                    }
                 }
             }
         }
+    }
+    let (results, exec) = run_tuning_grid(&grid, &opts);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for ((wl, measure, k, opt), chunk) in scenarios.iter().zip(results.chunks(seeds)) {
+        let improvements: Vec<f64> = chunk.iter().map(|r| r.best_improvement()).collect();
+        let median_improvement = dbtune_bench::median(&improvements);
+        eprintln!(
+            "[{} {} top-{}] {} -> median improvement {}",
+            wl.name(),
+            measure.label(),
+            k,
+            opt.label(),
+            pct(median_improvement)
+        );
+        cells.push(Cell {
+            workload: wl.name().to_string(),
+            measure: measure.label().to_string(),
+            top_k: *k,
+            optimizer: opt.label().to_string(),
+            improvements,
+            median_improvement,
+        });
     }
 
     // ---- Figure 3: improvement per measurement, per scenario ----
@@ -154,5 +178,9 @@ fn main() {
         pct(shap - trad)
     );
 
-    save_json("fig3_table6", &cells);
+    println!(
+        "\n[exec] workers={} cache hits={} misses={} entries={}",
+        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
+    );
+    save_json_with_exec("fig3_table6", &cells, &exec);
 }

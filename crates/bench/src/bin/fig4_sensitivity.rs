@@ -6,9 +6,14 @@
 //! repeats. Right panel: R² of each measurement's underlying surrogate on
 //! a held-out validation split.
 //!
-//! Arguments: `samples=1500 repeats=5` (paper: 6250/10).
+//! Arguments: `samples=1500 repeats=5 workers=` (paper: 6250/10).
+//! Each (fraction × measurement × repeat) cell runs on the executor
+//! with its own subsample RNG derived from [`cell_seed`], so results
+//! are identical for any worker count. No simulator evaluations happen
+//! here (the pool is precomputed), so the evaluation cache is unused.
 
-use dbtune_bench::{full_pool, importance_scores, print_table, save_json, ExpArgs, Pool};
+use dbtune_bench::{full_pool, importance_scores, print_table, save_json_with_exec, ExpArgs, GridOpts, Pool};
+use dbtune_core::exec::{cell_seed, run_grid};
 use dbtune_core::importance::{top_k, ImportanceInput, MeasureKind};
 use dbtune_dbsim::{DbSimulator, Hardware, KnobCatalog, Workload};
 use dbtune_linalg::stats::{intersection_over_union, r_squared};
@@ -97,51 +102,73 @@ fn main() {
         .collect();
 
     let fractions = [0.1, 0.2, 0.4, 0.6, 0.8];
-    let mut points: Vec<Point> = Vec::new();
-    let mut rng = StdRng::seed_from_u64(5);
+    let opts = GridOpts::from_args(&args, 5);
 
+    // Grid: (fraction × measurement × repeat). Each cell reshuffles the
+    // pool with its own RNG, so cells are independent of each other and
+    // of scheduling.
+    struct Cell {
+        measure: MeasureKind,
+        baseline: Vec<usize>,
+        n_sub: usize,
+        rep: usize,
+    }
+    let mut grid: Vec<Cell> = Vec::new();
+    let mut scenarios: Vec<(MeasureKind, usize)> = Vec::new();
     for &frac in &fractions {
         let n_sub = ((samples as f64) * frac) as usize;
         for &(measure, ref baseline) in &baselines {
-            let mut sims = Vec::with_capacity(repeats);
-            let mut r2s = Vec::with_capacity(repeats);
+            scenarios.push((measure, n_sub));
             for rep in 0..repeats {
-                let mut idx: Vec<usize> = (0..samples).collect();
-                idx.shuffle(&mut rng);
-                let (train, test) = idx.split_at(n_sub);
-                let sub = Pool {
-                    workload: pool.workload.clone(),
-                    x: train.iter().map(|&i| pool.x[i].clone()).collect(),
-                    y: train.iter().map(|&i| pool.y[i]).collect(),
-                    metrics: Vec::new(),
-                    default_cfg: pool.default_cfg.clone(),
-                };
-                let m = measure.build();
-                let scores = m.scores(&ImportanceInput {
-                    specs: catalog.specs(),
-                    default: &sub.default_cfg,
-                    x: &sub.x,
-                    y: &sub.y,
-                    seed: rep as u64,
-                });
-                sims.push(intersection_over_union(&top_k(&scores, 5), baseline));
-                let test_cap = &test[..test.len().min(300)];
-                r2s.push(surrogate_r2(measure, &catalog, &pool, train, test_cap, rep as u64));
+                grid.push(Cell { measure, baseline: baseline.clone(), n_sub, rep });
             }
-            points.push(Point {
-                measure: measure.label().to_string(),
-                n_samples: n_sub,
-                similarity: dbtune_linalg::stats::mean(&sims),
-                r2: dbtune_linalg::stats::mean(&r2s),
-            });
-            eprintln!(
-                "[{} n={}] similarity {:.3}, R2 {:.3}",
-                measure.label(),
-                n_sub,
-                points.last().unwrap().similarity,
-                points.last().unwrap().r2
-            );
         }
+    }
+
+    let cell_results = run_grid(&grid, opts.workers, |i, cell| {
+        let mut rng = StdRng::seed_from_u64(cell_seed(5, i));
+        let mut idx: Vec<usize> = (0..samples).collect();
+        idx.shuffle(&mut rng);
+        let (train, test) = idx.split_at(cell.n_sub);
+        let sub = Pool {
+            workload: pool.workload.clone(),
+            x: train.iter().map(|&i| pool.x[i].clone()).collect(),
+            y: train.iter().map(|&i| pool.y[i]).collect(),
+            metrics: Vec::new(),
+            default_cfg: pool.default_cfg.clone(),
+        };
+        let m = cell.measure.build();
+        let scores = m.scores(&ImportanceInput {
+            specs: catalog.specs(),
+            default: &sub.default_cfg,
+            x: &sub.x,
+            y: &sub.y,
+            seed: cell.rep as u64,
+        });
+        let similarity = intersection_over_union(&top_k(&scores, 5), &cell.baseline);
+        let test_cap = &test[..test.len().min(300)];
+        let r2 = surrogate_r2(cell.measure, &catalog, &pool, train, test_cap, cell.rep as u64);
+        (similarity, r2)
+    });
+    let exec = opts.report(None);
+
+    let mut points: Vec<Point> = Vec::new();
+    for ((measure, n_sub), chunk) in scenarios.iter().zip(cell_results.chunks(repeats)) {
+        let sims: Vec<f64> = chunk.iter().map(|&(s, _)| s).collect();
+        let r2s: Vec<f64> = chunk.iter().map(|&(_, r)| r).collect();
+        points.push(Point {
+            measure: measure.label().to_string(),
+            n_samples: *n_sub,
+            similarity: dbtune_linalg::stats::mean(&sims),
+            r2: dbtune_linalg::stats::mean(&r2s),
+        });
+        eprintln!(
+            "[{} n={}] similarity {:.3}, R2 {:.3}",
+            measure.label(),
+            n_sub,
+            points.last().unwrap().similarity,
+            points.last().unwrap().r2
+        );
     }
 
     println!("\n== Figure 4 (left): top-5 similarity score vs #samples ==");
@@ -180,5 +207,6 @@ fn main() {
     }
     print_table(&header_refs, &rows);
 
-    save_json("fig4_sensitivity", &points);
+    println!("\n[exec] workers={}", exec.workers);
+    save_json_with_exec("fig4_sensitivity", &points, &exec);
 }

@@ -4,9 +4,15 @@
 //! "Tuning cost" is the iteration at which the best configuration of the
 //! session was first found — the paper's definition.
 //!
-//! Arguments: `samples=6250 iters=240 seeds=1` (paper: 6250/600/3).
+//! Arguments: `samples=6250 iters=240 seeds=1 workers= cache=on`
+//! (paper: 6250/600/3). Sessions run on the parallel executor; nested
+//! knob sets (top-5 ⊂ top-10 ⊂ …) revisit configurations, which the
+//! shared cache deduplicates.
 
-use dbtune_bench::{full_pool, pct, print_table, run_tuning, save_json, top_k_knobs, ExpArgs};
+use dbtune_bench::{
+    full_pool, pct, print_table, run_tuning_grid, save_json_with_exec, top_k_knobs, ExpArgs,
+    GridOpts, TuningCell,
+};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
 use dbtune_dbsim::{DbSimulator, Hardware, Workload};
@@ -29,34 +35,46 @@ fn main() {
     let catalog = DbSimulator::new(Workload::Job, Hardware::B, 0).catalog().clone();
     let knob_counts = [5usize, 10, 20, 40, 80, 197];
 
-    let mut points: Vec<Point> = Vec::new();
+    let opts = GridOpts::from_args(&args, 500);
+
+    let mut grid: Vec<TuningCell> = Vec::new();
+    let mut scenarios: Vec<(Workload, usize)> = Vec::new();
     for &wl in &[Workload::Job, Workload::Sysbench] {
         let pool = full_pool(wl, samples, 7);
         let full_rank = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 197, 11);
         for &k in &knob_counts {
-            let selected = full_rank[..k].to_vec();
-            let mut improvements = Vec::with_capacity(seeds);
-            let mut costs = Vec::with_capacity(seeds);
+            scenarios.push((wl, k));
             for s in 0..seeds {
-                let r = run_tuning(wl, selected.clone(), OptimizerKind::VanillaBo, iters, 500 + s as u64);
-                improvements.push(r.best_improvement());
-                costs.push(r.iterations_to_best() as f64);
+                grid.push(TuningCell {
+                    workload: wl,
+                    selected: full_rank[..k].to_vec(),
+                    opt_kind: OptimizerKind::VanillaBo,
+                    iters,
+                    seed: 500 + s as u64,
+                });
             }
-            let point = Point {
-                workload: wl.name().to_string(),
-                n_knobs: k,
-                median_improvement: dbtune_bench::median(&improvements),
-                median_cost_iters: dbtune_bench::median(&costs),
-            };
-            eprintln!(
-                "[{} k={}] improvement {}, cost {:.0} iters",
-                wl.name(),
-                k,
-                pct(point.median_improvement),
-                point.median_cost_iters
-            );
-            points.push(point);
         }
+    }
+    let (results, exec) = run_tuning_grid(&grid, &opts);
+
+    let mut points: Vec<Point> = Vec::new();
+    for ((wl, k), chunk) in scenarios.iter().zip(results.chunks(seeds)) {
+        let improvements: Vec<f64> = chunk.iter().map(|r| r.best_improvement()).collect();
+        let costs: Vec<f64> = chunk.iter().map(|r| r.iterations_to_best() as f64).collect();
+        let point = Point {
+            workload: wl.name().to_string(),
+            n_knobs: *k,
+            median_improvement: dbtune_bench::median(&improvements),
+            median_cost_iters: dbtune_bench::median(&costs),
+        };
+        eprintln!(
+            "[{} k={}] improvement {}, cost {:.0} iters",
+            wl.name(),
+            k,
+            pct(point.median_improvement),
+            point.median_cost_iters
+        );
+        points.push(point);
     }
 
     for &wl in &[Workload::Job, Workload::Sysbench] {
@@ -75,5 +93,9 @@ fn main() {
         print_table(&["#knobs", "Median improvement", "Tuning cost (iters)"], &rows);
     }
 
-    save_json("fig5_num_knobs", &points);
+    println!(
+        "\n[exec] workers={} cache hits={} misses={} entries={}",
+        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
+    );
+    save_json_with_exec("fig5_num_knobs", &points, &exec);
 }

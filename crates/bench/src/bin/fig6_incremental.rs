@@ -3,9 +3,13 @@
 //! session, against fixed top-5 and top-20 baselines (SHAP ranking,
 //! vanilla BO, JOB & SYSBENCH).
 //!
-//! Arguments: `samples=6250 iters=120 seeds=1` (paper: 6250/200/3).
+//! Arguments: `samples=6250 iters=120 seeds=1 workers= cache=on`
+//! (paper: 6250/200/3). The four strategies per workload run
+//! concurrently on the executor and share cached evaluations (all four
+//! search prefixes of the same SHAP ranking).
 
-use dbtune_bench::{full_pool, pct, print_table, save_json, top_k_knobs, ExpArgs};
+use dbtune_bench::{full_pool, pct, print_table, save_json_with_exec, top_k_knobs, ExpArgs, GridOpts};
+use dbtune_core::exec::{run_grid, CachedObjective};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::incremental::{run_incremental_session, IncrementalStrategy};
 use dbtune_core::optimizer::{BoKind, BoOptimizer, Optimizer};
@@ -33,63 +37,82 @@ fn main() {
         Box::new(BoOptimizer::new(space.clone(), BoKind::Vanilla))
     };
 
-    let mut series: Vec<Series> = Vec::new();
+    struct Cell {
+        wl: Workload,
+        strategy: IncrementalStrategy,
+        ranked: Vec<usize>,
+        seed: u64,
+    }
+
+    let opts = GridOpts::from_args(&args, 600);
+    let phase = (iters / 6).max(10);
+    let strategies: Vec<(&str, IncrementalStrategy)> = vec![
+        (
+            "Fixed top-5",
+            IncrementalStrategy::Increase { start: 5, step: 0, every: iters.max(1), cap: 5 },
+        ),
+        (
+            "Fixed top-20",
+            IncrementalStrategy::Increase { start: 20, step: 0, every: iters.max(1), cap: 20 },
+        ),
+        (
+            "Increase 4->20",
+            IncrementalStrategy::Increase { start: 4, step: 4, every: phase, cap: 20 },
+        ),
+        (
+            "Decrease 20->4",
+            IncrementalStrategy::Decrease { start: 20, step: 4, every: phase, floor: 4 },
+        ),
+    ];
+
+    let mut grid: Vec<Cell> = Vec::new();
+    let mut scenarios: Vec<(Workload, &str)> = Vec::new();
     for &wl in &[Workload::Job, Workload::Sysbench] {
         let pool = full_pool(wl, samples, 7);
         let ranked = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 40, 11);
-        let phase = (iters / 6).max(10);
-
-        let strategies: Vec<(String, IncrementalStrategy)> = vec![
-            (
-                "Fixed top-5".into(),
-                IncrementalStrategy::Increase { start: 5, step: 0, every: iters.max(1), cap: 5 },
-            ),
-            (
-                "Fixed top-20".into(),
-                IncrementalStrategy::Increase { start: 20, step: 0, every: iters.max(1), cap: 20 },
-            ),
-            (
-                "Increase 4->20".into(),
-                IncrementalStrategy::Increase { start: 4, step: 4, every: phase, cap: 20 },
-            ),
-            (
-                "Decrease 20->4".into(),
-                IncrementalStrategy::Decrease { start: 20, step: 4, every: phase, floor: 4 },
-            ),
-        ];
-
-        for (label, strategy) in strategies {
-            let mut traces: Vec<Vec<f64>> = Vec::new();
+        for &(label, strategy) in &strategies {
+            scenarios.push((wl, label));
             for s in 0..seeds {
-                let mut sim = DbSimulator::new(wl, Hardware::B, 600 + s as u64);
-                let base = catalog.default_config(Hardware::B);
-                let r = run_incremental_session(
-                    &mut sim,
-                    &catalog,
-                    &base,
-                    &ranked,
-                    strategy,
-                    &make_opt,
-                    &SessionConfig { iterations: iters, lhs_init: 10, seed: 600 + s as u64, ..Default::default() },
-                );
-                traces.push(r.improvement_trace());
+                grid.push(Cell { wl, strategy, ranked: ranked.clone(), seed: 600 + s as u64 });
             }
-            // Median trace across seeds.
-            let trace: Vec<f64> = (0..iters)
-                .map(|i| {
-                    let vals: Vec<f64> = traces.iter().map(|t| t[i]).collect();
-                    dbtune_bench::median(&vals)
-                })
-                .collect();
-            let best = *trace.last().expect("nonempty trace");
-            eprintln!("[{} {}] final improvement {}", wl.name(), label, pct(best));
-            series.push(Series {
-                workload: wl.name().to_string(),
-                strategy: label,
-                improvement_trace: trace,
-                best_improvement: best,
-            });
         }
+    }
+
+    let cache = opts.make_cache();
+    let results = run_grid(&grid, opts.workers, |_, cell| {
+        let sim = DbSimulator::new(cell.wl, Hardware::B, cell.seed);
+        let base = catalog.default_config(Hardware::B);
+        let mut obj = CachedObjective::new(sim, cache.clone(), opts.noise_seed);
+        run_incremental_session(
+            &mut obj,
+            &catalog,
+            &base,
+            &cell.ranked,
+            cell.strategy,
+            &make_opt,
+            &SessionConfig { iterations: iters, lhs_init: 10, seed: cell.seed, ..Default::default() },
+        )
+    });
+    let exec = opts.report(cache.as_ref());
+
+    let mut series: Vec<Series> = Vec::new();
+    for ((wl, label), chunk) in scenarios.iter().zip(results.chunks(seeds)) {
+        let traces: Vec<Vec<f64>> = chunk.iter().map(|r| r.improvement_trace()).collect();
+        // Median trace across seeds.
+        let trace: Vec<f64> = (0..iters)
+            .map(|i| {
+                let vals: Vec<f64> = traces.iter().map(|t| t[i]).collect();
+                dbtune_bench::median(&vals)
+            })
+            .collect();
+        let best = *trace.last().expect("nonempty trace");
+        eprintln!("[{} {}] final improvement {}", wl.name(), label, pct(best));
+        series.push(Series {
+            workload: wl.name().to_string(),
+            strategy: label.to_string(),
+            improvement_trace: trace,
+            best_improvement: best,
+        });
     }
 
     for &wl in &[Workload::Job, Workload::Sysbench] {
@@ -114,5 +137,9 @@ fn main() {
         print_table(&header_refs, &rows);
     }
 
-    save_json("fig6_incremental", &series);
+    println!(
+        "\n[exec] workers={} cache hits={} misses={} entries={}",
+        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
+    );
+    save_json_with_exec("fig6_incremental", &series, &exec);
 }

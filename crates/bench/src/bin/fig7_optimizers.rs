@@ -6,9 +6,15 @@
 //! each optimizer per space size (Table 7), and SMAC's average improvement
 //! over the traditional optimizers vanilla BO and DDPG (paper: +21.17%).
 //!
-//! Arguments: `samples=6250 iters=120 seeds=2` (paper: 6250/200/3).
+//! Arguments: `samples=6250 iters=120 seeds=2 workers= cache=on`
+//! (paper: 6250/200/3). Sessions run on the parallel executor; the
+//! shared cache deduplicates the LHS warm-up evaluations that all
+//! optimizers of one scenario share.
 
-use dbtune_bench::{full_pool, pct, print_table, run_tuning, save_json, top_k_knobs, ExpArgs};
+use dbtune_bench::{
+    full_pool, pct, print_table, run_tuning_grid, save_json_with_exec, top_k_knobs, ExpArgs,
+    GridOpts, TuningCell,
+};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
 use dbtune_dbsim::{DbSimulator, Hardware, Workload};
@@ -30,38 +36,54 @@ fn main() {
     let iters = args.get_usize("iters", 120);
     let seeds = args.get_usize("seeds", 2);
 
+    let opts = GridOpts::from_args(&args, 700);
+
     let catalog = DbSimulator::new(Workload::Job, Hardware::B, 0).catalog().clone();
     let sizes: [(&str, usize); 3] = [("small", 5), ("medium", 20), ("large", 197)];
 
-    let mut runs: Vec<Run> = Vec::new();
+    // Grid: (workload × space × optimizer × seed), seed-major innermost so
+    // each scenario's repeats are consecutive in the result vector.
+    let mut cells: Vec<TuningCell> = Vec::new();
+    let mut scenarios: Vec<(Workload, &str, OptimizerKind)> = Vec::new();
     for &wl in &[Workload::Job, Workload::Sysbench] {
         let pool = full_pool(wl, samples, 7);
         let ranked = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 197, 11);
         for &(space_label, k) in &sizes {
             let selected = ranked[..k].to_vec();
             for &opt in &OptimizerKind::PAPER {
-                let mut traces: Vec<Vec<f64>> = Vec::new();
+                scenarios.push((wl, space_label, opt));
                 for s in 0..seeds {
-                    let r = run_tuning(wl, selected.clone(), opt, iters, 700 + s as u64);
-                    traces.push(r.improvement_trace());
+                    cells.push(TuningCell {
+                        workload: wl,
+                        selected: selected.clone(),
+                        opt_kind: opt,
+                        iters,
+                        seed: 700 + s as u64,
+                    });
                 }
-                let trace: Vec<f64> = (0..iters)
-                    .map(|i| {
-                        let vals: Vec<f64> = traces.iter().map(|t| t[i]).collect();
-                        dbtune_bench::median(&vals)
-                    })
-                    .collect();
-                let best = *trace.last().expect("nonempty");
-                eprintln!("[{} {} {}] best {}", wl.name(), space_label, opt.label(), pct(best));
-                runs.push(Run {
-                    workload: wl.name().to_string(),
-                    space: space_label.to_string(),
-                    optimizer: opt.label().to_string(),
-                    improvement_trace: trace,
-                    best_improvement: best,
-                });
             }
         }
+    }
+    let (results, exec) = run_tuning_grid(&cells, &opts);
+
+    let mut runs: Vec<Run> = Vec::new();
+    for ((wl, space_label, opt), chunk) in scenarios.iter().zip(results.chunks(seeds)) {
+        let traces: Vec<Vec<f64>> = chunk.iter().map(|r| r.improvement_trace()).collect();
+        let trace: Vec<f64> = (0..iters)
+            .map(|i| {
+                let vals: Vec<f64> = traces.iter().map(|t| t[i]).collect();
+                dbtune_bench::median(&vals)
+            })
+            .collect();
+        let best = *trace.last().expect("nonempty");
+        eprintln!("[{} {} {}] best {}", wl.name(), space_label, opt.label(), pct(best));
+        runs.push(Run {
+            workload: wl.name().to_string(),
+            space: space_label.to_string(),
+            optimizer: opt.label().to_string(),
+            improvement_trace: trace,
+            best_improvement: best,
+        });
     }
 
     // ---- Figure 7 checkpoint tables ----
@@ -145,5 +167,9 @@ fn main() {
         pct(smac - trad)
     );
 
-    save_json("fig7_table7", &runs);
+    println!(
+        "\n[exec] workers={} cache hits={} misses={} entries={}",
+        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
+    );
+    save_json_with_exec("fig7_table7", &runs, &exec);
 }

@@ -6,9 +6,14 @@
 //! on both; the gap between vanilla and mixed-kernel BO on the
 //! heterogeneous space is the experiment's point.
 //!
-//! Arguments: `samples=6250 iters=120 seeds=1` (paper: 6250/200/3).
+//! Arguments: `samples=6250 iters=120 seeds=1 workers= cache=on`
+//! (paper: 6250/200/3). Sessions run on the parallel executor; the four
+//! optimizers on one space share their LHS warm-up via the cache.
 
-use dbtune_bench::{full_pool, importance_scores, pct, print_table, run_tuning, save_json, ExpArgs};
+use dbtune_bench::{
+    full_pool, importance_scores, pct, print_table, run_tuning_grid, save_json_with_exec, ExpArgs,
+    GridOpts, TuningCell,
+};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
 use dbtune_dbsim::{DbSimulator, Hardware, Workload};
@@ -62,29 +67,42 @@ fn main() {
     let spaces: [(&str, &Vec<usize>); 2] =
         [("continuous", &continuous_20), ("heterogeneous", &hetero)];
 
-    let mut runs: Vec<Run> = Vec::new();
+    let opts = GridOpts::from_args(&args, 800);
+    let mut grid: Vec<TuningCell> = Vec::new();
+    let mut scenarios: Vec<(&str, OptimizerKind)> = Vec::new();
     for &(label, selected) in &spaces {
         for &opt in &optimizers {
-            let mut traces: Vec<Vec<f64>> = Vec::new();
+            scenarios.push((label, opt));
             for s in 0..seeds {
-                let r = run_tuning(Workload::Job, selected.clone(), opt, iters, 800 + s as u64);
-                traces.push(r.improvement_trace());
+                grid.push(TuningCell {
+                    workload: Workload::Job,
+                    selected: selected.clone(),
+                    opt_kind: opt,
+                    iters,
+                    seed: 800 + s as u64,
+                });
             }
-            let trace: Vec<f64> = (0..iters)
-                .map(|i| {
-                    let vals: Vec<f64> = traces.iter().map(|t| t[i]).collect();
-                    dbtune_bench::median(&vals)
-                })
-                .collect();
-            let best = *trace.last().expect("nonempty");
-            eprintln!("[{label} {}] best {}", opt.label(), pct(best));
-            runs.push(Run {
-                space: label.to_string(),
-                optimizer: opt.label().to_string(),
-                improvement_trace: trace,
-                best_improvement: best,
-            });
         }
+    }
+    let (results, exec) = run_tuning_grid(&grid, &opts);
+
+    let mut runs: Vec<Run> = Vec::new();
+    for ((label, opt), chunk) in scenarios.iter().zip(results.chunks(seeds)) {
+        let traces: Vec<Vec<f64>> = chunk.iter().map(|r| r.improvement_trace()).collect();
+        let trace: Vec<f64> = (0..iters)
+            .map(|i| {
+                let vals: Vec<f64> = traces.iter().map(|t| t[i]).collect();
+                dbtune_bench::median(&vals)
+            })
+            .collect();
+        let best = *trace.last().expect("nonempty");
+        eprintln!("[{label} {}] best {}", opt.label(), pct(best));
+        runs.push(Run {
+            space: label.to_string(),
+            optimizer: opt.label().to_string(),
+            improvement_trace: trace,
+            best_improvement: best,
+        });
     }
 
     for &(label, _) in &spaces {
@@ -123,5 +141,9 @@ fn main() {
         pct(get("continuous", "Vanilla BO")),
     );
 
-    save_json("fig8_heterogeneity", &runs);
+    println!(
+        "\n[exec] workers={} cache hits={} misses={} entries={}",
+        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
+    );
+    save_json_with_exec("fig8_heterogeneity", &runs, &exec);
 }

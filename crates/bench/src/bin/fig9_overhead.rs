@@ -3,9 +3,16 @@
 //! (JOB, medium space). The global GP methods show the cubic blow-up; the
 //! forest/heuristic methods stay flat.
 //!
-//! Arguments: `samples=6250 iters=400` (paper: 6250/400).
+//! Arguments: `samples=6250 iters=400 workers= cache=on` (paper:
+//! 6250/400). Sessions run on the parallel executor. Note: the measured
+//! overheads are wall-clock times, so — unlike every other driver — the
+//! `"results"` payload is inherently not byte-reproducible across runs
+//! (the improvement traces and cache counters still are).
 
-use dbtune_bench::{full_pool, print_table, run_tuning, save_json, top_k_knobs, ExpArgs};
+use dbtune_bench::{
+    full_pool, print_table, run_tuning_grid, save_json_with_exec, top_k_knobs, ExpArgs, GridOpts,
+    TuningCell,
+};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
 use dbtune_dbsim::{DbSimulator, Hardware, Workload};
@@ -28,9 +35,21 @@ fn main() {
     let pool = full_pool(Workload::Job, samples, 7);
     let selected = top_k_knobs(MeasureKind::Shap, &catalog, &pool, 20, 11);
 
+    let opts = GridOpts::from_args(&args, 900);
+    let grid: Vec<TuningCell> = OptimizerKind::PAPER
+        .iter()
+        .map(|&opt| TuningCell {
+            workload: Workload::Job,
+            selected: selected.clone(),
+            opt_kind: opt,
+            iters,
+            seed: 900,
+        })
+        .collect();
+    let (results, exec) = run_tuning_grid(&grid, &opts);
+
     let mut series: Vec<Series> = Vec::new();
-    for &opt in &OptimizerKind::PAPER {
-        let r = run_tuning(Workload::Job, selected.clone(), opt, iters, 900);
+    for (opt, r) in OptimizerKind::PAPER.iter().zip(results) {
         let total: f64 = r.overhead_secs.iter().sum();
         eprintln!("[{}] total overhead {:.2}s over {iters} iterations", opt.label(), total);
         series.push(Series {
@@ -69,5 +88,9 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table(&header_refs, &rows);
 
-    save_json("fig9_overhead", &series);
+    println!(
+        "\n[exec] workers={} cache hits={} misses={} entries={}",
+        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
+    );
+    save_json_with_exec("fig9_overhead", &series, &exec);
 }

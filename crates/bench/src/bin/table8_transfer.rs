@@ -13,9 +13,15 @@
 //!   base best;
 //! * **APR** — absolute performance rank among the five baselines.
 //!
-//! Arguments: `samples=6250 iters=120 pretrain=150` (paper: 6250/200/300).
+//! Arguments: `samples=6250 iters=120 pretrain=150 workers= cache=on`
+//! (paper: 6250/200/300). The DDPG pre-training pass stays sequential
+//! (one agent accumulates across the five sources); the 24 target
+//! sessions (3 targets × [3 bases + 5 transfer frameworks]) then fan
+//! out over the executor, with base and transfer runs of one target
+//! sharing cached evaluations.
 
-use dbtune_bench::{full_pool, importance_scores, pct, print_table, save_json, ExpArgs};
+use dbtune_bench::{full_pool, importance_scores, pct, print_table, save_json_with_exec, ExpArgs, GridOpts};
+use dbtune_core::exec::{run_grid, CachedObjective, EvalCache};
 use dbtune_core::importance::{top_k, MeasureKind};
 use dbtune_core::optimizer::{Ddpg, DdpgParams, OptimizerKind, Optimizer};
 use dbtune_core::space::TuningSpace;
@@ -25,6 +31,7 @@ use dbtune_core::transfer::{
 use dbtune_core::tuner::{run_session, SessionConfig, SessionResult};
 use dbtune_dbsim::{DbSimulator, Hardware, Workload, METRICS_DIM};
 use serde::Serialize;
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct Row {
@@ -36,17 +43,26 @@ struct Row {
     apr: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn session(
     wl: Workload,
     selected: &[usize],
     opt: &mut dyn Optimizer,
     iters: usize,
     seed: u64,
+    cache: Option<Arc<EvalCache>>,
+    noise_seed: u64,
 ) -> SessionResult {
-    let mut sim = DbSimulator::new(wl, Hardware::B, seed);
+    let sim = DbSimulator::new(wl, Hardware::B, seed);
     let catalog = sim.catalog().clone();
     let space = TuningSpace::with_default_base(&catalog, selected.to_vec(), Hardware::B);
-    run_session(&mut sim, &space, opt, &SessionConfig { iterations: iters, lhs_init: 10, seed, ..Default::default() })
+    let mut obj = CachedObjective::new(sim, cache, noise_seed);
+    run_session(
+        &mut obj,
+        &space,
+        opt,
+        &SessionConfig { iterations: iters, lhs_init: 10, seed, ..Default::default() },
+    )
 }
 
 fn main() {
@@ -82,13 +98,25 @@ fn main() {
         selected.iter().map(|&i| catalog.spec(i).name).collect::<Vec<_>>()
     );
 
-    // Pre-train DDPG across the five sources in turn; harvest its training
-    // observations as the historical data for mapping and RGPE.
+    let opts = GridOpts::from_args(&args, 2000);
+    let cache = opts.make_cache();
+
+    // Pre-train DDPG across the five sources in turn (sequential: one
+    // agent accumulates); harvest its training observations as the
+    // historical data for mapping and RGPE.
     let space0 = TuningSpace::with_default_base(&catalog, selected.clone(), Hardware::B);
     let mut agent = Ddpg::new(space0.space().clone(), METRICS_DIM, DdpgParams::default(), 42);
     let mut source_tasks: Vec<SourceTask> = Vec::new();
     for (i, &src) in sources.iter().enumerate() {
-        let r = session(src, &selected, &mut agent, pretrain, 1000 + i as u64);
+        let r = session(
+            src,
+            &selected,
+            &mut agent,
+            pretrain,
+            1000 + i as u64,
+            cache.clone(),
+            opts.noise_seed,
+        );
         eprintln!("[pretrain {}] best improvement {}", src.name(), pct(r.best_improvement()));
         source_tasks.push(SourceTask {
             name: src.name().to_string(),
@@ -99,90 +127,77 @@ fn main() {
     }
     let weights = agent.export_weights();
 
-    let mut rows: Vec<Row> = Vec::new();
+    // Grid: 8 runs per target — 3 non-transfer bases then 5 transfer
+    // frameworks, every one independent given the pre-trained history.
+    const BASES: [&str; 3] = ["Mixed-Kernel BO", "SMAC", "DDPG"];
+    const TRANSFERS: [(&str, &str); 5] = [
+        ("RGPE (Mixed-Kernel BO)", "Mixed-Kernel BO"),
+        ("RGPE (SMAC)", "SMAC"),
+        ("Mapping (Mixed-Kernel BO)", "Mixed-Kernel BO"),
+        ("Mapping (SMAC)", "SMAC"),
+        ("Fine-Tune (DDPG)", "DDPG"),
+    ];
+    let mut grid: Vec<(Workload, u64, usize)> = Vec::new();
     for (ti, &target) in targets.iter().enumerate() {
         let seed = 2000 + ti as u64;
-
-        // Non-transfer bases.
-        let base_runs: Vec<(&str, SessionResult)> = vec![
-            ("Mixed-Kernel BO", {
-                let mut o = OptimizerKind::MixedKernelBo.build(space0.space(), METRICS_DIM, seed);
-                session(target, &selected, &mut o, iters, seed)
-            }),
-            ("SMAC", {
-                let mut o = OptimizerKind::Smac.build(space0.space(), METRICS_DIM, seed);
-                session(target, &selected, &mut o, iters, seed)
-            }),
-            ("DDPG", {
-                let mut o = OptimizerKind::Ddpg.build(space0.space(), METRICS_DIM, seed);
-                session(target, &selected, &mut o, iters, seed)
-            }),
-        ];
-        for (name, r) in &base_runs {
-            eprintln!("[{} base {}] best {:.0}", target.name(), name, r.best_value());
+        for k in 0..BASES.len() + TRANSFERS.len() {
+            grid.push((target, seed, k));
         }
-        let base = |name: &str| base_runs.iter().find(|(n, _)| *n == name).expect("base run");
-
-        // Transfer baselines.
-        let mut transfer_runs: Vec<(&str, &str, SessionResult)> = Vec::new();
-        {
-            let mut o = RgpeOptimizer::new(
+    }
+    let sessions = run_grid(&grid, opts.workers, |_, &(target, seed, k)| {
+        let mut opt: Box<dyn Optimizer> = match k {
+            0 => OptimizerKind::MixedKernelBo.build(space0.space(), METRICS_DIM, seed),
+            1 => OptimizerKind::Smac.build(space0.space(), METRICS_DIM, seed),
+            2 => OptimizerKind::Ddpg.build(space0.space(), METRICS_DIM, seed),
+            3 => Box::new(RgpeOptimizer::new(
                 space0.space().clone(),
                 SurrogateKind::MixedGp,
                 &source_tasks,
                 seed,
-            );
-            transfer_runs.push((
-                "RGPE (Mixed-Kernel BO)",
-                "Mixed-Kernel BO",
-                session(target, &selected, &mut o, iters, seed),
-            ));
-        }
-        {
-            let mut o = RgpeOptimizer::new(
+            )),
+            4 => Box::new(RgpeOptimizer::new(
                 space0.space().clone(),
                 SurrogateKind::RandomForest,
                 &source_tasks,
                 seed,
-            );
-            transfer_runs.push(("RGPE (SMAC)", "SMAC", session(target, &selected, &mut o, iters, seed)));
-        }
-        {
-            let mut o = MappedOptimizer::new(
+            )),
+            5 => Box::new(MappedOptimizer::new(
                 space0.space().clone(),
                 BaseKind::MixedBo,
                 source_tasks.clone(),
                 seed,
-            );
-            transfer_runs.push((
-                "Mapping (Mixed-Kernel BO)",
-                "Mixed-Kernel BO",
-                session(target, &selected, &mut o, iters, seed),
-            ));
-        }
-        {
-            let mut o = MappedOptimizer::new(
+            )),
+            6 => Box::new(MappedOptimizer::new(
                 space0.space().clone(),
                 BaseKind::Smac,
                 source_tasks.clone(),
                 seed,
-            );
-            transfer_runs.push((
-                "Mapping (SMAC)",
-                "SMAC",
-                session(target, &selected, &mut o, iters, seed),
-            ));
-        }
-        {
-            let mut o = fine_tuned_ddpg(
+            )),
+            _ => Box::new(fine_tuned_ddpg(
                 space0.space().clone(),
                 METRICS_DIM,
                 &weights,
                 DdpgParams::default(),
                 seed,
-            );
-            transfer_runs.push(("Fine-Tune (DDPG)", "DDPG", session(target, &selected, &mut o, iters, seed)));
+            )),
+        };
+        session(target, &selected, &mut *opt, iters, seed, cache.clone(), opts.noise_seed)
+    });
+    let exec = opts.report(cache.as_ref());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (&target, chunk) in targets.iter().zip(sessions.chunks(BASES.len() + TRANSFERS.len())) {
+        let base_runs: Vec<(&str, &SessionResult)> =
+            BASES.iter().zip(chunk).map(|(&n, r)| (n, r)).collect();
+        for (name, r) in &base_runs {
+            eprintln!("[{} base {}] best {:.0}", target.name(), name, r.best_value());
         }
+        let base = |name: &str| base_runs.iter().find(|(n, _)| *n == name).expect("base run");
+        let transfer_runs: Vec<(&str, &str, &SessionResult)> = TRANSFERS
+            .iter()
+            .zip(&chunk[BASES.len()..])
+            .map(|(&(f, b), r)| (f, b, r))
+            .collect();
 
         // APR: rank by absolute best value (throughput targets: higher
         // is better).
@@ -197,7 +212,7 @@ fn main() {
         let apr_of = |i: usize| order.iter().position(|&j| j == i).expect("ranked") + 1;
 
         for (i, (framework, base_name, r)) in transfer_runs.iter().enumerate() {
-            let b = &base(base_name).1;
+            let b = base(base_name).1;
             let base_best = b.best_score();
             let steps_base = b.iterations_to_best();
             let speedup = r
@@ -273,5 +288,9 @@ fn main() {
         .collect();
     print_table(&["Framework", "Avg speedup", "Avg PE", "Avg APR"], &avg_rows);
 
-    save_json("table8_transfer", &rows);
+    println!(
+        "\n[exec] workers={} cache hits={} misses={} entries={}",
+        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
+    );
+    save_json_with_exec("table8_transfer", &rows, &exec);
 }

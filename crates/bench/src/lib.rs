@@ -6,6 +6,7 @@
 //! machine; `EXPERIMENTS.md` records both the defaults used and the
 //! paper-scale settings.
 
+use dbtune_core::exec::{resolve_workers, run_grid, CacheStats, CachedObjective, EvalCache};
 use dbtune_core::importance::{ImportanceInput, MeasureKind};
 use dbtune_core::optimizer::OptimizerKind;
 use dbtune_core::sampling;
@@ -17,6 +18,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// `key=value` command-line arguments with typed getters.
 pub struct ExpArgs {
@@ -50,6 +52,146 @@ impl ExpArgs {
             .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {key}: {v}")))
             .unwrap_or(default)
     }
+
+    /// String argument with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional integer argument (no default — e.g. `workers=`, which
+    /// falls back to the executor's own resolution chain when absent).
+    pub fn opt_usize(&self, key: &str) -> Option<usize> {
+        self.map
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {key}: {v}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel grid execution (see dbtune_core::exec and docs/execution.md)
+// ---------------------------------------------------------------------------
+
+/// Execution settings shared by every driver: worker-pool size
+/// (`workers=N` flag > `DBTUNE_WORKERS` env > detected, capped at 8),
+/// whether the shared evaluation cache is on (`cache=on|off`, default
+/// on), and the grid-level noise seed from which every evaluation's
+/// noise token is mixed.
+#[derive(Clone, Copy, Debug)]
+pub struct GridOpts {
+    /// Worker threads for [`run_grid`].
+    pub workers: usize,
+    /// Share an [`EvalCache`] across the grid's sessions.
+    pub cache: bool,
+    /// Grid-level noise seed (fixed per driver so cached results mean
+    /// the same thing to every session).
+    pub noise_seed: u64,
+}
+
+impl GridOpts {
+    /// Parses `workers=` / `cache=` from the driver's arguments.
+    pub fn from_args(args: &ExpArgs, noise_seed: u64) -> Self {
+        let cache = match args.get_str("cache", "on").as_str() {
+            "on" => true,
+            "off" => false,
+            other => panic!("bad value for cache: {other} (expected on|off)"),
+        };
+        Self { workers: resolve_workers(args.opt_usize("workers")), cache, noise_seed }
+    }
+
+    /// A fresh shared cache, or `None` when disabled.
+    pub fn make_cache(&self) -> Option<Arc<EvalCache>> {
+        if self.cache {
+            Some(EvalCache::shared())
+        } else {
+            None
+        }
+    }
+
+    /// Final execution report for the driver's JSON output.
+    pub fn report(&self, cache: Option<&Arc<EvalCache>>) -> ExecReport {
+        ExecReport {
+            workers: self.workers,
+            cache_enabled: self.cache,
+            noise_seed: self.noise_seed,
+            cache: cache.map(|c| c.stats()).unwrap_or_default(),
+        }
+    }
+}
+
+/// How a grid was executed — embedded under `"exec"` in every driver's
+/// JSON output. The cache counters are deterministic (see
+/// [`CacheStats`]). `workers` is deliberately NOT serialized: it is the
+/// one field that would differ between otherwise byte-identical runs,
+/// and keeping it out of the artifact makes `workers=1` and `workers=8`
+/// outputs literally `cmp`-equal (the count still goes to stdout).
+#[derive(Clone, Copy, Debug)]
+pub struct ExecReport {
+    /// Worker threads used (stdout only, see above).
+    pub workers: usize,
+    /// Whether the shared evaluation cache was on.
+    pub cache_enabled: bool,
+    /// Grid-level noise seed.
+    pub noise_seed: u64,
+    /// Cache counters (all zero when the cache was off).
+    pub cache: CacheStats,
+}
+
+impl Serialize for ExecReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("cache_enabled".to_string(), self.cache_enabled.to_value()),
+            ("noise_seed".to_string(), self.noise_seed.to_value()),
+            ("cache".to_string(), self.cache.to_value()),
+        ])
+    }
+}
+
+/// One cell of a standard tuning grid: a full session of `opt_kind` over
+/// `selected` knobs of `workload` on instance B.
+#[derive(Clone, Debug)]
+pub struct TuningCell {
+    /// Workload under tuning.
+    pub workload: Workload,
+    /// Catalog indices of the tuning space.
+    pub selected: Vec<usize>,
+    /// Optimizer driving the session.
+    pub opt_kind: OptimizerKind,
+    /// Session iterations.
+    pub iters: usize,
+    /// Session seed (LHS init + optimizer).
+    pub seed: u64,
+}
+
+/// Runs one tuning session against a cache-wrapped simulator. Pure given
+/// the cell and `noise_seed` — the shared cache only memoizes, so results
+/// are identical with the cache on, off, or shared (see
+/// [`CachedObjective`]).
+pub fn run_cached_session(
+    cell: &TuningCell,
+    cache: Option<Arc<EvalCache>>,
+    noise_seed: u64,
+) -> SessionResult {
+    let sim = DbSimulator::new(cell.workload, Hardware::B, cell.seed);
+    let catalog = sim.catalog().clone();
+    let space = TuningSpace::with_default_base(&catalog, cell.selected.clone(), Hardware::B);
+    let mut opt = cell.opt_kind.build(space.space(), METRICS_DIM, cell.seed);
+    let mut obj = CachedObjective::new(sim, cache, noise_seed);
+    run_session(
+        &mut obj,
+        &space,
+        &mut opt,
+        &SessionConfig { iterations: cell.iters, lhs_init: 10, seed: cell.seed, ..Default::default() },
+    )
+}
+
+/// Runs a grid of tuning sessions on the worker pool with a shared cache,
+/// returning results in grid order plus the execution report.
+pub fn run_tuning_grid(cells: &[TuningCell], opts: &GridOpts) -> (Vec<SessionResult>, ExecReport) {
+    let cache = opts.make_cache();
+    let results = run_grid(cells, opts.workers, |_, cell| {
+        run_cached_session(cell, cache.clone(), opts.noise_seed)
+    });
+    (results, opts.report(cache.as_ref()))
 }
 
 /// Directory where drivers persist JSON results (created on demand).
@@ -65,6 +207,17 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let file = std::fs::File::create(&path).expect("create result file");
     serde_json::to_writer_pretty(std::io::BufWriter::new(file), value).expect("serialize result");
     println!("[saved {}]", path.display());
+}
+
+/// Persists `{"results": <value>, "exec": <report>}` — the uniform output
+/// shape of every driver, so downstream tooling (and the smoke test) can
+/// rely on those two top-level keys.
+pub fn save_json_with_exec<T: Serialize>(name: &str, results: &T, exec: &ExecReport) {
+    let wrapped = serde::Value::Object(vec![
+        ("results".to_string(), results.to_value()),
+        ("exec".to_string(), exec.to_value()),
+    ]);
+    save_json(name, &wrapped);
 }
 
 /// An LHS observation pool over the full 197-knob catalog for one
@@ -169,8 +322,10 @@ pub fn top_k_knobs(
     dbtune_core::importance::top_k(&importance_scores(kind, catalog, pool, seed), k)
 }
 
-/// Runs a full tuning session of `opt_kind` over the selected knobs of
-/// `workload` on instance B.
+/// Runs one full tuning session of `opt_kind` over the selected knobs of
+/// `workload` on instance B — the single-cell convenience form of
+/// [`run_tuning_grid`], sharing its deterministic noise scheme (noise
+/// seed = session seed, no cache).
 pub fn run_tuning(
     workload: Workload,
     selected: Vec<usize>,
@@ -178,16 +333,8 @@ pub fn run_tuning(
     iters: usize,
     seed: u64,
 ) -> SessionResult {
-    let mut sim = DbSimulator::new(workload, Hardware::B, seed);
-    let catalog = sim.catalog().clone();
-    let space = TuningSpace::with_default_base(&catalog, selected, Hardware::B);
-    let mut opt = opt_kind.build(space.space(), METRICS_DIM, seed);
-    run_session(
-        &mut sim,
-        &space,
-        &mut opt,
-        &SessionConfig { iterations: iters, lhs_init: 10, seed, ..Default::default() },
-    )
+    let cell = TuningCell { workload, selected, opt_kind, iters, seed };
+    run_cached_session(&cell, None, seed)
 }
 
 /// Median of a slice (convenience re-export for drivers).

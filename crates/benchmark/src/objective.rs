@@ -4,6 +4,7 @@
 //! the point.
 
 use crate::collect::Dataset;
+use dbtune_core::exec::{CacheKey, DeterministicObjective};
 use dbtune_core::space::TuningSpace;
 use dbtune_core::tuner::{un_orient, EvalResult, SimObjective};
 use dbtune_dbsim::{KnobCatalog, Objective, EVAL_SECONDS, RESTART_SECONDS};
@@ -169,6 +170,50 @@ impl SimObjective for SurrogateBenchmark {
     }
 }
 
+/// The surrogate is already a pure function of the projected
+/// configuration (a fitted forest), so it plugs straight into the
+/// parallel executor's shared cache; the noise token is ignored. The
+/// pure path reports zero evaluation cost — wall-clock accounting is not
+/// reproducible, so cacheable runs track cost externally (e.g. from the
+/// cache's evaluation counters).
+impl DeterministicObjective for SurrogateBenchmark {
+    fn domain_tag(&self) -> u64 {
+        let obj = match self.objective {
+            Objective::Throughput => "throughput",
+            Objective::Latency95 => "latency95",
+        };
+        CacheKey::domain_tag(
+            ["surrogate", obj]
+                .into_iter()
+                .chain(self.space.space().specs().iter().map(|s| s.name)),
+        )
+    }
+
+    fn cache_key(&self, full_cfg: &[f64]) -> CacheKey {
+        let sub = self.space.project(full_cfg);
+        CacheKey::quantize(self.domain_tag(), self.space.space().specs(), &sub)
+    }
+
+    fn evaluate_pure(&self, full_cfg: &[f64], _noise_token: u64) -> EvalResult {
+        let sub = self.space.project(full_cfg);
+        let enc = self.space.space().to_unit(&sub);
+        EvalResult {
+            value: un_orient(self.objective, self.model.predict(&enc)),
+            failed: false,
+            metrics: Vec::new(),
+            simulated_secs: 0.0,
+        }
+    }
+
+    fn objective_kind(&self) -> Objective {
+        self.objective
+    }
+
+    fn reference(&self, full_cfg: &[f64]) -> f64 {
+        self.reference_value(full_cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +285,21 @@ mod tests {
         assert_eq!(a, b, "loaded benchmark diverges: {a} vs {b}");
         assert_eq!(loaded.objective(), Objective::Throughput);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn pure_evaluation_matches_live_evaluation() {
+        let mut bench = build_benchmark();
+        let cfg = bench.space().base().to_vec();
+        let live = bench.evaluate(&cfg).value;
+        let pure = bench.evaluate_pure(&cfg, 123).value;
+        assert_eq!(live.to_bits(), pure.to_bits(), "surrogate must be noise-free");
+        // Configurations differing only outside the subspace share a key.
+        let cat = dbtune_dbsim::KnobCatalog::mysql57();
+        let mut other = cfg.clone();
+        other[cat.expect_index("innodb_lru_scan_depth")] = 4000.0;
+        assert!(!bench.space().space().specs().iter().any(|s| s.name == "innodb_lru_scan_depth"));
+        assert_eq!(bench.cache_key(&cfg), bench.cache_key(&other));
     }
 
     #[test]

@@ -1,0 +1,538 @@
+//! Parallel experiment executor with a shared, deterministic evaluation
+//! cache.
+//!
+//! Every figure/table binary in `dbtune-bench` runs a *grid* of tuning
+//! sessions (workload × optimizer × seed × …). The sessions are
+//! independent, so they parallelize trivially — but naive parallelism
+//! would break reproducibility: the simulator draws its measurement
+//! noise from an internal RNG stream that advances per evaluation, so
+//! results would depend on which sessions shared a simulator and in what
+//! order threads ran. This module makes parallel execution bit-identical
+//! to sequential execution:
+//!
+//! * [`run_grid`] executes one closure per grid cell on a fixed-size
+//!   worker pool and returns results **in grid order**. Each cell derives
+//!   everything it needs (simulator, optimizer, session seed) from
+//!   [`cell_seed`]`(base_seed, index)`, never from shared mutable state,
+//!   so the output is independent of the worker count and of scheduling.
+//! * [`EvalCache`] memoizes evaluations across sessions. It is keyed by
+//!   the *quantized* configuration plus a domain tag
+//!   (workload/hardware/objective), and it is only sound because cached
+//!   objectives evaluate **purely**: [`DeterministicObjective`] derives
+//!   per-evaluation noise from a token mixed out of the cache key instead
+//!   of an advancing stream, so an evaluation's result is a function of
+//!   `(configuration, noise_seed)` alone. Cache hits return the stored
+//!   result verbatim (including the simulated-time ledger entry), which
+//!   keeps every per-session account deterministic whether the cache is
+//!   on, off, shared, or thread-local.
+//!
+//! Worker-count selection: explicit flag > `DBTUNE_WORKERS` env var >
+//! `available_parallelism` capped at 8 (see [`resolve_workers`]).
+
+use crate::tuner::{EvalResult, SimObjective};
+use dbtune_dbsim::{DbSimulator, KnobSpec, Objective};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Seeding
+// ---------------------------------------------------------------------------
+
+/// splitmix64 finalizer: a fast, well-mixed 64-bit permutation.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes two words into one (order-sensitive).
+#[inline]
+fn mix2(a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(a) ^ b.rotate_left(17))
+}
+
+/// Derives the RNG seed for grid cell `index` from the experiment's base
+/// seed. Adjacent indices map to statistically unrelated seeds, and the
+/// mapping is independent of worker count and scheduling — the foundation
+/// of the executor's determinism guarantee.
+pub fn cell_seed(base_seed: u64, index: usize) -> u64 {
+    mix2(base_seed, index as u64)
+}
+
+/// Resolves the worker count: an explicit request wins, then the
+/// `DBTUNE_WORKERS` environment variable, then the machine's available
+/// parallelism capped at 8. Always at least 1.
+pub fn resolve_workers(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| std::env::var("DBTUNE_WORKERS").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+        })
+        .max(1)
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------------
+
+/// Runs `f(index, &cell)` for every cell on `workers` threads and returns
+/// the results in grid order. Cells are claimed from a shared atomic
+/// cursor (dynamic load balancing: an expensive cell does not stall the
+/// others). `f` must derive any randomness from the cell index (see
+/// [`cell_seed`]); under that contract the output is bit-identical for
+/// any worker count. A panic in any cell propagates.
+pub fn run_grid<T, R, F>(cells: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = cells.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let (cursor_ref, slots_ref, f_ref) = (&cursor, &slots, &f);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move |_| loop {
+                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f_ref(i, &cells[i]);
+                *slots_ref[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("executor worker pool");
+
+    slots.into_iter().map(|slot| slot.into_inner().expect("cell computed")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Cache keys
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a word stream.
+#[inline]
+fn fnv1a_words<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Cache identity of one evaluation: a domain tag (workload, hardware,
+/// objective — whatever distinguishes one response surface from another)
+/// plus the quantized configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Hash of the response surface's identity.
+    pub domain: u64,
+    /// Per-knob quantized values (`f64::to_bits` after `Domain::clamp`).
+    pub bits: Vec<u64>,
+}
+
+impl CacheKey {
+    /// Builds a key by quantizing `cfg` through each knob's domain:
+    /// integer and categorical knobs round to their legal values, reals
+    /// clamp to their range. Configurations that a DBMS could not tell
+    /// apart therefore map to the same key.
+    pub fn quantize(domain: u64, specs: &[KnobSpec], cfg: &[f64]) -> Self {
+        assert_eq!(specs.len(), cfg.len(), "configuration/spec length mismatch");
+        let bits = specs
+            .iter()
+            .zip(cfg)
+            .map(|(spec, &v)| {
+                let q = spec.domain.clamp(v);
+                // Normalize -0.0 so it cannot split a cache entry.
+                let q = if q == 0.0 { 0.0 } else { q };
+                q.to_bits()
+            })
+            .collect();
+        Self { domain, bits }
+    }
+
+    /// 64-bit fingerprint of the whole key (domain + quantized config);
+    /// also the source of the per-evaluation noise token.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a_words(std::iter::once(self.domain).chain(self.bits.iter().copied()))
+    }
+
+    /// Tags a domain from its identifying parts (e.g. workload name,
+    /// hardware label, objective direction).
+    pub fn domain_tag<'a, I: IntoIterator<Item = &'a str>>(parts: I) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for part in parts {
+            for b in part.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h ^= 0xff; // separator: ("ab","c") != ("a","bc")
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared evaluation cache
+// ---------------------------------------------------------------------------
+
+const SHARDS: usize = 16;
+
+/// Cache hit/miss/size counters. Under the executor's determinism
+/// contract all three are scheduling-independent: every evaluation
+/// increments exactly one counter, the set of evaluated keys is fixed by
+/// the seeds, and `misses == entries` counts distinct keys.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Evaluations answered from memory.
+    pub hits: u64,
+    /// Evaluations that had to run (and were then stored).
+    pub misses: u64,
+    /// Distinct configurations stored.
+    pub entries: u64,
+}
+
+/// A concurrent, sharded memo table for evaluation results.
+///
+/// Only sound for **pure** evaluation functions: racing threads may both
+/// compute the same key, and whichever inserts first wins — callers get
+/// the stored result either way, so results must not depend on which
+/// thread computed them. [`DeterministicObjective`] provides exactly that
+/// purity.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Vec<Mutex<HashMap<CacheKey, EvalResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience: a new cache behind an [`Arc`] for sharing across the
+    /// worker pool.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Returns the cached result for `key`, or computes it with `f` and
+    /// stores it. `f` runs outside the shard lock; if two threads race on
+    /// the same key, the first insertion wins and the loser's (identical)
+    /// result is discarded — still counted as a hit, so
+    /// `hits + misses == total evaluations` exactly.
+    pub fn get_or_insert_with(&self, key: &CacheKey, f: impl FnOnce() -> EvalResult) -> EvalResult {
+        let shard = &self.shards[(key.fingerprint() as usize) % self.shards.len()];
+        if let Some(found) = shard.lock().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return found.clone();
+        }
+        let computed = f();
+        let mut guard = shard.lock();
+        match guard.entry(key.clone()) {
+            Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                e.get().clone()
+            }
+            Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                v.insert(computed.clone());
+                computed
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len() as u64).sum(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic (cacheable) objectives
+// ---------------------------------------------------------------------------
+
+/// An objective whose evaluations are pure functions of the quantized
+/// configuration and a noise token — the property that makes both the
+/// shared cache and cache-on/cache-off equivalence sound.
+///
+/// Implementors derive any stochasticity from `noise_token` (itself mixed
+/// from the cache key and a grid-level seed), never from internal mutable
+/// state.
+pub trait DeterministicObjective {
+    /// Identity of the response surface (workload + hardware + objective
+    /// or equivalent); evaluations from different domains never collide.
+    fn domain_tag(&self) -> u64;
+    /// The cache key of a configuration on this objective — typically
+    /// [`CacheKey::quantize`] over the specs that actually influence the
+    /// result (a surrogate projects onto its subspace first).
+    fn cache_key(&self, full_cfg: &[f64]) -> CacheKey;
+    /// Pure evaluation: same `(cfg, noise_token)` in, same result out.
+    fn evaluate_pure(&self, full_cfg: &[f64], noise_token: u64) -> EvalResult;
+    /// Optimization direction.
+    fn objective_kind(&self) -> Objective;
+    /// Noise-free reference performance (improvement baseline).
+    fn reference(&self, full_cfg: &[f64]) -> f64;
+}
+
+/// Shared references delegate, so one trained objective (e.g. a
+/// surrogate benchmark) can back many concurrent sessions without
+/// cloning.
+impl<T: DeterministicObjective + ?Sized> DeterministicObjective for &T {
+    fn domain_tag(&self) -> u64 {
+        (**self).domain_tag()
+    }
+
+    fn cache_key(&self, full_cfg: &[f64]) -> CacheKey {
+        (**self).cache_key(full_cfg)
+    }
+
+    fn evaluate_pure(&self, full_cfg: &[f64], noise_token: u64) -> EvalResult {
+        (**self).evaluate_pure(full_cfg, noise_token)
+    }
+
+    fn objective_kind(&self) -> Objective {
+        (**self).objective_kind()
+    }
+
+    fn reference(&self, full_cfg: &[f64]) -> f64 {
+        (**self).reference(full_cfg)
+    }
+}
+
+impl DeterministicObjective for DbSimulator {
+    fn domain_tag(&self) -> u64 {
+        CacheKey::domain_tag(["sim", self.workload().name(), self.hardware().label()])
+    }
+
+    fn cache_key(&self, full_cfg: &[f64]) -> CacheKey {
+        CacheKey::quantize(self.domain_tag(), self.catalog().specs(), full_cfg)
+    }
+
+    fn evaluate_pure(&self, full_cfg: &[f64], noise_token: u64) -> EvalResult {
+        let out = self.evaluate_seeded(full_cfg, noise_token);
+        EvalResult {
+            value: out.value,
+            failed: out.failed,
+            metrics: out.metrics,
+            simulated_secs: out.simulated_secs,
+        }
+    }
+
+    fn objective_kind(&self) -> Objective {
+        DbSimulator::objective(self)
+    }
+
+    fn reference(&self, full_cfg: &[f64]) -> f64 {
+        self.expected_value(full_cfg).expect("reference configuration must not crash")
+    }
+}
+
+/// Adapter plugging a [`DeterministicObjective`] into the session driver,
+/// optionally memoizing through a shared [`EvalCache`].
+///
+/// With or without a cache, an evaluation's result is
+/// `evaluate_pure(cfg, mix(noise_seed, key.fingerprint()))` — the cache
+/// only short-circuits recomputation. Sessions running against the same
+/// `noise_seed` therefore agree bit-for-bit regardless of worker count,
+/// cache sharing, or cache presence.
+pub struct CachedObjective<O: DeterministicObjective> {
+    inner: O,
+    cache: Option<Arc<EvalCache>>,
+    noise_seed: u64,
+    n_evals: usize,
+}
+
+impl<O: DeterministicObjective> CachedObjective<O> {
+    /// Wraps `inner`, memoizing through `cache` when given. `noise_seed`
+    /// is the grid-level noise seed: all sessions sharing a cache must
+    /// use the same value (otherwise a hit could return another session's
+    /// noise draw — still deterministic, but surprising).
+    pub fn new(inner: O, cache: Option<Arc<EvalCache>>, noise_seed: u64) -> Self {
+        Self { inner, cache, noise_seed, n_evals: 0 }
+    }
+
+    /// The wrapped objective.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Evaluations requested through this wrapper (hits included).
+    pub fn n_evals(&self) -> usize {
+        self.n_evals
+    }
+}
+
+impl<O: DeterministicObjective> SimObjective for CachedObjective<O> {
+    fn evaluate(&mut self, full_cfg: &[f64]) -> EvalResult {
+        self.n_evals += 1;
+        let key = self.inner.cache_key(full_cfg);
+        let token = mix2(self.noise_seed, key.fingerprint());
+        match &self.cache {
+            Some(cache) => {
+                cache.get_or_insert_with(&key, || self.inner.evaluate_pure(full_cfg, token))
+            }
+            None => self.inner.evaluate_pure(full_cfg, token),
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        self.inner.objective_kind()
+    }
+
+    fn reference_value(&self, full_cfg: &[f64]) -> f64 {
+        self.inner.reference(full_cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtune_dbsim::{Hardware, Workload};
+
+    fn sim() -> DbSimulator {
+        DbSimulator::new(Workload::Sysbench, Hardware::B, 5)
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..64).map(|i| cell_seed(42, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| cell_seed(42, i)).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "adjacent cells must get distinct seeds");
+        assert_ne!(cell_seed(42, 0), cell_seed(43, 0), "base seed must matter");
+    }
+
+    #[test]
+    fn run_grid_preserves_grid_order() {
+        let cells: Vec<usize> = (0..100).collect();
+        for workers in [1, 3, 8] {
+            let out = run_grid(&cells, workers, |i, &c| {
+                assert_eq!(i, c);
+                c * 2
+            });
+            assert_eq!(out, cells.iter().map(|c| c * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_grid_handles_empty_and_oversized_pools() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_grid(&empty, 4, |_, &c| c).is_empty());
+        let two = [10u32, 20];
+        assert_eq!(run_grid(&two, 64, |_, &c| c + 1), vec![11, 21]);
+    }
+
+    #[test]
+    fn quantization_rounds_to_domain_values() {
+        let s = sim();
+        let specs = s.catalog().specs();
+        let tag = DeterministicObjective::domain_tag(&s);
+        let base = s.default_config().to_vec();
+        let mut jittered = base.clone();
+        // Integer knobs: sub-step jitter must collapse onto the same key.
+        for (v, spec) in jittered.iter_mut().zip(specs) {
+            if matches!(spec.domain, dbtune_dbsim::Domain::Int { .. }) {
+                *v += 0.3;
+            }
+        }
+        assert_eq!(
+            CacheKey::quantize(tag, specs, &base),
+            CacheKey::quantize(tag, specs, &jittered)
+        );
+    }
+
+    #[test]
+    fn different_domains_never_collide() {
+        let a = DbSimulator::new(Workload::Sysbench, Hardware::B, 1);
+        let b = DbSimulator::new(Workload::Tpcc, Hardware::B, 1);
+        let c = DbSimulator::new(Workload::Sysbench, Hardware::C, 1);
+        let cfg = a.default_config().to_vec();
+        let (ka, kb, kc) = (a.cache_key(&cfg), b.cache_key(&cfg), c.cache_key(&cfg));
+        assert_ne!(ka, kb, "workload must be part of the key");
+        assert_ne!(ka, kc, "hardware must be part of the key");
+    }
+
+    #[test]
+    fn cache_counters_balance() {
+        let cache = EvalCache::new();
+        let s = sim();
+        let cfg = s.default_config().to_vec();
+        let key = s.cache_key(&cfg);
+        let r1 = cache.get_or_insert_with(&key, || s.evaluate_pure(&cfg, 7));
+        let r2 = cache.get_or_insert_with(&key, || panic!("must not recompute"));
+        assert_eq!(r1.value.to_bits(), r2.value.to_bits());
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { hits: 1, misses: 1, entries: 1 });
+    }
+
+    #[test]
+    fn cached_objective_is_cache_agnostic() {
+        let cfg = sim().default_config().to_vec();
+        let mut with = CachedObjective::new(sim(), Some(EvalCache::shared()), 11);
+        let mut without = CachedObjective::new(sim(), None, 11);
+        for _ in 0..3 {
+            let a = with.evaluate(&cfg);
+            let b = without.evaluate(&cfg);
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.metrics, b.metrics);
+        }
+        assert_eq!(with.n_evals(), 3);
+    }
+
+    #[test]
+    fn concurrent_cache_is_deterministic() {
+        let s = sim();
+        let cfg = s.default_config().to_vec();
+        let serial = s.evaluate_pure(&cfg, mix2(9, s.cache_key(&cfg).fingerprint()));
+        let cache = EvalCache::shared();
+        let values = run_grid(&vec![(); 32], 8, |_, _| {
+            let mut obj = CachedObjective::new(sim(), Some(cache.clone()), 9);
+            obj.evaluate(&cfg).value.to_bits()
+        });
+        assert!(values.iter().all(|&v| v == serial.value.to_bits()));
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert_eq!(stats.misses, stats.entries);
+        assert_eq!(stats.entries, 1);
+    }
+}

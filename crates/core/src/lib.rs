@@ -17,6 +17,10 @@
 //! the surrogate benchmark): LHS initialization, failure handling by
 //! worst-seen substitution, improvement accounting, and per-iteration
 //! algorithm-overhead measurement.
+//!
+//! The [`exec`] module parallelizes grids of such sessions over a worker
+//! pool with a shared, deterministic evaluation cache — results are
+//! bit-identical for any worker count (see `docs/execution.md`).
 
 pub mod space;
 pub mod sampling;
@@ -29,6 +33,11 @@ pub mod tuner;
 pub mod repository;
 pub mod service;
 pub mod incremental;
+pub mod exec;
 
+pub use exec::{
+    cell_seed, resolve_workers, run_grid, CacheKey, CacheStats, CachedObjective,
+    DeterministicObjective, EvalCache,
+};
 pub use space::{ConfigSpace, TuningSpace};
 pub use tuner::{run_session, Observation, SessionConfig, SessionResult, SimObjective};

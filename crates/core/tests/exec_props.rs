@@ -1,0 +1,132 @@
+//! Property tests for the evaluation-cache key (`exec::CacheKey`):
+//! quantization must be idempotent, sub-resolution jitter must collapse
+//! to one key, and domain tags must separate response surfaces.
+
+use dbtune_core::exec::CacheKey;
+use dbtune_dbsim::{Domain, Hardware, KnobCatalog, Workload};
+use proptest::prelude::*;
+
+const DOMAIN: u64 = 0x5eed;
+
+/// A raw (unclamped, unrounded) config for the stock catalog: each
+/// knob's legal range stretched by `spread` and perturbed, so values
+/// out of range and off the integer grid both occur.
+fn raw_config(catalog: &KnobCatalog, unit: &[f64], spread: f64) -> Vec<f64> {
+    catalog
+        .specs()
+        .iter()
+        .zip(unit)
+        .map(|(spec, &u)| {
+            let (lo, hi) = match spec.domain {
+                Domain::Real { lo, hi, .. } => (lo, hi),
+                Domain::Int { lo, hi, .. } => (lo as f64, hi as f64),
+                Domain::Cat { ref choices } => (0.0, (choices.len() - 1) as f64),
+            };
+            let span = hi - lo;
+            lo - spread * span + u * (1.0 + 2.0 * spread) * span
+        })
+        .collect()
+}
+
+/// Decodes a key's bits back into the f64 config it stored.
+fn decode(key: &CacheKey) -> Vec<f64> {
+    key.bits.iter().map(|&b| f64::from_bits(b)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quantization is idempotent: re-keying the stored values yields
+    /// the identical key, even for inputs far outside the legal ranges.
+    #[test]
+    fn quantize_is_idempotent(
+        unit in proptest::collection::vec(0.0f64..=1.0, 197),
+        spread in 0.0f64..=2.0,
+    ) {
+        let catalog = KnobCatalog::mysql57();
+        let cfg = raw_config(&catalog, &unit, spread);
+        let key = CacheKey::quantize(DOMAIN, catalog.specs(), &cfg);
+        let again = CacheKey::quantize(DOMAIN, catalog.specs(), &decode(&key));
+        prop_assert_eq!(&key, &again, "quantize(decode(quantize(cfg))) must equal quantize(cfg)");
+        prop_assert_eq!(key.fingerprint(), again.fingerprint());
+    }
+
+    /// Jitter smaller than an integer/categorical knob's step — noise a
+    /// DBMS could never observe — collapses to the same key.
+    #[test]
+    fn sub_resolution_jitter_collapses(
+        unit in proptest::collection::vec(0.0f64..=1.0, 197),
+        jitter in proptest::collection::vec(-0.49f64..=0.49, 197),
+    ) {
+        let catalog = KnobCatalog::mysql57();
+        // Start from an exactly-on-grid config...
+        let grid = decode(&CacheKey::quantize(
+            DOMAIN,
+            catalog.specs(),
+            &raw_config(&catalog, &unit, 0.0),
+        ));
+        // ...then shake every discrete knob by less than half a step.
+        let shaken: Vec<f64> = catalog
+            .specs()
+            .iter()
+            .zip(grid.iter().zip(&jitter))
+            .map(|(spec, (&v, &j))| match spec.domain {
+                Domain::Real { .. } => v,
+                // Keep strictly inside the round-to-even half-step.
+                Domain::Int { .. } | Domain::Cat { .. } => v + j,
+            })
+            .collect();
+        let a = CacheKey::quantize(DOMAIN, catalog.specs(), &grid);
+        let b = CacheKey::quantize(DOMAIN, catalog.specs(), &shaken);
+        prop_assert_eq!(a, b, "sub-step jitter on discrete knobs must not split cache entries");
+    }
+
+    /// The same configuration under different domain tags never shares
+    /// a key or a fingerprint (workload × hardware separation).
+    #[test]
+    fn domains_do_not_collide(unit in proptest::collection::vec(0.0f64..=1.0, 197)) {
+        let catalog = KnobCatalog::mysql57();
+        let cfg = raw_config(&catalog, &unit, 0.0);
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        for wl in Workload::ALL {
+            for hw in [Hardware::A, Hardware::B, Hardware::C] {
+                let tag = CacheKey::domain_tag([wl.name(), hw.label()]);
+                let key = CacheKey::quantize(tag, catalog.specs(), &cfg);
+                for &(other_tag, other_fp) in &seen {
+                    prop_assert_ne!(tag, other_tag, "domain tags must be distinct");
+                    prop_assert_ne!(key.fingerprint(), other_fp,
+                        "fingerprints must separate domains even for equal configs");
+                }
+                seen.push((tag, key.fingerprint()));
+            }
+        }
+    }
+}
+
+#[test]
+fn domain_tag_separates_part_boundaries() {
+    // The separator byte keeps concatenation ambiguity out of the tag.
+    assert_ne!(CacheKey::domain_tag(["ab", "c"]), CacheKey::domain_tag(["a", "bc"]));
+    assert_ne!(CacheKey::domain_tag(["ab"]), CacheKey::domain_tag(["ab", ""]));
+}
+
+#[test]
+fn negative_zero_cannot_split_an_entry() {
+    let catalog = KnobCatalog::mysql57();
+    let mut a = decode(&CacheKey::quantize(
+        DOMAIN,
+        catalog.specs(),
+        &catalog.specs().iter().map(|s| s.default).collect::<Vec<_>>(),
+    ));
+    let mut b = a.clone();
+    for (va, vb) in a.iter_mut().zip(b.iter_mut()) {
+        if *va == 0.0 {
+            *va = 0.0;
+            *vb = -0.0;
+        }
+    }
+    assert_eq!(
+        CacheKey::quantize(DOMAIN, catalog.specs(), &a),
+        CacheKey::quantize(DOMAIN, catalog.specs(), &b),
+    );
+}

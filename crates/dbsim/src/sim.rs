@@ -270,10 +270,35 @@ impl DbSimulator {
 
     /// Runs one simulated three-minute stress test (plus restart).
     pub fn evaluate(&mut self, cfg: &[f64]) -> Outcome {
-        assert_eq!(cfg.len(), self.catalog.len(), "configuration length mismatch");
         self.n_evals += 1;
         self.total_simulated_secs += EVAL_SECONDS + RESTART_SECONDS;
+        // Temporarily take the internal RNG so the shared evaluation core
+        // can borrow `self` immutably; the stream advances exactly as the
+        // pre-refactor code did (noise draw, then one draw per metric).
+        let mut rng = std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0));
+        let out = self.evaluate_with_rng(cfg, &mut rng);
+        self.rng = rng;
+        out
+    }
 
+    /// Pure variant of [`evaluate`]: measurement noise is drawn from a
+    /// fresh RNG seeded with `noise_seed` instead of the simulator's
+    /// advancing internal stream. The result is a pure function of
+    /// `(cfg, noise_seed)` — bit-identical no matter how many evaluations
+    /// happened before or on which thread it runs — which is what lets
+    /// the parallel executor's shared evaluation cache memoize outcomes
+    /// without changing results. Does not advance the internal RNG or the
+    /// ledger counters.
+    pub fn evaluate_seeded(&self, cfg: &[f64], noise_seed: u64) -> Outcome {
+        let mut rng = StdRng::seed_from_u64(noise_seed);
+        self.evaluate_with_rng(cfg, &mut rng)
+    }
+
+    /// Shared evaluation core: one stress test with noise drawn from
+    /// `rng` (draw order: one value for the performance noise, then one
+    /// per internal metric).
+    fn evaluate_with_rng(&self, cfg: &[f64], rng: &mut StdRng) -> Outcome {
+        assert_eq!(cfg.len(), self.catalog.len(), "configuration length mismatch");
         match self.surface_score(cfg) {
             Err(()) => Outcome {
                 value: f64::NAN,
@@ -283,7 +308,7 @@ impl DbSimulator {
             },
             Ok(s) => {
                 let noise = if self.noise_sigma > 0.0 {
-                    let z: f64 = self.rng.sample(rand_distr::StandardNormal);
+                    let z: f64 = rng.sample(rand_distr::StandardNormal);
                     (z * self.noise_sigma).exp()
                 } else {
                     1.0
@@ -296,7 +321,7 @@ impl DbSimulator {
                     // Default JOB latency ≈ 200 s, matching §6.2.1.
                     Objective::Latency95 => 200.0 / ratio * noise,
                 };
-                let metrics = self.metrics(cfg, ratio);
+                let metrics = self.metrics(cfg, ratio, rng);
                 Outcome {
                     value,
                     failed: false,
@@ -508,8 +533,8 @@ impl DbSimulator {
     }
 
     /// Simulated internal metrics: a workload signature plus
-    /// configuration-responsive counters, lightly noised.
-    fn metrics(&mut self, cfg: &[f64], perf_ratio: f64) -> Vec<f64> {
+    /// configuration-responsive counters, lightly noised from `rng`.
+    fn metrics(&self, cfg: &[f64], perf_ratio: f64, rng: &mut StdRng) -> Vec<f64> {
         let p = &self.profile;
         let idx = &self.idx;
         let ram = self.hardware.ram_mb();
@@ -574,7 +599,7 @@ impl DbSimulator {
 
         // Light multiplicative noise on every metric.
         for v in &mut m {
-            let z: f64 = self.rng.sample(rand_distr::StandardNormal);
+            let z: f64 = rng.sample(rand_distr::StandardNormal);
             *v *= 1.0 + 0.03 * z;
         }
         m
@@ -728,6 +753,33 @@ mod tests {
         s.evaluate(&cfg);
         assert_eq!(s.n_evals(), 2);
         assert!((s.total_simulated_secs() - 2.0 * (EVAL_SECONDS + RESTART_SECONDS)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_seeded_is_pure_and_stream_independent() {
+        let mut s = sim(Workload::Tpcc);
+        let cfg = s.default_config().to_vec();
+        let a = s.evaluate_seeded(&cfg, 7);
+        s.evaluate(&cfg); // advance the internal stream
+        let b = s.evaluate_seeded(&cfg, 7);
+        assert_eq!(a.value.to_bits(), b.value.to_bits(), "seeded eval must ignore the stream");
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(s.n_evals(), 1, "seeded evals must not touch the ledger");
+    }
+
+    #[test]
+    fn evaluate_stream_unchanged_by_refactor() {
+        // Two simulators with the same seed must produce identical values
+        // whether or not seeded evaluations are interleaved.
+        let mut a = sim(Workload::Twitter);
+        let mut b = sim(Workload::Twitter);
+        let cfg = a.default_config().to_vec();
+        b.evaluate_seeded(&cfg, 99);
+        for _ in 0..3 {
+            let va = a.evaluate(&cfg).value;
+            let vb = b.evaluate(&cfg).value;
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
     }
 
     #[test]

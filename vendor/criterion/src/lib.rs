@@ -1,0 +1,158 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! Provides the macro and type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `Bencher`,
+//! `BenchmarkId`) with plain wall-clock timing instead of criterion's
+//! statistical machinery. `cargo bench` prints a median ns/iter per
+//! benchmark; `cargo test` (which passes `--test` to harness-less bench
+//! binaries) runs each benchmark body once as a smoke test.
+
+use std::time::Instant;
+
+/// Top-level benchmark driver handed to each group function.
+pub struct Criterion {
+    /// Smoke-test mode: run each benchmark body once, skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Registers and runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, self.test_mode, 20, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.criterion.test_mode, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        run_one(&full, self.criterion.test_mode, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting hook in upstream criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Median duration per iteration in nanoseconds, if timed.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            let _ = routine();
+            return;
+        }
+        // Calibrate the per-sample iteration count to ~1ms of work.
+        let warm = Instant::now();
+        let _ = routine();
+        let once_ns = warm.elapsed().as_nanos().max(1) as f64;
+        let iters = ((1e6 / once_ns).ceil() as usize).clamp(1, 10_000);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let _ = routine();
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, samples: usize, f: &mut F) {
+    let mut bencher = Bencher { test_mode, samples, result_ns: None };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {id} ... ok");
+    } else {
+        match bencher.result_ns {
+            Some(ns) => println!("{id}: {:.1} ns/iter (median of {samples})", ns),
+            None => println!("{id}: no measurement"),
+        }
+    }
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,93 @@
+//! Offline vendored subset of the `crossbeam` API.
+//!
+//! The build container has no crates-io access, so the workspace vendors
+//! the slice of crossbeam it uses: [`thread::scope`] with
+//! crossbeam-style closures (each `spawn` closure receives the scope, so
+//! workers can spawn further workers). The implementation delegates to
+//! `std::thread::scope`, which provides the same structured-concurrency
+//! guarantee (all threads joined before `scope` returns).
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam::thread`.
+
+    use std::thread as stdthread;
+
+    /// A scope for spawning borrowing threads (see [`scope`]).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread, joinable before the scope closes.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope itself so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing
+    /// stack frame. Unlike crossbeam (which collects panics and returns
+    /// them as `Err`), panics in scoped threads propagate on the implicit
+    /// join, so the returned `Result` is always `Ok`; callers `.unwrap()`
+    /// it exactly as they would with crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).count()
+        })
+        .unwrap();
+        assert_eq!(out, 4);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let v = super::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline vendored subset of the `rand_distr` 0.4 API: the standard
+//! normal and parameterized [`Normal`] distributions, sampled via
+//! Box–Muller (stateless, so cloned generators stay independent and
+//! checkpointed generators resume exactly).
+
+pub use rand::distributions::Distribution;
+use rand::distributions::Standard;
+use rand::Rng;
+
+/// Uniform in [0, 1) via the `Standard` distribution (works for
+/// `?Sized` generators, unlike `Rng::gen`).
+fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    <Standard as Distribution<f64>>::sample(&Standard, rng)
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller without spare caching: two uniforms per sample keeps
+        // the distribution stateless (checkpoint/resume safe).
+        let u1: f64 = unit(rng).max(1e-300);
+        let u2: f64 = unit(rng);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Error constructing a parameterized distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean was non-finite.
+    MeanTooSmall,
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "normal mean invalid"),
+            NormalError::BadVariance => write!(f, "normal std-dev must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution N(mean, std_dev²).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Builds N(mean, std_dev²); `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_is_affine_of_standard() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.06, "mean {mean}");
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

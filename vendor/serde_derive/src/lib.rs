@@ -1,0 +1,289 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` crate.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! - structs with named fields
+//! - enums with unit variants (serialized as the variant-name string)
+//! - enums with struct variants (serialized as `{"Variant": {fields...}}`)
+//!
+//! Attributes (doc comments etc.) are skipped; `#[serde(...)]` field
+//! attributes are not supported and unused in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive target.
+enum Input {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, Vec<String>)> },
+}
+
+/// Consumes leading `#[...]` attribute groups.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consumes a `pub` / `pub(crate)` visibility prefix.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Extracts named-field identifiers from a braced field list: repeatedly
+/// reads `attrs vis name : type ,` and skips each type by scanning to the
+/// next top-level comma (generics in field types never contain commas in
+/// this workspace — `Vec<T>`, `Option<T>`, `BTreeMap` is aliased behind
+/// full paths with two parameters, handled by angle-depth tracking).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(tokens, i);
+        i = skip_visibility(tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: scan to the next comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run past the end)
+        fields.push(name);
+    }
+    fields
+}
+
+/// Extracts `(variant_name, field_names)` pairs from an enum body.
+/// Unit variants yield an empty field list.
+fn parse_variants(tokens: &[TokenTree]) -> Vec<(String, Vec<String>)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                parse_named_fields(&inner)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variants are not supported by the vendored serde derive")
+            }
+            _ => Vec::new(),
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("expected `,` after variant, found {other:?}"),
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the vendored serde derive");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => panic!("expected braced body (named fields only), found {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct { name, fields: parse_named_fields(&body) },
+        "enum" => Input::Enum { name, variants: parse_variants(&body) },
+        other => panic!("expected struct or enum, found `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n")
+                    } else {
+                        let bindings = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push(({f:?}.to_string(), \
+                                     ::serde::Serialize::to_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {bindings} }} => {{\n\
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![({v:?}.to_string(), \
+                                 ::serde::Value::Object(inner))])\n\
+                             }}\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(fields, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let fields = v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(concat!(\"expected object for \", \
+                             stringify!({name}))))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_empty())
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),\n"))
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| !fields.is_empty())
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::from_field(fields, {f:?})?,\n"))
+                        .collect();
+                    format!(
+                        "{v:?} => {{\n\
+                             let fields = inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object variant body\"))?;\n\
+                             return Ok({name}::{v} {{\n{inits}}});\n\
+                         }}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if let Some(tag) = v.as_str() {{\n\
+                             match tag {{\n\
+                                 {unit_arms}\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                         if let Some(obj) = v.as_object() {{\n\
+                             if let Some((tag, inner)) = obj.first() {{\n\
+                                 match tag.as_str() {{\n\
+                                     {struct_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::custom(concat!(\"no matching variant for \", \
+                             stringify!({name}))))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
