@@ -34,10 +34,8 @@ fn importance_cost(c: &mut Criterion) {
         })
         .collect();
     let specs: Vec<_> = selected.iter().map(|&i| catalog.spec(i).clone()).collect();
-    let default: Vec<f64> = selected
-        .iter()
-        .map(|&i| catalog.default_config(Hardware::B)[i])
-        .collect();
+    let default: Vec<f64> =
+        selected.iter().map(|&i| catalog.default_config(Hardware::B)[i]).collect();
 
     let mut group = c.benchmark_group("importance_300x30");
     group.sample_size(10);

@@ -15,7 +15,10 @@
 //! group depends on) stays sequential; the ten ablation variants then
 //! fan out over the executor as a (variant × seed) grid.
 
-use dbtune_bench::{full_pool, pct, print_table, save_json_with_exec, top_k_knobs, ExpArgs, GridOpts};
+use dbtune_bench::{
+    full_pool, pct, print_exec_summary, print_table, save_json_with_exec, top_k_knobs, ExpArgs,
+    GridOpts,
+};
 use dbtune_core::exec::{run_grid, CachedObjective, EvalCache};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::{
@@ -120,8 +123,16 @@ fn main() {
     let variants: Vec<(&str, &str, Kind)> = vec![
         ("smac_interleave", "interleave on (default)", Kind::SmacInterleave { every: 8 }),
         ("smac_interleave", "interleave off", Kind::SmacInterleave { every: 0 }),
-        ("categorical_encoding", "Hamming kernel (mixed BO)", Kind::CatEncoding { bo: BoKind::Mixed }),
-        ("categorical_encoding", "ordinal RBF (vanilla BO)", Kind::CatEncoding { bo: BoKind::Vanilla }),
+        (
+            "categorical_encoding",
+            "Hamming kernel (mixed BO)",
+            Kind::CatEncoding { bo: BoKind::Mixed },
+        ),
+        (
+            "categorical_encoding",
+            "ordinal RBF (vanilla BO)",
+            Kind::CatEncoding { bo: BoKind::Vanilla },
+        ),
         (
             "turbo_restarts",
             "restarts on (default)",
@@ -144,7 +155,7 @@ fn main() {
         }
     }
 
-    let opts = GridOpts::from_args(&args, 4000);
+    let opts = GridOpts::from_args("ablations", &args, 4000);
     let cache = opts.make_cache();
     let improvements = run_grid(&grid, opts.workers, |_, &(vi, seed)| {
         let run = |wl: Workload, space: &TuningSpace, opt: &mut dyn Optimizer, policy| {
@@ -215,9 +226,6 @@ fn main() {
         .collect();
     print_table(&["Ablation", "Variant", "Improvement"], &rows);
 
-    println!(
-        "\n[exec] workers={} cache hits={} misses={} entries={}",
-        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
-    );
+    print_exec_summary(&exec);
     save_json_with_exec("ablations", &findings, &exec);
 }

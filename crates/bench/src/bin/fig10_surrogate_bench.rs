@@ -14,7 +14,8 @@
 //! clock rather than from mutable per-benchmark accounting.
 
 use dbtune_bench::{
-    full_pool, pct, print_table, save_json_with_exec, top_k_knobs, ExpArgs, GridOpts,
+    full_pool, pct, print_exec_summary, print_table, save_json_with_exec, top_k_knobs, ExpArgs,
+    GridOpts,
 };
 use dbtune_benchmark::collect::{collect_samples, Dataset};
 use dbtune_benchmark::objective::SurrogateBenchmark;
@@ -59,7 +60,7 @@ fn main() {
 
     // Grid: (optimizer × run); every cell borrows the one trained
     // surrogate immutably through the cache adapter.
-    let opts = GridOpts::from_args(&args, 3000);
+    let opts = GridOpts::from_args("fig10_surrogate_bench", &args, 3000);
     let mut grid: Vec<(OptimizerKind, u64)> = Vec::new();
     for &opt_kind in &OptimizerKind::PAPER {
         for run in 0..runs {
@@ -126,7 +127,11 @@ fn main() {
     // byte-reproducible.
     let n_evals = {
         let counted = exec.cache.hits + exec.cache.misses;
-        if counted > 0 { counted as usize } else { grid.len() * iters }
+        if counted > 0 {
+            counted as usize
+        } else {
+            grid.len() * iters
+        }
     };
     let replay_secs = n_evals as f64 * (EVAL_SECONDS + RESTART_SECONDS);
     println!(
@@ -137,10 +142,7 @@ fn main() {
         replay_secs,
         if grid_wall_secs > 0.0 { replay_secs / grid_wall_secs } else { f64::INFINITY }
     );
-    println!(
-        "[exec] workers={} cache hits={} misses={} entries={}",
-        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
-    );
+    print_exec_summary(&exec);
 
     save_json_with_exec("fig10_surrogate_bench", &results, &exec);
 }

@@ -13,12 +13,12 @@
 //! evaluations.
 
 use dbtune_bench::{
-    full_pool, pct, print_table, run_tuning_grid, save_json_with_exec, top_k_knobs, ExpArgs,
-    GridOpts, TuningCell,
+    full_pool, pct, print_exec_summary, print_table, run_tuning_grid, save_json_with_exec,
+    top_k_knobs, ExpArgs, GridOpts, TuningCell,
 };
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
-use dbtune_dbsim::{Hardware, DbSimulator, Workload};
+use dbtune_dbsim::{DbSimulator, Hardware, Workload};
 use dbtune_linalg::stats::average_rank;
 use serde::Serialize;
 
@@ -42,7 +42,7 @@ fn main() {
     let optimizers = [OptimizerKind::VanillaBo, OptimizerKind::Ddpg];
     let catalog = DbSimulator::new(Workload::Job, Hardware::B, 0).catalog().clone();
 
-    let opts = GridOpts::from_args(&args, 100);
+    let opts = GridOpts::from_args("fig3_knob_importance", &args, 100);
 
     // Grid: (workload × measure × k × optimizer × seed), seed-major
     // innermost so each scenario's repeats are consecutive.
@@ -162,11 +162,8 @@ fn main() {
 
     // ---- §5.2 headline: SHAP vs traditional (Lasso, Gini) ----
     let mean_of = |label: &str| {
-        let vals: Vec<f64> = cells
-            .iter()
-            .filter(|c| c.measure == label)
-            .map(|c| c.median_improvement)
-            .collect();
+        let vals: Vec<f64> =
+            cells.iter().filter(|c| c.measure == label).map(|c| c.median_improvement).collect();
         dbtune_linalg::stats::mean(&vals)
     };
     let shap = mean_of("SHAP");
@@ -178,9 +175,6 @@ fn main() {
         pct(shap - trad)
     );
 
-    println!(
-        "\n[exec] workers={} cache hits={} misses={} entries={}",
-        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
-    );
+    print_exec_summary(&exec);
     save_json_with_exec("fig3_table6", &cells, &exec);
 }

@@ -12,7 +12,10 @@
 //! are identical for any worker count. No simulator evaluations happen
 //! here (the pool is precomputed), so the evaluation cache is unused.
 
-use dbtune_bench::{full_pool, importance_scores, print_table, save_json_with_exec, ExpArgs, GridOpts, Pool};
+use dbtune_bench::{
+    full_pool, importance_scores, print_exec_summary, print_table, save_json_with_exec, ExpArgs,
+    GridOpts, Pool,
+};
 use dbtune_core::exec::{cell_seed, run_grid};
 use dbtune_core::importance::{top_k, ImportanceInput, MeasureKind};
 use dbtune_dbsim::{DbSimulator, Hardware, KnobCatalog, Workload};
@@ -41,10 +44,7 @@ fn surrogate_r2(
     seed: u64,
 ) -> f64 {
     let gather = |idx: &[usize]| -> (Vec<Vec<f64>>, Vec<f64>) {
-        (
-            idx.iter().map(|&i| pool.x[i].clone()).collect(),
-            idx.iter().map(|&i| pool.y[i]).collect(),
-        )
+        (idx.iter().map(|&i| pool.x[i].clone()).collect(), idx.iter().map(|&i| pool.y[i]).collect())
     };
     let (xt, yt) = gather(train);
     let (xv, yv) = gather(test);
@@ -54,10 +54,7 @@ fn surrogate_r2(
             let enc = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
                 rows.iter()
                     .map(|r| {
-                        r.iter()
-                            .zip(catalog.specs())
-                            .map(|(v, s)| s.domain.to_unit(*v))
-                            .collect()
+                        r.iter().zip(catalog.specs()).map(|(v, s)| s.domain.to_unit(*v)).collect()
                     })
                     .collect()
             };
@@ -102,7 +99,7 @@ fn main() {
         .collect();
 
     let fractions = [0.1, 0.2, 0.4, 0.6, 0.8];
-    let opts = GridOpts::from_args(&args, 5);
+    let opts = GridOpts::from_args("fig4_sensitivity", &args, 5);
 
     // Grid: (fraction × measurement × repeat). Each cell reshuffles the
     // pool with its own RNG, so cells are independent of each other and
@@ -162,12 +159,13 @@ fn main() {
             similarity: dbtune_linalg::stats::mean(&sims),
             r2: dbtune_linalg::stats::mean(&r2s),
         });
+        let p = points.last().expect("point pushed just above for this scenario");
         eprintln!(
             "[{} n={}] similarity {:.3}, R2 {:.3}",
             measure.label(),
             n_sub,
-            points.last().unwrap().similarity,
-            points.last().unwrap().r2
+            p.similarity,
+            p.r2
         );
     }
 
@@ -207,6 +205,6 @@ fn main() {
     }
     print_table(&header_refs, &rows);
 
-    println!("\n[exec] workers={}", exec.workers);
+    print_exec_summary(&exec);
     save_json_with_exec("fig4_sensitivity", &points, &exec);
 }

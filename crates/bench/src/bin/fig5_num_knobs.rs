@@ -10,8 +10,8 @@
 //! shared cache deduplicates.
 
 use dbtune_bench::{
-    full_pool, pct, print_table, run_tuning_grid, save_json_with_exec, top_k_knobs, ExpArgs,
-    GridOpts, TuningCell,
+    full_pool, pct, print_exec_summary, print_table, run_tuning_grid, save_json_with_exec,
+    top_k_knobs, ExpArgs, GridOpts, TuningCell,
 };
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
@@ -35,7 +35,7 @@ fn main() {
     let catalog = DbSimulator::new(Workload::Job, Hardware::B, 0).catalog().clone();
     let knob_counts = [5usize, 10, 20, 40, 80, 197];
 
-    let opts = GridOpts::from_args(&args, 500);
+    let opts = GridOpts::from_args("fig5_num_knobs", &args, 500);
 
     let mut grid: Vec<TuningCell> = Vec::new();
     let mut scenarios: Vec<(Workload, usize)> = Vec::new();
@@ -93,9 +93,6 @@ fn main() {
         print_table(&["#knobs", "Median improvement", "Tuning cost (iters)"], &rows);
     }
 
-    println!(
-        "\n[exec] workers={} cache hits={} misses={} entries={}",
-        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
-    );
+    print_exec_summary(&exec);
     save_json_with_exec("fig5_num_knobs", &points, &exec);
 }

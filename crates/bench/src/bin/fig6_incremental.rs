@@ -8,7 +8,10 @@
 //! concurrently on the executor and share cached evaluations (all four
 //! search prefixes of the same SHAP ranking).
 
-use dbtune_bench::{full_pool, pct, print_table, save_json_with_exec, top_k_knobs, ExpArgs, GridOpts};
+use dbtune_bench::{
+    full_pool, pct, print_exec_summary, print_table, save_json_with_exec, top_k_knobs, ExpArgs,
+    GridOpts,
+};
 use dbtune_core::exec::{run_grid, CachedObjective};
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::incremental::{run_incremental_session, IncrementalStrategy};
@@ -44,7 +47,7 @@ fn main() {
         seed: u64,
     }
 
-    let opts = GridOpts::from_args(&args, 600);
+    let opts = GridOpts::from_args("fig6_incremental", &args, 600);
     let phase = (iters / 6).max(10);
     let strategies: Vec<(&str, IncrementalStrategy)> = vec![
         (
@@ -90,7 +93,12 @@ fn main() {
             &cell.ranked,
             cell.strategy,
             &make_opt,
-            &SessionConfig { iterations: iters, lhs_init: 10, seed: cell.seed, ..Default::default() },
+            &SessionConfig {
+                iterations: iters,
+                lhs_init: 10,
+                seed: cell.seed,
+                ..Default::default()
+            },
         )
     });
     let exec = opts.report(cache.as_ref());
@@ -117,8 +125,10 @@ fn main() {
 
     for &wl in &[Workload::Job, Workload::Sysbench] {
         println!("\n== Figure 6 ({}): best improvement over iterations ==", wl.name());
-        let checkpoints: Vec<usize> =
-            [0.2, 0.4, 0.6, 0.8, 1.0].iter().map(|f| ((iters as f64 * f) as usize).max(1) - 1).collect();
+        let checkpoints: Vec<usize> = [0.2, 0.4, 0.6, 0.8, 1.0]
+            .iter()
+            .map(|f| ((iters as f64 * f) as usize).max(1) - 1)
+            .collect();
         let rows: Vec<Vec<String>> = series
             .iter()
             .filter(|s| s.workload == wl.name())
@@ -137,9 +147,6 @@ fn main() {
         print_table(&header_refs, &rows);
     }
 
-    println!(
-        "\n[exec] workers={} cache hits={} misses={} entries={}",
-        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
-    );
+    print_exec_summary(&exec);
     save_json_with_exec("fig6_incremental", &series, &exec);
 }

@@ -12,8 +12,8 @@
 //! optimizers of one scenario share.
 
 use dbtune_bench::{
-    full_pool, pct, print_table, run_tuning_grid, save_json_with_exec, top_k_knobs, ExpArgs,
-    GridOpts, TuningCell,
+    full_pool, pct, print_exec_summary, print_table, run_tuning_grid, save_json_with_exec,
+    top_k_knobs, ExpArgs, GridOpts, TuningCell,
 };
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
@@ -36,7 +36,7 @@ fn main() {
     let iters = args.get_usize("iters", 120);
     let seeds = args.get_usize("seeds", 2);
 
-    let opts = GridOpts::from_args(&args, 700);
+    let opts = GridOpts::from_args("fig7_optimizers", &args, 700);
 
     let catalog = DbSimulator::new(Workload::Job, Hardware::B, 0).catalog().clone();
     let sizes: [(&str, usize); 3] = [("small", 5), ("medium", 20), ("large", 197)];
@@ -91,7 +91,11 @@ fn main() {
         [0.25, 0.5, 0.75, 1.0].iter().map(|f| ((iters as f64 * f) as usize).max(1) - 1).collect();
     for &wl in &[Workload::Job, Workload::Sysbench] {
         for &(space_label, _) in &sizes {
-            println!("\n== Figure 7 ({}, {} space): best improvement over iterations ==", wl.name(), space_label);
+            println!(
+                "\n== Figure 7 ({}, {} space): best improvement over iterations ==",
+                wl.name(),
+                space_label
+            );
             let rows: Vec<Vec<String>> = runs
                 .iter()
                 .filter(|r| r.workload == wl.name() && r.space == space_label)
@@ -151,11 +155,8 @@ fn main() {
 
     // ---- §6.4 headline: SMAC vs vanilla BO / DDPG ----
     let mean_of = |label: &str| {
-        let vals: Vec<f64> = runs
-            .iter()
-            .filter(|r| r.optimizer == label)
-            .map(|r| r.best_improvement)
-            .collect();
+        let vals: Vec<f64> =
+            runs.iter().filter(|r| r.optimizer == label).map(|r| r.best_improvement).collect();
         dbtune_linalg::stats::mean(&vals)
     };
     let smac = mean_of("SMAC");
@@ -167,9 +168,6 @@ fn main() {
         pct(smac - trad)
     );
 
-    println!(
-        "\n[exec] workers={} cache hits={} misses={} entries={}",
-        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
-    );
+    print_exec_summary(&exec);
     save_json_with_exec("fig7_table7", &runs, &exec);
 }

@@ -11,8 +11,8 @@
 //! optimizers on one space share their LHS warm-up via the cache.
 
 use dbtune_bench::{
-    full_pool, importance_scores, pct, print_table, run_tuning_grid, save_json_with_exec, ExpArgs,
-    GridOpts, TuningCell,
+    full_pool, importance_scores, pct, print_exec_summary, print_table, run_tuning_grid,
+    save_json_with_exec, ExpArgs, GridOpts, TuningCell,
 };
 use dbtune_core::importance::MeasureKind;
 use dbtune_core::optimizer::OptimizerKind;
@@ -44,8 +44,7 @@ fn main() {
         idx.truncate(k);
         idx
     };
-    let continuous_20 =
-        ranked_where(&|i| !catalog.spec(i).domain.is_categorical(), 20);
+    let continuous_20 = ranked_where(&|i| !catalog.spec(i).domain.is_categorical(), 20);
     let mut hetero = ranked_where(&|i| catalog.spec(i).domain.is_categorical(), 5);
     hetero.extend(ranked_where(&|i| catalog.spec(i).domain.is_integer(), 15));
 
@@ -67,7 +66,7 @@ fn main() {
     let spaces: [(&str, &Vec<usize>); 2] =
         [("continuous", &continuous_20), ("heterogeneous", &hetero)];
 
-    let opts = GridOpts::from_args(&args, 800);
+    let opts = GridOpts::from_args("fig8_heterogeneity", &args, 800);
     let mut grid: Vec<TuningCell> = Vec::new();
     let mut scenarios: Vec<(&str, OptimizerKind)> = Vec::new();
     for &(label, selected) in &spaces {
@@ -107,8 +106,10 @@ fn main() {
 
     for &(label, _) in &spaces {
         println!("\n== Figure 8 ({label} space, JOB latency improvement) ==");
-        let checkpoints: Vec<usize> =
-            [0.25, 0.5, 0.75, 1.0].iter().map(|f| ((iters as f64 * f) as usize).max(1) - 1).collect();
+        let checkpoints: Vec<usize> = [0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|f| ((iters as f64 * f) as usize).max(1) - 1)
+            .collect();
         let rows: Vec<Vec<String>> = runs
             .iter()
             .filter(|r| r.space == label)
@@ -141,9 +142,6 @@ fn main() {
         pct(get("continuous", "Vanilla BO")),
     );
 
-    println!(
-        "\n[exec] workers={} cache hits={} misses={} entries={}",
-        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
-    );
+    print_exec_summary(&exec);
     save_json_with_exec("fig8_heterogeneity", &runs, &exec);
 }

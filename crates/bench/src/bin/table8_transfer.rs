@@ -20,10 +20,13 @@
 //! out over the executor, with base and transfer runs of one target
 //! sharing cached evaluations.
 
-use dbtune_bench::{full_pool, importance_scores, pct, print_table, save_json_with_exec, ExpArgs, GridOpts};
+use dbtune_bench::{
+    full_pool, importance_scores, pct, print_exec_summary, print_table, save_json_with_exec,
+    ExpArgs, GridOpts,
+};
 use dbtune_core::exec::{run_grid, CachedObjective, EvalCache};
 use dbtune_core::importance::{top_k, MeasureKind};
-use dbtune_core::optimizer::{Ddpg, DdpgParams, OptimizerKind, Optimizer};
+use dbtune_core::optimizer::{Ddpg, DdpgParams, Optimizer, OptimizerKind};
 use dbtune_core::space::TuningSpace;
 use dbtune_core::transfer::{
     fine_tuned_ddpg, BaseKind, MappedOptimizer, RgpeOptimizer, SourceTask, SurrogateKind,
@@ -72,13 +75,8 @@ fn main() {
     let pretrain = args.get_usize("pretrain", 150);
 
     let catalog = DbSimulator::new(Workload::Sysbench, Hardware::B, 0).catalog().clone();
-    let sources = [
-        Workload::Seats,
-        Workload::Voter,
-        Workload::Tatp,
-        Workload::Smallbank,
-        Workload::Sibench,
-    ];
+    let sources =
+        [Workload::Seats, Workload::Voter, Workload::Tatp, Workload::Smallbank, Workload::Sibench];
     let targets = [Workload::Sysbench, Workload::Tpcc, Workload::Twitter];
 
     // Top-20 knobs "across OLTP workloads": average the normalized SHAP
@@ -98,7 +96,7 @@ fn main() {
         selected.iter().map(|&i| catalog.spec(i).name).collect::<Vec<_>>()
     );
 
-    let opts = GridOpts::from_args(&args, 2000);
+    let opts = GridOpts::from_args("table8_transfer", &args, 2000);
     let cache = opts.make_cache();
 
     // Pre-train DDPG across the five sources in turn (sequential: one
@@ -193,11 +191,8 @@ fn main() {
             eprintln!("[{} base {}] best {:.0}", target.name(), name, r.best_value());
         }
         let base = |name: &str| base_runs.iter().find(|(n, _)| *n == name).expect("base run");
-        let transfer_runs: Vec<(&str, &str, &SessionResult)> = TRANSFERS
-            .iter()
-            .zip(&chunk[BASES.len()..])
-            .map(|(&(f, b), r)| (f, b, r))
-            .collect();
+        let transfer_runs: Vec<(&str, &str, &SessionResult)> =
+            TRANSFERS.iter().zip(&chunk[BASES.len()..]).map(|(&(f, b), r)| (f, b, r)).collect();
 
         // APR: rank by absolute best value (throughput targets: higher
         // is better).
@@ -215,9 +210,8 @@ fn main() {
             let b = base(base_name).1;
             let base_best = b.best_score();
             let steps_base = b.iterations_to_best();
-            let speedup = r
-                .iterations_to_beat(base_best)
-                .map(|steps| steps_base as f64 / steps as f64);
+            let speedup =
+                r.iterations_to_beat(base_best).map(|steps| steps_base as f64 / steps as f64);
             // Eq. 4 on raw performance values (all targets are throughput).
             let pe = (r.best_value() - b.best_value()) / b.best_value();
             eprintln!(
@@ -288,9 +282,6 @@ fn main() {
         .collect();
     print_table(&["Framework", "Avg speedup", "Avg PE", "Avg APR"], &avg_rows);
 
-    println!(
-        "\n[exec] workers={} cache hits={} misses={} entries={}",
-        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
-    );
+    print_exec_summary(&exec);
     save_json_with_exec("table8_transfer", &rows, &exec);
 }

@@ -7,7 +7,9 @@
 //! zoo evaluation) and run as one executor cell each; their spaces
 //! differ, so the shared cache records misses only.
 
-use dbtune_bench::{full_pool, print_table, save_json_with_exec, top_k_knobs, ExpArgs, GridOpts};
+use dbtune_bench::{
+    full_pool, print_exec_summary, print_table, save_json_with_exec, top_k_knobs, ExpArgs, GridOpts,
+};
 use dbtune_benchmark::collect::collect_samples;
 use dbtune_benchmark::surrogate::evaluate_zoo;
 use dbtune_core::exec::run_grid;
@@ -33,7 +35,7 @@ fn main() {
     // JOB: small space (top-5); SYSBENCH: medium space (top-20), as §8.
     let scenarios: [(Workload, usize); 2] = [(Workload::Job, 5), (Workload::Sysbench, 20)];
 
-    let opts = GridOpts::from_args(&args, 50);
+    let opts = GridOpts::from_args("table9_surrogate_models", &args, 50);
 
     // Pools are disk-cached per workload; collect them sequentially so
     // concurrent cells never race on the cache files.
@@ -54,7 +56,13 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
     for (&(wl, _), results) in scenarios.iter().zip(&per_scenario) {
         for r in results {
-            eprintln!("[{} {}] RMSE {:.2} R2 {:.1}%", wl.name(), r.kind.label(), r.rmse, r.r_squared * 100.0);
+            eprintln!(
+                "[{} {}] RMSE {:.2} R2 {:.1}%",
+                wl.name(),
+                r.kind.label(),
+                r.rmse,
+                r.r_squared * 100.0
+            );
             entries.push(Entry {
                 workload: wl.name().to_string(),
                 model: r.kind.label().to_string(),
@@ -71,16 +79,12 @@ fn main() {
             .iter()
             .filter(|e| e.workload == wl.name())
             .map(|e| {
-                vec![
-                    e.model.clone(),
-                    format!("{:.2}", e.rmse),
-                    format!("{:.1}%", e.r2 * 100.0),
-                ]
+                vec![e.model.clone(), format!("{:.2}", e.rmse), format!("{:.1}%", e.r2 * 100.0)]
             })
             .collect();
         print_table(&["Model", "RMSE", "R²"], &rows);
     }
 
-    println!("\n[exec] workers={}", exec.workers);
+    print_exec_summary(&exec);
     save_json_with_exec("table9_surrogates", &entries, &exec);
 }

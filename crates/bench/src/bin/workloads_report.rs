@@ -6,7 +6,7 @@
 //! run on the executor through the shared cache (one entry per
 //! workload — distinct domains never collide).
 
-use dbtune_bench::{print_table, save_json_with_exec, ExpArgs, GridOpts};
+use dbtune_bench::{print_exec_summary, print_table, save_json_with_exec, ExpArgs, GridOpts};
 use dbtune_core::exec::{run_grid, CachedObjective};
 use dbtune_core::tuner::SimObjective;
 use dbtune_dbsim::{DbSimulator, Hardware, Objective, Workload};
@@ -25,7 +25,7 @@ struct Anchor {
 
 fn main() {
     let args = ExpArgs::parse();
-    let opts = GridOpts::from_args(&args, 42);
+    let opts = GridOpts::from_args("workloads_report", &args, 42);
 
     println!("== Table 4: Profile information for workloads ==");
     let rows: Vec<Vec<String>> = Workload::ALL
@@ -63,8 +63,7 @@ fn main() {
     let cache = opts.make_cache();
     let anchors = run_grid(&Workload::ALL, opts.workers, |_, &w| {
         let sim = DbSimulator::new(w, Hardware::B, 0);
-        let expected =
-            sim.expected_value(sim.default_config()).expect("default must not crash");
+        let expected = sim.expected_value(sim.default_config()).expect("default must not crash");
         let objective = sim.objective();
         let default_cfg = sim.default_config().to_vec();
         let mut obj = CachedObjective::new(sim, cache.clone(), opts.noise_seed);
@@ -94,9 +93,6 @@ fn main() {
         .collect();
     print_table(&["Workload", "Default performance"], &rows);
 
-    println!(
-        "\n[exec] workers={} cache hits={} misses={} entries={}",
-        exec.workers, exec.cache.hits, exec.cache.misses, exec.cache.entries
-    );
+    print_exec_summary(&exec);
     save_json_with_exec("workloads_report", &anchors, &exec);
 }

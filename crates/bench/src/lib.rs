@@ -11,6 +11,7 @@ use dbtune_core::importance::{ImportanceInput, MeasureKind};
 use dbtune_core::optimizer::OptimizerKind;
 use dbtune_core::sampling;
 use dbtune_core::space::TuningSpace;
+use dbtune_core::telemetry::{self, TraceEvent};
 use dbtune_core::tuner::{orient, run_session, SessionConfig, SessionResult, SimObjective};
 use dbtune_dbsim::{DbSimulator, Hardware, KnobCatalog, Workload, METRICS_DIM};
 use rand::rngs::StdRng;
@@ -61,9 +62,7 @@ impl ExpArgs {
     /// Optional integer argument (no default — e.g. `workers=`, which
     /// falls back to the executor's own resolution chain when absent).
     pub fn opt_usize(&self, key: &str) -> Option<usize> {
-        self.map
-            .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {key}: {v}")))
+        self.map.get(key).map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {key}: {v}")))
     }
 }
 
@@ -88,13 +87,22 @@ pub struct GridOpts {
 }
 
 impl GridOpts {
-    /// Parses `workers=` / `cache=` from the driver's arguments.
-    pub fn from_args(args: &ExpArgs, noise_seed: u64) -> Self {
+    /// Parses `workers=` / `cache=` / `trace=` from the driver's
+    /// arguments. `driver` names the binary; it becomes the journal's
+    /// `source` when `trace=<path>` starts one (the `DBTUNE_TRACE`
+    /// environment variable is handled by the telemetry global itself).
+    pub fn from_args(driver: &str, args: &ExpArgs, noise_seed: u64) -> Self {
         let cache = match args.get_str("cache", "on").as_str() {
             "on" => true,
             "off" => false,
             other => panic!("bad value for cache: {other} (expected on|off)"),
         };
+        let trace = args.get_str("trace", "");
+        if !trace.is_empty() {
+            telemetry::global()
+                .enable_journal(std::path::Path::new(&trace), driver)
+                .unwrap_or_else(|e| panic!("cannot open trace journal {trace}: {e}"));
+        }
         Self { workers: resolve_workers(args.opt_usize("workers")), cache, noise_seed }
     }
 
@@ -107,13 +115,21 @@ impl GridOpts {
         }
     }
 
-    /// Final execution report for the driver's JSON output.
+    /// Final execution report for the driver's JSON output. Also publishes
+    /// the cache counters into the global metrics registry, so the
+    /// `"telemetry"` block, the journal flush, and the console summary all
+    /// read the same numbers.
     pub fn report(&self, cache: Option<&Arc<EvalCache>>) -> ExecReport {
+        let stats = cache.map(|c| c.stats()).unwrap_or_default();
+        let metrics = &telemetry::global().metrics;
+        metrics.counter("exec.cache.hits").add(stats.hits);
+        metrics.counter("exec.cache.misses").add(stats.misses);
+        metrics.gauge("exec.cache.entries").set(stats.entries as i64);
         ExecReport {
             workers: self.workers,
             cache_enabled: self.cache,
             noise_seed: self.noise_seed,
-            cache: cache.map(|c| c.stats()).unwrap_or_default(),
+            cache: stats,
         }
     }
 }
@@ -171,51 +187,128 @@ pub fn run_cached_session(
     cache: Option<Arc<EvalCache>>,
     noise_seed: u64,
 ) -> SessionResult {
+    run_cached_session_with_stats(cell, cache, noise_seed).0
+}
+
+/// [`run_cached_session`] plus the session's own cache hit/miss counts
+/// (per-cell, unlike the grid-wide [`EvalCache::stats`]) — the numbers the
+/// journal's per-cell events report.
+pub fn run_cached_session_with_stats(
+    cell: &TuningCell,
+    cache: Option<Arc<EvalCache>>,
+    noise_seed: u64,
+) -> (SessionResult, u64, u64) {
     let sim = DbSimulator::new(cell.workload, Hardware::B, cell.seed);
     let catalog = sim.catalog().clone();
     let space = TuningSpace::with_default_base(&catalog, cell.selected.clone(), Hardware::B);
     let mut opt = cell.opt_kind.build(space.space(), METRICS_DIM, cell.seed);
     let mut obj = CachedObjective::new(sim, cache, noise_seed);
-    run_session(
+    let result = run_session(
         &mut obj,
         &space,
         &mut opt,
-        &SessionConfig { iterations: cell.iters, lhs_init: 10, seed: cell.seed, ..Default::default() },
-    )
+        &SessionConfig {
+            iterations: cell.iters,
+            lhs_init: 10,
+            seed: cell.seed,
+            ..Default::default()
+        },
+    );
+    (result, obj.n_hits() as u64, obj.n_misses() as u64)
 }
 
 /// Runs a grid of tuning sessions on the worker pool with a shared cache,
-/// returning results in grid order plus the execution report.
+/// returning results in grid order plus the execution report. When the
+/// trace journal is on, each completed cell emits a `cell` event with its
+/// grid index, per-session cache hits/misses, duration, and thread.
 pub fn run_tuning_grid(cells: &[TuningCell], opts: &GridOpts) -> (Vec<SessionResult>, ExecReport) {
     let cache = opts.make_cache();
-    let results = run_grid(cells, opts.workers, |_, cell| {
-        run_cached_session(cell, cache.clone(), opts.noise_seed)
+    let tele = telemetry::global();
+    let results = run_grid(cells, opts.workers, |index, cell| {
+        let t0 = std::time::Instant::now();
+        let (result, hits, misses) =
+            run_cached_session_with_stats(cell, cache.clone(), opts.noise_seed);
+        if tele.journal.is_enabled() {
+            tele.journal.emit(TraceEvent::Cell {
+                index: index as u64,
+                cache_hits: hits,
+                cache_misses: misses,
+                dur_nanos: t0.elapsed().as_nanos() as u64,
+                thread: telemetry::thread_ordinal(),
+                seq: 0,
+            });
+        }
+        result
     });
     (results, opts.report(cache.as_ref()))
+}
+
+/// The uniform end-of-run console summary, printed by every driver in
+/// place of ad-hoc `[exec]` lines. Cache counters come from the execution
+/// report (deterministic per grid); the simulator counters come from the
+/// same global registry the `"telemetry"` JSON block snapshots.
+pub fn print_exec_summary(exec: &ExecReport) {
+    let metrics = &telemetry::global().metrics;
+    println!(
+        "\n[exec] workers={} cache hits={} misses={} entries={} | sim evals={} crashes={}",
+        exec.workers,
+        exec.cache.hits,
+        exec.cache.misses,
+        exec.cache.entries,
+        metrics.counter("sim.evals").get(),
+        metrics.counter("sim.crashes").get(),
+    );
 }
 
 /// Directory where drivers persist JSON results (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from("results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create results directory {}: {e}", dir.display()));
     dir
 }
 
 /// Persists a serializable result under `results/<name>.json`.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    let file = std::fs::File::create(&path).expect("create result file");
-    serde_json::to_writer_pretty(std::io::BufWriter::new(file), value).expect("serialize result");
+    let file = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("cannot create {} for driver '{name}': {e}", path.display()));
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), value)
+        .unwrap_or_else(|e| panic!("cannot write '{name}' results to {}: {e}", path.display()));
     println!("[saved {}]", path.display());
 }
 
-/// Persists `{"results": <value>, "exec": <report>}` — the uniform output
-/// shape of every driver, so downstream tooling (and the smoke test) can
-/// rely on those two top-level keys.
+/// Persists `{"results": ..., "exec": ..., "telemetry": ...}` — the
+/// uniform output shape of every driver, so downstream tooling (and the
+/// smoke test) can rely on those top-level keys. Only `"telemetry"`
+/// contains wall-clock numbers; `"results"` and `"exec"` are byte-
+/// identical run to run, traced or not (see docs/observability.md).
 pub fn save_json_with_exec<T: Serialize>(name: &str, results: &T, exec: &ExecReport) {
+    save_json_with_telemetry(name, results, exec, None)
+}
+
+/// [`save_json_with_exec`] with an extra driver-specific value appended
+/// to the `"telemetry"` block under `"driver"` (e.g. fig9's per-phase
+/// overhead series). Flushes the metrics registry to the journal first,
+/// so a trace ends with one `counter`/`gauge`/`hist` event per
+/// instrument.
+pub fn save_json_with_telemetry<T: Serialize>(
+    name: &str,
+    results: &T,
+    exec: &ExecReport,
+    driver_telemetry: Option<serde::Value>,
+) {
+    telemetry::global().flush_metrics();
+    let mut tele_value = telemetry::global_report_value();
+    if let Some(extra) = driver_telemetry {
+        if let serde::Value::Object(fields) = &mut tele_value {
+            fields.push(("driver".to_string(), extra));
+        }
+    }
     let wrapped = serde::Value::Object(vec![
         ("results".to_string(), results.to_value()),
         ("exec".to_string(), exec.to_value()),
+        ("telemetry".to_string(), tele_value),
     ]);
     save_json(name, &wrapped);
 }
@@ -351,18 +444,12 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: Vec<String>| {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:<w$}", w = w))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
         println!("| {} |", padded.join(" | "));
     };
     line(headers.iter().map(|h| h.to_string()).collect());
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         line(row.clone());
     }

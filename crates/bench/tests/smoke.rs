@@ -1,6 +1,7 @@
 //! Smoke test: every figure/table driver must run end-to-end at tiny
 //! scale, exit zero, and write `results/<name>.json` with the uniform
-//! `{"results": …, "exec": …}` shape the executor port established.
+//! `{"results": …, "exec": …, "telemetry": …}` shape the executor port
+//! and telemetry layer established.
 //!
 //! Each binary gets its own scratch CWD under the system temp dir, so
 //! pool caches and result files never collide across (parallel) tests.
@@ -47,8 +48,8 @@ fn run_smoke(exe: &str, json_name: &str) {
     let path = dir.join("results").join(format!("{json_name}.json"));
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("{name} did not write {}: {e}", path.display()));
-    let value: Value = serde_json::from_str(&text)
-        .unwrap_or_else(|e| panic!("{name} wrote invalid JSON: {e:?}"));
+    let value: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} wrote invalid JSON: {e:?}"));
 
     lookup(&value, "results").unwrap_or_else(|| panic!("{name}: missing top-level 'results'"));
     let exec = lookup(&value, "exec").unwrap_or_else(|| panic!("{name}: missing top-level 'exec'"));
@@ -58,6 +59,11 @@ fn run_smoke(exe: &str, json_name: &str) {
     let cache = lookup(exec, "cache").unwrap_or_else(|| panic!("{name}: missing exec.cache"));
     for key in ["hits", "misses", "entries"] {
         lookup(cache, key).unwrap_or_else(|| panic!("{name}: missing exec.cache.{key}"));
+    }
+    let tele = lookup(&value, "telemetry")
+        .unwrap_or_else(|| panic!("{name}: missing top-level 'telemetry'"));
+    for key in ["spans", "counters", "gauges", "histograms"] {
+        lookup(tele, key).unwrap_or_else(|| panic!("{name}: missing telemetry.{key}"));
     }
 
     let _ = std::fs::remove_dir_all(&dir);

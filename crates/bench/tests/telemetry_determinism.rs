@@ -1,0 +1,140 @@
+//! The telemetry determinism contract: tracing must *observe*, never
+//! perturb. A driver's `"results"` payload has to come out byte-identical
+//! with the journal enabled or disabled, and across worker counts — and
+//! every line a journal emits has to parse against the documented schema.
+//!
+//! Uses `fig9_overhead` because it is the driver whose results payload
+//! was historically wall-clock-contaminated; it now carries only the
+//! deterministic fields, and this test keeps it that way.
+
+use dbtune_core::telemetry::{TraceEvent, SCHEMA_VERSION};
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn lookup<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbtune_tele_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs `fig9_overhead` at tiny scale and returns the canonical
+/// serialization of its `"results"` payload.
+fn run_fig9(dir: &Path, workers: usize, trace: Option<&Path>) -> String {
+    let exe = env!("CARGO_BIN_EXE_fig9_overhead");
+    let mut args = vec![
+        "samples=120".to_string(),
+        "iters=6".to_string(),
+        "cache=on".to_string(),
+        format!("workers={workers}"),
+    ];
+    if let Some(t) = trace {
+        args.push(format!("trace={}", t.display()));
+    }
+    let out = Command::new(exe).args(&args).current_dir(dir).output().expect("spawn fig9");
+    assert!(
+        out.status.success(),
+        "fig9_overhead failed (workers={workers}, trace={trace:?})\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let text = std::fs::read_to_string(dir.join("results/fig9_overhead.json"))
+        .expect("driver wrote results json");
+    let value: Value = serde_json::from_str(&text).expect("valid JSON");
+    let results = lookup(&value, "results").expect("top-level 'results'");
+    serde_json::to_string(results).expect("serialize results")
+}
+
+#[test]
+fn results_identical_with_and_without_trace_across_worker_counts() {
+    let dir = scratch("determinism");
+    let baseline = run_fig9(&dir, 1, None);
+    for workers in [1usize, 2, 8] {
+        let untraced = run_fig9(&dir, workers, None);
+        assert_eq!(
+            baseline, untraced,
+            "results drifted across worker counts (workers={workers}, no trace)"
+        );
+        let trace = dir.join(format!("trace_w{workers}.jsonl"));
+        let traced = run_fig9(&dir, workers, Some(&trace));
+        assert_eq!(
+            baseline, traced,
+            "enabling the journal changed the results payload (workers={workers})"
+        );
+        assert!(trace.exists(), "journal file was not written (workers={workers})");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_lines_all_parse_against_the_schema() {
+    let dir = scratch("schema");
+    let trace = dir.join("trace.jsonl");
+    run_fig9(&dir, 2, Some(&trace));
+
+    let text = std::fs::read_to_string(&trace).expect("journal written");
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut last_seq = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let event = TraceEvent::parse_line(line)
+            .unwrap_or_else(|e| panic!("journal line {}: {e}\n  {line}", idx + 1));
+        // Round-trip: serialization must reproduce the line exactly
+        // (stable field order is part of the schema).
+        assert_eq!(event.to_jsonl(), line, "line {} does not round-trip", idx + 1);
+        match &event {
+            TraceEvent::Meta { version, source } => {
+                assert_eq!(idx, 0, "meta event must be the first line");
+                assert_eq!(*version, SCHEMA_VERSION);
+                assert_eq!(source, "fig9_overhead");
+            }
+            TraceEvent::Span { seq, .. }
+            | TraceEvent::Counter { seq, .. }
+            | TraceEvent::Gauge { seq, .. }
+            | TraceEvent::Hist { seq, .. }
+            | TraceEvent::Cell { seq, .. } => {
+                assert!(idx > 0, "first line must be meta");
+                assert!(*seq > last_seq, "seq must be strictly increasing");
+                last_seq = *seq;
+            }
+        }
+        kinds.insert(event.kind());
+    }
+    // A tuning run must have produced at least these event kinds.
+    for kind in ["meta", "span", "cell", "counter"] {
+        assert!(kinds.contains(kind), "journal has no '{kind}' events; kinds seen: {kinds:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_validate_accepts_real_journals_and_rejects_garbage() {
+    let dir = scratch("validate");
+    let trace = dir.join("trace.jsonl");
+    run_fig9(&dir, 2, Some(&trace));
+
+    let exe = env!("CARGO_BIN_EXE_trace_validate");
+    let ok = Command::new(exe).arg(&trace).output().expect("spawn trace_validate");
+    assert!(
+        ok.status.success(),
+        "trace_validate rejected a real journal:\n{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("OK"), "unexpected validator output: {stdout}");
+
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "{\"type\":\"span\",\"oops\":1}\nnot json at all\n").expect("write bad");
+    let rejected = Command::new(exe).arg(&bad).output().expect("spawn trace_validate");
+    assert_eq!(rejected.status.code(), Some(1), "garbage journal must exit 1");
+
+    let missing = Command::new(exe).arg(dir.join("nope.jsonl")).output().expect("spawn");
+    assert_eq!(missing.status.code(), Some(2), "missing file must exit 2");
+    let _ = std::fs::remove_dir_all(&dir);
+}

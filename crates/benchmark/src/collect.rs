@@ -7,7 +7,7 @@
 //! are. All data is collected within one simulated instance for a
 //! consistent measurement.
 
-use dbtune_core::optimizer::{OptimizerKind, Optimizer};
+use dbtune_core::optimizer::{Optimizer, OptimizerKind};
 use dbtune_core::sampling;
 use dbtune_core::space::TuningSpace;
 use dbtune_core::tuner::{orient, SimObjective};
@@ -50,7 +50,11 @@ pub fn collect_samples(
     let mut ds = Dataset::default();
     let mut worst = f64::INFINITY;
 
-    let record = |ds: &mut Dataset, worst: &mut f64, sub: Vec<f64>, objective: &mut dyn SimObjective, space: &TuningSpace| {
+    let record = |ds: &mut Dataset,
+                  worst: &mut f64,
+                  sub: Vec<f64>,
+                  objective: &mut dyn SimObjective,
+                  space: &TuningSpace| {
         let res = objective.evaluate(&space.full_config(&sub));
         let score = if res.failed {
             if worst.is_finite() {

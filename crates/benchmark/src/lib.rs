@@ -16,8 +16,8 @@
 //!    claim.
 
 pub mod collect;
-pub mod surrogate;
 pub mod objective;
+pub mod surrogate;
 
 pub use collect::{collect_samples, Dataset};
 pub use objective::{SpeedupReport, SurrogateBenchmark};

@@ -51,7 +51,11 @@ impl SurrogateBenchmark {
             n_evals: self.n_evals,
             replay_secs,
             surrogate_secs: self.surrogate_secs,
-            speedup: if self.surrogate_secs > 0.0 { replay_secs / self.surrogate_secs } else { f64::INFINITY },
+            speedup: if self.surrogate_secs > 0.0 {
+                replay_secs / self.surrogate_secs
+            } else {
+                f64::INFINITY
+            },
         }
     }
 }
@@ -91,13 +95,7 @@ impl SurrogateBenchmark {
                 Objective::Throughput => "throughput".to_string(),
                 Objective::Latency95 => "latency95".to_string(),
             },
-            knob_names: self
-                .space
-                .space()
-                .specs()
-                .iter()
-                .map(|s| s.name.to_string())
-                .collect(),
+            knob_names: self.space.space().specs().iter().map(|s| s.name.to_string()).collect(),
             base: self.space.base().to_vec(),
             model: self.model.clone(),
         };
@@ -183,9 +181,7 @@ impl DeterministicObjective for SurrogateBenchmark {
             Objective::Latency95 => "latency95",
         };
         CacheKey::domain_tag(
-            ["surrogate", obj]
-                .into_iter()
-                .chain(self.space.space().specs().iter().map(|s| s.name)),
+            ["surrogate", obj].into_iter().chain(self.space.space().specs().iter().map(|s| s.name)),
         )
     }
 

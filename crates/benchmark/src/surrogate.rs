@@ -154,7 +154,7 @@ mod tests {
     }
 
     #[test]
-    fn tree_models_beat_ridge_on_nonlinear_surface(){
+    fn tree_models_beat_ridge_on_nonlinear_surface() {
         let (space, ds) = tiny_dataset();
         let results = evaluate_zoo(&space, &ds, 5, 2);
         let r2 = |k: SurrogateModelKind| {
@@ -162,7 +162,8 @@ mod tests {
         };
         // The response surface has categorical jumps and saturations; the
         // tree families must model it clearly better than a linear model.
-        let best_tree = r2(SurrogateModelKind::RandomForest).max(r2(SurrogateModelKind::GradientBoosting));
+        let best_tree =
+            r2(SurrogateModelKind::RandomForest).max(r2(SurrogateModelKind::GradientBoosting));
         assert!(
             best_tree > r2(SurrogateModelKind::Ridge),
             "trees {best_tree} should beat ridge {}",

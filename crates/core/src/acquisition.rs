@@ -74,12 +74,13 @@ where
 {
     let mut best_cfg: Option<Vec<f64>> = None;
     let mut best_val = f64::NEG_INFINITY;
-    let consider = |cfg: Vec<f64>, val: f64, best_cfg: &mut Option<Vec<f64>>, best_val: &mut f64| {
-        if val > *best_val {
-            *best_val = val;
-            *best_cfg = Some(cfg);
-        }
-    };
+    let consider =
+        |cfg: Vec<f64>, val: f64, best_cfg: &mut Option<Vec<f64>>, best_val: &mut f64| {
+            if val > *best_val {
+                *best_val = val;
+                *best_cfg = Some(cfg);
+            }
+        };
 
     for _ in 0..n_random {
         let cfg = space.sample(rng);

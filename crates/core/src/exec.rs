@@ -29,14 +29,16 @@
 //! Worker-count selection: explicit flag > `DBTUNE_WORKERS` env var >
 //! `available_parallelism` capped at 8 (see [`resolve_workers`]).
 
+use crate::telemetry;
 use crate::tuner::{EvalResult, SimObjective};
 use dbtune_dbsim::{DbSimulator, KnobSpec, Objective};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Seeding
@@ -98,8 +100,39 @@ where
         return Vec::new();
     }
     let workers = workers.clamp(1, n);
+
+    // Executor telemetry (docs/observability.md): per-cell `exec.cell`
+    // spans and duration histogram, per-worker busy/idle/steal ledgers,
+    // and a queue-depth gauge sampled at each claim. Pure observation —
+    // none of it feeds back into scheduling or results.
+    let tele = telemetry::global();
+    let cells_done = tele.metrics.counter("exec.cells");
+    let busy_ctr = tele.metrics.counter("exec.worker.busy_nanos");
+    let idle_ctr = tele.metrics.counter("exec.worker.idle_nanos");
+    let steal_ctr = tele.metrics.counter("exec.worker.steal_nanos");
+    let depth_gauge = tele.metrics.gauge("exec.queue.depth");
+    let cell_hist = tele.metrics.histogram("exec.cell_nanos");
+
     if workers == 1 {
-        return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+        // Serial fast path: the caller is the worker; it never idles.
+        let out = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                depth_gauge.set((n - i - 1) as i64);
+                let t = Instant::now();
+                let result = {
+                    let _cell = tele.span("exec.cell");
+                    f(i, c)
+                };
+                let nanos = t.elapsed().as_nanos() as u64;
+                busy_ctr.add(nanos);
+                cell_hist.record(nanos);
+                cells_done.inc();
+                result
+            })
+            .collect();
+        return out;
     }
 
     let cursor = AtomicUsize::new(0);
@@ -107,13 +140,41 @@ where
     let (cursor_ref, slots_ref, f_ref) = (&cursor, &slots, &f);
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(move |_| loop {
-                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let (cells_done, busy_ctr, idle_ctr, steal_ctr, depth_gauge, cell_hist) = (
+                cells_done.clone(),
+                busy_ctr.clone(),
+                idle_ctr.clone(),
+                steal_ctr.clone(),
+                depth_gauge.clone(),
+                cell_hist.clone(),
+            );
+            scope.spawn(move |_| {
+                let _worker = tele.span("exec.worker");
+                let worker_start = Instant::now();
+                let (mut busy, mut steal) = (0u64, 0u64);
+                loop {
+                    let t_claim = Instant::now();
+                    let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                    steal += t_claim.elapsed().as_nanos() as u64;
+                    if i >= n {
+                        break;
+                    }
+                    depth_gauge.set(n as i64 - i as i64 - 1);
+                    let t = Instant::now();
+                    let result = {
+                        let _cell = tele.span("exec.cell");
+                        f_ref(i, &cells[i])
+                    };
+                    let nanos = t.elapsed().as_nanos() as u64;
+                    busy += nanos;
+                    cell_hist.record(nanos);
+                    cells_done.inc();
+                    *slots_ref[i].lock() = Some(result);
                 }
-                let result = f_ref(i, &cells[i]);
-                *slots_ref[i].lock() = Some(result);
+                busy_ctr.add(busy);
+                steal_ctr.add(steal);
+                let lifetime = worker_start.elapsed().as_nanos() as u64;
+                idle_ctr.add(lifetime.saturating_sub(busy + steal));
             });
         }
     })
@@ -219,11 +280,17 @@ pub struct CacheStats {
 /// the stored result either way, so results must not depend on which
 /// thread computed them. [`DeterministicObjective`] provides exactly that
 /// purity.
+///
+/// The hit/miss counters are instruments in a cache-private
+/// [`telemetry::Registry`] — per-instance (so [`CacheStats`] stays
+/// deterministic per grid) but with the same `Counter` semantics as the
+/// process-global registry the drivers snapshot.
 #[derive(Debug)]
 pub struct EvalCache {
     shards: Vec<Mutex<HashMap<CacheKey, EvalResult>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    metrics: telemetry::Registry,
+    hits: telemetry::Counter,
+    misses: telemetry::Counter,
 }
 
 impl Default for EvalCache {
@@ -235,10 +302,14 @@ impl Default for EvalCache {
 impl EvalCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
+        let metrics = telemetry::Registry::new();
+        let hits = metrics.counter("hits");
+        let misses = metrics.counter("misses");
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            metrics,
+            hits,
+            misses,
         }
     }
 
@@ -248,37 +319,51 @@ impl EvalCache {
         Arc::new(Self::new())
     }
 
-    /// Returns the cached result for `key`, or computes it with `f` and
-    /// stores it. `f` runs outside the shard lock; if two threads race on
-    /// the same key, the first insertion wins and the loser's (identical)
-    /// result is discarded — still counted as a hit, so
-    /// `hits + misses == total evaluations` exactly.
-    pub fn get_or_insert_with(&self, key: &CacheKey, f: impl FnOnce() -> EvalResult) -> EvalResult {
+    /// The cache's private metrics registry (`hits`/`misses` counters).
+    pub fn registry(&self) -> &telemetry::Registry {
+        &self.metrics
+    }
+
+    /// Returns the cached result for `key` (with a hit flag), or computes
+    /// it with `f` and stores it. `f` runs outside the shard lock; if two
+    /// threads race on the same key, the first insertion wins and the
+    /// loser's (identical) result is discarded — still counted as a hit,
+    /// so `hits + misses == total evaluations` exactly.
+    pub fn lookup_or_compute(
+        &self,
+        key: &CacheKey,
+        f: impl FnOnce() -> EvalResult,
+    ) -> (EvalResult, bool) {
         let shard = &self.shards[(key.fingerprint() as usize) % self.shards.len()];
         if let Some(found) = shard.lock().get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return found.clone();
+            self.hits.inc();
+            return (found.clone(), true);
         }
         let computed = f();
         let mut guard = shard.lock();
         match guard.entry(key.clone()) {
             Entry::Occupied(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                e.get().clone()
+                self.hits.inc();
+                (e.get().clone(), true)
             }
             Entry::Vacant(v) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 v.insert(computed.clone());
-                computed
+                (computed, false)
             }
         }
+    }
+
+    /// [`Self::lookup_or_compute`] without the hit flag.
+    pub fn get_or_insert_with(&self, key: &CacheKey, f: impl FnOnce() -> EvalResult) -> EvalResult {
+        self.lookup_or_compute(key, f).0
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: self.shards.iter().map(|s| s.lock().len() as u64).sum(),
         }
     }
@@ -377,6 +462,7 @@ pub struct CachedObjective<O: DeterministicObjective> {
     cache: Option<Arc<EvalCache>>,
     noise_seed: u64,
     n_evals: usize,
+    n_hits: usize,
 }
 
 impl<O: DeterministicObjective> CachedObjective<O> {
@@ -385,7 +471,7 @@ impl<O: DeterministicObjective> CachedObjective<O> {
     /// use the same value (otherwise a hit could return another session's
     /// noise draw — still deterministic, but surprising).
     pub fn new(inner: O, cache: Option<Arc<EvalCache>>, noise_seed: u64) -> Self {
-        Self { inner, cache, noise_seed, n_evals: 0 }
+        Self { inner, cache, noise_seed, n_evals: 0, n_hits: 0 }
     }
 
     /// The wrapped objective.
@@ -397,6 +483,18 @@ impl<O: DeterministicObjective> CachedObjective<O> {
     pub fn n_evals(&self) -> usize {
         self.n_evals
     }
+
+    /// Of [`Self::n_evals`], how many were answered from the shared cache.
+    /// Per-wrapper (unlike [`EvalCache::stats`], which aggregates over the
+    /// whole grid), which is what the per-cell journal events report.
+    pub fn n_hits(&self) -> usize {
+        self.n_hits
+    }
+
+    /// Of [`Self::n_evals`], how many actually ran.
+    pub fn n_misses(&self) -> usize {
+        self.n_evals - self.n_hits
+    }
 }
 
 impl<O: DeterministicObjective> SimObjective for CachedObjective<O> {
@@ -406,7 +504,12 @@ impl<O: DeterministicObjective> SimObjective for CachedObjective<O> {
         let token = mix2(self.noise_seed, key.fingerprint());
         match &self.cache {
             Some(cache) => {
-                cache.get_or_insert_with(&key, || self.inner.evaluate_pure(full_cfg, token))
+                let (result, hit) =
+                    cache.lookup_or_compute(&key, || self.inner.evaluate_pure(full_cfg, token));
+                if hit {
+                    self.n_hits += 1;
+                }
+                result
             }
             None => self.inner.evaluate_pure(full_cfg, token),
         }

@@ -86,11 +86,8 @@ impl Kernel for MixedKernel {
         let cat = if self.cat_dims.is_empty() {
             1.0
         } else {
-            let mismatches = self
-                .cat_dims
-                .iter()
-                .filter(|&&i| (a[i] - b[i]).abs() > 0.5)
-                .count() as f64;
+            let mismatches =
+                self.cat_dims.iter().filter(|&&i| (a[i] - b[i]).abs() > 0.5).count() as f64;
             (-self.hamming_weight * mismatches / self.cat_dims.len() as f64).exp()
         };
         cont * cat
@@ -179,7 +176,12 @@ pub fn select_hyperparams(kernel: &dyn Kernel, x: &[Vec<f64>], y: &[f64]) -> (f6
 
 /// Log marginal likelihood of standardized targets under the kernel;
 /// `None` if the covariance cannot be factorized.
-fn log_marginal_likelihood(kernel: &dyn Kernel, x: &[Vec<f64>], y: &[f64], noise: f64) -> Option<f64> {
+fn log_marginal_likelihood(
+    kernel: &dyn Kernel,
+    x: &[Vec<f64>],
+    y: &[f64],
+    noise: f64,
+) -> Option<f64> {
     let n = x.len();
     let y_mean = stats::mean(y);
     let y_std = stats::std_dev(y).max(1e-12);
@@ -189,7 +191,11 @@ fn log_marginal_likelihood(kernel: &dyn Kernel, x: &[Vec<f64>], y: &[f64], noise
     let (chol, _) = Cholesky::decompose_with_jitter(&k, 1e-8, 8).ok()?;
     let alpha = chol.solve(&yn);
     let fit: f64 = dbtune_linalg::matrix::dot(&yn, &alpha);
-    Some(-0.5 * fit - 0.5 * chol.log_determinant() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln())
+    Some(
+        -0.5 * fit
+            - 0.5 * chol.log_determinant()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln(),
+    )
 }
 
 #[cfg(test)]

@@ -107,13 +107,12 @@ mod tests {
         ];
         let default = vec![0.0, 0.5];
         let mut rng = StdRng::seed_from_u64(10);
-        let x: Vec<Vec<f64>> = (0..400)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..400).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let f = |r: &[f64]| 5.0 * r[0] - 20.0 * (r[1] - 0.5) * (r[1] - 0.5);
         let y: Vec<f64> = x.iter().map(|r| f(r)).collect();
         let m = AblationImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert_eq!(top_k(&scores, 1), vec![0], "trap knob out-ranked tunable: {scores:?}");
     }
 
@@ -126,7 +125,8 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..100).map(|_| vec![rng.gen::<f64>()]).collect();
         let y: Vec<f64> = x.iter().map(|r| -(r[0] - 0.5).abs()).collect();
         let m = AblationImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert!(scores[0] >= 0.0);
         assert!(scores[0] < 0.1, "near-zero tunability expected: {scores:?}");
     }
@@ -139,12 +139,11 @@ mod tests {
         ];
         let default = vec![0.0, 0.5];
         let mut rng = StdRng::seed_from_u64(12);
-        let x: Vec<Vec<f64>> = (0..300)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0]).collect();
         let m = AblationImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert!(scores[0] > scores[1] * 5.0, "{scores:?}");
     }
 }

@@ -77,7 +77,13 @@ fn leaf_boxes(tree: &DecisionTree, specs: &[KnobSpec]) -> Vec<LeafBox> {
     out
 }
 
-fn walk(tree: &DecisionTree, specs: &[KnobSpec], node: usize, ranges: Vec<Range>, out: &mut Vec<LeafBox>) {
+fn walk(
+    tree: &DecisionTree,
+    specs: &[KnobSpec],
+    node: usize,
+    ranges: Vec<Range>,
+    out: &mut Vec<LeafBox>,
+) {
     match &tree.nodes()[node] {
         Node::Leaf { value, .. } => {
             let volume: f64 = ranges.iter().map(Range::width).product();
@@ -85,45 +91,43 @@ fn walk(tree: &DecisionTree, specs: &[KnobSpec], node: usize, ranges: Vec<Range>
                 out.push(LeafBox { value: *value, volume, ranges });
             }
         }
-        Node::Internal { rule, left, right } => {
-            match *rule {
-                SplitRule::Numeric { feature, threshold } => {
-                    let t = specs[feature].domain.to_unit(threshold);
-                    let (lo, hi) = match ranges[feature] {
-                        Range::Interval(lo, hi) => (lo, hi),
-                        _ => unreachable!("numeric split on categorical feature"),
-                    };
-                    if t > lo {
-                        let mut l = ranges.clone();
-                        l[feature] = Range::Interval(lo, t.min(hi));
-                        walk(tree, specs, *left, l, out);
-                    }
-                    if t < hi {
-                        let mut r = ranges;
-                        r[feature] = Range::Interval(t.max(lo), hi);
-                        walk(tree, specs, *right, r, out);
-                    }
+        Node::Internal { rule, left, right } => match *rule {
+            SplitRule::Numeric { feature, threshold } => {
+                let t = specs[feature].domain.to_unit(threshold);
+                let (lo, hi) = match ranges[feature] {
+                    Range::Interval(lo, hi) => (lo, hi),
+                    _ => unreachable!("numeric split on categorical feature"),
+                };
+                if t > lo {
+                    let mut l = ranges.clone();
+                    l[feature] = Range::Interval(lo, t.min(hi));
+                    walk(tree, specs, *left, l, out);
                 }
-                SplitRule::Categorical { feature, left_mask } => {
-                    let (mask, k) = match ranges[feature] {
-                        Range::Cats(mask, k) => (mask, k),
-                        _ => unreachable!("categorical split on numeric feature"),
-                    };
-                    let lm = mask & left_mask;
-                    let rm = mask & !left_mask;
-                    if lm != 0 {
-                        let mut l = ranges.clone();
-                        l[feature] = Range::Cats(lm, k);
-                        walk(tree, specs, *left, l, out);
-                    }
-                    if rm != 0 {
-                        let mut r = ranges;
-                        r[feature] = Range::Cats(rm, k);
-                        walk(tree, specs, *right, r, out);
-                    }
+                if t < hi {
+                    let mut r = ranges;
+                    r[feature] = Range::Interval(t.max(lo), hi);
+                    walk(tree, specs, *right, r, out);
                 }
             }
-        }
+            SplitRule::Categorical { feature, left_mask } => {
+                let (mask, k) = match ranges[feature] {
+                    Range::Cats(mask, k) => (mask, k),
+                    _ => unreachable!("categorical split on numeric feature"),
+                };
+                let lm = mask & left_mask;
+                let rm = mask & !left_mask;
+                if lm != 0 {
+                    let mut l = ranges.clone();
+                    l[feature] = Range::Cats(lm, k);
+                    walk(tree, specs, *left, l, out);
+                }
+                if rm != 0 {
+                    let mut r = ranges;
+                    r[feature] = Range::Cats(rm, k);
+                    walk(tree, specs, *right, r, out);
+                }
+            }
+        },
     }
 }
 
@@ -264,12 +268,12 @@ mod tests {
         ];
         let default = vec![0.5; 3];
         let mut rng = StdRng::seed_from_u64(6);
-        let x: Vec<Vec<f64>> = (0..500)
-            .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..500).map(|_| (0..3).map(|_| rng.gen::<f64>()).collect()).collect();
         let y: Vec<f64> = x.iter().map(|r| 10.0 * r[0] + 2.0 * r[1]).collect();
         let m = FanovaImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert_eq!(top_k(&scores, 3), vec![0, 1, 2]);
         // Variance shares: 100:4 ratio between big and small.
         assert!(scores[0] > scores[1] * 5.0, "{scores:?}");
@@ -284,12 +288,12 @@ mod tests {
         ];
         let default = vec![0.0, 0.5];
         let mut rng = StdRng::seed_from_u64(7);
-        let x: Vec<Vec<f64>> = (0..400)
-            .map(|_| vec![rng.gen_range(0..4) as f64, rng.gen::<f64>()])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..400).map(|_| vec![rng.gen_range(0..4) as f64, rng.gen::<f64>()]).collect();
         let y: Vec<f64> = x.iter().map(|r| if r[0] == 2.0 { 10.0 } else { 0.0 }).collect();
         let m = FanovaImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert!(scores[0] > 0.5, "{scores:?}");
         assert!(scores[1] < 0.1, "{scores:?}");
     }
@@ -302,12 +306,12 @@ mod tests {
         ];
         let default = vec![0.5; 2];
         let mut rng = StdRng::seed_from_u64(8);
-        let x: Vec<Vec<f64>> = (0..200)
-            .map(|_| (0..2).map(|_| rng.gen::<f64>()).collect())
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..200).map(|_| (0..2).map(|_| rng.gen::<f64>()).collect()).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * r[1]).collect();
         let m = FanovaImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         for s in &scores {
             assert!((0.0..=1.0).contains(s), "{scores:?}");
         }
@@ -323,9 +327,8 @@ mod tests {
             KnobSpec::cat("c", vec!["x", "y", "z"], 0),
         ];
         let mut rng = StdRng::seed_from_u64(9);
-        let x: Vec<Vec<f64>> = (0..100)
-            .map(|_| vec![rng.gen::<f64>() * 10.0, rng.gen_range(0..3) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..100).map(|_| vec![rng.gen::<f64>() * 10.0, rng.gen_range(0..3) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] + if r[1] == 1.0 { 5.0 } else { 0.0 }).collect();
         let kinds = feature_kinds(&specs);
         let mut tree = dbtune_ml::DecisionTree::new(Default::default(), kinds);

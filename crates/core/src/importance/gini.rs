@@ -3,8 +3,8 @@
 //! samples and get picked for more splits.
 
 use super::{ImportanceInput, ImportanceMeasure};
-use dbtune_ml::{FeatureKind, RandomForest, RandomForestParams, Regressor};
 use dbtune_dbsim::knob::Domain;
+use dbtune_ml::{FeatureKind, RandomForest, RandomForestParams, Regressor};
 
 /// Gini (split-count) importance measurement.
 #[derive(Clone, Debug)]
@@ -94,21 +94,18 @@ mod tests {
         let default = vec![0.5, 0.0, 0.5];
         let mut rng = StdRng::seed_from_u64(4);
         let x: Vec<Vec<f64>> = (0..400)
-            .map(|_| {
-                vec![
-                    rng.gen::<f64>(),
-                    rng.gen_range(0..3) as f64,
-                    rng.gen::<f64>(),
-                ]
-            })
+            .map(|_| vec![rng.gen::<f64>(), rng.gen_range(0..3) as f64, rng.gen::<f64>()])
             .collect();
         // Non-monotone effect of `bump`, jumpy effect of `mode`.
         let y: Vec<f64> = x
             .iter()
-            .map(|r| (-((r[0] - 0.3) / 0.1).powi(2)).exp() * 5.0 + if r[1] == 2.0 { 3.0 } else { 0.0 })
+            .map(|r| {
+                (-((r[0] - 0.3) / 0.1).powi(2)).exp() * 5.0 + if r[1] == 2.0 { 3.0 } else { 0.0 }
+            })
             .collect();
         let m = GiniImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         // The strong non-monotone feature must rank first; the categorical
         // effect needs only ~1 split per tree so a count-based measure
         // gives it a modest score — but distinctly more than zero.
@@ -127,7 +124,8 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..100).map(|_| vec![rng.gen::<f64>(), 0.5]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0).collect();
         let m = GiniImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert_eq!(scores[1], 0.0);
         assert!(scores[0] > 0.0);
     }

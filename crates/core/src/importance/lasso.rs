@@ -36,12 +36,7 @@ impl ImportanceMeasure for LassoImportance {
         let xu: Vec<Vec<f64>> = input
             .x
             .iter()
-            .map(|row| {
-                row.iter()
-                    .zip(input.specs)
-                    .map(|(v, s)| s.domain.to_unit(*v))
-                    .collect()
-            })
+            .map(|row| row.iter().zip(input.specs).map(|(v, s)| s.domain.to_unit(*v)).collect())
             .collect();
         // Standardize the target so alphas are scale-free.
         let y_std = dbtune_linalg::stats::std_dev(input.y).max(1e-12);
@@ -99,12 +94,12 @@ mod tests {
         ];
         let default = vec![0.5, 0.5, 0.5];
         let mut rng = StdRng::seed_from_u64(1);
-        let x: Vec<Vec<f64>> = (0..200)
-            .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..200).map(|_| (0..3).map(|_| rng.gen::<f64>()).collect()).collect();
         let y: Vec<f64> = x.iter().map(|r| 10.0 * r[0] + 1.0 * r[1]).collect();
         let m = LassoImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert_eq!(top_k(&scores, 3), vec![0, 1, 2]);
         assert!(scores[2] < scores[0] * 0.05);
     }
@@ -121,12 +116,12 @@ mod tests {
         ];
         let default = vec![0.0; 3];
         let mut rng = StdRng::seed_from_u64(2);
-        let x: Vec<Vec<f64>> = (0..300)
-            .map(|_| (0..3).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect())
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..300).map(|_| (0..3).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()).collect();
         let y: Vec<f64> = x.iter().map(|r| 5.0 * r[0] * r[1]).collect();
         let m = LassoImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert!(scores[0] > scores[2] * 3.0, "poly term should credit a: {scores:?}");
         assert!(scores[1] > scores[2] * 3.0, "poly term should credit b: {scores:?}");
     }
@@ -141,12 +136,12 @@ mod tests {
             .collect();
         let default = vec![0.5; 80];
         let mut rng = StdRng::seed_from_u64(3);
-        let x: Vec<Vec<f64>> = (0..150)
-            .map(|_| (0..80).map(|_| rng.gen::<f64>()).collect())
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..150).map(|_| (0..80).map(|_| rng.gen::<f64>()).collect()).collect();
         let y: Vec<f64> = x.iter().map(|r| 4.0 * r[7]).collect();
         let m = LassoImportance::default();
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert_eq!(top_k(&scores, 1), vec![7]);
     }
 }

@@ -17,10 +17,10 @@
 
 use dbtune_dbsim::knob::KnobSpec;
 
-pub mod lasso;
-pub mod gini;
-pub mod fanova;
 pub mod ablation;
+pub mod fanova;
+pub mod gini;
+pub mod lasso;
 pub mod shap;
 
 pub use ablation::AblationImportance;
@@ -57,10 +57,7 @@ pub trait ImportanceMeasure {
 pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("NaN importance score")
-            .then(a.cmp(&b))
+        scores[b].partial_cmp(&scores[a]).expect("NaN importance score").then(a.cmp(&b))
     });
     idx.truncate(k);
     idx

@@ -268,7 +268,8 @@ impl ImportanceMeasure for ShapImportance {
             // noise cancels, real per-config contributions do not.
             let mut phi = vec![0.0; d];
             for gb in &fits {
-                for (acc, p) in phi.iter_mut().zip(gbdt_shap_values(gb, input.default, &input.x[i])) {
+                for (acc, p) in phi.iter_mut().zip(gbdt_shap_values(gb, input.default, &input.x[i]))
+                {
                     *acc += p;
                 }
             }
@@ -288,16 +289,15 @@ mod tests {
     use super::*;
     use crate::importance::top_k;
     use dbtune_dbsim::knob::KnobSpec;
-    use dbtune_ml::{RandomForestParams, FeatureKind};
+    use dbtune_ml::{FeatureKind, RandomForestParams};
     use rand::Rng;
 
     #[test]
     fn tree_shap_matches_brute_force_on_tiny_forest() {
         // Exact Shapley values by 2^d subset enumeration vs TreeSHAP.
         let mut rng = StdRng::seed_from_u64(4);
-        let x: Vec<Vec<f64>> = (0..120)
-            .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..120).map(|_| (0..3).map(|_| rng.gen::<f64>()).collect()).collect();
         let y: Vec<f64> = x.iter().map(|r| 5.0 * r[0] - 3.0 * r[1] * r[2] + r[2]).collect();
         let mut rf = RandomForest::new(
             RandomForestParams { n_trees: 6, ..Default::default() },
@@ -310,9 +310,8 @@ mod tests {
         // Brute force: φ_j = Σ_S (|S|!(d−|S|−1)!/d!)(f(S∪j) − f(S)).
         let d = 3usize;
         let eval = |mask: u32| -> f64 {
-            let cfg: Vec<f64> = (0..d)
-                .map(|j| if mask & (1 << j) != 0 { probe[j] } else { baseline[j] })
-                .collect();
+            let cfg: Vec<f64> =
+                (0..d).map(|j| if mask & (1 << j) != 0 { probe[j] } else { baseline[j] }).collect();
             rf.predict(&cfg)
         };
         let fact = |k: usize| -> f64 { (1..=k).product::<usize>().max(1) as f64 };
@@ -337,14 +336,11 @@ mod tests {
     #[test]
     fn tree_shap_efficiency_property_holds() {
         let mut rng = StdRng::seed_from_u64(9);
-        let x: Vec<Vec<f64>> = (0..150)
-            .map(|_| (0..5).map(|_| rng.gen::<f64>()).collect())
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..150).map(|_| (0..5).map(|_| rng.gen::<f64>()).collect()).collect();
         let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>() + r[0] * r[1]).collect();
-        let mut rf = RandomForest::new(
-            RandomForestParams::default(),
-            vec![FeatureKind::Continuous; 5],
-        );
+        let mut rf =
+            RandomForest::new(RandomForestParams::default(), vec![FeatureKind::Continuous; 5]);
         rf.fit(&x, &y);
         let baseline = vec![0.5; 5];
         let probe = vec![0.1, 0.9, 0.3, 0.7, 0.2];
@@ -358,14 +354,11 @@ mod tests {
     fn shap_efficiency_property_holds() {
         // Σφ must equal f(x) − f(baseline) for the permutation estimator.
         let mut rng = StdRng::seed_from_u64(1);
-        let x: Vec<Vec<f64>> = (0..200)
-            .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..200).map(|_| (0..3).map(|_| rng.gen::<f64>()).collect()).collect();
         let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0] - 2.0 * r[1] * r[2]).collect();
-        let mut rf = RandomForest::new(
-            RandomForestParams::default(),
-            vec![FeatureKind::Continuous; 3],
-        );
+        let mut rf =
+            RandomForest::new(RandomForestParams::default(), vec![FeatureKind::Continuous; 3]);
         rf.fit(&x, &y);
         let baseline = vec![0.5, 0.5, 0.5];
         let probe = vec![0.9, 0.1, 0.8];
@@ -385,13 +378,9 @@ mod tests {
         ];
         let default = vec![0.0, 0.5];
         let mut rng = StdRng::seed_from_u64(2);
-        let x: Vec<Vec<f64>> = (0..500)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
-        let y: Vec<f64> = x
-            .iter()
-            .map(|r| 3.0 * r[0] - 30.0 * (r[1] - 0.5) * (r[1] - 0.5))
-            .collect();
+        let x: Vec<Vec<f64>> = (0..500).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let y: Vec<f64> =
+            x.iter().map(|r| 3.0 * r[0] - 30.0 * (r[1] - 0.5) * (r[1] - 0.5)).collect();
         let m = ShapImportance::default();
         let shap_scores =
             m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 7 });
@@ -404,8 +393,13 @@ mod tests {
         // Contrast: a pure variance measure ranks the trap first (fANOVA
         // measures variance fractions directly).
         let fanova = super::super::fanova::FanovaImportance::default();
-        let fanova_scores =
-            fanova.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 7 });
+        let fanova_scores = fanova.scores(&ImportanceInput {
+            specs: &specs,
+            default: &default,
+            x: &x,
+            y: &y,
+            seed: 7,
+        });
         assert_eq!(
             top_k(&fanova_scores, 1),
             vec![1],
@@ -415,18 +409,16 @@ mod tests {
 
     #[test]
     fn shap_scores_are_nonnegative() {
-        let specs = vec![
-            KnobSpec::real("a", 0.0, 1.0, false, 0.5),
-            KnobSpec::cat("c", vec!["x", "y"], 0),
-        ];
+        let specs =
+            vec![KnobSpec::real("a", 0.0, 1.0, false, 0.5), KnobSpec::cat("c", vec!["x", "y"], 0)];
         let default = vec![0.5, 0.0];
         let mut rng = StdRng::seed_from_u64(3);
-        let x: Vec<Vec<f64>> = (0..150)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen_range(0..2) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..150).map(|_| vec![rng.gen::<f64>(), rng.gen_range(0..2) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] + r[1]).collect();
         let m = ShapImportance { n_explained: 16, n_permutations: 4, ..Default::default() };
-        let scores = m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
+        let scores =
+            m.scores(&ImportanceInput { specs: &specs, default: &default, x: &x, y: &y, seed: 0 });
         assert!(scores.iter().all(|&s| s >= 0.0));
         assert!(scores.iter().any(|&s| s > 0.0));
     }

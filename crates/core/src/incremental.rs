@@ -5,7 +5,10 @@
 
 use crate::optimizer::Optimizer;
 use crate::space::{ConfigSpace, TuningSpace};
-use crate::tuner::{orient, un_orient, Observation, SessionConfig, SessionResult, SimObjective};
+use crate::telemetry::{self, phase_secs};
+use crate::tuner::{
+    orient, un_orient, Observation, PhaseTrace, SessionConfig, SessionResult, SimObjective,
+};
 use dbtune_dbsim::KnobCatalog;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -74,6 +77,7 @@ pub fn run_incremental_session(
     let mut observations = Vec::with_capacity(cfg.iterations);
     let mut best_trace = Vec::with_capacity(cfg.iterations);
     let mut overheads = Vec::with_capacity(cfg.iterations);
+    let mut phases = PhaseTrace::with_capacity(cfg.iterations);
     let mut best = f64::NEG_INFINITY;
     let mut worst_seen = f64::INFINITY;
     let mut simulated = 0.0;
@@ -97,16 +101,24 @@ pub fn run_incremental_session(
         let (space, opt) = space_opt.as_mut().expect("phase initialized above");
 
         let t0 = Instant::now();
-        let sub = if it < cfg.lhs_init && full_history.is_empty() && opt.wants_lhs_init() {
-            // Initial design inside the first phase's space.
-            crate::sampling::lhs(space.space(), 1, &mut rng).pop().expect("one sample")
-        } else {
-            opt.suggest(&mut rng)
-        };
-        overheads.push(t0.elapsed().as_secs_f64());
+        let (sub, suggest_phases) = telemetry::collect_phases(|| {
+            let _s = telemetry::span("suggest");
+            if it < cfg.lhs_init && full_history.is_empty() && opt.wants_lhs_init() {
+                // Initial design inside the first phase's space.
+                crate::sampling::lhs(space.space(), 1, &mut rng).pop().expect("one sample")
+            } else {
+                opt.suggest(&mut rng)
+            }
+        });
+        let suggest_secs = t0.elapsed().as_secs_f64();
 
         let full = space.full_config(&sub);
-        let res = objective.evaluate(&full);
+        let te = Instant::now();
+        let res = {
+            let _e = telemetry::span("evaluate");
+            objective.evaluate(&full)
+        };
+        let evaluate_secs = te.elapsed().as_secs_f64();
         simulated += res.simulated_secs;
 
         let (score, value, failed) = if res.failed {
@@ -122,7 +134,26 @@ pub fn run_incremental_session(
         worst_seen = worst_seen.min(score);
         best = best.max(score);
 
-        opt.observe(&sub, score, &res.metrics);
+        let t1 = Instant::now();
+        let ((), observe_phases) = telemetry::collect_phases(|| {
+            let _o = telemetry::span("observe");
+            opt.observe(&sub, score, &res.metrics);
+        });
+        let observe_secs = t1.elapsed().as_secs_f64();
+
+        // Same phase attribution as `run_session`: fit/acquisition spans
+        // from both suggest() and observe(), remainder is bookkeeping.
+        let fit = phase_secs(&suggest_phases, "surrogate_fit")
+            + phase_secs(&observe_phases, "surrogate_fit");
+        let acq =
+            phase_secs(&suggest_phases, "acquisition") + phase_secs(&observe_phases, "acquisition");
+        let overhead = suggest_secs + observe_secs;
+        phases.surrogate_fit_secs.push(fit);
+        phases.acquisition_secs.push(acq);
+        phases.bookkeeping_secs.push((overhead - fit - acq).max(0.0));
+        phases.evaluate_secs.push(evaluate_secs);
+        overheads.push(overhead);
+
         full_history.push((full, score));
         observations.push(Observation { config: sub, value, score, failed, metrics: res.metrics });
         best_trace.push(best);
@@ -134,6 +165,7 @@ pub fn run_incremental_session(
         default_value,
         objective: obj,
         overhead_secs: overheads,
+        phases,
         simulated_secs: simulated,
     }
 }
@@ -176,9 +208,14 @@ mod tests {
         .iter()
         .filter_map(|n| cat.index_of(n))
         .collect();
-        let strategy = IncrementalStrategy::Increase { start: 3, step: 2, every: 15, cap: ranked.len() };
+        let strategy =
+            IncrementalStrategy::Increase { start: 3, step: 2, every: 15, cap: ranked.len() };
         let make_opt = |space: &ConfigSpace, seed: u64| -> Box<dyn Optimizer> {
-            Box::new(Smac::new(space.clone(), SmacParams { n_candidates: 100, ..Default::default() }, seed))
+            Box::new(Smac::new(
+                space.clone(),
+                SmacParams { n_candidates: 100, ..Default::default() },
+                seed,
+            ))
         };
         let result = run_incremental_session(
             &mut sim,

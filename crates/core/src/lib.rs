@@ -21,23 +21,32 @@
 //! The [`exec`] module parallelizes grids of such sessions over a worker
 //! pool with a shared, deterministic evaluation cache — results are
 //! bit-identical for any worker count (see `docs/execution.md`).
+//!
+//! The [`telemetry`] module (re-exporting the `dbtune-obs` crate)
+//! instruments all of the above: hierarchical spans decompose algorithm
+//! overhead into surrogate-fit / acquisition / bookkeeping phases
+//! (Figure 9), a metrics registry carries executor and cache counters,
+//! and an optional JSONL trace journal records every span close — with
+//! results guaranteed byte-identical whether tracing is on or off (see
+//! `docs/observability.md`).
 
-pub mod space;
-pub mod sampling;
-pub mod gp;
 pub mod acquisition;
-pub mod optimizer;
+pub mod exec;
+pub mod gp;
 pub mod importance;
+pub mod incremental;
+pub mod optimizer;
+pub mod repository;
+pub mod sampling;
+pub mod service;
+pub mod space;
+pub mod telemetry;
 pub mod transfer;
 pub mod tuner;
-pub mod repository;
-pub mod service;
-pub mod incremental;
-pub mod exec;
 
 pub use exec::{
     cell_seed, resolve_workers, run_grid, CacheKey, CacheStats, CachedObjective,
     DeterministicObjective, EvalCache,
 };
 pub use space::{ConfigSpace, TuningSpace};
-pub use tuner::{run_session, Observation, SessionConfig, SessionResult, SimObjective};
+pub use tuner::{run_session, Observation, PhaseTrace, SessionConfig, SessionResult, SimObjective};

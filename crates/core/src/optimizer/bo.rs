@@ -13,6 +13,7 @@ use crate::acquisition::{
 };
 use crate::gp::{select_hyperparams, GaussianProcess, Kernel, MixedKernel, RbfKernel};
 use crate::space::ConfigSpace;
+use crate::telemetry;
 use rand::rngs::StdRng;
 
 /// Acquisition function for the GP optimizers (the paper uses EI
@@ -81,13 +82,7 @@ impl BoOptimizer {
             BoKind::Mixed => raw
                 .iter()
                 .zip(self.space.specs())
-                .map(|(v, s)| {
-                    if s.domain.is_categorical() {
-                        *v
-                    } else {
-                        s.domain.to_unit(*v)
-                    }
-                })
+                .map(|(v, s)| if s.domain.is_categorical() { *v } else { s.domain.to_unit(*v) })
                 .collect(),
         }
     }
@@ -130,28 +125,27 @@ impl Optimizer for BoOptimizer {
         if self.obs.len() < 2 {
             return self.space.sample(rng);
         }
-        let x_enc: Vec<Vec<f64>> = self.obs.x.iter().map(|c| self.encode(c)).collect();
-        let n = self.obs.len();
-        let (ls, noise) = match self.hp_cache {
-            Some((ls, noise, at)) if n < at + 10 => (ls, noise),
-            _ => {
-                let hp = select_hyperparams(self.kernel().as_ref(), &x_enc, &self.obs.y);
-                self.hp_cache = Some((hp.0, hp.1, n));
-                hp
-            }
+        let gp = {
+            let _fit = telemetry::span("surrogate_fit");
+            let x_enc: Vec<Vec<f64>> = self.obs.x.iter().map(|c| self.encode(c)).collect();
+            let n = self.obs.len();
+            let (ls, noise) = match self.hp_cache {
+                Some((ls, noise, at)) if n < at + 10 => (ls, noise),
+                _ => {
+                    let hp = select_hyperparams(self.kernel().as_ref(), &x_enc, &self.obs.y);
+                    self.hp_cache = Some((hp.0, hp.1, n));
+                    hp
+                }
+            };
+            GaussianProcess::fit(self.kernel().with_lengthscale(ls), &x_enc, &self.obs.y, noise)
         };
-        let gp = GaussianProcess::fit(self.kernel().with_lengthscale(ls), &x_enc, &self.obs.y, noise);
-        let best = self
-            .ei_best_override
-            .unwrap_or_else(|| self.obs.best_score().expect("nonempty"));
+        let best =
+            self.ei_best_override.unwrap_or_else(|| self.obs.best_score().expect("nonempty"));
 
-        let incumbents: Vec<Vec<f64>> = self
-            .obs
-            .top_k(3)
-            .into_iter()
-            .map(|i| self.obs.x[i].clone())
-            .collect();
+        let incumbents: Vec<Vec<f64>> =
+            self.obs.top_k(3).into_iter().map(|i| self.obs.x[i].clone()).collect();
         let acq = self.acquisition;
+        let _acq_span = telemetry::span("acquisition");
         maximize(
             &self.space,
             |raw| {

@@ -14,6 +14,7 @@
 
 use super::Optimizer;
 use crate::space::ConfigSpace;
+use crate::telemetry;
 use dbtune_ml::{Activation, Mlp, MlpParams};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -218,8 +219,7 @@ impl Ddpg {
             let mut q_in = t.state.clone();
             q_in.extend_from_slice(&a_pred);
             let grad = self.critic.input_gradient(&q_in, &[1.0]);
-            let grad_action: Vec<f64> =
-                grad[self.state_dim..].iter().map(|g| -g).collect();
+            let grad_action: Vec<f64> = grad[self.state_dim..].iter().map(|g| -g).collect();
             self.actor.step_with_output_gradient(&t.state, &grad_action);
         }
         self.target_actor.soft_update_from(&self.actor, self.params.tau);
@@ -233,6 +233,8 @@ impl Optimizer for Ddpg {
     }
 
     fn suggest(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        // The policy forward pass is DDPG's per-iteration decision cost.
+        let _acq_span = telemetry::span("acquisition");
         let mut action = self.actor.forward(&self.last_state);
         for a in &mut action {
             let z: f64 = rng.sample(rand_distr::StandardNormal);
@@ -264,7 +266,10 @@ impl Optimizer for Ddpg {
         self.last_state = next_state;
 
         // Replay training with a deterministic stream derived from the
-        // buffer size (observe has no RNG parameter).
+        // buffer size (observe has no RNG parameter). This is where DDPG
+        // fits its model, so it carries the surrogate_fit span even though
+        // it runs in observe() rather than suggest().
+        let _fit = telemetry::span("surrogate_fit");
         let mut rng = rand::SeedableRng::seed_from_u64(0x5eed ^ self.replay.len() as u64);
         for _ in 0..self.params.updates_per_observe {
             self.train_batch(&mut rng);

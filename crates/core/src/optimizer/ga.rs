@@ -7,6 +7,7 @@
 
 use super::Optimizer;
 use crate::space::ConfigSpace;
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -27,7 +28,13 @@ pub struct GaParams {
 
 impl Default for GaParams {
     fn default() -> Self {
-        Self { population: 20, tournament: 3, crossover_p: 0.5, mutations_per_child: 2.0, elites: 2 }
+        Self {
+            population: 20,
+            tournament: 3,
+            crossover_p: 0.5,
+            mutations_per_child: 2.0,
+            elites: 2,
+        }
     }
 }
 
@@ -104,6 +111,9 @@ impl Optimizer for Ga {
     }
 
     fn suggest(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        // GA has no surrogate; selection/crossover/mutation is its whole
+        // per-iteration decision cost.
+        let _acq_span = telemetry::span("acquisition");
         if self.queue.is_empty() {
             if self.evaluated.len() >= self.params.population {
                 self.breed(rng);

@@ -5,6 +5,7 @@
 
 use super::Optimizer;
 use crate::space::ConfigSpace;
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -60,9 +61,8 @@ impl GridSearch {
             // Lattice too large: sample distinct lattice points.
             use rand::Rng;
             for _ in 0..self.max_points_per_pass {
-                let unit: Vec<f64> = (0..d)
-                    .map(|_| rng.gen_range(0..levels) as f64 / (levels - 1) as f64)
-                    .collect();
+                let unit: Vec<f64> =
+                    (0..d).map(|_| rng.gen_range(0..levels) as f64 / (levels - 1) as f64).collect();
                 points.push(self.space.from_unit(&unit));
             }
         }
@@ -79,6 +79,7 @@ impl Optimizer for GridSearch {
     }
 
     fn suggest(&mut self, _rng: &mut StdRng) -> Vec<f64> {
+        let _acq_span = telemetry::span("acquisition");
         if self.queue.is_empty() {
             self.refill();
         }

@@ -9,13 +9,13 @@ use crate::space::ConfigSpace;
 use rand::rngs::StdRng;
 
 pub mod bo;
-pub mod smac;
-pub mod tpe;
-pub mod turbo;
 pub mod ddpg;
 pub mod ga;
 pub mod grid;
 pub mod random;
+pub mod smac;
+pub mod tpe;
+pub mod turbo;
 
 pub use bo::{Acquisition, BoKind, BoOptimizer};
 pub use ddpg::{Ddpg, DdpgParams, DdpgWeights};
@@ -169,17 +169,13 @@ impl OptimizerKind {
     /// Instantiates the optimizer over `space` with a deterministic seed.
     pub fn build(self, space: &ConfigSpace, metrics_dim: usize, seed: u64) -> Box<dyn Optimizer> {
         match self {
-            OptimizerKind::VanillaBo => {
-                Box::new(BoOptimizer::new(space.clone(), BoKind::Vanilla))
-            }
+            OptimizerKind::VanillaBo => Box::new(BoOptimizer::new(space.clone(), BoKind::Vanilla)),
             OptimizerKind::MixedKernelBo => {
                 Box::new(BoOptimizer::new(space.clone(), BoKind::Mixed))
             }
             OptimizerKind::Smac => Box::new(Smac::new(space.clone(), SmacParams::default(), seed)),
             OptimizerKind::Tpe => Box::new(Tpe::new(space.clone(), TpeParams::default())),
-            OptimizerKind::Turbo => {
-                Box::new(Turbo::new(space.clone(), TurboParams::default()))
-            }
+            OptimizerKind::Turbo => Box::new(Turbo::new(space.clone(), TurboParams::default())),
             OptimizerKind::Ddpg => {
                 Box::new(Ddpg::new(space.clone(), metrics_dim, DdpgParams::default(), seed))
             }

@@ -3,6 +3,7 @@
 
 use super::Optimizer;
 use crate::space::ConfigSpace;
+use crate::telemetry;
 use rand::rngs::StdRng;
 
 /// Samples configurations uniformly (log-aware) from the space.
@@ -23,6 +24,7 @@ impl Optimizer for RandomSearch {
     }
 
     fn suggest(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        let _acq_span = telemetry::span("acquisition");
         self.space.sample(rng)
     }
 

@@ -10,6 +10,7 @@
 use super::{ObsStore, Optimizer};
 use crate::acquisition::{expected_improvement, maximize};
 use crate::space::ConfigSpace;
+use crate::telemetry;
 use dbtune_ml::{RandomForest, RandomForestParams, Regressor, UncertainRegressor};
 use rand::rngs::StdRng;
 
@@ -63,7 +64,8 @@ impl Smac {
 
     /// Fits the forest surrogate on the current observations.
     fn fit_surrogate(&self) -> RandomForest {
-        let params = RandomForestParams::surrogate(self.space.dim(), self.seed ^ self.obs.len() as u64);
+        let params =
+            RandomForestParams::surrogate(self.space.dim(), self.seed ^ self.obs.len() as u64);
         let mut rf = RandomForest::new(params, self.space.feature_kinds());
         rf.fit(&self.obs.x, &self.obs.y);
         rf
@@ -85,16 +87,15 @@ impl Optimizer for Smac {
             return self.space.sample(rng);
         }
 
-        let rf = self.fit_surrogate();
-        let best = self
-            .ei_best_override
-            .unwrap_or_else(|| self.obs.best_score().expect("nonempty"));
-        let incumbents: Vec<Vec<f64>> = self
-            .obs
-            .top_k(10)
-            .into_iter()
-            .map(|i| self.obs.x[i].clone())
-            .collect();
+        let rf = {
+            let _fit = telemetry::span("surrogate_fit");
+            self.fit_surrogate()
+        };
+        let best =
+            self.ei_best_override.unwrap_or_else(|| self.obs.best_score().expect("nonempty"));
+        let incumbents: Vec<Vec<f64>> =
+            self.obs.top_k(10).into_iter().map(|i| self.obs.x[i].clone()).collect();
+        let _acq_span = telemetry::span("acquisition");
         maximize(
             &self.space,
             |raw| {
@@ -119,7 +120,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn run_smac(space: ConfigSpace, f: impl Fn(&[f64]) -> f64, iters: usize, seed: u64) -> f64 {
-        let mut opt = Smac::new(space, SmacParams { n_candidates: 150, ..Default::default() }, seed);
+        let mut opt =
+            Smac::new(space, SmacParams { n_candidates: 150, ..Default::default() }, seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut best = f64::NEG_INFINITY;
         for _ in 0..iters {

@@ -9,6 +9,7 @@
 
 use super::{ObsStore, Optimizer};
 use crate::space::ConfigSpace;
+use crate::telemetry;
 use dbtune_dbsim::knob::Domain;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -132,13 +133,14 @@ impl Optimizer for Tpe {
         if n < 4 {
             return self.space.sample(rng);
         }
-        // Split history into good (top γ) and bad configurations.
+        // Split history into good (top γ) and bad configurations, then fit
+        // the per-dimension densities (TPE's "surrogate").
+        let fit_span = telemetry::span("surrogate_fit");
         let order = self.obs.top_k(n);
         let n_good = ((self.params.gamma * n as f64).ceil() as usize).clamp(2, n - 2);
         let good: Vec<usize> = order[..n_good].to_vec();
         let bad: Vec<usize> = order[n_good..].to_vec();
 
-        // Per-dimension densities.
         let dims = self.space.dim();
         let mut l = Vec::with_capacity(dims);
         let mut g = Vec::with_capacity(dims);
@@ -149,14 +151,15 @@ impl Optimizer for Tpe {
             l.push(Parzen::fit(domain, &gv));
             g.push(Parzen::fit(domain, &bv));
         }
+        drop(fit_span);
 
         // Draw candidates from l, rank by Σ log l − log g.
+        let _acq_span = telemetry::span("acquisition");
         let mut best_cfg: Option<Vec<f64>> = None;
         let mut best_score = f64::NEG_INFINITY;
         for _ in 0..self.params.n_candidates {
-            let cfg: Vec<f64> = (0..dims)
-                .map(|d| l[d].sample(&self.space.specs()[d].domain, rng))
-                .collect();
+            let cfg: Vec<f64> =
+                (0..dims).map(|d| l[d].sample(&self.space.specs()[d].domain, rng)).collect();
             let score: f64 = (0..dims)
                 .map(|d| {
                     let domain = &self.space.specs()[d].domain;

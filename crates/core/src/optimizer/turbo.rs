@@ -13,6 +13,7 @@ use super::Optimizer;
 use crate::acquisition::expected_improvement;
 use crate::gp::{GaussianProcess, Matern52Kernel};
 use crate::space::ConfigSpace;
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -80,9 +81,7 @@ impl Turbo {
     /// Creates TuRBO over `space`.
     pub fn new(space: ConfigSpace, params: TurboParams) -> Self {
         assert!(params.n_regions >= 1, "need at least one trust region");
-        let regions = (0..params.n_regions)
-            .map(|_| Region::fresh(params.length_init))
-            .collect();
+        let regions = (0..params.n_regions).map(|_| Region::fresh(params.length_init)).collect();
         Self { space, params, regions, last_region: 0, rr: 0 }
     }
 
@@ -109,8 +108,14 @@ impl Turbo {
             return None;
         }
         let x_unit: Vec<Vec<f64>> = region.x.iter().map(|c| self.space.to_unit(c)).collect();
-        let gp =
-            GaussianProcess::fit_auto(Box::new(Matern52Kernel { lengthscale: 0.3 }), &x_unit, &region.y);
+        let gp = {
+            let _fit = telemetry::span("surrogate_fit");
+            GaussianProcess::fit_auto(
+                Box::new(Matern52Kernel { lengthscale: 0.3 }),
+                &x_unit,
+                &region.y,
+            )
+        };
 
         let best_i = region
             .y
@@ -126,6 +131,9 @@ impl Turbo {
         let p_perturb = (20.0 / d as f64).min(1.0);
         let mut best_cfg: Option<Vec<f64>> = None;
         let mut best_ei = f64::NEG_INFINITY;
+        // The probe loop is TuRBO's acquisition step (the fit above is
+        // accounted separately, so nothing is double-counted).
+        let _acq_span = telemetry::span("acquisition");
         for _ in 0..self.params.n_candidates {
             let mut cand = center.clone();
             let mut any = false;

@@ -77,12 +77,11 @@ impl Repository {
 
     /// Records (appends to) a task's history from a finished session.
     pub fn record_session(&mut self, task: &str, space: &TuningSpace, result: &SessionResult) {
-        let knobs: Vec<String> =
-            space.space().specs().iter().map(|s| s.name.to_string()).collect();
-        let entry = self.tasks.entry(task.to_string()).or_insert_with(|| TaskRecord {
-            knobs: knobs.clone(),
-            ..Default::default()
-        });
+        let knobs: Vec<String> = space.space().specs().iter().map(|s| s.name.to_string()).collect();
+        let entry = self
+            .tasks
+            .entry(task.to_string())
+            .or_insert_with(|| TaskRecord { knobs: knobs.clone(), ..Default::default() });
         assert_eq!(entry.knobs, knobs, "knob set changed for task {task}");
         for o in &result.observations {
             entry.x.push(o.config.clone());
@@ -121,7 +120,7 @@ impl Repository {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::{OptimizerKind, Optimizer};
+    use crate::optimizer::{Optimizer, OptimizerKind};
     use crate::tuner::{run_session, SessionConfig};
     use dbtune_dbsim::{DbSimulator, Hardware, Workload, METRICS_DIM};
 

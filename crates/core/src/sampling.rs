@@ -20,20 +20,13 @@ pub fn lhs_unit(n: usize, dim: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
         strata.push(perm);
     }
     (0..n)
-        .map(|i| {
-            (0..dim)
-                .map(|d| (strata[d][i] as f64 + rng.gen::<f64>()) / n as f64)
-                .collect()
-        })
+        .map(|i| (0..dim).map(|d| (strata[d][i] as f64 + rng.gen::<f64>()) / n as f64).collect())
         .collect()
 }
 
 /// Draws `n` LHS samples as legal raw configurations of `space`.
 pub fn lhs(space: &ConfigSpace, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
-    lhs_unit(n, space.dim(), rng)
-        .into_iter()
-        .map(|u| space.from_unit(&u))
-        .collect()
+    lhs_unit(n, space.dim(), rng).into_iter().map(|u| space.from_unit(&u)).collect()
 }
 
 /// Draws `n` uniform random raw configurations.

@@ -152,11 +152,8 @@ impl TuningService {
         let base = self.catalog.default_config(dbtune_dbsim::Hardware::B);
         let space = TuningSpace::new(&self.catalog, selected.clone(), base);
 
-        let sources = if req.transfer {
-            self.repository.all_sources(&space, &req.task)
-        } else {
-            Vec::new()
-        };
+        let sources =
+            if req.transfer { self.repository.all_sources(&space, &req.task) } else { Vec::new() };
         let n_sources = sources.len();
 
         let result = if n_sources > 0 {

@@ -264,10 +264,8 @@ mod tests {
     #[test]
     fn tuning_space_full_config_round_trip() {
         let cat = KnobCatalog::mysql57();
-        let selected = vec![
-            cat.expect_index("innodb_buffer_pool_size"),
-            cat.expect_index("sync_binlog"),
-        ];
+        let selected =
+            vec![cat.expect_index("innodb_buffer_pool_size"), cat.expect_index("sync_binlog")];
         let ts = TuningSpace::with_default_base(&cat, selected.clone(), Hardware::B);
         let sub = vec![4096.0, 0.0];
         let full = ts.full_config(&sub);

@@ -177,8 +177,7 @@ mod tests {
     fn maps_to_metrically_closest_source() {
         let s1 = source(|x| -(x - 0.9f64).powi(2), vec![1.0, 0.0], "near");
         let s2 = source(|x| -(x - 0.1f64).powi(2), vec![0.0, 1.0], "far");
-        let mut opt =
-            MappedOptimizer::new(space1(), BaseKind::Smac, vec![s1, s2], 1);
+        let mut opt = MappedOptimizer::new(space1(), BaseKind::Smac, vec![s1, s2], 1);
         let mut rng = StdRng::seed_from_u64(1);
         // Target metrics match source 1's signature.
         for i in 0..5 {

@@ -203,20 +203,13 @@ impl Optimizer for RgpeOptimizer {
         let weights = self.rank_weights(&preds, rng);
         self.last_weights = weights.clone();
 
-        let best_z = yz
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best_z = yz.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
 
         // Ensemble EI over the weighted mixture.
         let all_models: Vec<&Fitted> =
             self.base_models.iter().chain(std::iter::once(&target_model)).collect();
-        let incumbents: Vec<Vec<f64>> = self
-            .obs
-            .top_k(3)
-            .into_iter()
-            .map(|i| self.obs.x[i].clone())
-            .collect();
+        let incumbents: Vec<Vec<f64>> =
+            self.obs.top_k(3).into_iter().map(|i| self.obs.x[i].clone()).collect();
         maximize(
             &self.space,
             |raw| {

@@ -13,6 +13,7 @@
 use crate::optimizer::Optimizer;
 use crate::sampling;
 use crate::space::TuningSpace;
+use crate::telemetry::{self, phase_secs};
 use dbtune_dbsim::{DbSimulator, Objective};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,8 +60,7 @@ impl SimObjective for DbSimulator {
     }
 
     fn reference_value(&self, full_cfg: &[f64]) -> f64 {
-        self.expected_value(full_cfg)
-            .expect("reference configuration must not crash")
+        self.expected_value(full_cfg).expect("reference configuration must not crash")
     }
 }
 
@@ -111,6 +111,60 @@ impl Default for SessionConfig {
     }
 }
 
+/// Per-iteration wall-clock attribution of a session's time, split the
+/// way the paper's overhead discussion (§7.4) splits it: model fitting
+/// (`surrogate_fit`), acquisition probing (`acquisition`), everything
+/// else the optimizer and driver do between evaluations (`bookkeeping`),
+/// and the evaluation itself (`evaluate`, excluded from "algorithm
+/// overhead").
+///
+/// The first three sum to [`SessionResult::overhead_secs`] per iteration.
+/// Attribution comes from the telemetry spans each optimizer opens inside
+/// `suggest()`/`observe()` (see `docs/observability.md`); time not covered
+/// by a phase span is bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTrace {
+    /// Surrogate/model fitting time per iteration (seconds).
+    pub surrogate_fit_secs: Vec<f64>,
+    /// Acquisition optimization / candidate probing time per iteration.
+    pub acquisition_secs: Vec<f64>,
+    /// Residual overhead per iteration (history upkeep, encoding, …).
+    pub bookkeeping_secs: Vec<f64>,
+    /// Evaluation (simulated stress test) wall time per iteration.
+    pub evaluate_secs: Vec<f64>,
+}
+
+impl PhaseTrace {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        Self {
+            surrogate_fit_secs: Vec::with_capacity(n),
+            acquisition_secs: Vec::with_capacity(n),
+            bookkeeping_secs: Vec::with_capacity(n),
+            evaluate_secs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Iterations recorded.
+    pub fn len(&self) -> usize {
+        self.surrogate_fit_secs.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.surrogate_fit_secs.is_empty()
+    }
+
+    /// Session totals `(surrogate_fit, acquisition, bookkeeping)` in
+    /// seconds — the per-optimizer bars of the Figure 9 decomposition.
+    pub fn overhead_totals(&self) -> (f64, f64, f64) {
+        (
+            self.surrogate_fit_secs.iter().sum(),
+            self.acquisition_secs.iter().sum(),
+            self.bookkeeping_secs.iter().sum(),
+        )
+    }
+}
+
 /// Everything a tuning session produces.
 #[derive(Clone, Debug)]
 pub struct SessionResult {
@@ -124,6 +178,8 @@ pub struct SessionResult {
     pub objective: Objective,
     /// Measured algorithm overhead (seconds) per iteration.
     pub overhead_secs: Vec<f64>,
+    /// Per-phase attribution of the overhead (and evaluation time).
+    pub phases: PhaseTrace,
     /// Simulated evaluation cost of the whole session (seconds).
     pub simulated_secs: f64,
 }
@@ -136,10 +192,7 @@ impl SessionResult {
 
     /// Best score over the session.
     pub fn best_score(&self) -> f64 {
-        *self
-            .best_score_trace
-            .last()
-            .expect("session ran at least one iteration")
+        *self.best_score_trace.last().expect("session ran at least one iteration")
     }
 
     /// Best raw metric value over the session.
@@ -222,6 +275,7 @@ pub fn run_session(
     opt: &mut dyn Optimizer,
     cfg: &SessionConfig,
 ) -> SessionResult {
+    let _session_span = telemetry::span("session");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let obj = objective.objective();
     let default_value = objective.reference_value(space.base());
@@ -234,17 +288,33 @@ pub fn run_session(
     let mut observations = Vec::with_capacity(cfg.iterations);
     let mut best_trace = Vec::with_capacity(cfg.iterations);
     let mut overheads = Vec::with_capacity(cfg.iterations);
+    let mut phases = PhaseTrace::with_capacity(cfg.iterations);
     let mut best = f64::NEG_INFINITY;
     let mut worst_seen = f64::INFINITY;
     let mut simulated = 0.0;
 
     for it in 0..cfg.iterations {
         let t0 = Instant::now();
-        let sub = if it < n_init { init[it].clone() } else { opt.suggest(&mut rng) };
+        // The phase collector picks up the `surrogate_fit`/`acquisition`
+        // spans the optimizer opens inside suggest(); whatever time they
+        // do not cover is bookkeeping.
+        let (sub, suggest_phases) = telemetry::collect_phases(|| {
+            let _s = telemetry::span("suggest");
+            if it < n_init {
+                init[it].clone()
+            } else {
+                opt.suggest(&mut rng)
+            }
+        });
         let suggest_secs = t0.elapsed().as_secs_f64();
 
         let full = space.full_config(&sub);
-        let res = objective.evaluate(&full);
+        let te = Instant::now();
+        let res = {
+            let _e = telemetry::span("evaluate");
+            objective.evaluate(&full)
+        };
+        let evaluate_secs = te.elapsed().as_secs_f64();
         simulated += res.simulated_secs;
 
         // §4.1: failures take the worst performance seen so far (or are
@@ -267,10 +337,27 @@ pub fn run_session(
         // Fitting happens inside suggest() for the BO family but inside
         // observe() for DDPG (replay training), so both are timed.
         let t1 = Instant::now();
-        if !(failed && cfg.failure_policy == FailurePolicy::Discard) {
-            opt.observe(&sub, score, &res.metrics);
-        }
-        overheads.push(suggest_secs + t1.elapsed().as_secs_f64());
+        let ((), observe_phases) = telemetry::collect_phases(|| {
+            let _o = telemetry::span("observe");
+            if !(failed && cfg.failure_policy == FailurePolicy::Discard) {
+                opt.observe(&sub, score, &res.metrics);
+            }
+        });
+        let observe_secs = t1.elapsed().as_secs_f64();
+
+        // Phase attribution: fitting happens inside suggest() for the BO
+        // family but inside observe() for DDPG (replay training), so both
+        // scopes contribute; the uncovered remainder is bookkeeping.
+        let fit = phase_secs(&suggest_phases, "surrogate_fit")
+            + phase_secs(&observe_phases, "surrogate_fit");
+        let acq =
+            phase_secs(&suggest_phases, "acquisition") + phase_secs(&observe_phases, "acquisition");
+        let overhead = suggest_secs + observe_secs;
+        phases.surrogate_fit_secs.push(fit);
+        phases.acquisition_secs.push(acq);
+        phases.bookkeeping_secs.push((overhead - fit - acq).max(0.0));
+        phases.evaluate_secs.push(evaluate_secs);
+        overheads.push(overhead);
         observations.push(Observation { config: sub, value, score, failed, metrics: res.metrics });
         best_trace.push(best);
     }
@@ -281,6 +368,7 @@ pub fn run_session(
         default_value,
         objective: obj,
         overhead_secs: overheads,
+        phases,
         simulated_secs: simulated,
     }
 }
@@ -358,8 +446,7 @@ mod tests {
             &mut opt,
             &SessionConfig { iterations: 50, lhs_init: 0, seed: 3, ..Default::default() },
         );
-        let failures: Vec<&Observation> =
-            result.observations.iter().filter(|o| o.failed).collect();
+        let failures: Vec<&Observation> = result.observations.iter().filter(|o| o.failed).collect();
         assert!(!failures.is_empty(), "upper range must produce crashes");
         for f in failures {
             assert!(f.score.is_finite());
@@ -389,8 +476,13 @@ mod tests {
     fn orientation_helpers_round_trip() {
         // Log-scale orientation: monotone, exactly invertible.
         for v in [0.5, 200.0, 16000.0] {
-            assert!((un_orient(Objective::Latency95, orient(Objective::Latency95, v)) - v).abs() < 1e-9);
-            assert!((un_orient(Objective::Throughput, orient(Objective::Throughput, v)) - v).abs() < 1e-9);
+            assert!(
+                (un_orient(Objective::Latency95, orient(Objective::Latency95, v)) - v).abs() < 1e-9
+            );
+            assert!(
+                (un_orient(Objective::Throughput, orient(Objective::Throughput, v)) - v).abs()
+                    < 1e-9
+            );
         }
         // Lower latency / higher throughput => higher score.
         assert!(orient(Objective::Latency95, 150.0) > orient(Objective::Latency95, 200.0));
@@ -412,5 +504,36 @@ mod tests {
         );
         assert_eq!(result.overhead_secs.len(), 10);
         assert!(result.simulated_secs > 0.0);
+    }
+
+    #[test]
+    fn phase_attribution_partitions_the_overhead() {
+        let mut sim = DbSimulator::new(Workload::Twitter, Hardware::B, 8);
+        let space = small_space(&sim);
+        // SMAC opens surrogate_fit/acquisition spans once past LHS init.
+        let mut opt = OptimizerKind::Smac.build(space.space(), METRICS_DIM, 2);
+        let result = run_session(
+            &mut sim,
+            &space,
+            &mut opt,
+            &SessionConfig { iterations: 20, lhs_init: 5, seed: 6, ..Default::default() },
+        );
+        assert_eq!(result.phases.len(), 20);
+        for i in 0..20 {
+            let sum = result.phases.surrogate_fit_secs[i]
+                + result.phases.acquisition_secs[i]
+                + result.phases.bookkeeping_secs[i];
+            let overhead = result.overhead_secs[i];
+            // Tolerance covers clock-read granularity: the phase spans
+            // and the outer overhead window are timed independently.
+            assert!(
+                (sum - overhead).abs() <= 1e-5 + overhead * 1e-2,
+                "iteration {i}: phases {sum} != overhead {overhead}"
+            );
+            assert!(result.phases.evaluate_secs[i] >= 0.0);
+        }
+        let (fit, acq, _) = result.phases.overhead_totals();
+        assert!(fit > 0.0, "model-based sessions must record fitting time");
+        assert!(acq > 0.0, "model-based sessions must record acquisition time");
     }
 }

@@ -83,19 +83,15 @@ fn kernels_are_positive_definite_on_random_point_sets() {
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(3);
     for _ in 0..5 {
-        let pts: Vec<Vec<f64>> = (0..12)
-            .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
-            .collect();
+        let pts: Vec<Vec<f64>> =
+            (0..12).map(|_| (0..3).map(|_| rng.gen::<f64>()).collect()).collect();
         for kernel in [
             Box::new(RbfKernel { lengthscale: 0.3 }) as Box<dyn Kernel>,
             Box::new(Matern52Kernel { lengthscale: 0.3 }),
         ] {
             let mut k = Matrix::from_fn(12, 12, |i, j| kernel.eval(&pts[i], &pts[j]));
             k.add_diagonal(1e-9);
-            assert!(
-                Cholesky::decompose(&k).is_ok(),
-                "kernel gram matrix not PD on random points"
-            );
+            assert!(Cholesky::decompose(&k).is_ok(), "kernel gram matrix not PD on random points");
         }
     }
 }

@@ -60,8 +60,7 @@ impl KnobCatalog {
     /// Looks a knob up by name, panicking with the name on failure
     /// (internal wiring errors should be loud).
     pub fn expect_index(&self, name: &str) -> usize {
-        self.index_of(name)
-            .unwrap_or_else(|| panic!("knob `{name}` missing from catalog"))
+        self.index_of(name).unwrap_or_else(|| panic!("knob `{name}` missing from catalog"))
     }
 
     /// The knob spec at `idx`.

@@ -24,11 +24,11 @@
 //!   wall-clock **cost ledger** (3-minute stress tests + restart) so the
 //!   surrogate benchmark can report paper-style speedups.
 
-pub mod knob;
 pub mod catalog;
-pub mod workload;
 pub mod hardware;
+pub mod knob;
 pub mod sim;
+pub mod workload;
 
 pub use catalog::KnobCatalog;
 pub use hardware::Hardware;

@@ -296,16 +296,29 @@ impl DbSimulator {
 
     /// Shared evaluation core: one stress test with noise drawn from
     /// `rng` (draw order: one value for the performance noise, then one
-    /// per internal metric).
+    /// per internal metric). Counts every evaluation (and every crash-region
+    /// hit) in the global metrics registry — observation only, so caching a
+    /// result elsewhere changes the counts but never the outcomes.
     fn evaluate_with_rng(&self, cfg: &[f64], rng: &mut StdRng) -> Outcome {
         assert_eq!(cfg.len(), self.catalog.len(), "configuration length mismatch");
+        // Evaluations are the hot path; resolve the instrument handles once.
+        static COUNTERS: std::sync::OnceLock<(dbtune_obs::Counter, dbtune_obs::Counter)> =
+            std::sync::OnceLock::new();
+        let (evals, crashes) = COUNTERS.get_or_init(|| {
+            let m = &dbtune_obs::global().metrics;
+            (m.counter("sim.evals"), m.counter("sim.crashes"))
+        });
+        evals.inc();
         match self.surface_score(cfg) {
-            Err(()) => Outcome {
-                value: f64::NAN,
-                failed: true,
-                metrics: vec![0.0; METRICS_DIM],
-                simulated_secs: EVAL_SECONDS + RESTART_SECONDS,
-            },
+            Err(()) => {
+                crashes.inc();
+                Outcome {
+                    value: f64::NAN,
+                    failed: true,
+                    metrics: vec![0.0; METRICS_DIM],
+                    simulated_secs: EVAL_SECONDS + RESTART_SECONDS,
+                }
+            }
             Ok(s) => {
                 let noise = if self.noise_sigma > 0.0 {
                     let z: f64 = rng.sample(rand_distr::StandardNormal);
@@ -439,10 +452,10 @@ impl DbSimulator {
         // --- I/O path ------------------------------------------------------------
         let io_int = 0.55 * wp + 0.45 * scan;
         s *= match cfg[idx.flush_method] as usize {
-            1 => 1.0 - 0.03,                                     // O_DSYNC
-            2 => 1.0 + 0.10 * io_int * (0.5 + 0.5 * hit),        // O_DIRECT
-            3 => 1.0 + 0.12 * io_int * (0.5 + 0.5 * hit),        // O_DIRECT_NO_FSYNC
-            _ => 1.0,                                            // fsync
+            1 => 1.0 - 0.03,                              // O_DSYNC
+            2 => 1.0 + 0.10 * io_int * (0.5 + 0.5 * hit), // O_DIRECT
+            3 => 1.0 + 0.12 * io_int * (0.5 + 0.5 * hit), // O_DIRECT_NO_FSYNC
+            _ => 1.0,                                     // fsync
         };
         s *= match cfg[idx.flush_neighbors] as usize {
             0 => 1.0 + 0.08 * wp, // SSD: neighbor flushing wasted
@@ -469,7 +482,8 @@ impl DbSimulator {
         }
         s *= 1.0 + 0.04 * cont * log_rise(cfg[idx.thread_cache_size], 9.0, 64.0, 1.0);
         s *= 1.0
-            + 0.03 * log_rise(cfg[idx.table_open_cache], 2000.0, 4000.0, 1.0)
+            + 0.03
+                * log_rise(cfg[idx.table_open_cache], 2000.0, 4000.0, 1.0)
                 * (p.tables as f64 / 150.0).min(1.0);
 
         // --- trap knobs: default already optimal --------------------------------
@@ -590,7 +604,7 @@ impl DbSimulator {
         m.push(sat(perf_ratio * p.write_intensity));
         m.push(sat(perf_ratio * p.read_intensity));
         m.push(p.contention / (1.0 + perf_ratio)); // queueing proxy
-        // Optimizer.
+                                                   // Optimizer.
         m.push(cfg[idx.optimizer_search_depth] / 62.0);
         m.push(sat(cfg[idx.stats_sample_pages] / 256.0));
         m.push(cfg[idx.adaptive_hash]);
@@ -621,7 +635,11 @@ mod tests {
         let cfg = s.default_config().to_vec();
         let out = s.evaluate(&cfg);
         assert!(!out.failed);
-        assert!((out.value - 3200.0).abs() < 1.0, "default TPS should equal base rate: {}", out.value);
+        assert!(
+            (out.value - 3200.0).abs() < 1.0,
+            "default TPS should equal base rate: {}",
+            out.value
+        );
     }
 
     #[test]

@@ -140,11 +140,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B Bᵀ + I for B = [[1,2],[3,4],[5,6]] — guaranteed SPD.
-        Matrix::from_rows(&[
-            vec![6.0, 11.0, 17.0],
-            vec![11.0, 26.0, 39.0],
-            vec![17.0, 39.0, 62.0],
-        ])
+        Matrix::from_rows(&[vec![6.0, 11.0, 17.0], vec![11.0, 26.0, 39.0], vec![17.0, 39.0, 62.0]])
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! allocation guidance of the Rust performance book (pre-sized buffers, no
 //! per-element boxing).
 
-pub mod matrix;
 pub mod cholesky;
+pub mod matrix;
 pub mod stats;
 
 pub use cholesky::Cholesky;

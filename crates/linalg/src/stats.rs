@@ -117,12 +117,8 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    let mse = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum::<f64>()
-        / pred.len() as f64;
+    let mse =
+        pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64;
     mse.sqrt()
 }
 
@@ -181,10 +177,7 @@ impl Standardizer {
 
     /// Applies `(x - mean) / std` per column.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
-        row.iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(x, (m, s))| (x - m) / s)
-            .collect()
+        row.iter().zip(self.means.iter().zip(&self.stds)).map(|(x, (m, s))| (x - m) / s).collect()
     }
 
     /// Transforms a batch of rows.
@@ -204,11 +197,8 @@ pub fn average_rank(scores: &[Vec<f64>], higher_is_better: bool) -> Vec<f64> {
     let mut sum = vec![0.0; k];
     for run in scores {
         assert_eq!(run.len(), k);
-        let keyed: Vec<f64> = if higher_is_better {
-            run.iter().map(|v| -v).collect()
-        } else {
-            run.clone()
-        };
+        let keyed: Vec<f64> =
+            if higher_is_better { run.iter().map(|v| -v).collect() } else { run.clone() };
         for (s, r) in sum.iter_mut().zip(ranks(&keyed)) {
             *s += r;
         }

@@ -30,7 +30,11 @@ impl FeatureKind {
 
 /// Splits `n` sample indices into a shuffled `(train, test)` partition with
 /// `test_fraction` of the data held out.
-pub fn train_test_split(n: usize, test_fraction: f64, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
+pub fn train_test_split(
+    n: usize,
+    test_fraction: f64,
+    rng: &mut impl Rng,
+) -> (Vec<usize>, Vec<usize>) {
     assert!((0.0..1.0).contains(&test_fraction));
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);

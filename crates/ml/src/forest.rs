@@ -31,7 +31,11 @@ impl Default for RandomForestParams {
     fn default() -> Self {
         Self {
             n_trees: 40,
-            tree: DecisionTreeParams { min_samples_leaf: 2, min_samples_split: 4, ..Default::default() },
+            tree: DecisionTreeParams {
+                min_samples_leaf: 2,
+                min_samples_split: 4,
+                ..Default::default()
+            },
             bootstrap_fraction: 1.0,
             seed: 0,
         }
@@ -174,8 +178,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = friedman_sample(100, 3);
-        let mut a = RandomForest::continuous(RandomForestParams { seed: 42, ..Default::default() }, 5);
-        let mut b = RandomForest::continuous(RandomForestParams { seed: 42, ..Default::default() }, 5);
+        let mut a =
+            RandomForest::continuous(RandomForestParams { seed: 42, ..Default::default() }, 5);
+        let mut b =
+            RandomForest::continuous(RandomForestParams { seed: 42, ..Default::default() }, 5);
         a.fit(&x, &y);
         b.fit(&x, &y);
         for row in x.iter().take(10) {
@@ -197,9 +203,7 @@ mod tests {
     #[test]
     fn split_counts_prefer_informative_feature() {
         let mut rng = StdRng::seed_from_u64(11);
-        let x: Vec<Vec<f64>> = (0..300)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * 10.0).collect(); // only feature 0 matters
         let mut rf = RandomForest::continuous(RandomForestParams::default(), 2);
         rf.fit(&x, &y);

@@ -210,9 +210,7 @@ mod tests {
         );
         strong.fit(&x, &y);
 
-        let err = |m: &GradientBoosting| {
-            dbtune_linalg::stats::rmse(&m.predict_batch(&x), &y)
-        };
+        let err = |m: &GradientBoosting| dbtune_linalg::stats::rmse(&m.predict_batch(&x), &y);
         assert!(err(&strong) < err(&weak) * 0.5, "boosting failed to improve fit");
     }
 
@@ -234,7 +232,8 @@ mod tests {
         // Signal in x0, plus pure noise targets.
         let x: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + rng.gen::<f64>() * 0.5).collect();
-        let xv: Vec<Vec<f64>> = (0..100).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let xv: Vec<Vec<f64>> =
+            (0..100).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let yv: Vec<f64> = xv.iter().map(|r| 3.0 * r[0] + rng.gen::<f64>() * 0.5).collect();
         let mut m = GradientBoosting::continuous(
             GradientBoostingParams { n_stages: 400, ..Default::default() },

@@ -40,12 +40,8 @@ impl Regressor for KnnRegressor {
         let k = self.k.min(self.x.len());
 
         // Partial selection of the k smallest distances.
-        let mut dists: Vec<(f64, usize)> = self
-            .x
-            .iter()
-            .enumerate()
-            .map(|(i, xi)| (sq_dist(xi, &z), i))
-            .collect();
+        let mut dists: Vec<(f64, usize)> =
+            self.x.iter().enumerate().map(|(i, xi)| (sq_dist(xi, &z), i)).collect();
         dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
         let neighbours = &dists[..k];
 

@@ -12,13 +12,13 @@
 //! benchmark, importance measurements, RGPE) can treat them uniformly.
 
 pub mod dataset;
-pub mod tree;
 pub mod forest;
 pub mod gbdt;
-pub mod linear;
 pub mod knn;
-pub mod svr;
+pub mod linear;
 pub mod mlp;
+pub mod svr;
+pub mod tree;
 
 pub use dataset::{kfold_indices, train_test_split, FeatureKind};
 pub use forest::{RandomForest, RandomForestParams};

@@ -174,7 +174,14 @@ pub struct LassoRegression {
 impl LassoRegression {
     /// Creates an unfitted lasso with penalty `alpha`.
     pub fn new(alpha: f64) -> Self {
-        Self { alpha, max_iter: 300, tol: 1e-7, weights: Vec::new(), intercept: 0.0, standardizer: None }
+        Self {
+            alpha,
+            max_iter: 300,
+            tol: 1e-7,
+            weights: Vec::new(),
+            intercept: 0.0,
+            standardizer: None,
+        }
     }
 
     /// Fitted coefficients (standardized space). Zeros mark pruned features.

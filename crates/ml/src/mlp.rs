@@ -351,12 +351,7 @@ mod tests {
 
     #[test]
     fn learns_xor_like_function() {
-        let x = vec![
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ];
+        let x = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let y = vec![0.0, 1.0, 1.0, 0.0];
         let mut net = Mlp::new(MlpParams {
             input_dim: 2,

@@ -95,7 +95,12 @@ pub struct DecisionTreeParams {
 
 impl Default for DecisionTreeParams {
     fn default() -> Self {
-        Self { max_depth: usize::MAX, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+        Self {
+            max_depth: usize::MAX,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
     }
 }
 
@@ -166,9 +171,8 @@ impl DecisionTree {
         let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
         let sse: f64 = idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
 
-        let stop = depth >= self.params.max_depth
-            || n < self.params.min_samples_split
-            || sse <= 1e-12;
+        let stop =
+            depth >= self.params.max_depth || n < self.params.min_samples_split || sse <= 1e-12;
         if !stop {
             if let Some((rule, gain)) = self.best_split(x, y, idx, rng) {
                 if gain > 1e-12 {
@@ -224,7 +228,9 @@ impl DecisionTree {
         let mut best: Option<(SplitRule, f64)> = None;
         for &f in &features {
             let candidate = match self.feature_kinds[f] {
-                FeatureKind::Continuous => best_numeric_split(x, y, idx, f, self.params.min_samples_leaf),
+                FeatureKind::Continuous => {
+                    best_numeric_split(x, y, idx, f, self.params.min_samples_leaf)
+                }
                 FeatureKind::Categorical { cardinality } => {
                     best_categorical_split(x, y, idx, f, cardinality, self.params.min_samples_leaf)
                 }
@@ -339,8 +345,8 @@ fn best_categorical_split(
             continue;
         }
         let sse_l = left_sq - left_sum * left_sum / left_n as f64;
-        let sse_r = (total_sq - left_sq)
-            - (total_sum - left_sum) * (total_sum - left_sum) / right_n as f64;
+        let sse_r =
+            (total_sq - left_sq) - (total_sum - left_sum) * (total_sum - left_sum) / right_n as f64;
         let child = sse_l + sse_r;
         if best.is_none_or(|(_, b)| child < b) {
             best = Some((mask, child));
@@ -404,9 +410,8 @@ mod tests {
         // Category {0,2} -> low, {1,3} -> high. A threshold split cannot
         // separate these; a subset split can.
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 4) as f64]).collect();
-        let y: Vec<f64> = (0..40)
-            .map(|i| if i % 4 == 0 || i % 4 == 2 { 0.0 } else { 10.0 })
-            .collect();
+        let y: Vec<f64> =
+            (0..40).map(|i| if i % 4 == 0 || i % 4 == 2 { 0.0 } else { 10.0 }).collect();
         let t = fit_tree(&x, &y, vec![FeatureKind::Categorical { cardinality: 4 }]);
         assert_eq!(t.predict(&[0.0]), 0.0);
         assert_eq!(t.predict(&[2.0]), 0.0);

@@ -1,0 +1,164 @@
+//! A fixed-bucket, log-scale, lock-free histogram for durations.
+//!
+//! Values (nanoseconds) are bucketed by their power-of-two octave with
+//! four sub-buckets per octave (the two bits below the most significant
+//! bit), giving a worst-case relative error of 12.5% over the full `u64`
+//! range — ample for p50/p99 overhead reporting, and small enough
+//! (256 atomic words) to embed one histogram per span name and per
+//! registered metric.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: values 0–3 map exactly, then 4 sub-buckets for
+/// each of the 62 remaining octaves.
+pub const BUCKETS: usize = 4 + 62 * 4;
+
+/// Index of the bucket containing `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 2
+    let sub = ((v >> (msb - 2)) & 0b11) as usize;
+    4 + (msb - 2) * 4 + sub
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i < 4 {
+        return i as u64;
+    }
+    let octave = (i - 4) / 4 + 2;
+    let sub = ((i - 4) % 4) as u64;
+    (1u64 << octave) + sub * (1u64 << (octave - 2))
+}
+
+/// Representative value of bucket `i` (its midpoint).
+fn bucket_mid(i: usize) -> u64 {
+    if i < 4 {
+        return i as u64;
+    }
+    let octave = (i - 4) / 4 + 2;
+    let width = 1u64 << (octave - 2);
+    bucket_lo(i) + width / 2
+}
+
+/// Concurrent log-scale histogram; all updates are relaxed atomics.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded count.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket-midpoint
+    /// approximation; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(BUCKETS - 1)
+    }
+
+    /// Point-in-time summary.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot { count: self.count(), p50: self.quantile(0.50), p99: self.quantile(0.99) }
+    }
+}
+
+/// Summary of a histogram at one instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_mid(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        // Every value lands in a bucket whose midpoint is within 12.5%.
+        for &v in &[5u64, 17, 100, 1_000, 123_456, 10u64.pow(9), u64::MAX / 3] {
+            let i = bucket_index(v);
+            let mid = bucket_mid(i) as f64;
+            let rel = (mid - v as f64).abs() / v as f64;
+            assert!(rel <= 0.125, "v={v} mid={mid} rel={rel}");
+        }
+        // Bucket lower bounds strictly increase.
+        for i in 1..BUCKETS {
+            assert!(bucket_lo(i) > bucket_lo(i - 1), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let h = LogHistogram::new();
+        // 99 fast values around 1000ns, one slow 1_000_000ns outlier.
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 - 1_000.0).abs() / 1_000.0 <= 0.125, "p50={p50}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 1_000.0).abs() / 1_000.0 <= 0.125, "p99 is still fast: {p99}");
+        let p100 = h.quantile(1.0) as f64;
+        assert!((p100 - 1_000_000.0).abs() / 1_000_000.0 <= 0.125, "max is slow: {p100}");
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.snapshot(), HistSnapshot { count: 0, p50: 0, p99: 0 });
+    }
+}

@@ -1,0 +1,606 @@
+//! The JSONL trace journal: one structured event per line.
+//!
+//! Enabled by pointing it at a file (`DBTUNE_TRACE=<path>` or the
+//! drivers' `trace=<path>` flag); when disabled, emission costs one
+//! relaxed atomic load. Every event serializes with a **fixed field
+//! order** (documented per variant below and in docs/observability.md),
+//! so journals are diffable and greppable; `seq` is assigned under the
+//! writer lock, so line order and sequence order always agree.
+//!
+//! The schema is versioned: the first line of every journal is a `meta`
+//! event carrying [`SCHEMA_VERSION`]. [`TraceEvent::parse_line`] parses a
+//! journal line back into the event struct (round-trip tested here and
+//! against real driver output by `trace_validate`).
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Version stamped into the journal's leading `meta` event.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One journal event. Field order in the serialized JSON is exactly the
+/// declaration order of each variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// First line of every journal:
+    /// `{"type":"meta","version":N,"source":S}`.
+    Meta {
+        /// Schema version ([`SCHEMA_VERSION`]).
+        version: u64,
+        /// What produced the journal (driver name or "env").
+        source: String,
+    },
+    /// A span closed:
+    /// `{"type":"span","name":S,"parent":S|null,"depth":N,"dur_nanos":N,"thread":N,"seq":N}`.
+    Span {
+        /// Span name (see the taxonomy in docs/observability.md).
+        name: String,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<String>,
+        /// Nesting depth on the emitting thread (0 = root).
+        depth: u32,
+        /// Monotonic duration.
+        dur_nanos: u64,
+        /// Per-process thread ordinal (see [`thread_ordinal`]).
+        thread: u64,
+        /// Journal sequence number (assigned at write time).
+        seq: u64,
+    },
+    /// A counter's value at flush:
+    /// `{"type":"counter","name":S,"value":N,"seq":N}`.
+    Counter {
+        /// Instrument name.
+        name: String,
+        /// Cumulative count.
+        value: u64,
+        /// Journal sequence number.
+        seq: u64,
+    },
+    /// A gauge's value at flush:
+    /// `{"type":"gauge","name":S,"value":N,"seq":N}`.
+    Gauge {
+        /// Instrument name.
+        name: String,
+        /// Instantaneous value.
+        value: i64,
+        /// Journal sequence number.
+        seq: u64,
+    },
+    /// A histogram's summary at flush:
+    /// `{"type":"hist","name":S,"count":N,"p50_nanos":N,"p99_nanos":N,"seq":N}`.
+    Hist {
+        /// Instrument name.
+        name: String,
+        /// Recorded values.
+        count: u64,
+        /// Approximate median.
+        p50_nanos: u64,
+        /// Approximate 99th percentile.
+        p99_nanos: u64,
+        /// Journal sequence number.
+        seq: u64,
+    },
+    /// One executor grid cell completed:
+    /// `{"type":"cell","index":N,"cache_hits":N,"cache_misses":N,"dur_nanos":N,"thread":N,"seq":N}`.
+    Cell {
+        /// Grid-order cell index.
+        index: u64,
+        /// Evaluation-cache hits observed by this cell's session.
+        cache_hits: u64,
+        /// Evaluation-cache misses observed by this cell's session.
+        cache_misses: u64,
+        /// Wall-clock cell duration.
+        dur_nanos: u64,
+        /// Per-process thread ordinal.
+        thread: u64,
+        /// Journal sequence number.
+        seq: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's `"type"` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Meta { .. } => "meta",
+            TraceEvent::Span { .. } => "span",
+            TraceEvent::Counter { .. } => "counter",
+            TraceEvent::Gauge { .. } => "gauge",
+            TraceEvent::Hist { .. } => "hist",
+            TraceEvent::Cell { .. } => "cell",
+        }
+    }
+
+    /// Serializes to one JSONL line (no trailing newline), fields in the
+    /// documented order.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        match self {
+            TraceEvent::Meta { version, source } => {
+                let _ = write!(s, r#"{{"type":"meta","version":{version},"source":"#);
+                escape_into(&mut s, source);
+                s.push('}');
+            }
+            TraceEvent::Span { name, parent, depth, dur_nanos, thread, seq } => {
+                let _ = write!(s, r#"{{"type":"span","name":"#);
+                escape_into(&mut s, name);
+                s.push_str(",\"parent\":");
+                match parent {
+                    Some(p) => escape_into(&mut s, p),
+                    None => s.push_str("null"),
+                }
+                let _ = write!(
+                    s,
+                    r#","depth":{depth},"dur_nanos":{dur_nanos},"thread":{thread},"seq":{seq}}}"#
+                );
+            }
+            TraceEvent::Counter { name, value, seq } => {
+                let _ = write!(s, r#"{{"type":"counter","name":"#);
+                escape_into(&mut s, name);
+                let _ = write!(s, r#","value":{value},"seq":{seq}}}"#);
+            }
+            TraceEvent::Gauge { name, value, seq } => {
+                let _ = write!(s, r#"{{"type":"gauge","name":"#);
+                escape_into(&mut s, name);
+                let _ = write!(s, r#","value":{value},"seq":{seq}}}"#);
+            }
+            TraceEvent::Hist { name, count, p50_nanos, p99_nanos, seq } => {
+                let _ = write!(s, r#"{{"type":"hist","name":"#);
+                escape_into(&mut s, name);
+                let _ = write!(
+                    s,
+                    r#","count":{count},"p50_nanos":{p50_nanos},"p99_nanos":{p99_nanos},"seq":{seq}}}"#
+                );
+            }
+            TraceEvent::Cell { index, cache_hits, cache_misses, dur_nanos, thread, seq } => {
+                let _ = write!(
+                    s,
+                    r#"{{"type":"cell","index":{index},"cache_hits":{cache_hits},"cache_misses":{cache_misses},"dur_nanos":{dur_nanos},"thread":{thread},"seq":{seq}}}"#
+                );
+            }
+        }
+        s
+    }
+
+    /// Parses one journal line back into the event struct. Errors name
+    /// the offending field so `trace_validate` output is actionable.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+        let fields = parse_flat_object(line)?;
+        let get = |key: &str| -> Result<&FlatValue, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field '{key}'"))
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            match get(key)? {
+                FlatValue::Str(s) => Ok(s.clone()),
+                other => Err(format!("field '{key}' is not a string: {other:?}")),
+            }
+        };
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            match get(key)? {
+                FlatValue::UInt(u) => Ok(*u),
+                other => Err(format!("field '{key}' is not a non-negative integer: {other:?}")),
+            }
+        };
+        let get_i64 = |key: &str| -> Result<i64, String> {
+            match get(key)? {
+                FlatValue::UInt(u) => {
+                    i64::try_from(*u).map_err(|_| format!("field '{key}' overflows i64"))
+                }
+                FlatValue::Int(i) => Ok(*i),
+                other => Err(format!("field '{key}' is not an integer: {other:?}")),
+            }
+        };
+        match get_str("type")?.as_str() {
+            "meta" => {
+                Ok(TraceEvent::Meta { version: get_u64("version")?, source: get_str("source")? })
+            }
+            "span" => Ok(TraceEvent::Span {
+                name: get_str("name")?,
+                parent: match get("parent")? {
+                    FlatValue::Null => None,
+                    FlatValue::Str(s) => Some(s.clone()),
+                    other => {
+                        return Err(format!("field 'parent' is not a string or null: {other:?}"))
+                    }
+                },
+                depth: u32::try_from(get_u64("depth")?)
+                    .map_err(|_| "field 'depth' overflows u32".to_string())?,
+                dur_nanos: get_u64("dur_nanos")?,
+                thread: get_u64("thread")?,
+                seq: get_u64("seq")?,
+            }),
+            "counter" => Ok(TraceEvent::Counter {
+                name: get_str("name")?,
+                value: get_u64("value")?,
+                seq: get_u64("seq")?,
+            }),
+            "gauge" => Ok(TraceEvent::Gauge {
+                name: get_str("name")?,
+                value: get_i64("value")?,
+                seq: get_u64("seq")?,
+            }),
+            "hist" => Ok(TraceEvent::Hist {
+                name: get_str("name")?,
+                count: get_u64("count")?,
+                p50_nanos: get_u64("p50_nanos")?,
+                p99_nanos: get_u64("p99_nanos")?,
+                seq: get_u64("seq")?,
+            }),
+            "cell" => Ok(TraceEvent::Cell {
+                index: get_u64("index")?,
+                cache_hits: get_u64("cache_hits")?,
+                cache_misses: get_u64("cache_misses")?,
+                dur_nanos: get_u64("dur_nanos")?,
+                thread: get_u64("thread")?,
+                seq: get_u64("seq")?,
+            }),
+            other => Err(format!("unknown event type '{other}'")),
+        }
+    }
+
+    fn with_seq(mut self, n: u64) -> Self {
+        match &mut self {
+            TraceEvent::Meta { .. } => {}
+            TraceEvent::Span { seq, .. }
+            | TraceEvent::Counter { seq, .. }
+            | TraceEvent::Gauge { seq, .. }
+            | TraceEvent::Hist { seq, .. }
+            | TraceEvent::Cell { seq, .. } => *seq = n,
+        }
+        self
+    }
+}
+
+/// JSON-escapes `s` (quotes included) into `out`.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A value in a flat (non-nested) JSON object.
+#[derive(Clone, Debug, PartialEq)]
+enum FlatValue {
+    Null,
+    Str(String),
+    UInt(u64),
+    Int(i64),
+}
+
+/// Parses a flat JSON object — strings, integers, and `null` only, which
+/// is all the journal ever writes. Kept tiny and dependency-free on
+/// purpose; full documents go through the workspace's `serde_json`.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, FlatValue)>, String> {
+    let text = line.trim();
+    let mut chars = text.char_indices().peekable();
+    let mut fields = Vec::new();
+    let err = |msg: &str, at: usize| {
+        Err::<Vec<(String, FlatValue)>, String>(format!("{msg} at byte {at}"))
+    };
+
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return err("expected '{'", 0),
+    }
+    // Empty object.
+    if let Some(&(_, '}')) = chars.peek() {
+        chars.next();
+    } else {
+        loop {
+            let key = parse_string(text, &mut chars)?;
+            match chars.next() {
+                Some((_, ':')) => {}
+                Some((at, _)) => return err("expected ':'", at),
+                None => return err("unexpected end", text.len()),
+            }
+            let value = match chars.peek() {
+                Some(&(_, '"')) => FlatValue::Str(parse_string(text, &mut chars)?),
+                Some(&(at, 'n')) => {
+                    for expect in ['n', 'u', 'l', 'l'] {
+                        match chars.next() {
+                            Some((_, c)) if c == expect => {}
+                            _ => return err("expected 'null'", at),
+                        }
+                    }
+                    FlatValue::Null
+                }
+                Some(&(at, c)) if c == '-' || c.is_ascii_digit() => {
+                    let mut num = String::new();
+                    while let Some(&(_, c)) = chars.peek() {
+                        if c == '-' || c.is_ascii_digit() {
+                            num.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if num.starts_with('-') {
+                        FlatValue::Int(
+                            num.parse().map_err(|_| format!("bad integer '{num}' at byte {at}"))?,
+                        )
+                    } else {
+                        FlatValue::UInt(
+                            num.parse().map_err(|_| format!("bad integer '{num}' at byte {at}"))?,
+                        )
+                    }
+                }
+                Some(&(at, _)) => return err("expected value", at),
+                None => return err("unexpected end", text.len()),
+            };
+            fields.push((key, value));
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                Some((at, _)) => return err("expected ',' or '}'", at),
+                None => return err("unexpected end", text.len()),
+            }
+        }
+    }
+    if chars.next().is_some() {
+        return err("trailing data after object", text.len());
+    }
+    Ok(fields)
+}
+
+/// Parses one JSON string literal (cursor positioned at the opening `"`).
+fn parse_string(
+    text: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<String, String> {
+    match chars.next() {
+        Some((_, '"')) => {}
+        Some((at, _)) => return Err(format!("expected '\"' at byte {at}")),
+        None => return Err(format!("unexpected end at byte {}", text.len())),
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(out),
+            Some((at, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|(_, c)| c.to_digit(16))
+                            .ok_or_else(|| format!("bad \\u escape at byte {at}"))?;
+                        code = code * 16 + d;
+                    }
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| format!("bad \\u escape at byte {at}"))?,
+                    );
+                }
+                _ => return Err(format!("bad escape at byte {at}")),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err(format!("unterminated string at byte {}", text.len())),
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// A small, stable, per-process ordinal for the current thread (assigned
+/// on first use; `std::thread::ThreadId` has no stable integer form).
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|&t| t)
+}
+
+/// The JSONL sink. See the module docs for the enablement and cost
+/// contract.
+#[derive(Debug, Default)]
+pub struct Journal {
+    enabled: AtomicBool,
+    sink: Mutex<Option<JournalSink>>,
+}
+
+#[derive(Debug)]
+struct JournalSink {
+    writer: BufWriter<File>,
+    seq: u64,
+}
+
+impl Journal {
+    /// A disabled journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether events are currently being written — the one check hot
+    /// paths make before constructing an event.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Starts writing to `path` (truncating), beginning with the `meta`
+    /// schema line. `source` names the producer (driver name or "env").
+    pub fn enable(&self, path: &Path, source: &str) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        let mut sink = JournalSink { writer: BufWriter::new(file), seq: 0 };
+        let meta = TraceEvent::Meta { version: SCHEMA_VERSION, source: source.to_string() };
+        writeln!(sink.writer, "{}", meta.to_jsonl())?;
+        *self.sink.lock().expect("journal lock") = Some(sink);
+        self.enabled.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Stops writing and flushes the sink.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+        if let Some(mut sink) = self.sink.lock().expect("journal lock").take() {
+            let _ = sink.writer.flush();
+        }
+    }
+
+    /// Writes one event (no-op when disabled). The event's `seq` is
+    /// overwritten with the journal's next sequence number under the
+    /// writer lock, so file order always equals sequence order.
+    pub fn emit(&self, event: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut guard = self.sink.lock().expect("journal lock");
+        if let Some(sink) = guard.as_mut() {
+            sink.seq += 1;
+            let line = event.with_seq(sink.seq).to_jsonl();
+            let _ = writeln!(sink.writer, "{line}");
+        }
+    }
+
+    /// Flushes buffered lines to disk without disabling.
+    pub fn flush(&self) {
+        if let Some(sink) = self.sink.lock().expect("journal lock").as_mut() {
+            let _ = sink.writer.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(ev: TraceEvent) {
+        let line = ev.to_jsonl();
+        let back = TraceEvent::parse_line(&line).unwrap_or_else(|e| panic!("parse {line}: {e}"));
+        assert_eq!(back, ev, "line was {line}");
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        round_trip(TraceEvent::Meta { version: 1, source: "fig9_overhead".into() });
+        round_trip(TraceEvent::Span {
+            name: "surrogate_fit".into(),
+            parent: Some("suggest".into()),
+            depth: 2,
+            dur_nanos: 12_345,
+            thread: 3,
+            seq: 17,
+        });
+        round_trip(TraceEvent::Span {
+            name: "session".into(),
+            parent: None,
+            depth: 0,
+            dur_nanos: 1,
+            thread: 0,
+            seq: 1,
+        });
+        round_trip(TraceEvent::Counter { name: "exec.cache.hits".into(), value: u64::MAX, seq: 2 });
+        round_trip(TraceEvent::Gauge { name: "exec.queue.depth".into(), value: -5, seq: 3 });
+        round_trip(TraceEvent::Hist {
+            name: "exec.cell_nanos".into(),
+            count: 9,
+            p50_nanos: 100,
+            p99_nanos: 900,
+            seq: 4,
+        });
+        round_trip(TraceEvent::Cell {
+            index: 6,
+            cache_hits: 40,
+            cache_misses: 2,
+            dur_nanos: 1_000_000,
+            thread: 1,
+            seq: 5,
+        });
+    }
+
+    #[test]
+    fn strings_with_special_characters_round_trip() {
+        round_trip(TraceEvent::Meta { version: 1, source: "C:\\tmp\\\"x\"\nresults".into() });
+    }
+
+    #[test]
+    fn field_order_is_stable() {
+        let ev = TraceEvent::Span {
+            name: "a".into(),
+            parent: None,
+            depth: 0,
+            dur_nanos: 2,
+            thread: 0,
+            seq: 9,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"type":"span","name":"a","parent":null,"depth":0,"dur_nanos":2,"thread":0,"seq":9}"#
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(TraceEvent::parse_line("not json").is_err());
+        assert!(TraceEvent::parse_line(r#"{"type":"span"}"#).is_err(), "missing fields");
+        assert!(TraceEvent::parse_line(r#"{"type":"wat","x":1}"#).is_err(), "unknown type");
+        assert!(
+            TraceEvent::parse_line(r#"{"type":"counter","name":"n","value":-1,"seq":0}"#).is_err(),
+            "counters are unsigned"
+        );
+    }
+
+    #[test]
+    fn disabled_journal_drops_events_and_enable_writes_meta_first() {
+        let dir = std::env::temp_dir().join("dbtune_obs_journal_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("j.jsonl");
+        let j = Journal::new();
+        j.emit(TraceEvent::Counter { name: "dropped".into(), value: 1, seq: 0 });
+        assert!(!j.is_enabled());
+        j.enable(&path, "test").expect("enable");
+        j.emit(TraceEvent::Counter { name: "kept".into(), value: 1, seq: 0 });
+        j.emit(TraceEvent::Gauge { name: "g".into(), value: 2, seq: 0 });
+        j.disable();
+        let text = std::fs::read_to_string(&path).expect("read journal");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "meta + two events: {text}");
+        match TraceEvent::parse_line(lines[0]).expect("meta parses") {
+            TraceEvent::Meta { version, source } => {
+                assert_eq!(version, SCHEMA_VERSION);
+                assert_eq!(source, "test");
+            }
+            other => panic!("first line must be meta, got {other:?}"),
+        }
+        // Sequence numbers are assigned in write order, starting at 1.
+        match TraceEvent::parse_line(lines[1]).expect("counter parses") {
+            TraceEvent::Counter { name, seq, .. } => {
+                assert_eq!(name, "kept");
+                assert_eq!(seq, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match TraceEvent::parse_line(lines[2]).expect("gauge parses") {
+            TraceEvent::Gauge { seq, .. } => assert_eq!(seq, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

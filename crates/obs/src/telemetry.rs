@@ -1,0 +1,185 @@
+//! The assembled telemetry instance: span table + metrics registry +
+//! journal, plus the process-global singleton every crate in the stack
+//! shares.
+//!
+//! The global instance is initialized lazily; if the `DBTUNE_TRACE`
+//! environment variable names a path at first use, the journal starts
+//! there immediately (drivers can also call
+//! [`Telemetry::enable_journal`] for the `trace=` flag).
+
+use crate::journal::{Journal, TraceEvent};
+use crate::metrics::{MetricsSnapshot, Registry};
+use crate::span::{SpanGuard, SpanSnapshot, SpanTable};
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// Environment variable that enables the global journal at startup.
+pub const TRACE_ENV: &str = "DBTUNE_TRACE";
+
+/// One telemetry instance. Tests construct private ones; production code
+/// goes through [`global`].
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Per-name span aggregates.
+    pub spans: SpanTable,
+    /// Named counters/gauges/histograms.
+    pub metrics: Registry,
+    /// Optional JSONL event sink.
+    pub journal: Journal,
+}
+
+impl Telemetry {
+    /// A fresh instance with a disabled journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a span; its guard closes it (see [`crate::span::SpanGuard`]).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard::open(name, self.spans.stats(name), &self.journal)
+    }
+
+    /// Records an externally measured duration under `name` — same
+    /// aggregation and journal event as a guard, without the RAII scope
+    /// (used where the measured region already has its own timer).
+    pub fn span_record(&self, name: &'static str, nanos: u64) {
+        self.spans.stats(name).record(nanos);
+        if self.journal.is_enabled() {
+            self.journal.emit(TraceEvent::Span {
+                name: name.to_string(),
+                parent: None,
+                depth: 0,
+                dur_nanos: nanos,
+                thread: crate::journal::thread_ordinal(),
+                seq: 0,
+            });
+        }
+    }
+
+    /// Starts the JSONL journal at `path` (see [`Journal::enable`]).
+    pub fn enable_journal(&self, path: &Path, source: &str) -> std::io::Result<()> {
+        self.journal.enable(path, source)
+    }
+
+    /// Writes one `counter`/`gauge`/`hist` event per registry instrument
+    /// to the journal (no-op when disabled), then flushes. Drivers call
+    /// this right before saving their JSON artifact.
+    pub fn flush_metrics(&self) {
+        if !self.journal.is_enabled() {
+            return;
+        }
+        let snap = self.metrics.snapshot();
+        for (name, value) in snap.counters {
+            self.journal.emit(TraceEvent::Counter { name, value, seq: 0 });
+        }
+        for (name, value) in snap.gauges {
+            self.journal.emit(TraceEvent::Gauge { name, value, seq: 0 });
+        }
+        for (name, h) in snap.hists {
+            self.journal.emit(TraceEvent::Hist {
+                name,
+                count: h.count,
+                p50_nanos: h.p50,
+                p99_nanos: h.p99,
+                seq: 0,
+            });
+        }
+        self.journal.flush();
+    }
+
+    /// Everything aggregated so far, sorted by name — the source of the
+    /// drivers' `"telemetry"` JSON block.
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport { spans: self.spans.snapshot(), metrics: self.metrics.snapshot() }
+    }
+}
+
+/// Point-in-time view of a [`Telemetry`] instance.
+#[derive(Clone, Debug)]
+pub struct TelemetryReport {
+    /// Span aggregates, sorted by name.
+    pub spans: Vec<(&'static str, SpanSnapshot)>,
+    /// Metric values, each list sorted by name.
+    pub metrics: MetricsSnapshot,
+}
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// The process-global telemetry instance. On first use, starts the
+/// journal if `DBTUNE_TRACE` names a writable path (a warning goes to
+/// stderr when it does not — telemetry must never take a run down).
+pub fn global() -> &'static Telemetry {
+    GLOBAL.get_or_init(|| {
+        let t = Telemetry::new();
+        if let Ok(path) = std::env::var(TRACE_ENV) {
+            if !path.is_empty() {
+                if let Err(e) = t.enable_journal(Path::new(&path), "env") {
+                    eprintln!("[telemetry] cannot open {TRACE_ENV}={path}: {e}");
+                }
+            }
+        }
+        t
+    })
+}
+
+/// Opens a span on the global instance — the one-liner hot paths use:
+/// `let _s = dbtune_obs::span("surrogate_fit");`.
+pub fn span(name: &'static str) -> SpanGuard<'static> {
+    global().span(name)
+}
+
+/// Records an externally measured duration on the global instance.
+pub fn span_record(name: &'static str, nanos: u64) {
+    global().span_record(name, nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_metrics_land_in_the_report() {
+        let t = Telemetry::new();
+        {
+            let _a = t.span("unit_a");
+            let _b = t.span("unit_b");
+        }
+        t.span_record("unit_a", 500);
+        t.metrics.counter("unit.count").add(3);
+        t.metrics.gauge("unit.depth").set(2);
+        let report = t.report();
+        let a = report.spans.iter().find(|(n, _)| *n == "unit_a").expect("unit_a present");
+        assert_eq!(a.1.count, 2);
+        assert!(a.1.total_nanos >= 500);
+        assert_eq!(report.metrics.counters, vec![("unit.count".to_string(), 3)]);
+        assert_eq!(report.metrics.gauges, vec![("unit.depth".to_string(), 2)]);
+    }
+
+    #[test]
+    fn flush_metrics_writes_one_event_per_instrument() {
+        let dir = std::env::temp_dir().join("dbtune_obs_flush_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("flush.jsonl");
+        let t = Telemetry::new();
+        t.metrics.counter("c1").inc();
+        t.metrics.gauge("g1").set(4);
+        t.metrics.histogram("h1").record(77);
+        t.flush_metrics(); // disabled: no-op
+        t.enable_journal(&path, "test").expect("enable");
+        t.flush_metrics();
+        t.journal.disable();
+        let text = std::fs::read_to_string(&path).expect("read journal");
+        let kinds: Vec<String> = text
+            .lines()
+            .map(|l| TraceEvent::parse_line(l).expect("valid line").kind().to_string())
+            .collect();
+        assert_eq!(kinds, vec!["meta", "counter", "gauge", "hist"]);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global() as *const Telemetry;
+        let b = global() as *const Telemetry;
+        assert_eq!(a, b);
+    }
+}

@@ -24,16 +24,16 @@ fn knob_set(catalog: &KnobCatalog) -> Vec<usize> {
     .collect()
 }
 
-fn tune(
-    workload: Workload,
-    opt: &mut dyn Optimizer,
-    iters: usize,
-    seed: u64,
-) -> SessionResult {
+fn tune(workload: Workload, opt: &mut dyn Optimizer, iters: usize, seed: u64) -> SessionResult {
     let mut sim = DbSimulator::new(workload, Hardware::B, seed);
     let catalog = sim.catalog().clone();
     let space = TuningSpace::with_default_base(&catalog, knob_set(&catalog), Hardware::B);
-    run_session(&mut sim, &space, opt, &SessionConfig { iterations: iters, lhs_init: 10, seed, ..Default::default() })
+    run_session(
+        &mut sim,
+        &space,
+        opt,
+        &SessionConfig { iterations: iters, lhs_init: 10, seed, ..Default::default() },
+    )
 }
 
 fn main() {

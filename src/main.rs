@@ -363,10 +363,8 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     report_session(&space, &result);
 
     let history = args.str_opt("history").unwrap_or("history.json");
-    let task = args
-        .str_opt("task")
-        .map(str::to_string)
-        .unwrap_or_else(|| workload.name().to_lowercase());
+    let task =
+        args.str_opt("task").map(str::to_string).unwrap_or_else(|| workload.name().to_lowercase());
     let mut repo = Repository::load(Path::new(history)).map_err(|e| e.to_string())?;
     repo.record_session(&task, &space, &result);
     repo.save(Path::new(history)).map_err(|e| e.to_string())?;
@@ -413,7 +411,9 @@ fn cmd_transfer(args: &Args) -> Result<(), String> {
     let catalog = sim.catalog().clone();
     let repo = Repository::load(Path::new(history)).map_err(|e| e.to_string())?;
     if repo.is_empty() {
-        return Err(format!("no stored history in {history}; run `dbtune tune` first to build one"));
+        return Err(format!(
+            "no stored history in {history}; run `dbtune tune` first to build one"
+        ));
     }
     eprintln!("{} stored task(s) in {history}: {}", repo.len(), repo.task_names().join(", "));
 

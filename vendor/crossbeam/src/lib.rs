@@ -72,9 +72,8 @@ mod tests {
     fn scoped_threads_borrow_and_join() {
         let counter = AtomicUsize::new(0);
         let out = super::thread::scope(|s| {
-            let handles: Vec<_> = (0..4)
-                .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst)))
-                .collect();
+            let handles: Vec<_> =
+                (0..4).map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst))).collect();
             handles.into_iter().map(|h| h.join().unwrap()).count()
         })
         .unwrap();
