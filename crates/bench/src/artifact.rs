@@ -1,0 +1,165 @@
+//! Shared artifact-loading helpers: the JSON files drivers write
+//! (`results/*.json`, `BENCH_perf.json`) and the JSONL trace journals
+//! they emit, loaded into the plain structs `dbtune-trace` analyzes.
+//!
+//! This is the JSON boundary the trace toolkit deliberately does not
+//! cross: `dbtune-trace` stays std-only, and this module (which already
+//! links the vendored `serde`/`serde_json` for driver output) does the
+//! parsing.
+
+use dbtune_trace::{JournalData, PerfBaseline};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Field lookup in a parsed JSON object (the vendored `serde::Value`
+/// keeps objects as insertion-ordered field lists, not maps).
+pub fn lookup<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// [`lookup`] through a chain of keys (`["telemetry", "driver"]`).
+pub fn lookup_path<'a>(value: &'a Value, path: &[&str]) -> Option<&'a Value> {
+    path.iter().try_fold(value, |v, key| lookup(v, key))
+}
+
+/// Reads and parses a JSON artifact, with the path in every error.
+pub fn load_json_file(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e:?}", path.display()))
+}
+
+/// Reads and strictly loads a JSONL trace journal (see
+/// [`dbtune_trace::load_journal_str`]), with the path in every error.
+pub fn load_journal(path: &Path) -> Result<JournalData, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    dbtune_trace::load_journal_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn u64_map(value: Option<&Value>, what: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    let Some(value) = value else { return Ok(out) };
+    let fields = value.as_object().ok_or_else(|| format!("{what} is not an object"))?;
+    for (k, v) in fields {
+        let v = v.as_u64().ok_or_else(|| format!("{what}.{k} is not a u64"))?;
+        out.insert(k.clone(), v);
+    }
+    Ok(out)
+}
+
+fn f64_series(value: &Value, what: &str) -> Result<Vec<f64>, String> {
+    value
+        .as_array()
+        .ok_or_else(|| format!("{what} is not an array"))?
+        .iter()
+        .map(|v| v.as_f64().ok_or_else(|| format!("{what} has a non-numeric entry")))
+        .collect()
+}
+
+/// Parses a `BENCH_perf.json` value into the plain [`PerfBaseline`]
+/// struct `dbtune_trace::diff_baselines` compares. The deterministic
+/// `results` block is captured whole as a canonical-serialization
+/// fingerprint, so any drift there — not just in the whitelisted
+/// counters — flags the diff.
+pub fn parse_perf_baseline(value: &Value) -> Result<PerfBaseline, String> {
+    let results = lookup(value, "results").ok_or("BENCH_perf.json has no \"results\"")?;
+    let timing = lookup(value, "timing").ok_or("BENCH_perf.json has no \"timing\"")?;
+    let mut baseline = PerfBaseline {
+        counters: u64_map(lookup(results, "counters"), "results.counters")?,
+        results_fingerprint: serde_json::to_string(results)
+            .map_err(|e| format!("cannot serialize results fingerprint: {e:?}"))?,
+        wall_secs: f64_series(
+            lookup(timing, "wall_secs").ok_or("timing has no \"wall_secs\"")?,
+            "timing.wall_secs",
+        )?,
+        ..Default::default()
+    };
+    if let Some(phases) = lookup(timing, "phases") {
+        let fields = phases.as_object().ok_or("timing.phases is not an object")?;
+        for (name, series) in fields {
+            baseline
+                .phase_secs
+                .insert(name.clone(), f64_series(series, &format!("timing.phases.{name}"))?);
+        }
+    }
+    if let Some(spans) = lookup(timing, "spans") {
+        let fields = spans.as_object().ok_or("timing.spans is not an object")?;
+        for (name, span) in fields {
+            let min = lookup(span, "min_nanos")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("timing.spans.{name}.min_nanos missing"))?;
+            baseline.span_min_nanos.insert(name.clone(), min);
+        }
+    }
+    Ok(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "schema": 1,
+        "results": {
+            "cells": [{"workload": "job", "optimizer": "vanilla-bo", "best_improvement": 0.31}],
+            "counters": {"exec.cache.hits": 12, "sim.evals": 88}
+        },
+        "timing": {
+            "wall_secs": [1.5, 1.25],
+            "phases": {"surrogate_fit_secs": [0.5, 0.4]},
+            "spans": {"suggest": {"count": 40, "min_nanos": 900, "p50_nanos": 1000, "p99_nanos": 2000}}
+        }
+    }"#;
+
+    #[test]
+    fn parses_the_documented_shape() {
+        let value: Value = serde_json::from_str(SAMPLE).expect("sample parses");
+        let b = parse_perf_baseline(&value).expect("baseline parses");
+        assert_eq!(b.counters["exec.cache.hits"], 12);
+        assert_eq!(b.counters["sim.evals"], 88);
+        assert_eq!(b.wall_secs, vec![1.5, 1.25]);
+        assert_eq!(b.phase_secs["surrogate_fit_secs"], vec![0.5, 0.4]);
+        assert_eq!(b.span_min_nanos["suggest"], 900);
+        assert!(b.results_fingerprint.contains("best_improvement"));
+    }
+
+    #[test]
+    fn fingerprint_is_insensitive_to_timing_but_not_results() {
+        let a: Value = serde_json::from_str(SAMPLE).expect("parses");
+        let mut faster = serde_json::from_str::<Value>(SAMPLE).expect("parses");
+        if let Some(Value::Object(timing)) =
+            match &mut faster {
+                Value::Object(fields) => {
+                    fields.iter_mut().find(|(k, _)| k == "timing").map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        {
+            timing.retain(|(k, _)| k != "phases");
+        }
+        let fa = parse_perf_baseline(&a).unwrap().results_fingerprint;
+        let fb = parse_perf_baseline(&faster).unwrap().results_fingerprint;
+        assert_eq!(fa, fb, "timing changes must not move the results fingerprint");
+    }
+
+    #[test]
+    fn missing_sections_are_named_in_errors() {
+        let value: Value = serde_json::from_str(r#"{"results": {}}"#).unwrap();
+        assert!(parse_perf_baseline(&value).unwrap_err().contains("timing"));
+        let value: Value = serde_json::from_str(r#"{"timing": {"wall_secs": []}}"#).unwrap();
+        assert!(parse_perf_baseline(&value).unwrap_err().contains("results"));
+    }
+
+    #[test]
+    fn lookup_path_walks_nested_objects() {
+        let value: Value = serde_json::from_str(SAMPLE).unwrap();
+        let hits = lookup_path(&value, &["results", "counters", "exec.cache.hits"]);
+        assert_eq!(hits.and_then(Value::as_u64), Some(12));
+        assert!(lookup_path(&value, &["results", "nope"]).is_none());
+    }
+}

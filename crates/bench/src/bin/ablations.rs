@@ -59,6 +59,7 @@ fn session(
 }
 
 fn main() {
+    let _trace_flush = dbtune_bench::flush_guard();
     let args = ExpArgs::parse();
     let samples = args.get_usize("samples", 6250);
     let iters = args.get_usize("iters", 120);

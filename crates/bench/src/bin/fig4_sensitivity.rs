@@ -85,6 +85,7 @@ fn surrogate_r2(
 }
 
 fn main() {
+    let _trace_flush = dbtune_bench::flush_guard();
     let args = ExpArgs::parse();
     let samples = args.get_usize("samples", 1500);
     let repeats = args.get_usize("repeats", 5);

@@ -31,6 +31,7 @@ struct Run {
 }
 
 fn main() {
+    let _trace_flush = dbtune_bench::flush_guard();
     let args = ExpArgs::parse();
     let samples = args.get_usize("samples", 6250);
     let iters = args.get_usize("iters", 120);

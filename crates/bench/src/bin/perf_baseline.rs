@@ -1,0 +1,339 @@
+//! Continuous perf baseline: runs a fixed small workload matrix through
+//! the parallel executor, writes `BENCH_perf.json`, and (optionally)
+//! diffs it against a committed baseline.
+//!
+//! Usage: `perf_baseline [repeats=3] [iters=60] [workers=1]
+//! [write=BENCH_perf.json] [against=<baseline.json>] [mode=warn|gate]`
+//!
+//! Timing is only comparable between runs of the same configuration —
+//! in particular the same `workers` (concurrent sessions contend, which
+//! inflates per-phase seconds); the configuration is recorded under
+//! `"build"`.
+//!
+//! The artifact separates two kinds of content:
+//!
+//! * `"results"` — deterministic: per-cell best improvement and the
+//!   counter totals (`exec.cache.*`, `sim.evals`, …). Byte-identical
+//!   across runs, worker counts, and machines; the binary itself
+//!   verifies every repeat produced the same block and fails if not.
+//! * `"timing"` — per-repeat wall seconds, per-phase seconds, and
+//!   per-span aggregates from a trace journal taken during each repeat.
+//!   Noisy by nature; the diff compares minima over repeats against a
+//!   relative threshold and absolute floor (see `dbtune_trace::diff`).
+//!
+//! Exit codes: 0 ok (including `mode=warn` with regressions, and a
+//! missing `against=` file), 1 determinism failure or regression under
+//! `mode=gate`, 2 usage or I/O error.
+
+use dbtune_bench::artifact::{load_json_file, parse_perf_baseline};
+use dbtune_bench::{run_tuning_grid, ExpArgs, GridOpts, TuningCell};
+use dbtune_core::optimizer::OptimizerKind;
+use dbtune_core::telemetry;
+use dbtune_dbsim::Workload;
+use dbtune_trace::{diff_baselines, summarize, DiffConfig};
+use serde::{Number, Value};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The fixed matrix: small enough for CI, wide enough to touch every
+/// hot path (GP fit, random forest, TPE density models, GA, three
+/// different workload models). Changing it invalidates committed
+/// baselines — bump with care and regenerate `BENCH_perf.json`.
+const MATRIX: [(Workload, OptimizerKind); 4] = [
+    (Workload::Job, OptimizerKind::VanillaBo),
+    (Workload::Job, OptimizerKind::Smac),
+    (Workload::Sysbench, OptimizerKind::Tpe),
+    (Workload::Tpcc, OptimizerKind::Ga),
+];
+
+/// Knob count per cell: the first 12 catalog indices, fixed (no
+/// importance ranking — the baseline must not depend on a pool file).
+const KNOBS: usize = 12;
+
+const SEED: u64 = 42;
+
+fn main() -> ExitCode {
+    let _trace_flush = dbtune_bench::flush_guard();
+    let args = ExpArgs::parse();
+    let repeats = args.get_usize("repeats", 3).max(1);
+    let iters = args.get_usize("iters", 60);
+    let workers = args.get_usize("workers", 1);
+    let write = args.get_str("write", "BENCH_perf.json");
+    let against = args.get_str("against", "");
+    let gate = match args.get_str("mode", "warn").as_str() {
+        "warn" => false,
+        "gate" => true,
+        other => {
+            eprintln!("perf_baseline: bad mode '{other}' (expected warn|gate)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cells: Vec<TuningCell> = MATRIX
+        .iter()
+        .map(|&(workload, opt_kind)| TuningCell {
+            workload,
+            selected: (0..KNOBS).collect(),
+            opt_kind,
+            iters,
+            seed: SEED,
+        })
+        .collect();
+
+    let tele = telemetry::global();
+    let scratch = std::env::temp_dir();
+    let mut results_blocks: Vec<Value> = Vec::new();
+    let mut wall_secs: Vec<f64> = Vec::new();
+    let mut phase_secs: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    // Per-span over repeats: (count, min, p50, p99), minima over repeats
+    // for the time fields; counts must agree.
+    let mut span_agg: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
+
+    for repeat in 0..repeats {
+        let journal_path =
+            scratch.join(format!("dbtune_perf_baseline_{}_{repeat}.jsonl", std::process::id()));
+        if let Err(e) = tele.enable_journal(&journal_path, "perf_baseline") {
+            eprintln!("perf_baseline: cannot open {}: {e}", journal_path.display());
+            return ExitCode::from(2);
+        }
+        let evals0 = tele.metrics.counter("sim.evals").get();
+        let crashes0 = tele.metrics.counter("sim.crashes").get();
+
+        let opts = GridOpts { workers, cache: true, noise_seed: SEED };
+        let t0 = std::time::Instant::now();
+        let (results, exec) = run_tuning_grid(&cells, &opts);
+        let wall = t0.elapsed().as_secs_f64();
+
+        tele.flush_metrics();
+        tele.journal.disable();
+        let summary = match std::fs::read_to_string(&journal_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| dbtune_trace::load_journal_str(&text))
+        {
+            Ok(journal) => summarize(&journal),
+            Err(e) => {
+                eprintln!("perf_baseline: repeat {repeat} journal: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let _ = std::fs::remove_file(&journal_path);
+
+        // Deterministic results block for this repeat.
+        let cell_values: Vec<Value> = MATRIX
+            .iter()
+            .zip(&results)
+            .map(|(&(workload, opt_kind), result)| {
+                obj(vec![
+                    ("workload", str_value(workload.name())),
+                    ("optimizer", str_value(opt_kind.label())),
+                    ("best_improvement", Value::Number(Number::Float(result.best_improvement()))),
+                ])
+            })
+            .collect();
+        let counters = obj(vec![
+            ("exec.cache.hits", uint(exec.cache.hits)),
+            ("exec.cache.misses", uint(exec.cache.misses)),
+            ("exec.cache.entries", uint(exec.cache.entries as u64)),
+            ("exec.cells", uint(summary.cells)),
+            ("sim.evals", uint(tele.metrics.counter("sim.evals").get() - evals0)),
+            ("sim.crashes", uint(tele.metrics.counter("sim.crashes").get() - crashes0)),
+        ]);
+        results_blocks
+            .push(obj(vec![("cells", Value::Array(cell_values)), ("counters", counters)]));
+
+        // Timing for this repeat.
+        wall_secs.push(wall);
+        let (mut fit, mut acq, mut book, mut eval) = (0.0, 0.0, 0.0, 0.0);
+        for result in &results {
+            let (f, a, b) = result.phases.overhead_totals();
+            fit += f;
+            acq += a;
+            book += b;
+            eval += result.phases.evaluate_secs.iter().sum::<f64>();
+        }
+        for (name, total) in [
+            ("surrogate_fit_secs", fit),
+            ("acquisition_secs", acq),
+            ("bookkeeping_secs", book),
+            ("evaluate_secs", eval),
+        ] {
+            phase_secs.entry(name).or_default().push(total);
+        }
+        for (name, span) in &summary.spans {
+            span_agg
+                .entry(name.clone())
+                .and_modify(|(count, min, p50, p99)| {
+                    if *count != span.count {
+                        eprintln!(
+                            "perf_baseline: span '{name}' count drifted across repeats \
+                             ({count} vs {}) — determinism bug",
+                            span.count
+                        );
+                        std::process::exit(1);
+                    }
+                    *min = (*min).min(span.min_nanos);
+                    *p50 = (*p50).min(span.p50_nanos);
+                    *p99 = (*p99).min(span.p99_nanos);
+                })
+                .or_insert((span.count, span.min_nanos, span.p50_nanos, span.p99_nanos));
+        }
+        println!(
+            "[repeat {}/{repeats}] wall={wall:.2}s cells={} cache hits={} misses={}",
+            repeat + 1,
+            summary.cells,
+            exec.cache.hits,
+            exec.cache.misses
+        );
+    }
+
+    // The determinism contract, enforced: every repeat must produce the
+    // same results block (fresh cache per repeat, fixed seeds).
+    for (repeat, block) in results_blocks.iter().enumerate().skip(1) {
+        if block != &results_blocks[0] {
+            eprintln!(
+                "perf_baseline: results block of repeat {repeat} differs from repeat 0 — \
+                 determinism bug; not writing a baseline"
+            );
+            return ExitCode::from(1);
+        }
+    }
+
+    let artifact = obj(vec![
+        ("schema", uint(1)),
+        (
+            "build",
+            obj(vec![
+                ("version", str_value(env!("CARGO_PKG_VERSION"))),
+                ("profile", str_value(if cfg!(debug_assertions) { "debug" } else { "release" })),
+                ("workers", uint(workers as u64)),
+                ("repeats", uint(repeats as u64)),
+                ("iters", uint(iters as u64)),
+                ("knobs", uint(KNOBS as u64)),
+                ("seed", uint(SEED)),
+                (
+                    "matrix",
+                    Value::Array(
+                        MATRIX
+                            .iter()
+                            .map(|&(w, o)| str_value(&format!("{}/{}", w.name(), o.label())))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("results", results_blocks.swap_remove(0)),
+        (
+            "timing",
+            obj(vec![
+                ("wall_secs", Value::Array(wall_secs.iter().map(|&s| float(s)).collect())),
+                (
+                    "phases",
+                    Value::Object(
+                        phase_secs
+                            .iter()
+                            .map(|(name, series)| {
+                                (
+                                    name.to_string(),
+                                    Value::Array(series.iter().map(|&s| float(s)).collect()),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "spans",
+                    Value::Object(
+                        span_agg
+                            .iter()
+                            .map(|(name, &(count, min, p50, p99))| {
+                                (
+                                    name.clone(),
+                                    obj(vec![
+                                        ("count", uint(count)),
+                                        ("min_nanos", uint(min)),
+                                        ("p50_nanos", uint(p50)),
+                                        ("p99_nanos", uint(p99)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+
+    let write_path = PathBuf::from(&write);
+    let text = match serde_json::to_string_pretty(&artifact) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_baseline: cannot serialize artifact: {e:?}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::write(&write_path, text + "\n") {
+        eprintln!("perf_baseline: cannot write {}: {e}", write_path.display());
+        return ExitCode::from(2);
+    }
+    println!("[wrote {}]", write_path.display());
+
+    if against.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    let against_path = Path::new(&against);
+    if !against_path.exists() {
+        println!("[no baseline at {against} — nothing to compare]");
+        return ExitCode::SUCCESS;
+    }
+    let (base, cur) = match (
+        load_json_file(against_path).and_then(|v| parse_perf_baseline(&v)),
+        parse_perf_baseline(&artifact),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("perf_baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let entries = diff_baselines(&base, &cur, &DiffConfig::default());
+    let flagged: Vec<_> = entries.iter().filter(|e| e.flagged).collect();
+    println!("\n[diff vs {against}: {} keys compared]", entries.len());
+    if flagged.is_empty() {
+        println!("OK — deterministic results identical, no wall-time regressions");
+        return ExitCode::SUCCESS;
+    }
+    println!("{} flagged delta(s):", flagged.len());
+    for entry in &flagged {
+        let fmt = |v: Option<f64>| v.map_or("—".to_string(), |v| format!("{v:.0}"));
+        println!(
+            "  {:<36} {:>14} -> {:<14} {}",
+            entry.key,
+            fmt(entry.base),
+            fmt(entry.cur),
+            entry.note
+        );
+    }
+    if gate {
+        ExitCode::from(1)
+    } else {
+        println!("\n(mode=warn: exiting 0; use mode=gate to fail)");
+        ExitCode::SUCCESS
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn str_value(s: &str) -> Value {
+    Value::String(s.to_string())
+}
+
+fn uint(v: u64) -> Value {
+    Value::Number(Number::PosInt(v))
+}
+
+fn float(v: f64) -> Value {
+    Value::Number(Number::Float(v))
+}

@@ -27,6 +27,7 @@ struct Entry {
 }
 
 fn main() {
+    let _trace_flush = dbtune_bench::flush_guard();
     let args = ExpArgs::parse();
     let samples = args.get_usize("samples", 1200);
     let folds = args.get_usize("folds", 10);

@@ -1,15 +1,24 @@
 //! Validates a JSONL trace journal written via `DBTUNE_TRACE=path` or a
-//! driver's `trace=path` flag: every line must parse as a known
-//! [`TraceEvent`], the first line must be a `meta` event carrying the
-//! supported schema version, and the validator prints per-kind event
-//! counts on success.
+//! driver's `trace=path` flag, in two passes:
+//!
+//! 1. **Line level** — every line must parse as a known [`TraceEvent`],
+//!    the first line must be a `meta` event carrying the supported
+//!    schema version, and `seq` must be strictly increasing.
+//! 2. **Structural** (`dbtune_trace::check_structure`) — the span
+//!    stream must reconstruct into a consistent tree per thread (every
+//!    close explained by a matched open: no orphan depths, no parent
+//!    mismatches, no spans whose parent never closes, i.e. truncation),
+//!    counters and histogram counts must be monotonically
+//!    non-decreasing across flushes, and histogram quantiles must be
+//!    ordered.
 //!
 //! Usage: `trace_validate <journal.jsonl>`. Exit codes: 0 valid,
-//! 1 invalid journal (errors are printed with line numbers), 2 usage or
-//! I/O error. CI runs this against a fresh trace from a tiny driver run;
-//! see `docs/observability.md` for the schema itself.
+//! 1 invalid journal (violations are printed with line numbers), 2
+//! usage or I/O error. CI runs this against a fresh trace from a tiny
+//! driver run; see `docs/observability.md` for the schema itself.
 
 use dbtune_core::telemetry::{TraceEvent, SCHEMA_VERSION};
+use dbtune_trace::JournalLine;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -31,6 +40,7 @@ fn main() -> ExitCode {
     let mut errors = 0usize;
     let mut last_seq = 0u64;
     let mut lines = 0usize;
+    let mut parsed: Vec<JournalLine> = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
         if line.is_empty() {
@@ -85,9 +95,23 @@ fn main() -> ExitCode {
             }
         }
         *counts.entry(event.kind()).or_insert(0) += 1;
+        if !matches!(event, TraceEvent::Meta { .. }) {
+            parsed.push(JournalLine { line: lineno, event });
+        }
     }
     if lines == 0 {
         eprintln!("{path}: journal is empty");
+        errors += 1;
+    }
+
+    // Cross-line structural invariants over whatever parsed (so a journal
+    // with one bad line still gets its tree and counters checked).
+    for violation in dbtune_trace::check_structure(&parsed) {
+        if violation.line == 0 {
+            eprintln!("{path}: end of journal: {}", violation.message);
+        } else {
+            eprintln!("{path}:{}: {}", violation.line, violation.message);
+        }
         errors += 1;
     }
 

@@ -24,6 +24,7 @@ struct Anchor {
 }
 
 fn main() {
+    let _trace_flush = dbtune_bench::flush_guard();
     let args = ExpArgs::parse();
     let opts = GridOpts::from_args("workloads_report", &args, 42);
 

@@ -6,6 +6,8 @@
 //! machine; `EXPERIMENTS.md` records both the defaults used and the
 //! paper-scale settings.
 
+pub mod artifact;
+
 use dbtune_core::exec::{resolve_workers, run_grid, CacheStats, CachedObjective, EvalCache};
 use dbtune_core::importance::{ImportanceInput, MeasureKind};
 use dbtune_core::optimizer::OptimizerKind;
@@ -20,6 +22,38 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// RAII guard flushing the global trace journal when dropped. Every
+/// driver `main` takes one as its first statement:
+///
+/// ```no_run
+/// fn main() {
+///     let _trace_flush = dbtune_bench::flush_guard();
+///     // ...
+/// }
+/// ```
+///
+/// The journal writes through a `BufWriter`, so without a final flush a
+/// driver that exits early — a panic mid-grid, a `return` on a bad
+/// argument — leaves its last buffered lines unwritten, and a truncated
+/// journal can look complete enough to pass naive checks. The guard
+/// runs on ordinary returns *and* unwinding panics, making truncation a
+/// structural violation `trace_validate` can actually catch (an
+/// unclosed parent span) rather than a silent artifact of buffering.
+/// A no-op when tracing is disabled.
+#[must_use = "the guard flushes on drop; binding it to _ drops it immediately"]
+pub struct TraceFlushGuard(());
+
+impl Drop for TraceFlushGuard {
+    fn drop(&mut self) {
+        telemetry::global().journal.flush();
+    }
+}
+
+/// Creates the [`TraceFlushGuard`] for a driver's `main`.
+pub fn flush_guard() -> TraceFlushGuard {
+    TraceFlushGuard(())
+}
 
 /// `key=value` command-line arguments with typed getters.
 pub struct ExpArgs {

@@ -6,6 +6,7 @@
 //! Each binary gets its own scratch CWD under the system temp dir, so
 //! pool caches and result files never collide across (parallel) tests.
 
+use dbtune_bench::artifact::lookup;
 use serde::Value;
 use std::path::Path;
 use std::process::Command;
@@ -23,13 +24,6 @@ const TINY: &[&str] = &[
     "workers=2",
     "cache=on",
 ];
-
-fn lookup<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
-    match value {
-        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-        _ => None,
-    }
-}
 
 fn run_smoke(exe: &str, json_name: &str) {
     let name = Path::new(exe).file_name().expect("exe name").to_string_lossy().to_string();

@@ -8,16 +8,10 @@
 //! deterministic fields, and this test keeps it that way.
 
 use dbtune_core::telemetry::{TraceEvent, SCHEMA_VERSION};
+use dbtune_bench::artifact::lookup;
 use serde::Value;
 use std::path::{Path, PathBuf};
 use std::process::Command;
-
-fn lookup<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
-    match value {
-        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-        _ => None,
-    }
-}
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("dbtune_tele_{tag}"));

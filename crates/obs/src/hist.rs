@@ -161,4 +161,62 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.snapshot(), HistSnapshot { count: 0, p50: 0, p99: 0 });
     }
+
+    #[test]
+    fn empty_histogram_is_zero_at_every_quantile() {
+        let h = LogHistogram::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = LogHistogram::new();
+        h.record(12_345);
+        let expected = h.quantile(0.5);
+        assert!(expected > 0);
+        let rel = (expected as f64 - 12_345.0).abs() / 12_345.0;
+        assert!(rel <= 0.125, "single sample approximation: {expected}");
+        // With one observation, every quantile (including the q=0 and
+        // q=1 bounds) resolves to that observation's bucket.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), expected, "q={q}");
+        }
+    }
+
+    #[test]
+    fn values_beyond_the_top_bucket_saturate_without_panicking() {
+        let h = LogHistogram::new();
+        // The largest representable values all land in the final buckets;
+        // recording them must neither panic nor lose counts.
+        for v in [u64::MAX, u64::MAX - 1, u64::MAX / 2 + 1] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        let top = h.quantile(1.0);
+        assert_eq!(bucket_index(top), bucket_index(u64::MAX), "q=1 lands in the top bucket");
+        // The midpoint approximation stays within the documented 12.5%.
+        let rel = (top as f64 - u64::MAX as f64).abs() / u64::MAX as f64;
+        assert!(rel <= 0.125, "saturated quantile {top}");
+    }
+
+    #[test]
+    fn quantile_bounds_are_min_and_max_buckets() {
+        let h = LogHistogram::new();
+        for v in [2u64, 1_000, 1_000_000] {
+            h.record(v);
+        }
+        // q=0 clamps to the first observation, q=1 to the last.
+        assert_eq!(h.quantile(0.0), 2, "q=0 is the smallest recorded bucket");
+        let hi = h.quantile(1.0) as f64;
+        assert!((hi - 1_000_000.0).abs() / 1_000_000.0 <= 0.125, "q=1 is the largest: {hi}");
+        // Quantiles are monotone in q.
+        let mut prev = 0;
+        for q in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
 }

@@ -246,6 +246,18 @@ impl TraceEvent {
         }
     }
 
+    /// The event's `seq` field (0 for `meta`, which carries none).
+    pub fn seq(&self) -> u64 {
+        match self {
+            TraceEvent::Meta { .. } => 0,
+            TraceEvent::Span { seq, .. }
+            | TraceEvent::Counter { seq, .. }
+            | TraceEvent::Gauge { seq, .. }
+            | TraceEvent::Hist { seq, .. }
+            | TraceEvent::Cell { seq, .. } => *seq,
+        }
+    }
+
     fn with_seq(mut self, n: u64) -> Self {
         match &mut self {
             TraceEvent::Meta { .. } => {}
@@ -403,6 +415,22 @@ fn parse_string(
             None => return Err(format!("unterminated string at byte {}", text.len())),
         }
     }
+}
+
+/// Iterates a journal's text as `(line_number, parse result)` pairs —
+/// the shared reading layer under `trace_validate` and the analysis
+/// tools in `dbtune-trace`. Line numbers are 1-based; parse failures are
+/// yielded in place rather than aborting, so callers decide whether a
+/// bad line is fatal (strict loaders) or reportable (validators).
+pub fn parse_journal(text: &str) -> impl Iterator<Item = (usize, Result<TraceEvent, String>)> + '_ {
+    text.lines().enumerate().map(|(idx, line)| {
+        let parsed = if line.is_empty() {
+            Err("empty line".to_string())
+        } else {
+            TraceEvent::parse_line(line)
+        };
+        (idx + 1, parsed)
+    })
 }
 
 thread_local! {
@@ -566,6 +594,20 @@ mod tests {
             TraceEvent::parse_line(r#"{"type":"counter","name":"n","value":-1,"seq":0}"#).is_err(),
             "counters are unsigned"
         );
+    }
+
+    #[test]
+    fn parse_journal_yields_line_numbers_and_keeps_going_past_errors() {
+        let text = "{\"type\":\"meta\",\"version\":1,\"source\":\"t\"}\nnot json\n{\"type\":\"counter\",\"name\":\"c\",\"value\":3,\"seq\":1}";
+        let lines: Vec<(usize, Result<TraceEvent, String>)> = parse_journal(text).collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].0, 1);
+        assert!(matches!(lines[0].1, Ok(TraceEvent::Meta { .. })));
+        assert!(lines[1].1.is_err(), "bad line is yielded, not fatal");
+        match &lines[2].1 {
+            Ok(ev @ TraceEvent::Counter { .. }) => assert_eq!(ev.seq(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod span;
 pub mod telemetry;
 
 pub use hist::{HistSnapshot, LogHistogram};
-pub use journal::{Journal, TraceEvent};
+pub use journal::{parse_journal, Journal, TraceEvent};
 pub use metrics::{Counter, Gauge, MetricsSnapshot, Registry};
-pub use span::{collect_phases, PhaseRecord, SpanGuard, SpanSnapshot, SpanStats, SpanTable};
+pub use span::{
+    collect_phases, current_context, PhaseRecord, SpanGuard, SpanSnapshot, SpanStats, SpanTable,
+};
 pub use telemetry::{global, span, span_record, Telemetry, TelemetryReport};

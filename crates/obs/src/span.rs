@@ -152,6 +152,17 @@ pub fn phase_secs(records: &[PhaseRecord], name: &str) -> f64 {
     records.iter().filter(|r| r.name == name).map(|r| r.nanos).sum::<u64>() as f64 * 1e-9
 }
 
+/// The span context a new span (or an externally timed
+/// [`crate::Telemetry::span_record`]) would be attributed to on this
+/// thread right now: the innermost open span's name and the nesting
+/// depth. `(None, 0)` outside any span.
+pub fn current_context() -> (Option<&'static str>, u32) {
+    STACK.with(|s| {
+        let s = s.borrow();
+        (s.last().copied(), s.len() as u32)
+    })
+}
+
 /// RAII timer for one span; see the module docs for close semantics.
 #[must_use = "a span measures the scope of its guard"]
 pub struct SpanGuard<'a> {

@@ -41,14 +41,18 @@ impl Telemetry {
 
     /// Records an externally measured duration under `name` — same
     /// aggregation and journal event as a guard, without the RAII scope
-    /// (used where the measured region already has its own timer).
+    /// (used where the measured region already has its own timer). The
+    /// journal event is attributed to the calling thread's current span
+    /// context, so externally timed regions nest correctly in
+    /// reconstructed trees instead of appearing as extra roots.
     pub fn span_record(&self, name: &'static str, nanos: u64) {
         self.spans.stats(name).record(nanos);
         if self.journal.is_enabled() {
+            let (parent, depth) = crate::span::current_context();
             self.journal.emit(TraceEvent::Span {
                 name: name.to_string(),
-                parent: None,
-                depth: 0,
+                parent: parent.map(str::to_string),
+                depth,
                 dur_nanos: nanos,
                 thread: crate::journal::thread_ordinal(),
                 seq: 0,

@@ -1,0 +1,372 @@
+//! Cross-run diff: align two runs by span name and metric key, flag
+//! regressions with a noise-aware wall-time threshold while holding
+//! deterministic quantities to exact equality.
+//!
+//! Two kinds of key, two rules:
+//!
+//! * **Deterministic counts** — counters (`exec.cache.hits`,
+//!   `sim.evals`, …), gauges, span counts, and cell counts are
+//!   byte-identical across runs of the same configuration (the PR 1–3
+//!   determinism contract). *Any* delta is flagged: it means the two
+//!   runs did different work, and no timing comparison is meaningful
+//!   until that is explained. Counters whose name ends in `_nanos` or
+//!   `_secs` (`exec.worker.busy_nanos`, …) accumulate wall clock, not
+//!   work, and are compared under the wall-time rule instead.
+//! * **Wall times** — compared on the min-of-N statistic (fastest of N
+//!   observations; the minimum of a deterministic code path estimates
+//!   its true cost, while means and maxima absorb scheduler noise) and
+//!   flagged only beyond a relative threshold *and* an absolute floor,
+//!   so nanosecond-scale spans cannot trip percentage alarms.
+
+use crate::summary::RunSummary;
+use std::collections::BTreeSet;
+
+/// Noise model for wall-time comparisons.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Relative regression threshold on min-of-N wall times (0.30 =
+    /// flag when 30% slower).
+    pub rel_threshold: f64,
+    /// Ignore wall-time deltas smaller than this many nanoseconds even
+    /// when the relative threshold is exceeded.
+    pub abs_floor_nanos: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self { rel_threshold: 0.30, abs_floor_nanos: 5_000_000 }
+    }
+}
+
+/// What a diff entry compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Deterministic count (exact-equality rule).
+    Count,
+    /// Wall time (threshold rule).
+    WallTime,
+}
+
+/// One aligned key's comparison.
+#[derive(Clone, Debug)]
+pub struct DiffEntry {
+    /// Aligned key, prefixed by namespace (`counter:`, `gauge:`,
+    /// `span.count:`, `span.min:`, `phase:`, `wall:`, `cells`).
+    pub key: String,
+    /// Comparison rule applied.
+    pub kind: DiffKind,
+    /// Baseline value (`None` = key only in current run).
+    pub base: Option<f64>,
+    /// Current value (`None` = key only in baseline).
+    pub cur: Option<f64>,
+    /// Whether this entry violates its rule.
+    pub flagged: bool,
+    /// Human-readable explanation when flagged.
+    pub note: String,
+}
+
+impl DiffEntry {
+    /// Relative change current vs baseline, when both sides exist and
+    /// the baseline is nonzero.
+    pub fn rel_delta(&self) -> Option<f64> {
+        match (self.base, self.cur) {
+            (Some(b), Some(c)) if b != 0.0 => Some((c - b) / b),
+            _ => None,
+        }
+    }
+}
+
+fn exact_entry(key: String, base: Option<f64>, cur: Option<f64>) -> DiffEntry {
+    let (flagged, note) = match (base, cur) {
+        (Some(b), Some(c)) if b == c => (false, String::new()),
+        (Some(b), Some(c)) => {
+            (true, format!("deterministic value changed: {b} -> {c} (runs did different work)"))
+        }
+        (Some(_), None) => (true, "key missing from current run".to_string()),
+        (None, Some(_)) => (true, "key missing from baseline".to_string()),
+        (None, None) => (false, String::new()),
+    };
+    DiffEntry { key, kind: DiffKind::Count, base, cur, flagged, note }
+}
+
+fn wall_entry(key: String, base: Option<f64>, cur: Option<f64>, cfg: &DiffConfig) -> DiffEntry {
+    let (flagged, note) = match (base, cur) {
+        (Some(b), Some(c)) => {
+            let regressed =
+                c > b * (1.0 + cfg.rel_threshold) && (c - b) > cfg.abs_floor_nanos as f64;
+            if regressed {
+                let pct = if b > 0.0 { (c - b) / b * 100.0 } else { f64::INFINITY };
+                (true, format!("slower by {pct:.1}% (min-of-N {b:.0} -> {c:.0} ns)"))
+            } else {
+                (false, String::new())
+            }
+        }
+        // Presence changes are reported through the count entries; a
+        // one-sided wall time alone is not flagged again.
+        _ => (false, String::new()),
+    };
+    DiffEntry { key, kind: DiffKind::WallTime, base, cur, flagged, note }
+}
+
+fn union_keys<'a, V>(
+    a: &'a std::collections::BTreeMap<String, V>,
+    b: &'a std::collections::BTreeMap<String, V>,
+) -> BTreeSet<&'a str> {
+    a.keys().map(String::as_str).chain(b.keys().map(String::as_str)).collect()
+}
+
+/// Diffs two journal-derived run summaries. Entries come out grouped by
+/// key namespace in alignment order; callers sort or filter as needed.
+pub fn diff_summaries(base: &RunSummary, cur: &RunSummary, cfg: &DiffConfig) -> Vec<DiffEntry> {
+    let mut out = Vec::new();
+    for key in union_keys(&base.counters, &cur.counters) {
+        let (b, c) = (
+            base.counters.get(key).map(|&v| v as f64),
+            cur.counters.get(key).map(|&v| v as f64),
+        );
+        // Counters that accumulate wall clock (`exec.worker.busy_nanos`
+        // and friends) are measurements, not counts — they get the
+        // noise rule. Everything else counts work and must be exact.
+        if key.ends_with("_nanos") || key.ends_with("_secs") {
+            out.push(wall_entry(format!("counter:{key}"), b, c, cfg));
+        } else {
+            out.push(exact_entry(format!("counter:{key}"), b, c));
+        }
+    }
+    for key in union_keys(&base.gauges, &cur.gauges) {
+        out.push(exact_entry(
+            format!("gauge:{key}"),
+            base.gauges.get(key).map(|&v| v as f64),
+            cur.gauges.get(key).map(|&v| v as f64),
+        ));
+    }
+    out.push(exact_entry("cells".to_string(), Some(base.cells as f64), Some(cur.cells as f64)));
+    for key in union_keys(&base.spans, &cur.spans) {
+        let (b, c) = (base.spans.get(key), cur.spans.get(key));
+        out.push(exact_entry(
+            format!("span.count:{key}"),
+            b.map(|s| s.count as f64),
+            c.map(|s| s.count as f64),
+        ));
+        out.push(wall_entry(
+            format!("span.min:{key}"),
+            b.map(|s| s.min_nanos as f64),
+            c.map(|s| s.min_nanos as f64),
+            cfg,
+        ));
+    }
+    out
+}
+
+/// The comparable content of one `BENCH_perf.json` artifact, parsed by
+/// `dbtune-bench` (this crate stays JSON-free at runtime) and diffed
+/// here.
+#[derive(Clone, Debug, Default)]
+pub struct PerfBaseline {
+    /// Deterministic counter totals (`results.counters`).
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// Canonical serialization of the whole deterministic `results`
+    /// block; exact-compared so *any* determinism drift is flagged.
+    pub results_fingerprint: String,
+    /// Per-repeat whole-matrix wall seconds (`timing.wall_secs`).
+    pub wall_secs: Vec<f64>,
+    /// Per-phase per-repeat seconds (`timing.phases`).
+    pub phase_secs: std::collections::BTreeMap<String, Vec<f64>>,
+    /// Per-span aggregates (`timing.spans`): name → (count, min_nanos).
+    pub span_min_nanos: std::collections::BTreeMap<String, u64>,
+}
+
+/// Minimum of a per-repeat series (the min-of-N statistic), `None` when
+/// empty.
+fn min_of(series: &[f64]) -> Option<f64> {
+    series.iter().copied().fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+}
+
+/// Diffs two perf-baseline artifacts: counters and the results
+/// fingerprint exactly, wall/phase seconds and span minima by the
+/// noise-aware rule (seconds are converted to nanos for the floor).
+pub fn diff_baselines(base: &PerfBaseline, cur: &PerfBaseline, cfg: &DiffConfig) -> Vec<DiffEntry> {
+    let mut out = Vec::new();
+    for key in union_keys(&base.counters, &cur.counters) {
+        out.push(exact_entry(
+            format!("counter:{key}"),
+            base.counters.get(key).map(|&v| v as f64),
+            cur.counters.get(key).map(|&v| v as f64),
+        ));
+    }
+    let fp_equal = base.results_fingerprint == cur.results_fingerprint;
+    out.push(DiffEntry {
+        key: "results".to_string(),
+        kind: DiffKind::Count,
+        base: None,
+        cur: None,
+        flagged: !fp_equal,
+        note: if fp_equal {
+            String::new()
+        } else {
+            "deterministic results block differs between runs".to_string()
+        },
+    });
+    let to_nanos = |s: f64| s * 1e9;
+    out.push(wall_entry(
+        "wall:matrix".to_string(),
+        min_of(&base.wall_secs).map(to_nanos),
+        min_of(&cur.wall_secs).map(to_nanos),
+        cfg,
+    ));
+    for key in union_keys(&base.phase_secs, &cur.phase_secs) {
+        out.push(wall_entry(
+            format!("phase:{key}"),
+            base.phase_secs.get(key).and_then(|s| min_of(s)).map(to_nanos),
+            cur.phase_secs.get(key).and_then(|s| min_of(s)).map(to_nanos),
+            cfg,
+        ));
+    }
+    for key in union_keys(&base.span_min_nanos, &cur.span_min_nanos) {
+        out.push(wall_entry(
+            format!("span.min:{key}"),
+            base.span_min_nanos.get(key).map(|&v| v as f64),
+            cur.span_min_nanos.get(key).map(|&v| v as f64),
+            cfg,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::SpanSummary;
+
+    fn summary(evals: u64, fit_min: u64, fit_count: u64) -> RunSummary {
+        let mut s = RunSummary::default();
+        s.counters.insert("sim.evals".into(), evals);
+        s.spans.insert(
+            "surrogate_fit".into(),
+            SpanSummary {
+                count: fit_count,
+                total_nanos: fit_min * fit_count,
+                min_nanos: fit_min,
+                p50_nanos: fit_min,
+                p99_nanos: fit_min,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn identical_runs_produce_zero_flags() {
+        let a = summary(100, 50_000_000, 10);
+        let entries = diff_summaries(&a, &a.clone(), &DiffConfig::default());
+        assert!(!entries.is_empty());
+        assert!(entries.iter().all(|e| !e.flagged), "{entries:#?}");
+    }
+
+    #[test]
+    fn wall_clock_counters_use_the_noise_rule_not_exactness() {
+        let mut a = summary(100, 50_000_000, 10);
+        let mut b = summary(100, 50_000_000, 10);
+        a.counters.insert("exec.worker.busy_nanos".into(), 13_167_771);
+        b.counters.insert("exec.worker.busy_nanos".into(), 14_533_586);
+        let entries = diff_summaries(&a, &b, &DiffConfig::default());
+        let busy = entries.iter().find(|e| e.key == "counter:exec.worker.busy_nanos").unwrap();
+        assert_eq!(busy.kind, DiffKind::WallTime);
+        assert!(!busy.flagged, "10% jitter on a timing counter is noise: {busy:?}");
+
+        // But a timing counter that regresses past threshold+floor flags.
+        b.counters.insert("exec.worker.busy_nanos".into(), 40_000_000);
+        let entries = diff_summaries(&a, &b, &DiffConfig::default());
+        let busy = entries.iter().find(|e| e.key == "counter:exec.worker.busy_nanos").unwrap();
+        assert!(busy.flagged, "{busy:?}");
+    }
+
+    #[test]
+    fn any_counter_delta_is_flagged_exactly() {
+        let a = summary(100, 50_000_000, 10);
+        let b = summary(101, 50_000_000, 10);
+        let entries = diff_summaries(&a, &b, &DiffConfig::default());
+        let counter = entries.iter().find(|e| e.key == "counter:sim.evals").unwrap();
+        assert!(counter.flagged, "one extra eval must flag: deterministic");
+        assert_eq!(counter.kind, DiffKind::Count);
+    }
+
+    #[test]
+    fn slowed_span_is_flagged_and_fast_jitter_is_not() {
+        let base = summary(100, 50_000_000, 10);
+        // 2x slower: well past the 30% threshold and the 5ms floor.
+        let slowed = summary(100, 100_000_000, 10);
+        let cfg = DiffConfig::default();
+        let entries = diff_summaries(&base, &slowed, &cfg);
+        let span = entries.iter().find(|e| e.key == "span.min:surrogate_fit").unwrap();
+        assert!(span.flagged, "{span:?}");
+        assert!(span.note.contains("slower by 100.0%"), "{}", span.note);
+        assert!((span.rel_delta().unwrap() - 1.0).abs() < 1e-9);
+
+        // 20% slower: below threshold — noise.
+        let jitter = summary(100, 60_000_000, 10);
+        let entries = diff_summaries(&base, &jitter, &cfg);
+        assert!(!entries.iter().any(|e| e.flagged), "{entries:#?}");
+
+        // 2x slower but tiny in absolute terms: under the floor — noise.
+        let tiny_base = summary(100, 1_000, 10);
+        let tiny_slow = summary(100, 2_000, 10);
+        let entries = diff_summaries(&tiny_base, &tiny_slow, &cfg);
+        let span = entries.iter().find(|e| e.key == "span.min:surrogate_fit").unwrap();
+        assert!(!span.flagged, "sub-floor deltas are noise: {span:?}");
+    }
+
+    #[test]
+    fn speedups_are_never_flagged() {
+        let base = summary(100, 100_000_000, 10);
+        let faster = summary(100, 10_000_000, 10);
+        let entries = diff_summaries(&base, &faster, &DiffConfig::default());
+        assert!(!entries.iter().any(|e| e.flagged), "{entries:#?}");
+    }
+
+    #[test]
+    fn one_sided_keys_flag_via_count_not_walltime() {
+        let mut a = summary(100, 50_000_000, 10);
+        let b = summary(100, 50_000_000, 10);
+        a.spans.insert(
+            "only_in_base".into(),
+            SpanSummary { count: 1, total_nanos: 1, min_nanos: 1, p50_nanos: 1, p99_nanos: 1 },
+        );
+        let entries = diff_summaries(&a, &b, &DiffConfig::default());
+        let count = entries.iter().find(|e| e.key == "span.count:only_in_base").unwrap();
+        assert!(count.flagged);
+        assert!(count.note.contains("missing from current"));
+        let wall = entries.iter().find(|e| e.key == "span.min:only_in_base").unwrap();
+        assert!(!wall.flagged, "presence is reported once, via the count");
+    }
+
+    #[test]
+    fn baseline_diff_uses_min_of_n_and_exact_results() {
+        let mut base = PerfBaseline {
+            results_fingerprint: "{\"cells\":[1]}".into(),
+            wall_secs: vec![2.0, 1.0, 1.5],
+            ..Default::default()
+        };
+        base.counters.insert("exec.cache.hits".into(), 40);
+        base.phase_secs.insert("surrogate_fit_secs".into(), vec![0.5, 0.4]);
+        base.span_min_nanos.insert("suggest".into(), 10_000_000);
+
+        // Current run: noisy max but identical min — not flagged.
+        let mut same = base.clone();
+        same.wall_secs = vec![9.0, 1.0];
+        let entries = diff_baselines(&base, &same, &DiffConfig::default());
+        assert!(!entries.iter().any(|e| e.flagged), "{entries:#?}");
+
+        // Slowed phase: min doubles.
+        let mut slow = base.clone();
+        slow.phase_secs.insert("surrogate_fit_secs".into(), vec![0.9, 0.8]);
+        let entries = diff_baselines(&base, &slow, &DiffConfig::default());
+        let phase = entries.iter().find(|e| e.key == "phase:surrogate_fit_secs").unwrap();
+        assert!(phase.flagged, "{phase:?}");
+
+        // Results drift: exact flag regardless of timing.
+        let mut drift = base.clone();
+        drift.results_fingerprint = "{\"cells\":[2]}".into();
+        let entries = diff_baselines(&base, &drift, &DiffConfig::default());
+        assert!(entries.iter().any(|e| e.key == "results" && e.flagged));
+    }
+}

@@ -1,0 +1,207 @@
+//! Exporters: collapsed-stack lines for flamegraph tooling and Chrome
+//! `trace_event` JSON for `chrome://tracing` / Perfetto.
+//!
+//! The journal records durations and nesting but no absolute
+//! timestamps (telemetry keeps wall-clock epochs out of artifacts on
+//! purpose), so the Chrome export synthesizes a timeline per thread:
+//! root spans are laid end to end in close order, and children are
+//! packed from their parent's start in close order. Durations and
+//! nesting — the things the viewer is for — are exact; only the gaps
+//! between siblings (the parent's self time) are repositioned.
+
+use crate::tree::{MergedNode, SpanNode, ThreadTree};
+use std::fmt::Write as _;
+
+/// Renders the merged path tree as collapsed-stack lines:
+/// `root;child;leaf <self_nanos>`, one line per path with nonzero self
+/// time, sorted by path (BTreeMap order) so output is diffable. The
+/// value is **self** time — flamegraph frame widths then sum correctly
+/// up the stack, and the total flame width equals instrumented wall
+/// time.
+pub fn collapsed_stacks(merged: &MergedNode) -> String {
+    let mut out = String::new();
+    let mut path = Vec::new();
+    fold_into(&mut out, &mut path, merged);
+    out
+}
+
+fn fold_into(out: &mut String, path: &mut Vec<String>, node: &MergedNode) {
+    for (name, child) in &node.children {
+        // Semicolons separate stack frames in the collapsed format;
+        // span names are a fixed taxonomy that never contains one, but a
+        // hand-written journal could.
+        path.push(name.replace(';', ":"));
+        if child.self_nanos > 0 {
+            let _ = writeln!(out, "{} {}", path.join(";"), child.self_nanos);
+        }
+        fold_into(out, path, child);
+        path.pop();
+    }
+}
+
+/// Renders per-thread trees as Chrome `trace_event` JSON (the
+/// "JSON object format": a `traceEvents` array of complete `"ph":"X"`
+/// events plus thread-name metadata). Timestamps are synthetic — see
+/// the module docs. `source` labels the process.
+pub fn chrome_trace(trees: &[ThreadTree], source: &str) -> String {
+    let mut events = Vec::new();
+    for tree in trees {
+        let mut meta = String::new();
+        let _ = write!(
+            meta,
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"#,
+            tree.thread
+        );
+        json_string(&mut meta, &format!("thread {}", tree.thread));
+        meta.push_str("}}");
+        events.push(meta);
+        let mut cursor = 0u64;
+        for root in &tree.roots {
+            emit_span(&mut events, root, cursor, tree.thread);
+            cursor += root.dur_nanos;
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"source\":");
+    json_string(&mut out, source);
+    out.push_str("}}\n");
+    out
+}
+
+/// Writes one complete event for `node` starting at `start_nanos`, then
+/// packs its children from the same origin.
+fn emit_span(events: &mut Vec<String>, node: &SpanNode, start_nanos: u64, tid: u64) {
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"name\":");
+    json_string(&mut line, &node.name);
+    let _ = write!(
+        line,
+        r#","cat":"span","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid}}}"#,
+        micros(start_nanos),
+        micros(node.dur_nanos),
+    );
+    events.push(line);
+    let mut cursor = start_nanos;
+    for child in &node.children {
+        emit_span(events, child, cursor, tid);
+        cursor += child.dur_nanos;
+    }
+}
+
+/// Nanoseconds as the microsecond string Chrome expects (fractional
+/// part keeps full nanosecond precision, trailing zeros trimmed so
+/// integral values print as integers).
+fn micros(nanos: u64) -> String {
+    let whole = nanos / 1_000;
+    let frac = nanos % 1_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        format!("{whole}.{frac:03}").trim_end_matches('0').to_string()
+    }
+}
+
+/// JSON-escapes `s` (quotes included) into `out`.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::merge_paths;
+
+    fn sample_trees() -> Vec<ThreadTree> {
+        vec![ThreadTree {
+            thread: 0,
+            roots: vec![SpanNode {
+                name: "session".into(),
+                dur_nanos: 100,
+                seq: 3,
+                children: vec![
+                    SpanNode { name: "suggest".into(), dur_nanos: 60, seq: 1, children: vec![] },
+                    SpanNode { name: "evaluate".into(), dur_nanos: 30, seq: 2, children: vec![] },
+                ],
+            }],
+        }]
+    }
+
+    #[test]
+    fn collapsed_lines_carry_self_time_and_sum_to_wall() {
+        let trees = sample_trees();
+        let folded = collapsed_stacks(&merge_paths(&trees));
+        let mut lines: Vec<&str> = folded.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(
+            lines,
+            vec!["session 10", "session;evaluate 30", "session;suggest 60"],
+            "full output:\n{folded}"
+        );
+        let total: u64 =
+            folded.lines().map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()).sum();
+        assert_eq!(total, 100, "self times sum to the root wall time");
+    }
+
+    #[test]
+    fn zero_self_time_paths_are_omitted() {
+        let trees = vec![ThreadTree {
+            thread: 0,
+            roots: vec![SpanNode {
+                name: "outer".into(),
+                dur_nanos: 10,
+                seq: 2,
+                children: vec![SpanNode {
+                    name: "inner".into(),
+                    dur_nanos: 10,
+                    seq: 1,
+                    children: vec![],
+                }],
+            }],
+        }];
+        let folded = collapsed_stacks(&merge_paths(&trees));
+        assert_eq!(folded, "outer;inner 10\n", "outer has zero self time");
+    }
+
+    #[test]
+    fn chrome_export_packs_children_inside_parents() {
+        let json = chrome_trace(&sample_trees(), "unit");
+        // Dev-dependency serde_json checks the output is valid JSON with
+        // the documented top-level shape.
+        let value: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let Some(events) = value.as_object().and_then(|o| {
+            o.iter().find(|(k, _)| k == "traceEvents").and_then(|(_, v)| v.as_array())
+        }) else {
+            panic!("missing traceEvents array in {json}")
+        };
+        assert_eq!(events.len(), 4, "thread meta + three spans");
+        assert!(json.contains(r#""name":"thread_name","ph":"M""#));
+        // session at ts=0 dur=0.1µs; suggest packed at 0; evaluate at 0.06.
+        assert!(json.contains(r#""name":"session","cat":"span","ph":"X","ts":0,"dur":0.1"#));
+        assert!(json.contains(r#""name":"evaluate","cat":"span","ph":"X","ts":0.06"#));
+        assert!(json.contains(r#""source":"unit""#));
+    }
+
+    #[test]
+    fn micros_formats_nanosecond_precision() {
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(1_000), "1");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(1_230), "1.23");
+        assert_eq!(micros(999), "0.999");
+    }
+}

@@ -1,0 +1,128 @@
+//! Trace *analysis*: everything that consumes the JSONL journal
+//! `dbtune-obs` produces.
+//!
+//! PR 3 made every layer of the stack emit structured telemetry; this
+//! crate closes the loop by turning those journals into products a human
+//! (or a CI gate) can act on:
+//!
+//! * [`tree`] — reconstructs the hierarchical span tree per thread from
+//!   the close-ordered `span` event stream and computes **self time**
+//!   (a span's duration minus its children's) so hot paths show up where
+//!   the time is actually spent, not where it is merely enclosed.
+//! * [`export`] — renders trees as collapsed-stack lines
+//!   (`a;b;c <nanos>`, flamegraph-compatible) and as Chrome
+//!   `trace_event` JSON that opens directly in `chrome://tracing` or
+//!   Perfetto.
+//! * [`summary`] / [`diff`] — folds a journal (or a `BENCH_perf.json`
+//!   artifact) into a per-name summary and aligns two runs by span name
+//!   and metric key, flagging wall-time regressions with a noise-aware
+//!   threshold while holding deterministic counters (`exec.cache.*`,
+//!   `sim.evals`, span counts) to **exact** equality.
+//! * [`validate`] — structural invariants beyond line-level parsing:
+//!   consistent nesting per thread, parent attribution that matches the
+//!   tree, monotonic counters.
+//!
+//! The crate is std-only (its one dependency is `dbtune-obs`, itself
+//! dependency-free): journals must be analyzable on any machine,
+//! including CI runners with nothing but the repo checkout. Artifact
+//! JSON parsing (driver outputs, `BENCH_perf.json`) lives in
+//! `dbtune-bench`, which feeds plain structs into [`diff`].
+
+pub mod diff;
+pub mod export;
+pub mod summary;
+pub mod tree;
+pub mod validate;
+
+pub use diff::{diff_baselines, diff_summaries, DiffConfig, DiffEntry, DiffKind, PerfBaseline};
+pub use export::{chrome_trace, collapsed_stacks};
+pub use summary::{summarize, RunSummary, SpanSummary};
+pub use tree::{build_trees, merge_paths, MergedNode, SpanNode, ThreadTree, TreeError};
+pub use validate::{check_structure, Violation};
+
+use dbtune_obs::journal::{parse_journal, SCHEMA_VERSION};
+use dbtune_obs::TraceEvent;
+
+/// One parsed journal line with its 1-based line number (kept so every
+/// analysis error can name the offending line).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalLine {
+    /// 1-based line number in the journal file.
+    pub line: usize,
+    /// The parsed event.
+    pub event: TraceEvent,
+}
+
+/// A fully loaded journal: the leading `meta` line plus every event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalData {
+    /// Producer recorded in the `meta` line (driver name or "env").
+    pub source: String,
+    /// Schema version from the `meta` line.
+    pub version: u64,
+    /// Every event after `meta`, in file (= sequence) order.
+    pub events: Vec<JournalLine>,
+}
+
+/// Strictly loads a journal from its text: every line must parse, the
+/// first line must be a supported `meta` event. Errors name the line.
+///
+/// This is the loader the analysis tools use — for *validation*, where
+/// each bad line should be reported rather than aborting, iterate
+/// [`dbtune_obs::journal::parse_journal`] directly.
+pub fn load_journal_str(text: &str) -> Result<JournalData, String> {
+    let mut source = None;
+    let mut version = 0;
+    let mut events = Vec::new();
+    for (line, parsed) in parse_journal(text) {
+        let event = parsed.map_err(|e| format!("line {line}: {e}"))?;
+        match (&event, line) {
+            (TraceEvent::Meta { version: v, source: s }, 1) => {
+                if *v != SCHEMA_VERSION {
+                    return Err(format!(
+                        "line 1: schema version {v} (this toolkit supports {SCHEMA_VERSION})"
+                    ));
+                }
+                version = *v;
+                source = Some(s.clone());
+            }
+            (TraceEvent::Meta { .. }, _) => {
+                return Err(format!("line {line}: meta event must be the first line"));
+            }
+            (_, 1) => return Err("line 1: first line must be a meta event".to_string()),
+            _ => events.push(JournalLine { line, event }),
+        }
+    }
+    let source = source.ok_or_else(|| "journal is empty".to_string())?;
+    Ok(JournalData { source, version, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_a_minimal_journal() {
+        let text = concat!(
+            "{\"type\":\"meta\",\"version\":1,\"source\":\"unit\"}\n",
+            "{\"type\":\"span\",\"name\":\"a\",\"parent\":null,\"depth\":0,",
+            "\"dur_nanos\":5,\"thread\":0,\"seq\":1}\n",
+        );
+        let j = load_journal_str(text).expect("valid journal");
+        assert_eq!(j.source, "unit");
+        assert_eq!(j.version, 1);
+        assert_eq!(j.events.len(), 1);
+        assert_eq!(j.events[0].line, 2);
+    }
+
+    #[test]
+    fn rejects_missing_meta_bad_lines_and_future_schemas() {
+        let no_meta = "{\"type\":\"counter\",\"name\":\"c\",\"value\":1,\"seq\":1}";
+        assert!(load_journal_str(no_meta).unwrap_err().contains("meta"));
+        assert!(load_journal_str("").unwrap_err().contains("empty"));
+        let bad = "{\"type\":\"meta\",\"version\":1,\"source\":\"x\"}\nnope";
+        assert!(load_journal_str(bad).unwrap_err().contains("line 2"));
+        let future = "{\"type\":\"meta\",\"version\":99,\"source\":\"x\"}";
+        assert!(load_journal_str(future).unwrap_err().contains("version 99"));
+    }
+}

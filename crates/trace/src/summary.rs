@@ -1,0 +1,166 @@
+//! Folding a journal into a per-name run summary — the unit the
+//! cross-run [`crate::diff`] aligns.
+
+use crate::JournalData;
+use dbtune_obs::TraceEvent;
+use std::collections::BTreeMap;
+
+/// Aggregate of every close of one span name across the run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Number of closes. Deterministic for a fixed driver configuration
+    /// (the tuning loop's control flow never depends on wall clock), so
+    /// the diff holds it to exact equality.
+    pub count: u64,
+    /// Summed duration.
+    pub total_nanos: u64,
+    /// Fastest close — the noise-robust "min-of-N" statistic wall-time
+    /// comparisons use (the minimum over N repeats of a deterministic
+    /// code path estimates its true cost; means and maxima absorb
+    /// scheduler noise).
+    pub min_nanos: u64,
+    /// Exact median of the recorded durations.
+    pub p50_nanos: u64,
+    /// Exact 99th percentile of the recorded durations.
+    pub p99_nanos: u64,
+}
+
+/// Everything in one run the diff can align by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Journal producer (driver name or "env").
+    pub source: String,
+    /// Final value per counter name (last `counter` event wins — flushes
+    /// are cumulative).
+    pub counters: BTreeMap<String, u64>,
+    /// Final value per gauge name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Per-span-name aggregates.
+    pub spans: BTreeMap<String, SpanSummary>,
+    /// Completed grid cells observed (`cell` events).
+    pub cells: u64,
+}
+
+/// The `q`-quantile of sorted `values` (nearest-rank, matching the
+/// rank convention of `dbtune_obs::LogHistogram::quantile`, but exact).
+fn quantile_sorted(values: &[u64], q: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let total = values.len() as f64;
+    let rank = ((q * total).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+/// Folds a loaded journal into its [`RunSummary`].
+pub fn summarize(journal: &JournalData) -> RunSummary {
+    let mut durs: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut out = RunSummary { source: journal.source.clone(), ..Default::default() };
+    for jl in &journal.events {
+        match &jl.event {
+            TraceEvent::Span { name, dur_nanos, .. } => {
+                durs.entry(name.clone()).or_default().push(*dur_nanos);
+            }
+            TraceEvent::Counter { name, value, .. } => {
+                out.counters.insert(name.clone(), *value);
+            }
+            TraceEvent::Gauge { name, value, .. } => {
+                out.gauges.insert(name.clone(), *value);
+            }
+            TraceEvent::Cell { .. } => out.cells += 1,
+            TraceEvent::Meta { .. } | TraceEvent::Hist { .. } => {}
+        }
+    }
+    for (name, mut values) in durs {
+        values.sort_unstable();
+        out.spans.insert(
+            name,
+            SpanSummary {
+                count: values.len() as u64,
+                total_nanos: values.iter().sum(),
+                min_nanos: values[0],
+                p50_nanos: quantile_sorted(&values, 0.50),
+                p99_nanos: quantile_sorted(&values, 0.99),
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JournalLine;
+
+    fn line(event: TraceEvent) -> JournalLine {
+        JournalLine { line: 0, event }
+    }
+
+    #[test]
+    fn summarize_aggregates_spans_counters_and_cells() {
+        let journal = JournalData {
+            source: "unit".into(),
+            version: 1,
+            events: vec![
+                line(TraceEvent::Span {
+                    name: "fit".into(),
+                    parent: None,
+                    depth: 0,
+                    dur_nanos: 30,
+                    thread: 0,
+                    seq: 1,
+                }),
+                line(TraceEvent::Span {
+                    name: "fit".into(),
+                    parent: None,
+                    depth: 0,
+                    dur_nanos: 10,
+                    thread: 0,
+                    seq: 2,
+                }),
+                line(TraceEvent::Span {
+                    name: "fit".into(),
+                    parent: None,
+                    depth: 0,
+                    dur_nanos: 20,
+                    thread: 1,
+                    seq: 3,
+                }),
+                line(TraceEvent::Counter { name: "sim.evals".into(), value: 4, seq: 4 }),
+                line(TraceEvent::Counter { name: "sim.evals".into(), value: 9, seq: 5 }),
+                line(TraceEvent::Gauge { name: "exec.cache.entries".into(), value: 3, seq: 6 }),
+                line(TraceEvent::Cell {
+                    index: 0,
+                    cache_hits: 1,
+                    cache_misses: 2,
+                    dur_nanos: 5,
+                    thread: 0,
+                    seq: 7,
+                }),
+            ],
+        };
+        let s = summarize(&journal);
+        assert_eq!(s.source, "unit");
+        assert_eq!(s.cells, 1);
+        assert_eq!(s.counters["sim.evals"], 9, "last flush wins");
+        assert_eq!(s.gauges["exec.cache.entries"], 3);
+        let fit = &s.spans["fit"];
+        assert_eq!(fit.count, 3);
+        assert_eq!(fit.total_nanos, 60);
+        assert_eq!(fit.min_nanos, 10);
+        assert_eq!(fit.p50_nanos, 20);
+        assert_eq!(fit.p99_nanos, 30);
+    }
+
+    #[test]
+    fn exact_quantiles_match_nearest_rank() {
+        let values: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_sorted(&values, 0.50), 50);
+        assert_eq!(quantile_sorted(&values, 0.99), 99);
+        assert_eq!(quantile_sorted(&values, 0.0), 1);
+        assert_eq!(quantile_sorted(&values, 1.0), 100);
+        assert_eq!(quantile_sorted(&[], 0.5), 0);
+        assert_eq!(quantile_sorted(&[7], 0.0), 7);
+        assert_eq!(quantile_sorted(&[7], 1.0), 7);
+    }
+}

@@ -1,0 +1,401 @@
+//! Span-tree reconstruction from close-ordered journal events.
+//!
+//! The journal records one `span` event per *close* (there are no open
+//! events — a disabled journal must cost one atomic load, and opens
+//! would double the line count for no analytical gain). Closes on one
+//! thread arrive in LIFO order: every child closes before its parent,
+//! and each event carries its nesting `depth` and `parent` name. That is
+//! exactly enough to rebuild the tree per thread:
+//!
+//! * keep a stack of *pending* sibling lists indexed by depth;
+//! * when a span closes at depth `d`, everything pending at depth `d+1`
+//!   is its (in-order) children — claim them, then park the new node at
+//!   depth `d`;
+//! * when the stream ends, the pending depth-0 list holds the roots.
+//!
+//! Any sequence that cannot be explained by a matched open — a root with
+//! a parent, a child whose recorded parent is not the span that actually
+//! closed above it, grandchildren left stranded, or a truncated journal
+//! whose enclosing spans never close — is a structural error naming the
+//! offending line, which is how `trace_validate` turns "every span-close
+//! has a matching open" into a checkable invariant.
+
+use crate::JournalLine;
+use dbtune_obs::TraceEvent;
+use std::collections::BTreeMap;
+
+/// One reconstructed span occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Recorded monotonic duration.
+    pub dur_nanos: u64,
+    /// Journal sequence number of the close event.
+    pub seq: u64,
+    /// Child spans, in close (= chronological) order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Summed duration of direct children.
+    pub fn child_nanos(&self) -> u64 {
+        self.children.iter().map(|c| c.dur_nanos).sum()
+    }
+
+    /// Time spent in this span but not in any child (saturating: a
+    /// child's measured duration can exceed its parent's by scheduler
+    /// jitter at nanosecond scale).
+    pub fn self_nanos(&self) -> u64 {
+        self.dur_nanos.saturating_sub(self.child_nanos())
+    }
+
+    /// This node plus all descendants.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::node_count).sum::<usize>()
+    }
+}
+
+/// All root spans reconstructed for one thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadTree {
+    /// Per-process thread ordinal from the journal.
+    pub thread: u64,
+    /// Top-level spans in close order.
+    pub roots: Vec<SpanNode>,
+}
+
+impl ThreadTree {
+    /// Summed duration of the thread's root spans (the thread's
+    /// instrumented wall time).
+    pub fn total_nanos(&self) -> u64 {
+        self.roots.iter().map(|r| r.dur_nanos).sum()
+    }
+}
+
+/// A structural violation found while rebuilding the tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeError {
+    /// 1-based journal line of the violating event (0 = end of journal).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "end of journal: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+/// A reconstructed span still waiting for its parent to close, plus the
+/// parent name its close event recorded (so attribution can be verified
+/// when the parent finally closes).
+struct PendingNode {
+    node: SpanNode,
+    parent: Option<String>,
+}
+
+/// Per-thread reconstruction state: `pending[d]` holds spans closed at
+/// depth `d` whose parent has not closed yet.
+#[derive(Default)]
+struct ThreadState {
+    pending: Vec<Vec<PendingNode>>,
+}
+
+/// Rebuilds the span trees of every thread from a journal's events
+/// (non-`span` events are ignored). Returns one [`ThreadTree`] per
+/// thread ordinal, sorted by ordinal, or the first structural violation.
+pub fn build_trees(events: &[JournalLine]) -> Result<Vec<ThreadTree>, TreeError> {
+    let mut threads: BTreeMap<u64, ThreadState> = BTreeMap::new();
+    for jl in events {
+        let TraceEvent::Span { name, parent, depth, dur_nanos, thread, seq } = &jl.event else {
+            continue;
+        };
+        let depth = *depth as usize;
+        let state = threads.entry(*thread).or_default();
+        if state.pending.len() <= depth + 1 {
+            state.pending.resize_with(depth + 2, Vec::new);
+        }
+
+        // Consistency between depth and parent attribution.
+        match (depth, parent) {
+            (0, Some(p)) => {
+                return Err(TreeError {
+                    line: jl.line,
+                    message: format!("root span '{name}' (depth 0) claims parent '{p}'"),
+                })
+            }
+            (d, None) if d > 0 => {
+                return Err(TreeError {
+                    line: jl.line,
+                    message: format!("span '{name}' at depth {d} has no parent"),
+                })
+            }
+            _ => {}
+        }
+
+        // A close at depth d can only happen once everything below its
+        // children's level has been claimed: spans stranded deeper than
+        // d+1 would mean their own parents never closed — an unmatched
+        // open (e.g. a truncated or interleaved journal).
+        for deeper in (depth + 2)..state.pending.len() {
+            if let Some(orphan) = state.pending[deeper].first() {
+                return Err(TreeError {
+                    line: jl.line,
+                    message: format!(
+                        "span '{name}' closed at depth {depth} on thread {thread} while \
+                         '{}' (depth {deeper}, seq {}) still awaits its depth-{} parent",
+                        orphan.node.name,
+                        orphan.node.seq,
+                        deeper - 1
+                    ),
+                });
+            }
+        }
+
+        // Claim the children, verifying the parent each one recorded at
+        // emit time is the span that actually closed above it — a
+        // corrupted or hand-edited journal must not silently produce a
+        // plausible-looking tree.
+        let claimed = std::mem::take(&mut state.pending[depth + 1]);
+        let mut children = Vec::with_capacity(claimed.len());
+        for child in claimed {
+            if let Some(recorded) = &child.parent {
+                if recorded != name {
+                    return Err(TreeError {
+                        line: jl.line,
+                        message: format!(
+                            "span '{}' (seq {}) records parent '{recorded}' but closed under \
+                             '{name}'",
+                            child.node.name, child.node.seq
+                        ),
+                    });
+                }
+            }
+            children.push(child.node);
+        }
+        state.pending[depth].push(PendingNode {
+            node: SpanNode { name: name.clone(), dur_nanos: *dur_nanos, seq: *seq, children },
+            parent: parent.clone(),
+        });
+    }
+
+    let mut out = Vec::new();
+    for (thread, state) in threads {
+        for (depth, pending) in state.pending.iter().enumerate().skip(1) {
+            if let Some(orphan) = pending.first() {
+                return Err(TreeError {
+                    line: 0,
+                    message: format!(
+                        "thread {thread}: span '{}' (depth {depth}, seq {}) closed but its \
+                         parent never did — journal truncated?",
+                        orphan.node.name, orphan.node.seq
+                    ),
+                });
+            }
+        }
+        let roots =
+            state.pending.into_iter().next().unwrap_or_default().into_iter().map(|p| p.node);
+        out.push(ThreadTree { thread, roots: roots.collect() });
+    }
+    Ok(out)
+}
+
+/// One node of the *merged* tree: all occurrences of the same span path
+/// (root→…→name), across repeats and threads, folded together.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MergedNode {
+    /// Occurrences of this path.
+    pub count: u64,
+    /// Summed duration over all occurrences.
+    pub total_nanos: u64,
+    /// Summed self time over all occurrences.
+    pub self_nanos: u64,
+    /// Children keyed by span name (sorted — BTreeMap order).
+    pub children: BTreeMap<String, MergedNode>,
+}
+
+impl MergedNode {
+    fn fold(&mut self, node: &SpanNode) {
+        let slot = self.children.entry(node.name.clone()).or_default();
+        slot.count += 1;
+        slot.total_nanos += node.dur_nanos;
+        slot.self_nanos += node.self_nanos();
+        for child in &node.children {
+            slot.fold(child);
+        }
+    }
+
+    /// Sum of self time over this node and all descendants.
+    pub fn deep_self_nanos(&self) -> u64 {
+        self.self_nanos + self.children.values().map(MergedNode::deep_self_nanos).sum::<u64>()
+    }
+}
+
+/// Merges every thread's trees into one path-keyed tree (the root node
+/// is synthetic: `count == 0`, children are the real top-level spans).
+pub fn merge_paths(trees: &[ThreadTree]) -> MergedNode {
+    let mut root = MergedNode::default();
+    for tree in trees {
+        for node in &tree.roots {
+            root.fold(node);
+        }
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, parent: Option<&str>, depth: u32, dur: u64, thread: u64) -> TraceEvent {
+        TraceEvent::Span {
+            name: name.to_string(),
+            parent: parent.map(str::to_string),
+            depth,
+            dur_nanos: dur,
+            thread,
+            seq: 0,
+        }
+    }
+
+    fn journal(events: Vec<TraceEvent>) -> Vec<JournalLine> {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| {
+                let event = match event {
+                    TraceEvent::Span { name, parent, depth, dur_nanos, thread, .. } => {
+                        TraceEvent::Span {
+                            name,
+                            parent,
+                            depth,
+                            dur_nanos,
+                            thread,
+                            seq: i as u64 + 1,
+                        }
+                    }
+                    other => other,
+                };
+                JournalLine { line: i + 2, event }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rebuilds_nesting_from_close_order() {
+        // open a; open b; close b; open c; open d; close d; close c; close a
+        let events = journal(vec![
+            span("b", Some("a"), 1, 10, 0),
+            span("d", Some("c"), 2, 5, 0),
+            span("c", Some("a"), 1, 20, 0),
+            span("a", None, 0, 100, 0),
+        ]);
+        let trees = build_trees(&events).expect("valid");
+        assert_eq!(trees.len(), 1);
+        let a = &trees[0].roots[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.children.len(), 2);
+        assert_eq!(a.children[0].name, "b");
+        assert_eq!(a.children[1].name, "c");
+        assert_eq!(a.children[1].children[0].name, "d");
+        assert_eq!(a.child_nanos(), 30);
+        assert_eq!(a.self_nanos(), 70);
+        assert_eq!(a.children[1].self_nanos(), 15);
+        assert_eq!(a.node_count(), 4);
+    }
+
+    #[test]
+    fn threads_are_reconstructed_independently() {
+        let events = journal(vec![
+            span("inner", Some("outer"), 1, 3, 1),
+            span("solo", None, 0, 7, 2),
+            span("outer", None, 0, 9, 1),
+        ]);
+        let trees = build_trees(&events).expect("valid");
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].thread, 1);
+        assert_eq!(trees[0].roots[0].children[0].name, "inner");
+        assert_eq!(trees[1].thread, 2);
+        assert_eq!(trees[1].total_nanos(), 7);
+    }
+
+    #[test]
+    fn self_time_sums_to_root_time() {
+        let events = journal(vec![
+            span("fit", Some("suggest"), 1, 40, 0),
+            span("acq", Some("suggest"), 1, 25, 0),
+            span("suggest", None, 0, 80, 0),
+            span("evaluate", None, 0, 50, 0),
+        ]);
+        let trees = build_trees(&events).expect("valid");
+        let merged = merge_paths(&trees);
+        let roots_total: u64 = trees.iter().map(ThreadTree::total_nanos).sum();
+        assert_eq!(merged.deep_self_nanos(), roots_total);
+        assert_eq!(merged.children["suggest"].self_nanos, 15);
+    }
+
+    #[test]
+    fn merge_folds_repeated_paths() {
+        let events = journal(vec![
+            span("fit", Some("suggest"), 1, 10, 0),
+            span("suggest", None, 0, 30, 0),
+            span("fit", Some("suggest"), 1, 20, 1),
+            span("suggest", None, 0, 50, 1),
+        ]);
+        let merged = merge_paths(&build_trees(&events).expect("valid"));
+        let suggest = &merged.children["suggest"];
+        assert_eq!(suggest.count, 2);
+        assert_eq!(suggest.total_nanos, 80);
+        assert_eq!(suggest.children["fit"].count, 2);
+        assert_eq!(suggest.children["fit"].total_nanos, 30);
+    }
+
+    #[test]
+    fn rejects_root_with_parent_and_orphan_depth() {
+        let bad_root = journal(vec![span("a", Some("ghost"), 0, 1, 0)]);
+        let err = build_trees(&bad_root).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("claims parent"));
+
+        let no_parent = journal(vec![span("child", None, 1, 1, 0)]);
+        let err = build_trees(&no_parent).unwrap_err();
+        assert!(err.message.contains("has no parent"), "{err}");
+    }
+
+    #[test]
+    fn rejects_parent_name_mismatch() {
+        let events = journal(vec![
+            span("child", Some("expected"), 1, 1, 0),
+            span("actual", None, 0, 2, 0),
+        ]);
+        let err = build_trees(&events).unwrap_err();
+        assert!(err.message.contains("records parent 'expected'"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_journal_with_unclosed_parent() {
+        // A depth-1 close whose depth-0 parent never closes (truncation).
+        let events = journal(vec![span("child", Some("outer"), 1, 1, 0)]);
+        let err = build_trees(&events).unwrap_err();
+        assert_eq!(err.line, 0, "reported at end of journal");
+        assert!(err.message.contains("parent never did"), "{err}");
+    }
+
+    #[test]
+    fn rejects_stranded_grandchildren() {
+        // depth-2 close, then a depth-0 close without the depth-1 parent
+        // ever closing: the grandchild can never be attached.
+        let events = journal(vec![
+            span("grand", Some("mid"), 2, 1, 0),
+            span("top", None, 0, 9, 0),
+        ]);
+        let err = build_trees(&events).unwrap_err();
+        assert!(err.message.contains("awaits its depth-1 parent"), "{err}");
+    }
+}

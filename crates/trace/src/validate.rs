@@ -1,0 +1,224 @@
+//! Structural invariants beyond line-level parsing.
+//!
+//! `TraceEvent::parse_line` catches malformed lines; this module checks
+//! the properties that hold *across* lines when the writer behaved:
+//!
+//! * the span stream per thread reconstructs into a tree — every close
+//!   is explained by a matched open (delegated to
+//!   [`crate::tree::build_trees`], which names the first violating
+//!   line);
+//! * counters are cumulative, so successive flushes of the same name
+//!   are monotonically non-decreasing;
+//! * histogram flushes satisfy `p50 <= p99` and report quantiles only
+//!   when `count > 0`;
+//! * histogram counts, like counters, never decrease across flushes.
+//!
+//! Unlike the strict loader, validation reports *every* violation it
+//! can find rather than stopping at the first, so a corrupted journal
+//! yields a full damage report.
+
+use crate::tree::build_trees;
+use crate::JournalLine;
+use dbtune_obs::TraceEvent;
+use std::collections::BTreeMap;
+
+/// One structural violation, anchored to the journal line that
+/// exhibited it (0 = end of journal, e.g. truncation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-based journal line (0 = end of journal).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "end of journal: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+/// Checks every cross-line invariant over parsed journal events,
+/// returning all violations found (empty = structurally sound). Events
+/// must be in file order, as produced by [`crate::load_journal_str`].
+pub fn check_structure(events: &[JournalLine]) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Span nesting: build_trees stops at the first structural error —
+    // everything after it is unattributable anyway.
+    if let Err(e) = build_trees(events) {
+        out.push(Violation { line: e.line, message: e.message });
+    }
+
+    // Counters and histogram counts are cumulative: name -> (line of
+    // last flush, last value).
+    let mut counters: BTreeMap<&str, (usize, u64)> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<&str, (usize, u64)> = BTreeMap::new();
+    for jl in events {
+        match &jl.event {
+            TraceEvent::Counter { name, value, .. } => {
+                if let Some((prev_line, prev)) = counters.get(name.as_str()) {
+                    if value < prev {
+                        out.push(Violation {
+                            line: jl.line,
+                            message: format!(
+                                "counter '{name}' went backwards: {prev} (line {prev_line}) \
+                                 -> {value}"
+                            ),
+                        });
+                    }
+                }
+                counters.insert(name, (jl.line, *value));
+            }
+            TraceEvent::Hist { name, count, p50_nanos, p99_nanos, .. } => {
+                if p50_nanos > p99_nanos {
+                    out.push(Violation {
+                        line: jl.line,
+                        message: format!(
+                            "hist '{name}' has p50 {p50_nanos} > p99 {p99_nanos}"
+                        ),
+                    });
+                }
+                if *count == 0 && (*p50_nanos != 0 || *p99_nanos != 0) {
+                    out.push(Violation {
+                        line: jl.line,
+                        message: format!(
+                            "hist '{name}' reports quantiles with zero samples"
+                        ),
+                    });
+                }
+                if let Some((prev_line, prev)) = hist_counts.get(name.as_str()) {
+                    if count < prev {
+                        out.push(Violation {
+                            line: jl.line,
+                            message: format!(
+                                "hist '{name}' count went backwards: {prev} (line {prev_line}) \
+                                 -> {count}"
+                            ),
+                        });
+                    }
+                }
+                hist_counts.insert(name, (jl.line, *count));
+            }
+            _ => {}
+        }
+    }
+
+    out.sort_by_key(|v| if v.line == 0 { usize::MAX } else { v.line });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(line: usize, event: TraceEvent) -> JournalLine {
+        JournalLine { line, event }
+    }
+
+    fn counter(l: usize, name: &str, value: u64) -> JournalLine {
+        line(l, TraceEvent::Counter { name: name.into(), value, seq: l as u64 })
+    }
+
+    fn hist(l: usize, name: &str, count: u64, p50: u64, p99: u64) -> JournalLine {
+        line(
+            l,
+            TraceEvent::Hist {
+                name: name.into(),
+                count,
+                p50_nanos: p50,
+                p99_nanos: p99,
+                seq: l as u64,
+            },
+        )
+    }
+
+    #[test]
+    fn sound_journal_has_no_violations() {
+        let events = vec![
+            line(
+                2,
+                TraceEvent::Span {
+                    name: "fit".into(),
+                    parent: Some("suggest".into()),
+                    depth: 1,
+                    dur_nanos: 5,
+                    thread: 0,
+                    seq: 1,
+                },
+            ),
+            line(
+                3,
+                TraceEvent::Span {
+                    name: "suggest".into(),
+                    parent: None,
+                    depth: 0,
+                    dur_nanos: 9,
+                    thread: 0,
+                    seq: 2,
+                },
+            ),
+            counter(4, "sim.evals", 3),
+            counter(5, "sim.evals", 8),
+            hist(6, "span.fit", 1, 5, 5),
+            hist(7, "span.fit", 2, 5, 9),
+        ];
+        assert_eq!(check_structure(&events), vec![]);
+    }
+
+    #[test]
+    fn flags_backwards_counter_with_both_lines() {
+        let events = vec![counter(2, "sim.evals", 8), counter(3, "sim.evals", 3)];
+        let v = check_structure(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("went backwards: 8 (line 2) -> 3"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn flags_inverted_hist_quantiles_and_phantom_samples() {
+        let events = vec![hist(2, "span.fit", 3, 100, 50), hist(3, "span.acq", 0, 1, 1)];
+        let v = check_structure(&events);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("p50 100 > p99 50"), "{}", v[0].message);
+        assert!(v[1].message.contains("zero samples"), "{}", v[1].message);
+    }
+
+    #[test]
+    fn flags_backwards_hist_count() {
+        let events = vec![hist(2, "span.fit", 5, 1, 2), hist(3, "span.fit", 4, 1, 2)];
+        let v = check_structure(&events);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("count went backwards"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn tree_errors_surface_as_violations_alongside_metric_errors() {
+        // A truncated journal (unclosed parent) *and* a backwards counter:
+        // both must be reported, tree error sorted last (line 0 = EOF).
+        let events = vec![
+            line(
+                2,
+                TraceEvent::Span {
+                    name: "child".into(),
+                    parent: Some("outer".into()),
+                    depth: 1,
+                    dur_nanos: 1,
+                    thread: 0,
+                    seq: 1,
+                },
+            ),
+            counter(3, "sim.evals", 9),
+            counter(4, "sim.evals", 2),
+        ];
+        let v = check_structure(&events);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 4, "metric violation first (by line)");
+        assert_eq!(v[1].line, 0, "tree truncation reported at end of journal");
+        assert!(v[1].message.contains("parent never did"), "{}", v[1].message);
+    }
+}

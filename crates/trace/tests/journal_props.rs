@@ -1,0 +1,123 @@
+//! Property tests for the journal wire format: `TraceEvent::to_jsonl`
+//! and `TraceEvent::parse_line` must be exact inverses for every
+//! representable event — including names and sources that need JSON
+//! escaping — and the parser must fail gracefully (never panic) on
+//! malformed or truncated lines.
+
+use dbtune_obs::TraceEvent;
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::sample::select;
+
+/// String fragments chosen to stress the JSON escaper: quotes,
+/// backslashes, control characters, multi-byte UTF-8, and the literal
+/// escape sequences themselves.
+fn tricky_string() -> impl Strategy<Value = String> {
+    collection::vec(
+        select(vec![
+            "a", "exec.cache", "\"", "\\", "\n", "\t", "\r", "\u{1}", "\u{1f}", "λ", "嗨",
+            "🔥", "\\n", "\\\"", "{", "}", ",", ":", " ", "",
+        ]),
+        0..8,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+fn any_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        0..6u32,
+        (tricky_string(), tricky_string(), 0..8u32),
+        (0..u64::MAX, 0..u64::MAX, 1..u64::MAX),
+        (0..16u64, i64::MIN..i64::MAX, 0..u64::MAX),
+    )
+        .prop_map(|(kind, (name, other, depth), (a, b, seq), (thread, signed, c))| match kind {
+            0 => TraceEvent::Meta { version: a, source: name },
+            1 => TraceEvent::Span {
+                name,
+                parent: if depth == 0 { None } else { Some(other) },
+                depth,
+                dur_nanos: a,
+                thread,
+                seq,
+            },
+            2 => TraceEvent::Counter { name, value: a, seq },
+            3 => TraceEvent::Gauge { name, value: signed, seq },
+            4 => TraceEvent::Hist { name, count: a, p50_nanos: b.min(c), p99_nanos: b.max(c), seq },
+            _ => TraceEvent::Cell {
+                index: a,
+                cache_hits: b,
+                cache_misses: c,
+                dur_nanos: b,
+                thread,
+                seq,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    fn to_jsonl_parse_line_round_trips(event in any_event()) {
+        let line = event.to_jsonl();
+        prop_assert!(!line.contains('\n'), "serialized event must stay one line: {line:?}");
+        let back = TraceEvent::parse_line(&line)
+            .unwrap_or_else(|e| panic!("own output must parse: {e}\nline: {line:?}"));
+        prop_assert_eq!(&back, &event, "round trip changed the event; line: {:?}", line);
+        // Serialization is canonical: a second trip is byte-identical.
+        prop_assert_eq!(back.to_jsonl(), line);
+    }
+
+    fn truncated_lines_error_instead_of_panicking(event in any_event(), cut in 0..4096usize) {
+        let line = event.to_jsonl();
+        // Every strict prefix has unbalanced braces, so it must parse as
+        // an error — never a panic, never a silently different event.
+        let mut cut = cut % line.len().max(1);
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let prefix = &line[..cut];
+        prop_assert!(
+            TraceEvent::parse_line(prefix).is_err(),
+            "truncated line parsed: {prefix:?}"
+        );
+    }
+
+    fn corrupted_bytes_never_panic(event in any_event(), pos in 0..4096usize, junk in select(vec![b'X', b'{', b'"', b'\\', b'7', 0xffu8])) {
+        let line = event.to_jsonl();
+        let mut bytes = line.into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = junk;
+        // The mutation may or may not leave valid UTF-8 / JSON; the only
+        // contract is graceful handling. When it still parses, the result
+        // must itself round-trip (the parser never fabricates
+        // unserializable events).
+        if let Ok(text) = String::from_utf8(bytes) {
+            if let Ok(parsed) = TraceEvent::parse_line(&text) {
+                let again = parsed.to_jsonl();
+                prop_assert_eq!(TraceEvent::parse_line(&again).unwrap(), parsed);
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_lines_report_errors_not_panics() {
+    let cases = [
+        "",
+        "{}",
+        "null",
+        "[1,2,3]",
+        "{\"type\":\"nope\",\"seq\":1}",
+        "{\"type\":\"counter\",\"name\":\"c\"}",
+        "{\"type\":\"counter\",\"name\":\"c\",\"value\":-1,\"seq\":1}",
+        "{\"type\":\"span\",\"name\":\"s\",\"parent\":7,\"depth\":0,\"dur_nanos\":1,\"thread\":0,\"seq\":1}",
+        "{\"type\":\"meta\",\"version\":\"one\",\"source\":\"x\"}",
+        "{\"type\":\"counter\",\"name\":\"c\",\"value\":1,\"seq\":1}trailing",
+        "not json at all",
+        "{\"type\":\"hist\",\"name\":\"h\",\"count\":1,\"p50_nanos\":1,\"p99_nanos\":",
+    ];
+    for case in cases {
+        let result = TraceEvent::parse_line(case);
+        assert!(result.is_err(), "{case:?} unexpectedly parsed: {result:?}");
+    }
+}
