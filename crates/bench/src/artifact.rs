@@ -132,32 +132,29 @@ mod tests {
     fn fingerprint_is_insensitive_to_timing_but_not_results() {
         let a: Value = serde_json::from_str(SAMPLE).expect("parses");
         let mut faster = serde_json::from_str::<Value>(SAMPLE).expect("parses");
-        if let Some(Value::Object(timing)) =
-            match &mut faster {
-                Value::Object(fields) => {
-                    fields.iter_mut().find(|(k, _)| k == "timing").map(|(_, v)| v)
-                }
-                _ => None,
-            }
-        {
+        if let Some(Value::Object(timing)) = match &mut faster {
+            Value::Object(fields) => fields.iter_mut().find(|(k, _)| k == "timing").map(|(_, v)| v),
+            _ => None,
+        } {
             timing.retain(|(k, _)| k != "phases");
         }
-        let fa = parse_perf_baseline(&a).unwrap().results_fingerprint;
-        let fb = parse_perf_baseline(&faster).unwrap().results_fingerprint;
+        let fa = parse_perf_baseline(&a).expect("baseline artifact parses").results_fingerprint;
+        let fb = parse_perf_baseline(&faster).expect("artifact parses").results_fingerprint;
         assert_eq!(fa, fb, "timing changes must not move the results fingerprint");
     }
 
     #[test]
     fn missing_sections_are_named_in_errors() {
-        let value: Value = serde_json::from_str(r#"{"results": {}}"#).unwrap();
-        assert!(parse_perf_baseline(&value).unwrap_err().contains("timing"));
-        let value: Value = serde_json::from_str(r#"{"timing": {"wall_secs": []}}"#).unwrap();
-        assert!(parse_perf_baseline(&value).unwrap_err().contains("results"));
+        let value: Value = serde_json::from_str(r#"{"results": {}}"#).expect("sample JSON parses");
+        assert!(parse_perf_baseline(&value).expect_err("must be rejected").contains("timing"));
+        let value: Value =
+            serde_json::from_str(r#"{"timing": {"wall_secs": []}}"#).expect("sample JSON parses");
+        assert!(parse_perf_baseline(&value).expect_err("must be rejected").contains("results"));
     }
 
     #[test]
     fn lookup_path_walks_nested_objects() {
-        let value: Value = serde_json::from_str(SAMPLE).unwrap();
+        let value: Value = serde_json::from_str(SAMPLE).expect("sample JSON parses");
         let hits = lookup_path(&value, &["results", "counters", "exec.cache.hits"]);
         assert_eq!(hits.and_then(Value::as_u64), Some(12));
         assert!(lookup_path(&value, &["results", "nope"]).is_none());

@@ -1,3 +1,7 @@
+// Driver binary: exempt from the unwrap ban (lint rule E1 and its clippy
+// twin unwrap_used) — a panic here aborts one experiment run, not a
+// library caller.
+#![allow(clippy::unwrap_used)]
 //! Ablation studies for the design choices DESIGN.md §6 calls out —
 //! beyond the paper's own tables, these justify the defaults this
 //! implementation ships with:
@@ -38,6 +42,7 @@ struct Finding {
     median_improvement: f64,
 }
 
+#[allow(clippy::too_many_arguments)] // experiment knobs enumerated on purpose
 fn session(
     wl: Workload,
     space: &TuningSpace,
@@ -75,10 +80,10 @@ fn main() {
     let job_pool = full_pool(Workload::Job, samples, 7);
     let job_scores = dbtune_bench::importance_scores(MeasureKind::Shap, &catalog, &job_pool, 11);
     let mut cats: Vec<usize> = catalog.categorical_indices();
-    cats.sort_by(|&a, &b| job_scores[b].partial_cmp(&job_scores[a]).expect("NaN"));
+    cats.sort_by(|&a, &b| dbtune_core::ord::cmp_score_desc(&job_scores[a], &job_scores[b]));
     cats.truncate(5);
     let mut ints: Vec<usize> = catalog.integer_indices();
-    ints.sort_by(|&a, &b| job_scores[b].partial_cmp(&job_scores[a]).expect("NaN"));
+    ints.sort_by(|&a, &b| dbtune_core::ord::cmp_score_desc(&job_scores[a], &job_scores[b]));
     ints.truncate(15);
     let mut hetero = cats;
     hetero.extend(ints);

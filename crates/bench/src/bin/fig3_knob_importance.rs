@@ -1,3 +1,7 @@
+// Driver binary: exempt from the unwrap ban (lint rule E1 and its clippy
+// twin unwrap_used) — a panic here aborts one experiment run, not a
+// library caller.
+#![allow(clippy::unwrap_used)]
 //! Figure 3 + Table 6 + the §5.2 headline number.
 //!
 //! For JOB and SYSBENCH, rank all 197 knobs with each of the five

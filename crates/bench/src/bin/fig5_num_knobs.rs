@@ -1,3 +1,7 @@
+// Driver binary: exempt from the unwrap ban (lint rule E1 and its clippy
+// twin unwrap_used) — a panic here aborts one experiment run, not a
+// library caller.
+#![allow(clippy::unwrap_used)]
 //! Figure 5: performance improvement and tuning cost as the number of
 //! tuned knobs grows (SHAP ranking, vanilla BO, JOB & SYSBENCH).
 //!

@@ -1,3 +1,7 @@
+// Driver binary: exempt from the unwrap ban (lint rule E1 and its clippy
+// twin unwrap_used) — a panic here aborts one experiment run, not a
+// library caller.
+#![allow(clippy::unwrap_used)]
 //! Figure 6: incremental knob selection — increasing (OtterTune-style)
 //! vs decreasing (Tuneful-style) the number of tuned knobs over the
 //! session, against fixed top-5 and top-20 baselines (SHAP ranking,

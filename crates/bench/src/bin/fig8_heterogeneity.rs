@@ -1,3 +1,7 @@
+// Driver binary: exempt from the unwrap ban (lint rule E1 and its clippy
+// twin unwrap_used) — a panic here aborts one experiment run, not a
+// library caller.
+#![allow(clippy::unwrap_used)]
 //! Figure 8: the knob-heterogeneity comparison (JOB).
 //!
 //! Control group: the top-20 *numeric* knobs (continuous space). Test
@@ -41,7 +45,9 @@ fn main() {
     // Ranked indices restricted to a knob class.
     let ranked_where = |pred: &dyn Fn(usize) -> bool, k: usize| -> Vec<usize> {
         let mut idx: Vec<usize> = (0..catalog.len()).filter(|&i| pred(i)).collect();
-        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN").then(a.cmp(&b)));
+        idx.sort_by(|&a, &b| {
+            dbtune_core::ord::cmp_score_desc(&scores[a], &scores[b]).then(a.cmp(&b))
+        });
         idx.truncate(k);
         idx
     };

@@ -1,3 +1,7 @@
+// Driver binary: exempt from the unwrap ban (lint rule E1 and its clippy
+// twin unwrap_used) — a panic here aborts one experiment run, not a
+// library caller.
+#![allow(clippy::unwrap_used)]
 //! Compares two trace journals of the same driver configuration,
 //! aligning them by span name and metric key.
 //!

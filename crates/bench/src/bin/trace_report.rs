@@ -1,3 +1,7 @@
+// Driver binary: exempt from the unwrap ban (lint rule E1 and its clippy
+// twin unwrap_used) — a panic here aborts one experiment run, not a
+// library caller.
+#![allow(clippy::unwrap_used)]
 //! Renders a trace journal as a human-readable span-tree report and
 //! exports it for external viewers: a collapsed-stack file
 //! (`<journal>.folded`, flamegraph-compatible) and a Chrome
@@ -75,8 +79,8 @@ fn main() -> ExitCode {
 
     let stem = journal_path.file_stem().map(|s| s.to_string_lossy().to_string());
     let stem = stem.unwrap_or_else(|| "trace".to_string());
-    let dir = out_dir
-        .unwrap_or_else(|| journal_path.parent().unwrap_or(Path::new(".")).to_path_buf());
+    let dir =
+        out_dir.unwrap_or_else(|| journal_path.parent().unwrap_or(Path::new(".")).to_path_buf());
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("trace_report: cannot create {}: {e}", dir.display());
         return ExitCode::from(2);

@@ -41,6 +41,9 @@ use std::sync::Arc;
 /// structural violation `trace_validate` can actually catch (an
 /// unclosed parent span) rather than a silent artifact of buffering.
 /// A no-op when tracing is disabled.
+// The doctest's `fn main` is the point of the example (the guard must be
+// the first statement of a driver's main), not boilerplate.
+#[allow(clippy::needless_doctest_main)]
 #[must_use = "the guard flushes on drop; binding it to _ drops it immediately"]
 pub struct TraceFlushGuard(());
 
@@ -259,7 +262,7 @@ pub fn run_tuning_grid(cells: &[TuningCell], opts: &GridOpts) -> (Vec<SessionRes
     let cache = opts.make_cache();
     let tele = telemetry::global();
     let results = run_grid(cells, opts.workers, |index, cell| {
-        let t0 = std::time::Instant::now();
+        let t0 = std::time::Instant::now(); // lint: allow(D2) journal cell-event duration — trace telemetry only
         let (result, hits, misses) =
             run_cached_session_with_stats(cell, cache.clone(), opts.noise_seed);
         if tele.journal.is_enabled() {

@@ -7,8 +7,8 @@
 //! was historically wall-clock-contaminated; it now carries only the
 //! deterministic fields, and this test keeps it that way.
 
-use dbtune_core::telemetry::{TraceEvent, SCHEMA_VERSION};
 use dbtune_bench::artifact::lookup;
+use dbtune_core::telemetry::{TraceEvent, SCHEMA_VERSION};
 use serde::Value;
 use std::path::{Path, PathBuf};
 use std::process::Command;

@@ -76,7 +76,13 @@ fn trace_report_reconstructs_a_real_journal_with_exact_self_time() {
     let folded = std::fs::read_to_string(dir.join("fig9.folded")).expect("folded written");
     let folded_total: u64 = folded
         .lines()
-        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().expect("collapsed line value"))
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .expect("collapsed line has a count")
+                .parse::<u64>()
+                .expect("collapsed line value")
+        })
         .sum();
     assert_eq!(folded_total, self_sum, "collapsed-stack values are self times");
 
@@ -85,7 +91,8 @@ fn trace_report_reconstructs_a_real_journal_with_exact_self_time() {
     let events = lookup(&value, "traceEvents").and_then(Value::as_array).expect("traceEvents");
     let span_events =
         events.iter().filter(|e| lookup(e, "ph").and_then(Value::as_str) == Some("X")).count();
-    let total_spans: usize = trees.iter().map(|t| t.roots.iter().map(|r| r.node_count()).sum::<usize>()).sum();
+    let total_spans: usize =
+        trees.iter().map(|t| t.roots.iter().map(|r| r.node_count()).sum::<usize>()).sum();
     assert_eq!(span_events, total_spans, "one complete event per span");
 }
 

@@ -140,7 +140,7 @@ impl SurrogateBenchmark {
 
 impl SimObjective for SurrogateBenchmark {
     fn evaluate(&mut self, full_cfg: &[f64]) -> EvalResult {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint: allow(D2) surrogate-overhead accounting (Table 9 timing) — not a tuning result
         let sub = self.space.project(full_cfg);
         let enc = self.space.space().to_unit(&sub);
         let score = self.model.predict(&enc);
@@ -249,7 +249,7 @@ mod tests {
         let p = bench.evaluate(&poor).value;
         assert!(g > p, "surrogate must preserve the good>default ordering: {g} vs {p}");
         // And roughly agree with the simulator's magnitudes.
-        let g_true = sim.expected_value(&good).unwrap();
+        let g_true = sim.expected_value(&good).expect("good config evaluates");
         assert!((g / g_true - 1.0).abs() < 0.35, "surrogate {g} vs simulator {g_true}");
     }
 

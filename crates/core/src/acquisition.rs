@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn ei_is_nonnegative_and_zero_certain_nonimprovement() {
         let ei = expected_improvement(-5.0, 1e-18, 0.0, 0.0);
-        assert!(ei >= 0.0 && ei < 1e-9);
+        assert!((0.0..1e-9).contains(&ei));
     }
 
     #[test]

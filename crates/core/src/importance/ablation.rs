@@ -42,7 +42,7 @@ impl ImportanceMeasure for AblationImportance {
         // default, best first; fall back to the overall best if none beat
         // the default — this is where the method degrades with bad samples.
         let mut order: Vec<usize> = (0..input.y.len()).collect();
-        order.sort_by(|&a, &b| input.y[b].partial_cmp(&input.y[a]).expect("NaN score"));
+        order.sort_by(|&a, &b| crate::ord::cmp_score_desc(&input.y[a], &input.y[b]));
         let mut targets: Vec<usize> = order
             .iter()
             .copied()

@@ -195,7 +195,7 @@ fn tree_variance_fractions(tree: &DecisionTree, specs: &[KnobSpec]) -> Option<Ve
                         cuts.push(hi);
                     }
                 }
-                cuts.sort_by(|a, b| a.partial_cmp(b).expect("NaN cut"));
+                cuts.sort_by(crate::ord::cmp_f64);
                 cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
                 let mut var = 0.0;
                 for w in cuts.windows(2) {

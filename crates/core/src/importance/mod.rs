@@ -56,9 +56,7 @@ pub trait ImportanceMeasure {
 /// the lower index, making rankings deterministic.
 pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).expect("NaN importance score").then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| crate::ord::cmp_score_desc(&scores[a], &scores[b]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }

@@ -251,7 +251,7 @@ impl ImportanceMeasure for ShapImportance {
         // random configurations halves the tunability signal of the real
         // knobs while leaving the junk-attribution floor unchanged.)
         let mut order: Vec<usize> = holdout.to_vec();
-        order.sort_by(|&a, &b| input.y[b].partial_cmp(&input.y[a]).expect("NaN score"));
+        order.sort_by(|&a, &b| crate::ord::cmp_score_desc(&input.y[a], &input.y[b]));
         let explained: Vec<usize> = order[..self.n_explained.min(order.len())].to_vec();
         let _ = &mut rng;
 
@@ -316,14 +316,14 @@ mod tests {
         };
         let fact = |k: usize| -> f64 { (1..=k).product::<usize>().max(1) as f64 };
         let mut brute = vec![0.0; d];
-        for j in 0..d {
+        for (j, slot) in brute.iter_mut().enumerate() {
             for mask in 0u32..(1 << d) {
                 if mask & (1 << j) != 0 {
                     continue;
                 }
                 let s = mask.count_ones() as usize;
                 let weight = fact(s) * fact(d - s - 1) / fact(d);
-                brute[j] += weight * (eval(mask | (1 << j)) - eval(mask));
+                *slot += weight * (eval(mask | (1 << j)) - eval(mask));
             }
         }
 

@@ -66,7 +66,7 @@ impl Ga {
 
         // Elitism: keep the best genomes as-is.
         let mut order: Vec<usize> = (0..pool.len()).collect();
-        order.sort_by(|&a, &b| pool[b].1.partial_cmp(&pool[a].1).expect("NaN fitness"));
+        order.sort_by(|&a, &b| crate::ord::cmp_score_desc(&pool[a].1, &pool[b].1));
         for &i in order.iter().take(self.params.elites.min(pool.len())) {
             next.push(pool[i].0.clone());
         }

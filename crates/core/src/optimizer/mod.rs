@@ -94,11 +94,7 @@ impl ObsStore {
 
     /// Index of the best observation so far.
     pub fn best_index(&self) -> Option<usize> {
-        self.y
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN score"))
-            .map(|(i, _)| i)
+        self.y.iter().enumerate().max_by(|a, b| crate::ord::cmp_score(a.1, b.1)).map(|(i, _)| i)
     }
 
     /// Best score so far.
@@ -109,7 +105,7 @@ impl ObsStore {
     /// Indices of the top-`k` observations by score, best first.
     pub fn top_k(&self, k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.y.len()).collect();
-        idx.sort_by(|&a, &b| self.y[b].partial_cmp(&self.y[a]).expect("NaN score"));
+        idx.sort_by(|&a, &b| crate::ord::cmp_score_desc(&self.y[a], &self.y[b]));
         idx.truncate(k);
         idx
     }

@@ -121,7 +121,7 @@ impl Turbo {
             .y
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN score"))
+            .max_by(|a, b| crate::ord::cmp_score(a.1, b.1))
             .map(|(i, _)| i)
             .expect("nonempty region");
         let center = &x_unit[best_i];

@@ -120,7 +120,7 @@ impl Repository {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::{Optimizer, OptimizerKind};
+    use crate::optimizer::OptimizerKind;
     use crate::tuner::{run_session, SessionConfig};
     use dbtune_dbsim::{DbSimulator, Hardware, Workload, METRICS_DIM};
 

@@ -92,7 +92,7 @@ proptest! {
         let k = Matern52Kernel { lengthscale: 0.4 };
         let kab = k.eval(&a, &b);
         prop_assert!((k.eval(&b, &a) - kab).abs() < 1e-12);
-        prop_assert!(kab <= 1.0 + 1e-12 && kab >= 0.0);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&kab));
     }
 
     #[test]

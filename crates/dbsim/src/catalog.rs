@@ -14,13 +14,18 @@
 
 use crate::hardware::Hardware;
 use crate::knob::KnobSpec;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The full knob catalog with name-based lookup.
+///
+/// The name index is a `BTreeMap` so any traversal of it (diagnostics,
+/// serialization, future iteration) is in sorted name order by
+/// construction — the D1 lint bans unordered-map iteration outside the
+/// telemetry crates.
 #[derive(Clone, Debug)]
 pub struct KnobCatalog {
     specs: Vec<KnobSpec>,
-    by_name: HashMap<&'static str, usize>,
+    by_name: BTreeMap<&'static str, usize>,
 }
 
 /// Number of knobs in the catalog (matches MySQL 5.7 per §5.1).
@@ -85,6 +90,11 @@ impl KnobCatalog {
         for (v, s) in cfg.iter_mut().zip(&self.specs) {
             *v = s.domain.clamp(*v);
         }
+    }
+
+    /// Knob names in sorted order (deterministic traversal of the index).
+    pub fn names_sorted(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.by_name.keys().copied()
     }
 
     /// Indices of all categorical knobs.
@@ -394,6 +404,21 @@ mod tests {
     fn knob_names_are_unique() {
         let cat = KnobCatalog::mysql57();
         assert_eq!(cat.by_name.len(), cat.len(), "duplicate knob names");
+    }
+
+    #[test]
+    fn name_index_iterates_in_sorted_order() {
+        // Regression for the D1 determinism contract: the name index must
+        // traverse in a defined (sorted) order, independent of insertion
+        // order or hasher state, across repeated constructions.
+        let cat = KnobCatalog::mysql57();
+        let names: Vec<&str> = cat.names_sorted().collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "by_name traversal must be sorted");
+        assert_eq!(names.len(), N_KNOBS);
+        let again: Vec<&str> = KnobCatalog::mysql57().names_sorted().collect();
+        assert_eq!(names, again, "traversal order must be stable across builds");
     }
 
     #[test]

@@ -665,8 +665,8 @@ mod tests {
         cfg2[bp] = Hardware::B.ram_mb() * 0.98;
         let out2 = s.evaluate(&cfg2);
         assert!(!out2.failed);
-        let dflt = s.expected_value(s.default_config()).unwrap();
-        assert!(s.expected_value(&cfg2).unwrap() < dflt * 0.9);
+        let dflt = s.expected_value(s.default_config()).expect("modelled config must evaluate");
+        assert!(s.expected_value(&cfg2).expect("modelled config must evaluate") < dflt * 0.9);
     }
 
     #[test]
@@ -691,8 +691,8 @@ mod tests {
         cfg[cat.expect_index("sync_binlog")] = 0.0;
         cfg[cat.expect_index("innodb_log_file_size")] = 2048.0;
         cfg[cat.expect_index("innodb_io_capacity")] = 8000.0;
-        let tuned = s.expected_value(&cfg).unwrap();
-        let dflt = s.expected_value(s.default_config()).unwrap();
+        let tuned = s.expected_value(&cfg).expect("modelled config must evaluate");
+        let dflt = s.expected_value(s.default_config()).expect("modelled config must evaluate");
         assert!(tuned > dflt * 1.5, "write tuning should pay off: {dflt} -> {tuned}");
     }
 
@@ -706,14 +706,16 @@ mod tests {
         // within memory across 64 effective threads.
         let mut cfg_j = job.default_config().to_vec();
         cfg_j[jb] = 32_768.0;
-        let lat_tuned = job.expected_value(&cfg_j).unwrap();
-        let lat_dflt = job.expected_value(job.default_config()).unwrap();
+        let lat_tuned = job.expected_value(&cfg_j).expect("modelled config must evaluate");
+        let lat_dflt =
+            job.expected_value(job.default_config()).expect("modelled config must evaluate");
         assert!(lat_tuned < lat_dflt * 0.87, "join buffer should cut JOB latency");
 
         let mut cfg_v = voter.default_config().to_vec();
         cfg_v[jb] = 32_768.0;
-        let tps_tuned = voter.expected_value(&cfg_v).unwrap();
-        let tps_dflt = voter.expected_value(voter.default_config()).unwrap();
+        let tps_tuned = voter.expected_value(&cfg_v).expect("modelled config must evaluate");
+        let tps_dflt =
+            voter.expected_value(voter.default_config()).expect("modelled config must evaluate");
         assert!((tps_tuned / tps_dflt - 1.0).abs() < 0.02, "join buffer ~irrelevant for Voter");
     }
 
@@ -721,11 +723,11 @@ mod tests {
     fn trap_knob_default_is_optimal() {
         let s = sim(Workload::Sysbench);
         let lru = s.catalog().expect_index("innodb_lru_scan_depth");
-        let dflt = s.expected_value(s.default_config()).unwrap();
+        let dflt = s.expected_value(s.default_config()).expect("modelled config must evaluate");
         for v in [100.0, 400.0, 4000.0, 16_384.0] {
             let mut cfg = s.default_config().to_vec();
             cfg[lru] = v;
-            let moved = s.expected_value(&cfg).unwrap();
+            let moved = s.expected_value(&cfg).expect("modelled config must evaluate");
             assert!(moved <= dflt + 1e-9, "moving lru_scan_depth to {v} should not help");
         }
     }
@@ -733,11 +735,11 @@ mod tests {
     #[test]
     fn filler_knobs_have_negligible_effect() {
         let s = sim(Workload::Sysbench);
-        let dflt = s.expected_value(s.default_config()).unwrap();
+        let dflt = s.expected_value(s.default_config()).expect("modelled config must evaluate");
         let i = s.catalog().expect_index("performance_schema_max_mutex_classes");
         let mut cfg = s.default_config().to_vec();
         cfg[i] = 1024.0;
-        let moved = s.expected_value(&cfg).unwrap();
+        let moved = s.expected_value(&cfg).expect("modelled config must evaluate");
         assert!((moved / dflt - 1.0).abs() < 0.01);
     }
 
@@ -747,8 +749,10 @@ mod tests {
         let mut big = DbSimulator::new(Workload::Tatp, Hardware::D, 1);
         small.set_noise_sigma(0.0);
         big.set_noise_sigma(0.0);
-        let v_small = small.evaluate(&small.default_config().to_vec()).value;
-        let v_big = big.evaluate(&big.default_config().to_vec()).value;
+        let cfg_small = small.default_config().to_vec();
+        let cfg_big = big.default_config().to_vec();
+        let v_small = small.evaluate(&cfg_small).value;
+        let v_big = big.evaluate(&cfg_big).value;
         assert!(v_big > v_small * 2.0);
     }
 
@@ -756,8 +760,10 @@ mod tests {
     fn metrics_have_stable_dimension_and_identify_workloads() {
         let mut a = sim(Workload::Tpcc);
         let mut b = sim(Workload::Twitter);
-        let ma = a.evaluate(&a.default_config().to_vec()).metrics;
-        let mb = b.evaluate(&b.default_config().to_vec()).metrics;
+        let cfg_a = a.default_config().to_vec();
+        let cfg_b = b.default_config().to_vec();
+        let ma = a.evaluate(&cfg_a).metrics;
+        let mb = b.evaluate(&cfg_b).metrics;
         assert_eq!(ma.len(), METRICS_DIM);
         let dist: f64 = ma.iter().zip(&mb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
         assert!(dist > 0.3, "different workloads should have distinct metric signatures");
@@ -804,7 +810,7 @@ mod tests {
     fn noise_is_multiplicative_and_bounded() {
         let mut s = sim(Workload::Tatp);
         let cfg = s.default_config().to_vec();
-        let expected = s.expected_value(&cfg).unwrap();
+        let expected = s.expected_value(&cfg).expect("modelled config must evaluate");
         for _ in 0..50 {
             let v = s.evaluate(&cfg).value;
             assert!((v / expected - 1.0).abs() < 0.15, "noise too large: {v} vs {expected}");
@@ -819,13 +825,17 @@ mod tests {
 
         let mut cfg = job.default_config().to_vec();
         cfg[osd_idx] = 8.0;
-        let lat = job.expected_value(&cfg).unwrap();
-        assert!(lat < job.expected_value(job.default_config()).unwrap() * 0.85);
+        let lat = job.expected_value(&cfg).expect("modelled config must evaluate");
+        assert!(
+            lat < job.expected_value(job.default_config()).expect("modelled config must evaluate")
+                * 0.85
+        );
 
         let mut cfg_t = tpcc.default_config().to_vec();
         cfg_t[osd_idx] = 8.0;
-        let tps = tpcc.expected_value(&cfg_t).unwrap();
-        let tps_d = tpcc.expected_value(tpcc.default_config()).unwrap();
+        let tps = tpcc.expected_value(&cfg_t).expect("modelled config must evaluate");
+        let tps_d =
+            tpcc.expected_value(tpcc.default_config()).expect("modelled config must evaluate");
         assert!((tps / tps_d - 1.0).abs() < 0.03);
     }
 }

@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn decompose_reconstructs_input() {
         let a = spd3();
-        let c = Cholesky::decompose(&a).unwrap();
+        let c = Cholesky::decompose(&a).expect("SPD decomposition succeeds");
         let l = c.factor();
         let recon = l.matmul(&l.transpose());
         assert!(recon.max_abs_diff(&a) < 1e-9, "got {recon:?}");
@@ -157,7 +157,7 @@ mod tests {
         let a = spd3();
         let x_true = vec![1.0, -2.0, 0.5];
         let b = a.matvec(&x_true);
-        let c = Cholesky::decompose(&a).unwrap();
+        let c = Cholesky::decompose(&a).expect("SPD decomposition succeeds");
         let x = c.solve(&b);
         for (xi, ti) in x.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-9, "x = {x:?}");
@@ -174,7 +174,8 @@ mod tests {
     fn jitter_rescues_singular_matrix() {
         // Rank-1 matrix: singular, but SPD after any positive jitter.
         let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
-        let (c, jitter) = Cholesky::decompose_with_jitter(&a, 1e-10, 12).unwrap();
+        let (c, jitter) =
+            Cholesky::decompose_with_jitter(&a, 1e-10, 12).expect("SPD decomposition succeeds");
         assert!(jitter > 0.0);
         assert_eq!(c.factor().rows(), 2);
     }
@@ -182,7 +183,7 @@ mod tests {
     #[test]
     fn log_determinant_matches_known_value() {
         let a = Matrix::from_rows(&[vec![4.0, 0.0], vec![0.0, 9.0]]);
-        let c = Cholesky::decompose(&a).unwrap();
+        let c = Cholesky::decompose(&a).expect("SPD decomposition succeeds");
         assert!((c.log_determinant() - (36.0f64).ln()).abs() < 1e-12);
     }
 
@@ -190,7 +191,7 @@ mod tests {
     fn solve_spd_wrapper_works() {
         let a = spd3();
         let b = a.matvec(&[2.0, 2.0, 2.0]);
-        let x = solve_spd(&a, &b).unwrap();
+        let x = solve_spd(&a, &b).expect("SPD decomposition succeeds");
         for xi in x {
             assert!((xi - 2.0).abs() < 1e-8);
         }
@@ -199,7 +200,7 @@ mod tests {
     #[test]
     fn lower_and_upper_solves_are_consistent() {
         let a = spd3();
-        let c = Cholesky::decompose(&a).unwrap();
+        let c = Cholesky::decompose(&a).expect("SPD decomposition succeeds");
         let b = vec![1.0, 2.0, 3.0];
         let y = c.solve_lower(&b);
         // L y should reproduce b.

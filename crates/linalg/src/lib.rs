@@ -13,6 +13,7 @@
 
 pub mod cholesky;
 pub mod matrix;
+pub mod ord;
 pub mod stats;
 
 pub use cholesky::Cholesky;

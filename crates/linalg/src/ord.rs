@@ -1,0 +1,124 @@
+//! Total-order comparison helpers for `f64`.
+//!
+//! The repo-wide `F1` lint (see `docs/static-analysis.md`) forbids
+//! `partial_cmp(..).unwrap()` chains: a single NaN — from a failed fit, a
+//! log of a non-positive value, a 0/0 — turns a sort or argmax into a
+//! panic in the middle of a multi-hour experiment grid. These helpers give
+//! every comparison site a deterministic total order instead:
+//!
+//! * for NaN-free inputs they agree exactly with `partial_cmp`, so
+//!   adopting them changes no committed experiment output;
+//! * NaN inputs order deterministically and *pessimistically*: NaN sorts
+//!   after every number in both ascending and best-first order, and it
+//!   never wins a best-score selection.
+//!
+//! Shared here (the workspace's lowest layer) so `dbtune-ml`,
+//! `dbtune-core` and the bench drivers all use one definition; re-exported
+//! as `dbtune_core::ord` for downstream convenience.
+
+use std::cmp::Ordering;
+
+/// Ascending total order on values: ordinary numbers by `total_cmp`,
+/// every NaN (any sign/payload) equal to every other NaN and *greater*
+/// than every number — `sort_by(ord::cmp_f64)` puts NaNs last.
+#[inline]
+pub fn cmp_f64(a: &f64, b: &f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(b),
+    }
+}
+
+/// Score order for best-selection: ordinary numbers by `total_cmp`, every
+/// NaN *less* than every number — `max_by(ord::cmp_score)` never selects
+/// a NaN score over a real one.
+#[inline]
+pub fn cmp_score(a: &f64, b: &f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(b),
+    }
+}
+
+/// Best-score-first order: descending by value with every NaN last —
+/// `sort_by(ord::cmp_score_desc)` ranks real scores before any NaN.
+#[inline]
+pub fn cmp_score_desc(a: &f64, b: &f64) -> Ordering {
+    cmp_score(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_partial_cmp_on_ordinary_values() {
+        let xs = [-3.5, -0.0, 0.0, 1.0, 2.5, f64::INFINITY, f64::NEG_INFINITY];
+        for a in xs {
+            for b in xs {
+                if a != b || a == a {
+                    // total_cmp distinguishes -0.0 < 0.0; partial_cmp calls
+                    // them equal. Both are deterministic; only check the
+                    // strict orderings agree.
+                    if a < b {
+                        assert_eq!(cmp_f64(&a, &b), Ordering::Less, "{a} vs {b}");
+                        assert_eq!(cmp_score(&a, &b), Ordering::Less);
+                        assert_eq!(cmp_score_desc(&a, &b), Ordering::Greater);
+                    }
+                    if a > b {
+                        assert_eq!(cmp_f64(&a, &b), Ordering::Greater, "{a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_inputs_do_not_panic_and_sort_last() {
+        let mut xs = [2.0, f64::NAN, -1.0, f64::NAN, 0.5];
+        xs.sort_by(cmp_f64);
+        assert_eq!(&xs[..3], &[-1.0, 0.5, 2.0]);
+        assert!(xs[3].is_nan() && xs[4].is_nan());
+
+        let mut ys = [2.0, f64::NAN, -1.0, 0.5];
+        ys.sort_by(cmp_score_desc);
+        assert_eq!(&ys[..3], &[2.0, 0.5, -1.0], "best first");
+        assert!(ys[3].is_nan(), "NaN ranks behind every real score");
+    }
+
+    #[test]
+    fn nan_never_wins_best_selection() {
+        let scores = [0.3, f64::NAN, 0.9, 0.1];
+        let best =
+            scores.iter().enumerate().max_by(|a, b| cmp_score(a.1, b.1)).expect("non-empty slice");
+        assert_eq!(best.0, 2);
+
+        let all_nan = [f64::NAN, f64::NAN];
+        let pick = all_nan.iter().max_by(|a, b| cmp_score(a, b)).expect("non-empty slice");
+        assert!(pick.is_nan(), "degenerate all-NaN input still yields a value");
+    }
+
+    #[test]
+    fn negative_nan_payloads_are_one_value() {
+        let neg_nan = f64::from_bits(0xfff8_0000_0000_0001);
+        assert!(neg_nan.is_nan());
+        assert_eq!(cmp_f64(&neg_nan, &f64::NAN), Ordering::Equal);
+        assert_eq!(cmp_f64(&neg_nan, &f64::NEG_INFINITY), Ordering::Greater);
+        assert_eq!(cmp_score(&neg_nan, &f64::NEG_INFINITY), Ordering::Less);
+    }
+
+    #[test]
+    fn total_order_axioms_hold_with_nan() {
+        let xs = [f64::NAN, -1.0, 0.0, f64::INFINITY];
+        for a in xs {
+            for b in xs {
+                assert_eq!(cmp_f64(&a, &b), cmp_f64(&b, &a).reverse());
+                assert_eq!(cmp_score(&a, &b), cmp_score(&b, &a).reverse());
+            }
+        }
+    }
+}

@@ -34,7 +34,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(crate::ord::cmp_f64);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -55,7 +55,7 @@ pub fn median(xs: &[f64]) -> f64 {
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in ranks input"));
+    idx.sort_by(|&a, &b| crate::ord::cmp_f64(&xs[a], &xs[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -101,14 +101,34 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 /// Figure 4 of the paper uses this as the "similarity score" between the
 /// top-k knob sets produced from a training subsample and the full pool.
 pub fn intersection_over_union(a: &[usize], b: &[usize]) -> f64 {
-    use std::collections::HashSet;
-    let sa: HashSet<usize> = a.iter().copied().collect();
-    let sb: HashSet<usize> = b.iter().copied().collect();
-    let union = sa.union(&sb).count();
+    // Sorted-merge set arithmetic: same complexity class as hashing for
+    // these small index sets, and iteration order is defined (the D1 lint
+    // bans unordered-set traversal outside the telemetry crates).
+    let dedup = |xs: &[usize]| {
+        let mut v = xs.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let (sa, sb) = (dedup(a), dedup(b));
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = sa.len() + sb.len() - inter;
     if union == 0 {
         return 1.0;
     }
-    sa.intersection(&sb).count() as f64 / union as f64
+    inter as f64 / union as f64
 }
 
 /// Root mean squared error between predictions and targets.

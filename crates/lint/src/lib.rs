@@ -1,0 +1,35 @@
+//! `dbtune-lint` — the repo-specific determinism & hygiene static
+//! analyzer (see `docs/static-analysis.md`).
+//!
+//! The workspace's central promise is that every experiment is
+//! bit-deterministic: byte-identical results across 1/2/8 workers, with
+//! tracing on or off, cache shared or local. Runtime tests can only check
+//! the code paths they execute; this crate enforces the underlying
+//! invariants *statically*, across all crates and binaries, before any
+//! test runs:
+//!
+//! * **D1** — no iteration over unordered hash collections outside the
+//!   telemetry crates;
+//! * **D2** — no ambient wall-clock reads outside `dbtune-obs`/`dbtune-trace`;
+//! * **D3** — no unseeded randomness anywhere;
+//! * **F1** — no NaN-panicking `partial_cmp(..).unwrap()` chains, and no
+//!   bare float-literal equality in optimizer/ml code;
+//! * **E1** — no context-free `.unwrap()` / `.expect("")` in library code.
+//!
+//! Violations are suppressible line-by-line with a `// lint:` pragma that
+//! *must* carry a justification; every pragma is captured in the JSON
+//! report, so the suppression inventory is itself reviewable.
+//!
+//! The analyzer is a line/token-level scanner with brace-aware scope
+//! tracking (no rustc plugin, no syn) and depends only on `std`, so it
+//! builds in seconds and can run as the first CI job.
+
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod walk;
+
+pub use report::{Finding, PragmaRecord, Report};
+pub use rules::{classify, scan_source, FileClass, RULE_IDS};
+pub use walk::{collect_files, scan_workspace};

@@ -1,0 +1,79 @@
+//! `dbtune_lint` — CLI for the determinism & hygiene gate.
+//!
+//! ```text
+//! dbtune_lint [--gate|--warn] [--json[=PATH]] [--root=PATH]
+//! ```
+//!
+//! * `--warn` (default): print findings, always exit 0.
+//! * `--gate`: exit 1 when any finding survives suppression — the CI mode.
+//! * `--json`: emit the machine-readable report on stdout (human findings
+//!   move to stderr); `--json=PATH` writes it to a file instead.
+//! * `--root=PATH`: workspace root to scan (default `.`; must contain
+//!   `Cargo.toml`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut gate = false;
+    let mut json: Option<Option<PathBuf>> = None;
+    let mut root = PathBuf::from(".");
+
+    for arg in std::env::args().skip(1) {
+        if arg == "--gate" {
+            gate = true;
+        } else if arg == "--warn" {
+            gate = false;
+        } else if arg == "--json" {
+            json = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            json = Some(Some(PathBuf::from(path)));
+        } else if let Some(path) = arg.strip_prefix("--root=") {
+            root = PathBuf::from(path);
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("usage: dbtune_lint [--gate|--warn] [--json[=PATH]] [--root=PATH]");
+            return ExitCode::SUCCESS;
+        } else {
+            eprintln!("dbtune_lint: unknown argument `{arg}` (try --help)");
+            return ExitCode::from(2);
+        }
+    }
+
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "dbtune_lint: `{}` does not look like a workspace root (no Cargo.toml); \
+             pass --root=PATH",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = match dbtune_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dbtune_lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match &json {
+        Some(None) => {
+            eprint!("{}", report.human());
+            print!("{}", report.to_json());
+        }
+        Some(Some(path)) => {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("dbtune_lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            print!("{}", report.human());
+        }
+        None => print!("{}", report.human()),
+    }
+
+    if gate && !report.is_clean() {
+        eprintln!("dbtune_lint: gate FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,136 @@
+//! The `// lint:` pragma grammar (see `docs/static-analysis.md`).
+//!
+//! Two forms, both requiring a non-empty justification so every
+//! suppression in the tree documents *why* the flagged pattern is safe:
+//!
+//! ```text
+//! // lint: allow(D2) timing feeds telemetry only, never the results block
+//! // lint: allow(D1, E1) <justification>
+//! // lint: sorted <justification>          (sugar for allow(D1))
+//! ```
+//!
+//! A trailing pragma suppresses matching findings on its own line; a
+//! pragma on a line of its own suppresses matching findings on the next
+//! line. The justification may optionally be set off with `--` or `—`.
+
+use crate::rules::RULE_IDS;
+
+/// A parsed (or rejected) pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based source line the pragma comment sits on.
+    pub line: usize,
+    /// Rule ids this pragma suppresses (empty when malformed).
+    pub rules: Vec<String>,
+    /// The required free-text justification.
+    pub justification: String,
+    /// Why the pragma failed to parse, if it did.
+    pub malformed: Option<String>,
+    /// True when the pragma's line holds no code (applies to next line).
+    pub standalone: bool,
+}
+
+impl Pragma {
+    /// True when this pragma suppresses `rule`.
+    pub fn covers(&self, rule: &str) -> bool {
+        self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// Parses the text after `lint:`. `standalone` reflects whether the host
+/// line carried code besides the comment.
+pub fn parse(line: usize, body: &str, standalone: bool) -> Pragma {
+    let body = body.trim();
+    let make = |rules: Vec<String>, rest: &str, malformed: Option<String>| {
+        let justification = rest.trim().trim_start_matches(['-', '—']).trim().to_string();
+        let malformed = malformed.or_else(|| {
+            if justification.is_empty() {
+                Some("missing justification — every suppression must say why it is safe".into())
+            } else {
+                None
+            }
+        });
+        Pragma { line, rules, justification, malformed, standalone }
+    };
+
+    if let Some(rest) = body.strip_prefix("sorted") {
+        return make(vec!["D1".into()], rest, None);
+    }
+    if let Some(rest) = body.strip_prefix("allow") {
+        let rest = rest.trim_start();
+        if let Some(inner_start) = rest.strip_prefix('(') {
+            if let Some(close) = inner_start.find(')') {
+                let (inner, tail) = inner_start.split_at(close);
+                let rules: Vec<String> = inner
+                    .split(',')
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                let unknown: Vec<&String> =
+                    rules.iter().filter(|r| !RULE_IDS.contains(&r.as_str())).collect();
+                let malformed = if rules.is_empty() {
+                    Some("allow() lists no rules".into())
+                } else if !unknown.is_empty() {
+                    Some(format!(
+                        "unknown rule id(s) {:?}; known rules are {:?}",
+                        unknown, RULE_IDS
+                    ))
+                } else {
+                    None
+                };
+                return make(rules, &tail[1..], malformed);
+            }
+        }
+        return make(Vec::new(), "", Some("allow must be followed by (RULE[, RULE…])".into()));
+    }
+    make(
+        Vec::new(),
+        "",
+        Some(format!("unrecognised pragma `lint: {body}`; expected `allow(...)` or `sorted`")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_with_justification() {
+        let p = parse(3, "allow(D2) timing is telemetry-only", false);
+        assert!(p.malformed.is_none());
+        assert!(p.covers("D2") && !p.covers("D1"));
+        assert_eq!(p.justification, "timing is telemetry-only");
+    }
+
+    #[test]
+    fn sorted_is_sugar_for_allow_d1() {
+        let p = parse(1, "sorted -- BTreeMap iterates in key order", true);
+        assert!(p.malformed.is_none());
+        assert!(p.covers("D1"));
+        assert_eq!(p.justification, "BTreeMap iterates in key order");
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let p = parse(1, "allow(D1, E1) fixture exercising both", false);
+        assert!(p.covers("D1") && p.covers("E1"));
+    }
+
+    #[test]
+    fn missing_justification_is_malformed() {
+        assert!(parse(1, "allow(D2)", false).malformed.is_some());
+        assert!(parse(1, "sorted", false).malformed.is_some());
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let p = parse(1, "allow(D9) whatever", false);
+        assert!(p.malformed.expect("malformed").contains("unknown rule"));
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        assert!(parse(1, "suppress-all please", false).malformed.is_some());
+        assert!(parse(1, "allow D2 no parens", false).malformed.is_some());
+    }
+}

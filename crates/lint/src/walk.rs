@@ -1,0 +1,94 @@
+//! Workspace traversal: collects the `.rs` files under `crates/*/src`
+//! and `src/`, in sorted order (the report itself must be deterministic),
+//! and runs the rule engine over each.
+
+use crate::report::Report;
+use crate::rules;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file the analyzer covers, as workspace-relative
+/// paths with forward slashes, sorted.
+pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files: Vec<String> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs(root, &src, &mut files)?;
+            }
+        }
+    }
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        collect_rs(root, &top_src, &mut files)?;
+    }
+
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively gathers `.rs` files under `dir` into `out`.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let files = collect_files(root)?;
+    let mut report = Report {
+        root: root.display().to_string(),
+        files_scanned: files.len(),
+        ..Default::default()
+    };
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let (findings, pragmas) = rules::scan_source(rel, rules::classify(rel), &source);
+        report.findings.extend(findings);
+        report.pragmas.extend(pragmas);
+    }
+    // Per-file results are already line-ordered; file order is sorted.
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_own_crate_sources_sorted() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_files(&root).expect("workspace must be readable");
+        assert!(files.iter().any(|f| f == "crates/lint/src/walk.rs"), "{files:?}");
+        assert!(files.iter().any(|f| f == "src/lib.rs"));
+        // vendor/, target/, lint_fixtures/ and tests/ are out of scope.
+        assert!(files.iter().all(|f| !f.starts_with("vendor/")));
+        assert!(files.iter().all(|f| !f.contains("lint_fixtures")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "file order must be deterministic");
+    }
+}

@@ -1,0 +1,85 @@
+//! Exact-findings contract over the `lint_fixtures/demo_workspace`
+//! corpus: any engine change that adds, drops, or moves a finding fails
+//! here with a full diff of (path, line, rule) triples.
+
+use dbtune_lint::walk;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../lint_fixtures/demo_workspace")
+}
+
+fn scan() -> dbtune_lint::report::Report {
+    walk::scan_workspace(&fixture_root()).expect("fixture tree must be readable")
+}
+
+#[test]
+fn fixture_corpus_exact_findings() {
+    let report = scan();
+    let got: Vec<(String, usize, String)> =
+        report.findings.iter().map(|f| (f.path.clone(), f.line, f.rule.clone())).collect();
+    let want: Vec<(String, usize, String)> = [
+        ("crates/bench/src/bin/driver.rs", 8, "D2"),
+        ("crates/core/src/engine.rs", 14, "D1"),
+        ("crates/core/src/engine.rs", 19, "D2"),
+        ("crates/core/src/engine.rs", 27, "D1"),
+        ("crates/core/src/engine.rs", 44, "E1"),
+        ("crates/core/src/engine.rs", 44, "F1"),
+        ("crates/core/src/optimizer/acq.rs", 11, "F1"),
+        ("crates/core/src/pragmas.rs", 12, "P1"),
+        ("crates/core/src/pragmas.rs", 17, "P2"),
+        ("crates/core/src/pragmas.rs", 22, "P1"),
+        ("crates/ml/src/model.rs", 6, "D3"),
+        ("crates/ml/src/model.rs", 15, "D3"),
+        ("crates/obs/src/clock.rs", 19, "D3"),
+        ("src/main.rs", 10, "D1"),
+    ]
+    .iter()
+    .map(|(p, l, r)| (p.to_string(), *l, r.to_string()))
+    .collect();
+    assert_eq!(got, want, "fixture findings drifted — update the corpus or the engine");
+    assert_eq!(report.files_scanned, 7);
+}
+
+#[test]
+fn fixture_corpus_fails_the_gate() {
+    let report = scan();
+    assert!(!report.is_clean(), "the corpus must keep the gate red");
+    let counts = report.counts();
+    assert_eq!(counts.get("D1").copied(), Some(3));
+    assert_eq!(counts.get("D2").copied(), Some(2));
+    assert_eq!(counts.get("D3").copied(), Some(3));
+    assert_eq!(counts.get("F1").copied(), Some(2));
+    assert_eq!(counts.get("E1").copied(), Some(1));
+    assert_eq!(counts.get("P1").copied(), Some(2));
+    assert_eq!(counts.get("P2").copied(), Some(1));
+}
+
+#[test]
+fn fixture_pragma_audit_trail() {
+    let report = scan();
+    // Two well-formed suppressions actually suppress (the `sorted` sugar in
+    // engine.rs and the standalone allow(D2) in pragmas.rs), and both carry
+    // a non-empty justification.
+    let used: Vec<&dbtune_lint::report::PragmaRecord> =
+        report.pragmas.iter().filter(|p| p.used).collect();
+    assert_eq!(used.len(), 2, "{:?}", report.pragmas);
+    assert!(used.iter().all(|p| !p.justification.is_empty()));
+    assert!(used.iter().any(|p| p.path.ends_with("engine.rs") && p.rules == ["D1"]));
+    assert!(used.iter().any(|p| p.path.ends_with("pragmas.rs") && p.rules == ["D2"]));
+}
+
+#[test]
+fn fixture_json_report_round_trips_key_facts() {
+    let report = scan();
+    let json = report.to_json();
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"files_scanned\": 7"));
+    assert!(json.contains("\"D1\": 3"));
+    assert!(json.contains("crates/core/src/engine.rs"));
+    assert!(json.contains("collected then sorted below"), "justifications reach the JSON report");
+    // Human rendering keeps the grep-able path:line: RULE shape.
+    let human = report.human();
+    assert!(human.contains("crates/core/src/engine.rs:14: D1 — "));
+    assert!(human.contains("14 finding(s) in 7 file(s); 2 active suppression(s)"));
+}

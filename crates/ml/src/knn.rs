@@ -42,7 +42,7 @@ impl Regressor for KnnRegressor {
         // Partial selection of the k smallest distances.
         let mut dists: Vec<(f64, usize)> =
             self.x.iter().enumerate().map(|(i, xi)| (sq_dist(xi, &z), i)).collect();
-        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        dists.select_nth_unstable_by(k - 1, |a, b| dbtune_linalg::ord::cmp_f64(&a.0, &b.0));
         let neighbours = &dists[..k];
 
         // Inverse-distance weights; an exact match short-circuits.

@@ -136,7 +136,7 @@ impl Regressor for SvrRegressor {
             // ν-SVR: retune the tube so ~ν of residuals fall outside it.
             if let SvrKind::Nu { nu } = self.params.kind {
                 let mut abs_res: Vec<f64> = (0..n).map(|i| (yn[i] - f[i]).abs()).collect();
-                abs_res.sort_by(|a, b| a.partial_cmp(b).expect("NaN residual"));
+                abs_res.sort_by(dbtune_linalg::ord::cmp_f64);
                 let q = ((1.0 - nu).clamp(0.0, 1.0) * (n - 1) as f64) as usize;
                 eps = abs_res[q].max(1e-4);
             }

@@ -255,7 +255,7 @@ fn best_numeric_split(
     min_leaf: usize,
 ) -> Option<(SplitRule, f64)> {
     let mut pairs: Vec<(f64, f64)> = idx.iter().map(|&i| (x[i][feature], y[i])).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature value"));
+    pairs.sort_by(|a, b| dbtune_linalg::ord::cmp_f64(&a.0, &b.0));
     let n = pairs.len();
     if pairs[0].0 == pairs[n - 1].0 {
         return None; // constant feature
@@ -322,7 +322,7 @@ fn best_categorical_split(
     ordered.sort_by(|&a, &b| {
         let ma = sum[a] / count[a] as f64;
         let mb = sum[b] / count[b] as f64;
-        ma.partial_cmp(&mb).expect("NaN category mean")
+        dbtune_linalg::ord::cmp_f64(&ma, &mb)
     });
 
     let total_n: usize = ordered.iter().map(|&c| count[c]).sum();

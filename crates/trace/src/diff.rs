@@ -120,10 +120,8 @@ fn union_keys<'a, V>(
 pub fn diff_summaries(base: &RunSummary, cur: &RunSummary, cfg: &DiffConfig) -> Vec<DiffEntry> {
     let mut out = Vec::new();
     for key in union_keys(&base.counters, &cur.counters) {
-        let (b, c) = (
-            base.counters.get(key).map(|&v| v as f64),
-            cur.counters.get(key).map(|&v| v as f64),
-        );
+        let (b, c) =
+            (base.counters.get(key).map(|&v| v as f64), cur.counters.get(key).map(|&v| v as f64));
         // Counters that accumulate wall clock (`exec.worker.busy_nanos`
         // and friends) are measurements, not counts — they get the
         // noise rule. Everything else counts work and must be exact.
@@ -269,14 +267,20 @@ mod tests {
         a.counters.insert("exec.worker.busy_nanos".into(), 13_167_771);
         b.counters.insert("exec.worker.busy_nanos".into(), 14_533_586);
         let entries = diff_summaries(&a, &b, &DiffConfig::default());
-        let busy = entries.iter().find(|e| e.key == "counter:exec.worker.busy_nanos").unwrap();
+        let busy = entries
+            .iter()
+            .find(|e| e.key == "counter:exec.worker.busy_nanos")
+            .expect("busy counter in diff");
         assert_eq!(busy.kind, DiffKind::WallTime);
         assert!(!busy.flagged, "10% jitter on a timing counter is noise: {busy:?}");
 
         // But a timing counter that regresses past threshold+floor flags.
         b.counters.insert("exec.worker.busy_nanos".into(), 40_000_000);
         let entries = diff_summaries(&a, &b, &DiffConfig::default());
-        let busy = entries.iter().find(|e| e.key == "counter:exec.worker.busy_nanos").unwrap();
+        let busy = entries
+            .iter()
+            .find(|e| e.key == "counter:exec.worker.busy_nanos")
+            .expect("busy counter in diff");
         assert!(busy.flagged, "{busy:?}");
     }
 
@@ -285,7 +289,8 @@ mod tests {
         let a = summary(100, 50_000_000, 10);
         let b = summary(101, 50_000_000, 10);
         let entries = diff_summaries(&a, &b, &DiffConfig::default());
-        let counter = entries.iter().find(|e| e.key == "counter:sim.evals").unwrap();
+        let counter =
+            entries.iter().find(|e| e.key == "counter:sim.evals").expect("evals counter in diff");
         assert!(counter.flagged, "one extra eval must flag: deterministic");
         assert_eq!(counter.kind, DiffKind::Count);
     }
@@ -297,10 +302,13 @@ mod tests {
         let slowed = summary(100, 100_000_000, 10);
         let cfg = DiffConfig::default();
         let entries = diff_summaries(&base, &slowed, &cfg);
-        let span = entries.iter().find(|e| e.key == "span.min:surrogate_fit").unwrap();
+        let span = entries
+            .iter()
+            .find(|e| e.key == "span.min:surrogate_fit")
+            .expect("surrogate_fit span in diff");
         assert!(span.flagged, "{span:?}");
         assert!(span.note.contains("slower by 100.0%"), "{}", span.note);
-        assert!((span.rel_delta().unwrap() - 1.0).abs() < 1e-9);
+        assert!((span.rel_delta().expect("baseline is nonzero") - 1.0).abs() < 1e-9);
 
         // 20% slower: below threshold — noise.
         let jitter = summary(100, 60_000_000, 10);
@@ -311,7 +319,10 @@ mod tests {
         let tiny_base = summary(100, 1_000, 10);
         let tiny_slow = summary(100, 2_000, 10);
         let entries = diff_summaries(&tiny_base, &tiny_slow, &cfg);
-        let span = entries.iter().find(|e| e.key == "span.min:surrogate_fit").unwrap();
+        let span = entries
+            .iter()
+            .find(|e| e.key == "span.min:surrogate_fit")
+            .expect("surrogate_fit span in diff");
         assert!(!span.flagged, "sub-floor deltas are noise: {span:?}");
     }
 
@@ -332,10 +343,16 @@ mod tests {
             SpanSummary { count: 1, total_nanos: 1, min_nanos: 1, p50_nanos: 1, p99_nanos: 1 },
         );
         let entries = diff_summaries(&a, &b, &DiffConfig::default());
-        let count = entries.iter().find(|e| e.key == "span.count:only_in_base").unwrap();
+        let count = entries
+            .iter()
+            .find(|e| e.key == "span.count:only_in_base")
+            .expect("count entry for base-only span");
         assert!(count.flagged);
         assert!(count.note.contains("missing from current"));
-        let wall = entries.iter().find(|e| e.key == "span.min:only_in_base").unwrap();
+        let wall = entries
+            .iter()
+            .find(|e| e.key == "span.min:only_in_base")
+            .expect("wall entry for base-only span");
         assert!(!wall.flagged, "presence is reported once, via the count");
     }
 
@@ -360,7 +377,10 @@ mod tests {
         let mut slow = base.clone();
         slow.phase_secs.insert("surrogate_fit_secs".into(), vec![0.9, 0.8]);
         let entries = diff_baselines(&base, &slow, &DiffConfig::default());
-        let phase = entries.iter().find(|e| e.key == "phase:surrogate_fit_secs").unwrap();
+        let phase = entries
+            .iter()
+            .find(|e| e.key == "phase:surrogate_fit_secs")
+            .expect("phase entry in diff");
         assert!(phase.flagged, "{phase:?}");
 
         // Results drift: exact flag regardless of timing.

@@ -152,8 +152,16 @@ mod tests {
             vec!["session 10", "session;evaluate 30", "session;suggest 60"],
             "full output:\n{folded}"
         );
-        let total: u64 =
-            folded.lines().map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()).sum();
+        let total: u64 = folded
+            .lines()
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .expect("folded line has a count")
+                    .parse::<u64>()
+                    .expect("count parses")
+            })
+            .sum();
         assert_eq!(total, 100, "self times sum to the root wall time");
     }
 

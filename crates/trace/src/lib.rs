@@ -118,11 +118,11 @@ mod tests {
     #[test]
     fn rejects_missing_meta_bad_lines_and_future_schemas() {
         let no_meta = "{\"type\":\"counter\",\"name\":\"c\",\"value\":1,\"seq\":1}";
-        assert!(load_journal_str(no_meta).unwrap_err().contains("meta"));
-        assert!(load_journal_str("").unwrap_err().contains("empty"));
+        assert!(load_journal_str(no_meta).expect_err("must be rejected").contains("meta"));
+        assert!(load_journal_str("").expect_err("must be rejected").contains("empty"));
         let bad = "{\"type\":\"meta\",\"version\":1,\"source\":\"x\"}\nnope";
-        assert!(load_journal_str(bad).unwrap_err().contains("line 2"));
+        assert!(load_journal_str(bad).expect_err("must be rejected").contains("line 2"));
         let future = "{\"type\":\"meta\",\"version\":99,\"source\":\"x\"}";
-        assert!(load_journal_str(future).unwrap_err().contains("version 99"));
+        assert!(load_journal_str(future).expect_err("must be rejected").contains("version 99"));
     }
 }

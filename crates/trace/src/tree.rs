@@ -359,22 +359,20 @@ mod tests {
     #[test]
     fn rejects_root_with_parent_and_orphan_depth() {
         let bad_root = journal(vec![span("a", Some("ghost"), 0, 1, 0)]);
-        let err = build_trees(&bad_root).unwrap_err();
+        let err = build_trees(&bad_root).expect_err("must be rejected");
         assert_eq!(err.line, 2);
         assert!(err.message.contains("claims parent"));
 
         let no_parent = journal(vec![span("child", None, 1, 1, 0)]);
-        let err = build_trees(&no_parent).unwrap_err();
+        let err = build_trees(&no_parent).expect_err("must be rejected");
         assert!(err.message.contains("has no parent"), "{err}");
     }
 
     #[test]
     fn rejects_parent_name_mismatch() {
-        let events = journal(vec![
-            span("child", Some("expected"), 1, 1, 0),
-            span("actual", None, 0, 2, 0),
-        ]);
-        let err = build_trees(&events).unwrap_err();
+        let events =
+            journal(vec![span("child", Some("expected"), 1, 1, 0), span("actual", None, 0, 2, 0)]);
+        let err = build_trees(&events).expect_err("must be rejected");
         assert!(err.message.contains("records parent 'expected'"), "{err}");
     }
 
@@ -382,7 +380,7 @@ mod tests {
     fn rejects_truncated_journal_with_unclosed_parent() {
         // A depth-1 close whose depth-0 parent never closes (truncation).
         let events = journal(vec![span("child", Some("outer"), 1, 1, 0)]);
-        let err = build_trees(&events).unwrap_err();
+        let err = build_trees(&events).expect_err("must be rejected");
         assert_eq!(err.line, 0, "reported at end of journal");
         assert!(err.message.contains("parent never did"), "{err}");
     }
@@ -391,11 +389,8 @@ mod tests {
     fn rejects_stranded_grandchildren() {
         // depth-2 close, then a depth-0 close without the depth-1 parent
         // ever closing: the grandchild can never be attached.
-        let events = journal(vec![
-            span("grand", Some("mid"), 2, 1, 0),
-            span("top", None, 0, 9, 0),
-        ]);
-        let err = build_trees(&events).unwrap_err();
+        let events = journal(vec![span("grand", Some("mid"), 2, 1, 0), span("top", None, 0, 9, 0)]);
+        let err = build_trees(&events).expect_err("must be rejected");
         assert!(err.message.contains("awaits its depth-1 parent"), "{err}");
     }
 }

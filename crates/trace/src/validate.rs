@@ -78,17 +78,13 @@ pub fn check_structure(events: &[JournalLine]) -> Vec<Violation> {
                 if p50_nanos > p99_nanos {
                     out.push(Violation {
                         line: jl.line,
-                        message: format!(
-                            "hist '{name}' has p50 {p50_nanos} > p99 {p99_nanos}"
-                        ),
+                        message: format!("hist '{name}' has p50 {p50_nanos} > p99 {p99_nanos}"),
                     });
                 }
                 if *count == 0 && (*p50_nanos != 0 || *p99_nanos != 0) {
                     out.push(Violation {
                         line: jl.line,
-                        message: format!(
-                            "hist '{name}' reports quantiles with zero samples"
-                        ),
+                        message: format!("hist '{name}' reports quantiles with zero samples"),
                     });
                 }
                 if let Some((prev_line, prev)) = hist_counts.get(name.as_str()) {

@@ -15,8 +15,26 @@ use proptest::sample::select;
 fn tricky_string() -> impl Strategy<Value = String> {
     collection::vec(
         select(vec![
-            "a", "exec.cache", "\"", "\\", "\n", "\t", "\r", "\u{1}", "\u{1f}", "λ", "嗨",
-            "🔥", "\\n", "\\\"", "{", "}", ",", ":", " ", "",
+            "a",
+            "exec.cache",
+            "\"",
+            "\\",
+            "\n",
+            "\t",
+            "\r",
+            "\u{1}",
+            "\u{1f}",
+            "λ",
+            "嗨",
+            "🔥",
+            "\\n",
+            "\\\"",
+            "{",
+            "}",
+            ",",
+            ":",
+            " ",
+            "",
         ]),
         0..8,
     )
@@ -30,28 +48,36 @@ fn any_event() -> impl Strategy<Value = TraceEvent> {
         (0..u64::MAX, 0..u64::MAX, 1..u64::MAX),
         (0..16u64, i64::MIN..i64::MAX, 0..u64::MAX),
     )
-        .prop_map(|(kind, (name, other, depth), (a, b, seq), (thread, signed, c))| match kind {
-            0 => TraceEvent::Meta { version: a, source: name },
-            1 => TraceEvent::Span {
-                name,
-                parent: if depth == 0 { None } else { Some(other) },
-                depth,
-                dur_nanos: a,
-                thread,
-                seq,
+        .prop_map(
+            |(kind, (name, other, depth), (a, b, seq), (thread, signed, c))| match kind {
+                0 => TraceEvent::Meta { version: a, source: name },
+                1 => TraceEvent::Span {
+                    name,
+                    parent: if depth == 0 { None } else { Some(other) },
+                    depth,
+                    dur_nanos: a,
+                    thread,
+                    seq,
+                },
+                2 => TraceEvent::Counter { name, value: a, seq },
+                3 => TraceEvent::Gauge { name, value: signed, seq },
+                4 => TraceEvent::Hist {
+                    name,
+                    count: a,
+                    p50_nanos: b.min(c),
+                    p99_nanos: b.max(c),
+                    seq,
+                },
+                _ => TraceEvent::Cell {
+                    index: a,
+                    cache_hits: b,
+                    cache_misses: c,
+                    dur_nanos: b,
+                    thread,
+                    seq,
+                },
             },
-            2 => TraceEvent::Counter { name, value: a, seq },
-            3 => TraceEvent::Gauge { name, value: signed, seq },
-            4 => TraceEvent::Hist { name, count: a, p50_nanos: b.min(c), p99_nanos: b.max(c), seq },
-            _ => TraceEvent::Cell {
-                index: a,
-                cache_hits: b,
-                cache_misses: c,
-                dur_nanos: b,
-                thread,
-                seq,
-            },
-        })
+        )
 }
 
 proptest! {
@@ -94,7 +120,7 @@ proptest! {
         if let Ok(text) = String::from_utf8(bytes) {
             if let Ok(parsed) = TraceEvent::parse_line(&text) {
                 let again = parsed.to_jsonl();
-                prop_assert_eq!(TraceEvent::parse_line(&again).unwrap(), parsed);
+                prop_assert_eq!(TraceEvent::parse_line(&again).expect("round-tripped line parses"), parsed);
             }
         }
     }

@@ -1,0 +1,10 @@
+//! Fixture: bench binaries may unwrap (E1 exempt) but still may not read
+//! the wall clock without a pragma (D2 applies).
+
+fn main() {
+    // expect: no finding — E1 exempts driver binaries.
+    let arg = std::env::args().nth(1).unwrap();
+    // expect: D2 — wall-clock read without a justification pragma.
+    let t0 = std::time::Instant::now();
+    println!("{} {:?}", arg, t0.elapsed());
+}

@@ -1,0 +1,21 @@
+//! Fixture: F1's float-literal equality check applies inside optimizer
+//! code — zero guards and `#[cfg(test)]` modules stay legal.
+
+// expect: no finding — `== 0.0` is the idiomatic division guard.
+pub fn is_converged(delta: f64) -> bool {
+    delta == 0.0
+}
+
+// expect: F1 — exact equality against a non-zero float literal.
+pub fn matches_target(score: f64) -> bool {
+    score == 0.95
+}
+
+#[cfg(test)]
+mod tests {
+    // expect: no finding — float equality is allowed in test modules.
+    #[test]
+    fn exact_comparison_in_tests_is_fine() {
+        assert!(1.0 == 1.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: the pragma grammar end to end — standalone suppression,
+//! missing justification (P1), stale pragma (P2), unknown rule id (P1).
+
+// expect: no finding — standalone pragma covers the next line.
+pub fn suppressed_clock() -> std::time::Instant {
+    // lint: allow(D2) fixture demonstrating a standalone pragma
+    std::time::Instant::now()
+}
+
+// expect: P1 — a pragma with no justification is malformed.
+pub fn bad_pragma(x: Option<u32>) -> u32 {
+    x.expect("present") // lint: allow(E1)
+}
+
+// expect: P2 — the pragma suppresses nothing on this line.
+pub fn stale_pragma() -> u32 {
+    42 // lint: allow(D3) nothing random happens here
+}
+
+// expect: P1 — `Z9` is not a rule id.
+pub fn unknown_rule() -> u32 {
+    7 // lint: allow(Z9) not a rule id
+}

@@ -1,0 +1,17 @@
+//! Fixture: D3 bans unseeded randomness everywhere — library code and
+//! test modules alike.
+
+// expect: D3 — thread_rng draws from ambient entropy.
+pub fn init_weights(n: usize) -> Vec<f64> {
+    let mut rng = rand::thread_rng();
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // expect: D3 — even tests must derive RNGs from explicit seeds.
+    #[test]
+    fn unseeded_in_tests_is_still_flagged() {
+        let _ = rand::rngs::StdRng::from_entropy();
+    }
+}

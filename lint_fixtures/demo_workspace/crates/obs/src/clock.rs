@@ -1,0 +1,20 @@
+//! Fixture: telemetry crates own the wall clock and their maps never feed
+//! deterministic output — D1 and D2 do not apply here. D3 still does.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+// expect: no finding — clock reads and map iteration are telemetry's job.
+pub fn dump(counters: &HashMap<String, u64>) -> (f64, usize) {
+    let t = Instant::now();
+    let mut n = 0;
+    for _ in counters.values() {
+        n += 1;
+    }
+    (t.elapsed().as_secs_f64(), n)
+}
+
+// expect: D3 — ambient entropy is banned even in telemetry.
+pub fn jitter() -> u64 {
+    rand::thread_rng().gen()
+}

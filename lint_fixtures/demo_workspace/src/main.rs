@@ -1,0 +1,21 @@
+//! Fixture: scanner edge cases — nested scopes end hash-binding
+//! visibility, and string literals mentioning `HashMap` are masked.
+
+use std::collections::HashMap;
+
+fn main() {
+    {
+        let m: HashMap<u32, u32> = HashMap::new();
+        // expect: D1 — `m` is hash-bound in an enclosing scope.
+        m.iter().count();
+    }
+    {
+        // expect: no finding — this `m` is a Vec; the hash binding above
+        // went out of scope with its block.
+        let m = vec![1, 2, 3];
+        m.iter().count();
+    }
+    // expect: no finding — occurrences inside string literals are masked.
+    let s = "HashMap .keys() for x in m";
+    println!("{} {}", s, s.len());
+}
