@@ -104,7 +104,13 @@ fn main() -> ExitCode {
         let evals0 = tele.metrics.counter("sim.evals").get();
         let crashes0 = tele.metrics.counter("sim.crashes").get();
 
-        let opts = GridOpts { workers, cache: true, noise_seed: SEED };
+        let opts = GridOpts {
+            workers,
+            cache: true,
+            noise_seed: SEED,
+            faults: dbtune_dbsim::FaultPlan::disabled(),
+            retry: dbtune_core::RetryPolicy::none(),
+        };
         let t0 = std::time::Instant::now(); // lint: allow(D2) wall-clock benchmark report — timing is the deliverable
         let (results, exec) = run_tuning_grid(&cells, &opts);
         let wall = t0.elapsed().as_secs_f64();

@@ -8,14 +8,16 @@
 
 pub mod artifact;
 
-use dbtune_core::exec::{resolve_workers, run_grid, CacheStats, CachedObjective, EvalCache};
+use dbtune_core::exec::{
+    cell_seed, resolve_workers, run_grid, CacheStats, CachedObjective, EvalCache, RetryPolicy,
+};
 use dbtune_core::importance::{ImportanceInput, MeasureKind};
 use dbtune_core::optimizer::OptimizerKind;
 use dbtune_core::sampling;
 use dbtune_core::space::TuningSpace;
 use dbtune_core::telemetry::{self, TraceEvent};
 use dbtune_core::tuner::{orient, run_session, SessionConfig, SessionResult, SimObjective};
-use dbtune_dbsim::{DbSimulator, Hardware, KnobCatalog, Workload, METRICS_DIM};
+use dbtune_dbsim::{DbSimulator, FaultPlan, Hardware, KnobCatalog, Workload, METRICS_DIM};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -121,13 +123,21 @@ pub struct GridOpts {
     /// Grid-level noise seed (fixed per driver so cached results mean
     /// the same thing to every session).
     pub noise_seed: u64,
+    /// Transient-fault schedule (`faults=` flag; inactive by default, so
+    /// every existing artifact stays byte-identical). Each grid cell gets
+    /// the plan reseeded by its index.
+    pub faults: FaultPlan,
+    /// Retry schedule for transient faults (`retries=` flag).
+    pub retry: RetryPolicy,
 }
 
 impl GridOpts {
-    /// Parses `workers=` / `cache=` / `trace=` from the driver's
-    /// arguments. `driver` names the binary; it becomes the journal's
-    /// `source` when `trace=<path>` starts one (the `DBTUNE_TRACE`
-    /// environment variable is handled by the telemetry global itself).
+    /// Parses `workers=` / `cache=` / `trace=` / `faults=` / `retries=`
+    /// from the driver's arguments. `driver` names the binary; it
+    /// becomes the journal's `source` when `trace=<path>` starts one
+    /// (the `DBTUNE_TRACE` environment variable is handled by the
+    /// telemetry global itself). Fault injection defaults off; see
+    /// `docs/robustness.md` for the flag grammar.
     pub fn from_args(driver: &str, args: &ExpArgs, noise_seed: u64) -> Self {
         let cache = match args.get_str("cache", "on").as_str() {
             "on" => true,
@@ -140,7 +150,11 @@ impl GridOpts {
                 .enable_journal(std::path::Path::new(&trace), driver)
                 .unwrap_or_else(|e| panic!("cannot open trace journal {trace}: {e}"));
         }
-        Self { workers: resolve_workers(args.opt_usize("workers")), cache, noise_seed }
+        let faults = FaultPlan::parse(&args.get_str("faults", "off"))
+            .unwrap_or_else(|e| panic!("bad value for faults: {e}"));
+        let retry = RetryPolicy::parse(&args.get_str("retries", ""))
+            .unwrap_or_else(|e| panic!("bad value for retries: {e}"));
+        Self { workers: resolve_workers(args.opt_usize("workers")), cache, noise_seed, faults, retry }
     }
 
     /// A fresh shared cache, or `None` when disabled.
@@ -167,6 +181,8 @@ impl GridOpts {
             cache_enabled: self.cache,
             noise_seed: self.noise_seed,
             cache: stats,
+            faults: self.faults,
+            retry: self.retry,
         }
     }
 }
@@ -187,15 +203,44 @@ pub struct ExecReport {
     pub noise_seed: u64,
     /// Cache counters (all zero when the cache was off).
     pub cache: CacheStats,
+    /// The fault schedule the grid ran under (inactive by default).
+    pub faults: FaultPlan,
+    /// The retry policy applied to transient faults.
+    pub retry: RetryPolicy,
 }
 
 impl Serialize for ExecReport {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
+        let mut fields = vec![
             ("cache_enabled".to_string(), self.cache_enabled.to_value()),
             ("noise_seed".to_string(), self.noise_seed.to_value()),
             ("cache".to_string(), self.cache.to_value()),
-        ])
+        ];
+        // Chaos settings appear only when injection is on: faults-off
+        // artifacts must stay byte-identical to the pre-fault baseline.
+        if self.faults.is_active() {
+            fields.push((
+                "faults".to_string(),
+                serde::Value::Object(vec![
+                    ("seed".to_string(), self.faults.seed.to_value()),
+                    ("timeout_rate".to_string(), self.faults.timeout_rate.to_value()),
+                    ("crash_rate".to_string(), self.faults.crash_rate.to_value()),
+                    ("noise_rate".to_string(), self.faults.noise_rate.to_value()),
+                    ("stall_rate".to_string(), self.faults.stall_rate.to_value()),
+                    ("timeout_secs".to_string(), self.faults.timeout_secs.to_value()),
+                    ("stall_secs".to_string(), self.faults.stall_secs.to_value()),
+                ]),
+            ));
+            fields.push((
+                "retry".to_string(),
+                serde::Value::Object(vec![
+                    ("max_attempts".to_string(), self.retry.max_attempts.to_value()),
+                    ("backoff_secs".to_string(), self.retry.backoff_secs.to_value()),
+                    ("multiplier".to_string(), self.retry.multiplier.to_value()),
+                ]),
+            ));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -235,11 +280,26 @@ pub fn run_cached_session_with_stats(
     cache: Option<Arc<EvalCache>>,
     noise_seed: u64,
 ) -> (SessionResult, u64, u64) {
+    run_faulty_session_with_stats(cell, cache, noise_seed, FaultPlan::disabled(), RetryPolicy::none())
+}
+
+/// [`run_cached_session_with_stats`] under a fault schedule: the cell's
+/// simulator is wrapped with `plan`/`retry`, so transient faults strike,
+/// are retried with simulated backoff, and exhausted evaluations surface
+/// as failures to the session's [`FailurePolicy`]. With `plan` inactive
+/// this is *exactly* the plain path (see `CachedObjective::with_faults`).
+pub fn run_faulty_session_with_stats(
+    cell: &TuningCell,
+    cache: Option<Arc<EvalCache>>,
+    noise_seed: u64,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+) -> (SessionResult, u64, u64) {
     let sim = DbSimulator::new(cell.workload, Hardware::B, cell.seed);
     let catalog = sim.catalog().clone();
     let space = TuningSpace::with_default_base(&catalog, cell.selected.clone(), Hardware::B);
     let mut opt = cell.opt_kind.build(space.space(), METRICS_DIM, cell.seed);
-    let mut obj = CachedObjective::new(sim, cache, noise_seed);
+    let mut obj = CachedObjective::with_faults(sim, cache, noise_seed, plan, retry);
     let result = run_session(
         &mut obj,
         &space,
@@ -254,6 +314,18 @@ pub fn run_cached_session_with_stats(
     (result, obj.n_hits() as u64, obj.n_misses() as u64)
 }
 
+/// The per-cell fault schedule: the grid plan reseeded by the cell's
+/// index, so every cell draws an unrelated fault sequence while the grid
+/// as a whole stays replayable from one seed (and independent of worker
+/// count — the index, not the thread, picks the schedule).
+pub fn cell_fault_plan(grid: &FaultPlan, index: usize) -> FaultPlan {
+    if grid.is_active() {
+        grid.reseeded(cell_seed(grid.seed, index))
+    } else {
+        *grid
+    }
+}
+
 /// Runs a grid of tuning sessions on the worker pool with a shared cache,
 /// returning results in grid order plus the execution report. When the
 /// trace journal is on, each completed cell emits a `cell` event with its
@@ -263,8 +335,13 @@ pub fn run_tuning_grid(cells: &[TuningCell], opts: &GridOpts) -> (Vec<SessionRes
     let tele = telemetry::global();
     let results = run_grid(cells, opts.workers, |index, cell| {
         let t0 = std::time::Instant::now(); // lint: allow(D2) journal cell-event duration — trace telemetry only
-        let (result, hits, misses) =
-            run_cached_session_with_stats(cell, cache.clone(), opts.noise_seed);
+        let (result, hits, misses) = run_faulty_session_with_stats(
+            cell,
+            cache.clone(),
+            opts.noise_seed,
+            cell_fault_plan(&opts.faults, index),
+            opts.retry,
+        );
         if tele.journal.is_enabled() {
             tele.journal.emit(TraceEvent::Cell {
                 index: index as u64,
@@ -295,6 +372,19 @@ pub fn print_exec_summary(exec: &ExecReport) {
         metrics.counter("sim.evals").get(),
         metrics.counter("sim.crashes").get(),
     );
+    if exec.faults.is_active() {
+        println!(
+            "[chaos] fault seed={} timeouts={} spurious crashes={} noisy={} stalls={} | retries={} exhausted={} panics contained={}",
+            exec.faults.seed,
+            metrics.counter("sim.faults.timeout").get(),
+            metrics.counter("sim.faults.crash").get(),
+            metrics.counter("sim.faults.noise").get(),
+            metrics.counter("sim.faults.stall").get(),
+            metrics.counter("exec.retries").get(),
+            metrics.counter("exec.retry_exhausted").get(),
+            metrics.counter("exec.panics_contained").get(),
+        );
+    }
 }
 
 /// Directory where drivers persist JSON results (created on demand).

@@ -12,7 +12,7 @@ use std::path::Path;
 use std::process::Command;
 
 /// Tiny but non-degenerate scale; unknown keys are ignored by ExpArgs,
-/// so one flag set serves all twelve drivers.
+/// so one flag set serves all thirteen drivers.
 const TINY: &[&str] = &[
     "samples=120",
     "iters=6",
@@ -84,3 +84,4 @@ smoke!(ablations_runs, "ablations", "ablations");
 smoke!(table8_runs, "table8_transfer", "table8_transfer");
 smoke!(table9_runs, "table9_surrogate_models", "table9_surrogates");
 smoke!(workloads_report_runs, "workloads_report", "workloads_report");
+smoke!(fig11_runs, "fig11_resilience", "fig11_resilience");

@@ -28,14 +28,24 @@
 //!
 //! Worker-count selection: explicit flag > `DBTUNE_WORKERS` env var >
 //! `available_parallelism` capped at 8 (see [`resolve_workers`]).
+//!
+//! Resilience (see `docs/robustness.md`): evaluations widen into an
+//! [`EvalOutcome`] distinguishing deterministic crashes (cacheable —
+//! pure functions of the configuration) from *transient* faults
+//! (timeouts, spurious deaths — properties of the attempt, never
+//! cached). [`RetryPolicy`] retries transients with deterministic
+//! exponential backoff charged to the simulated clock, and
+//! [`run_grid_contained`] catches a panicking cell so one dying session
+//! degrades to a reported failure instead of killing the grid.
 
 use crate::telemetry;
 use crate::tuner::{EvalResult, SimObjective};
-use dbtune_dbsim::{DbSimulator, KnobSpec, Objective};
+use dbtune_dbsim::{DbSimulator, FaultEvent, FaultPlan, KnobSpec, Objective};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -83,13 +93,98 @@ pub fn resolve_workers(explicit: Option<usize>) -> usize {
 // The worker pool
 // ---------------------------------------------------------------------------
 
+/// How one grid cell ended under [`run_grid_contained`]: its result, or
+/// the message of the panic that killed it.
+#[derive(Clone, Debug)]
+pub enum CellOutcome<R> {
+    /// The cell's closure returned normally.
+    Completed(R),
+    /// The cell's closure panicked; the panic was caught at the cell
+    /// boundary and the rest of the grid ran to completion.
+    Panicked {
+        /// The panic payload, rendered to text.
+        message: String,
+    },
+}
+
+impl<R> CellOutcome<R> {
+    /// The result, when the cell completed.
+    pub fn completed(self) -> Option<R> {
+        match self {
+            CellOutcome::Completed(r) => Some(r),
+            CellOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// True when the cell panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, CellOutcome::Panicked { .. })
+    }
+}
+
+/// Renders a caught panic payload (`&str` or `String` in practice).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `f(index, &cell)` for every cell on `workers` threads and returns
 /// the results in grid order. Cells are claimed from a shared atomic
 /// cursor (dynamic load balancing: an expensive cell does not stall the
 /// others). `f` must derive any randomness from the cell index (see
 /// [`cell_seed`]); under that contract the output is bit-identical for
-/// any worker count. A panic in any cell propagates.
+/// any worker count. A panic in any cell propagates (after the remaining
+/// cells have run — see [`run_grid_contained`], which this wraps, for
+/// the degraded form that reports the panic instead).
 pub fn run_grid<T, R, F>(cells: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_grid_contained(cells, workers, f)
+        .into_iter()
+        .map(|outcome| match outcome {
+            CellOutcome::Completed(r) => r,
+            CellOutcome::Panicked { message } => panic!("grid cell panicked: {message}"),
+        })
+        .collect()
+}
+
+/// [`run_grid`] with per-cell panic containment: a cell whose closure
+/// panics yields [`CellOutcome::Panicked`] while every other cell still
+/// runs and returns. Each caught panic increments the
+/// `exec.panics_contained` counter (registered on first catch, so
+/// panic-free runs publish no new instruments). The shared [`EvalCache`]
+/// survives a contained panic unpoisoned: its locks are `parking_lot`
+/// mutexes (no poisoning) and evaluation closures run outside the shard
+/// locks, so a panicking cell can never leave a lock held or a
+/// half-written entry behind.
+pub fn run_grid_contained<T, R, F>(cells: &[T], workers: usize, f: F) -> Vec<CellOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    grid_exec(cells, workers, move |i, c| {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, c))) {
+            Ok(r) => CellOutcome::Completed(r),
+            Err(payload) => {
+                telemetry::global().metrics.counter("exec.panics_contained").inc();
+                CellOutcome::Panicked { message: panic_message(payload) }
+            }
+        }
+    })
+}
+
+/// The worker pool itself (shared by [`run_grid`]'s propagate-panics
+/// facade and [`run_grid_contained`]'s catching wrapper).
+fn grid_exec<T, R, F>(cells: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -181,6 +276,157 @@ where
     .expect("executor worker pool");
 
     slots.into_iter().map(|slot| slot.into_inner().expect("cell computed")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation outcomes and retry
+// ---------------------------------------------------------------------------
+
+/// How one evaluation *attempt* ended — the executor's widened result
+/// type, separating what is a property of the configuration (cacheable)
+/// from what is a property of the attempt (transient, never cached).
+#[derive(Clone, Debug)]
+pub enum EvalOutcome {
+    /// The evaluation ran to completion.
+    Ok(EvalResult),
+    /// The DBMS crashed *because of the configuration* (memory
+    /// overcommit, §4.1). Deterministic — the same configuration crashes
+    /// every time — so it is cacheable like any other pure result.
+    Crashed(EvalResult),
+    /// The stress test hung and was killed. Transient: says nothing
+    /// about the configuration, so it must never be cached.
+    TimedOut {
+        /// Simulated seconds burned by the hung attempt.
+        simulated_secs: f64,
+    },
+    /// The attempt died for reasons unrelated to the configuration
+    /// (worker eviction, flaky replica). Transient, never cached.
+    Transient {
+        /// Simulated seconds lost to the dead attempt.
+        simulated_secs: f64,
+    },
+}
+
+impl EvalOutcome {
+    /// Wraps a completed [`EvalResult`], classifying by its crash flag.
+    pub fn from_result(res: EvalResult) -> Self {
+        if res.failed {
+            EvalOutcome::Crashed(res)
+        } else {
+            EvalOutcome::Ok(res)
+        }
+    }
+
+    /// True for outcomes that are pure functions of the configuration
+    /// (and may therefore be memoized).
+    pub fn is_cacheable(&self) -> bool {
+        matches!(self, EvalOutcome::Ok(_) | EvalOutcome::Crashed(_))
+    }
+
+    /// True for attempt-scoped failures that a [`RetryPolicy`] may retry.
+    pub fn is_transient(&self) -> bool {
+        !self.is_cacheable()
+    }
+
+    /// The completed result, when there is one.
+    pub fn into_result(self) -> Option<EvalResult> {
+        match self {
+            EvalOutcome::Ok(res) | EvalOutcome::Crashed(res) => Some(res),
+            _ => None,
+        }
+    }
+
+    /// Simulated seconds this outcome charges to the session ledger.
+    pub fn simulated_secs(&self) -> f64 {
+        match self {
+            EvalOutcome::Ok(res) | EvalOutcome::Crashed(res) => res.simulated_secs,
+            EvalOutcome::TimedOut { simulated_secs } | EvalOutcome::Transient { simulated_secs } => {
+                *simulated_secs
+            }
+        }
+    }
+}
+
+/// Deterministic retry schedule for transient evaluation faults.
+///
+/// Backoff is *simulated*: waiting out a flaky replica costs wall-clock
+/// on a real deployment, so each retry charges
+/// `backoff_secs * multiplier^(retry-1)` seconds to the session's
+/// simulated ledger — never to the real clock, keeping chaos runs fast
+/// and bit-reproducible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per evaluation (1 = no retries).
+    pub max_attempts: u32,
+    /// Simulated seconds charged before the first retry.
+    pub backoff_secs: f64,
+    /// Backoff growth factor per additional retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 3 attempts, 30 s then 60 s of simulated backoff: one DBMS
+        // restart window per retry, doubling.
+        Self { max_attempts: 3, backoff_secs: 30.0, multiplier: 2.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        Self { max_attempts: 1, backoff_secs: 0.0, multiplier: 1.0 }
+    }
+
+    /// Simulated backoff charged before retry number `retry` (1-based):
+    /// `backoff_secs * multiplier^(retry-1)`.
+    pub fn backoff_before(&self, retry: u32) -> f64 {
+        self.backoff_secs * self.multiplier.powi(retry.saturating_sub(1) as i32)
+    }
+
+    /// Parses the drivers' `retries=` flag: `off`, or comma-separated
+    /// `key:value` pairs with keys `attempts`, `backoff` (seconds),
+    /// `mult`. Example: `retries=attempts:4,backoff:15,mult:2`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec == "off" {
+            return Ok(Self::none());
+        }
+        let mut policy = Self::default();
+        if spec.is_empty() {
+            return Ok(policy);
+        }
+        for pair in spec.split(',') {
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("retry policy: expected key:value, got `{pair}`"))?;
+            match key.trim() {
+                "attempts" => {
+                    policy.max_attempts = value
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("retry policy: bad attempts `{value}`"))?;
+                }
+                "backoff" => {
+                    policy.backoff_secs = value
+                        .parse()
+                        .ok()
+                        .filter(|&s: &f64| s >= 0.0)
+                        .ok_or_else(|| format!("retry policy: bad backoff `{value}`"))?;
+                }
+                "mult" => {
+                    policy.multiplier = value
+                        .parse()
+                        .ok()
+                        .filter(|&m: &f64| m >= 1.0)
+                        .ok_or_else(|| format!("retry policy: bad mult `{value}`"))?;
+                }
+                other => return Err(format!("retry policy: unknown key `{other}`")),
+            }
+        }
+        Ok(policy)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -296,6 +542,7 @@ pub struct EvalCache {
     metrics: telemetry::Registry,
     hits: telemetry::Counter,
     misses: telemetry::Counter,
+    transient_skips: telemetry::Counter,
 }
 
 impl Default for EvalCache {
@@ -310,11 +557,13 @@ impl EvalCache {
         let metrics = telemetry::Registry::new();
         let hits = metrics.counter("hits");
         let misses = metrics.counter("misses");
+        let transient_skips = metrics.counter("transient_skips");
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(BTreeMap::new())).collect(),
             metrics,
             hits,
             misses,
+            transient_skips,
         }
     }
 
@@ -334,29 +583,70 @@ impl EvalCache {
     /// threads race on the same key, the first insertion wins and the
     /// loser's (identical) result is discarded — still counted as a hit,
     /// so `hits + misses == total evaluations` exactly.
+    ///
+    /// Completed results only: both successes and *deterministic* crashes
+    /// are pure functions of the configuration and cache soundly. A
+    /// caller whose evaluation can fail transiently must go through
+    /// [`Self::lookup_or_compute_outcome`], which refuses to memoize
+    /// attempt-scoped failures.
     pub fn lookup_or_compute(
         &self,
         key: &CacheKey,
         f: impl FnOnce() -> EvalResult,
     ) -> (EvalResult, bool) {
+        let (outcome, hit) =
+            self.lookup_or_compute_outcome(key, || EvalOutcome::from_result(f()));
+        (outcome.into_result().expect("completed-result closure cannot yield a transient"), hit)
+    }
+
+    /// Outcome-aware memoization: like [`Self::lookup_or_compute`], but
+    /// `f` may report a transient failure, and transient outcomes are
+    /// **never stored** — a timeout says nothing about the configuration,
+    /// so serving it from cache would turn one flaky attempt into a
+    /// permanently poisoned key. Transient computes count as misses
+    /// (the evaluation ran) but leave no entry, so under faults
+    /// `misses >= entries`; the cache-private `transient_skips` counter
+    /// records each refusal.
+    pub fn lookup_or_compute_outcome(
+        &self,
+        key: &CacheKey,
+        f: impl FnOnce() -> EvalOutcome,
+    ) -> (EvalOutcome, bool) {
         let shard = &self.shards[(key.fingerprint() as usize) % self.shards.len()];
         if let Some(found) = shard.lock().get(key) {
             self.hits.inc();
-            return (found.clone(), true);
+            return (EvalOutcome::from_result(found.clone()), true);
         }
         let computed = f();
-        let mut guard = shard.lock();
-        match guard.entry(key.clone()) {
-            Entry::Occupied(e) => {
-                self.hits.inc();
-                (e.get().clone(), true)
+        match computed {
+            EvalOutcome::Ok(res) | EvalOutcome::Crashed(res) => {
+                let mut guard = shard.lock();
+                match guard.entry(key.clone()) {
+                    Entry::Occupied(e) => {
+                        self.hits.inc();
+                        (EvalOutcome::from_result(e.get().clone()), true)
+                    }
+                    Entry::Vacant(v) => {
+                        self.misses.inc();
+                        v.insert(res.clone());
+                        (EvalOutcome::from_result(res), false)
+                    }
+                }
             }
-            Entry::Vacant(v) => {
+            transient => {
                 self.misses.inc();
-                v.insert(computed.clone());
-                (computed, false)
+                self.transient_skips.inc();
+                (transient, false)
             }
         }
+    }
+
+    /// Transient outcomes the cache refused to store (see
+    /// [`Self::lookup_or_compute_outcome`]). Kept out of [`CacheStats`]
+    /// so the byte-gated `"exec"` artifact block is unchanged when fault
+    /// injection is off.
+    pub fn transient_skips(&self) -> u64 {
+        self.transient_skips.get()
     }
 
     /// [`Self::lookup_or_compute`] without the hit flag.
@@ -417,6 +707,12 @@ pub trait DeterministicObjective {
     fn objective_kind(&self) -> Objective;
     /// Noise-free reference performance (improvement baseline).
     fn reference(&self, full_cfg: &[f64]) -> f64;
+    /// Width of the metric vectors this objective emits (0 for backends
+    /// without internal metrics). Used to shape the zero-filled metrics
+    /// of an evaluation that exhausted its retries.
+    fn metrics_dim(&self) -> usize {
+        0
+    }
 }
 
 /// Shared references delegate, so one trained objective (e.g. a
@@ -441,6 +737,10 @@ impl<T: DeterministicObjective + ?Sized> DeterministicObjective for &T {
 
     fn reference(&self, full_cfg: &[f64]) -> f64 {
         (**self).reference(full_cfg)
+    }
+
+    fn metrics_dim(&self) -> usize {
+        (**self).metrics_dim()
     }
 }
 
@@ -470,6 +770,10 @@ impl DeterministicObjective for DbSimulator {
     fn reference(&self, full_cfg: &[f64]) -> f64 {
         self.expected_value(full_cfg).expect("reference configuration must not crash")
     }
+
+    fn metrics_dim(&self) -> usize {
+        dbtune_dbsim::METRICS_DIM
+    }
 }
 
 /// Adapter plugging a [`DeterministicObjective`] into the session driver,
@@ -480,12 +784,21 @@ impl DeterministicObjective for DbSimulator {
 /// only short-circuits recomputation. Sessions running against the same
 /// `noise_seed` therefore agree bit-for-bit regardless of worker count,
 /// cache sharing, or cache presence.
+///
+/// [`Self::with_faults`] additionally threads every evaluation through a
+/// [`FaultPlan`] schedule and a [`RetryPolicy`]; with the plan inactive
+/// the evaluation path is *exactly* the plain one (same results, same
+/// counters, no new instruments registered), which is what keeps
+/// faults-off artifacts byte-identical.
 pub struct CachedObjective<O: DeterministicObjective> {
     inner: O,
     cache: Option<Arc<EvalCache>>,
     noise_seed: u64,
     n_evals: usize,
     n_hits: usize,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
+    eval_cursor: u64,
 }
 
 impl<O: DeterministicObjective> CachedObjective<O> {
@@ -494,7 +807,35 @@ impl<O: DeterministicObjective> CachedObjective<O> {
     /// use the same value (otherwise a hit could return another session's
     /// noise draw — still deterministic, but surprising).
     pub fn new(inner: O, cache: Option<Arc<EvalCache>>, noise_seed: u64) -> Self {
-        Self { inner, cache, noise_seed, n_evals: 0, n_hits: 0 }
+        Self {
+            inner,
+            cache,
+            noise_seed,
+            n_evals: 0,
+            n_hits: 0,
+            faults: None,
+            retry: RetryPolicy::none(),
+            eval_cursor: 0,
+        }
+    }
+
+    /// [`Self::new`] plus a fault schedule and retry policy. An inactive
+    /// plan (all rates zero) is dropped entirely, so
+    /// `with_faults(.., FaultPlan::disabled(), ..)` behaves byte-for-byte
+    /// like [`Self::new`].
+    pub fn with_faults(
+        inner: O,
+        cache: Option<Arc<EvalCache>>,
+        noise_seed: u64,
+        plan: FaultPlan,
+        retry: RetryPolicy,
+    ) -> Self {
+        let mut this = Self::new(inner, cache, noise_seed);
+        if plan.is_active() {
+            this.faults = Some(plan);
+            this.retry = retry;
+        }
+        this
     }
 
     /// The wrapped objective.
@@ -520,15 +861,14 @@ impl<O: DeterministicObjective> CachedObjective<O> {
     }
 }
 
-impl<O: DeterministicObjective> SimObjective for CachedObjective<O> {
-    fn evaluate(&mut self, full_cfg: &[f64]) -> EvalResult {
-        self.n_evals += 1;
-        let key = self.inner.cache_key(full_cfg);
-        let token = mix2(self.noise_seed, key.fingerprint());
+impl<O: DeterministicObjective> CachedObjective<O> {
+    /// One clean (fault-free) evaluation through the cache; the stored
+    /// entry is always the uncorrupted result.
+    fn evaluate_clean(&mut self, full_cfg: &[f64], key: &CacheKey, token: u64) -> EvalResult {
         match &self.cache {
             Some(cache) => {
                 let (result, hit) =
-                    cache.lookup_or_compute(&key, || self.inner.evaluate_pure(full_cfg, token));
+                    cache.lookup_or_compute(key, || self.inner.evaluate_pure(full_cfg, token));
                 if hit {
                     self.n_hits += 1;
                 }
@@ -538,12 +878,102 @@ impl<O: DeterministicObjective> SimObjective for CachedObjective<O> {
         }
     }
 
+    /// The fault-schedule path: each attempt consumes one schedule slot,
+    /// transient faults are retried under the policy with simulated
+    /// backoff, and post-completion faults (metric corruption, stalls)
+    /// are applied *after* the cache so stored entries stay clean. All
+    /// fault counters are registered lazily — a plan that never fires
+    /// publishes nothing.
+    fn evaluate_faulty(&mut self, full_cfg: &[f64], plan: FaultPlan) -> EvalResult {
+        let key = self.inner.cache_key(full_cfg);
+        let token = mix2(self.noise_seed, key.fingerprint());
+        let metrics = &telemetry::global().metrics;
+        let mut charged = 0.0; // simulated secs from failed attempts + backoff
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let slot = self.eval_cursor;
+            self.eval_cursor += 1;
+            let fault = plan.fault_at(slot);
+
+            // Attempt-killing faults: no result, charge the window.
+            let transient_secs = match fault {
+                Some(FaultEvent::Timeout) => {
+                    metrics.counter("sim.faults.timeout").inc();
+                    Some(plan.timeout_secs)
+                }
+                Some(FaultEvent::SpuriousCrash) => {
+                    metrics.counter("sim.faults.crash").inc();
+                    Some(plan.timeout_secs)
+                }
+                _ => None,
+            };
+            let Some(lost) = transient_secs else {
+                // The attempt completes; degrading faults apply after
+                // the cache so memoized entries stay uncorrupted.
+                let mut res = self.evaluate_clean(full_cfg, &key, token);
+                match fault {
+                    Some(FaultEvent::NoisyMetrics { corruption }) => {
+                        metrics.counter("sim.faults.noise").inc();
+                        FaultPlan::corrupt_metrics(corruption, &mut res.metrics);
+                    }
+                    Some(FaultEvent::Stall { extra_secs }) => {
+                        metrics.counter("sim.faults.stall").inc();
+                        res.simulated_secs += extra_secs;
+                    }
+                    _ => {}
+                }
+                res.simulated_secs += charged;
+                return res;
+            };
+
+            charged += lost;
+            if attempt >= self.retry.max_attempts {
+                metrics.counter("exec.retry_exhausted").inc();
+                // Out of attempts: surface a failed evaluation carrying
+                // the full simulated cost of the doomed slot. The session
+                // driver treats it like any crash (worst-seen
+                // substitution / discard / quarantine).
+                return EvalResult {
+                    value: f64::NAN,
+                    failed: true,
+                    metrics: vec![0.0; self.inner.metrics_dim()],
+                    simulated_secs: charged,
+                };
+            }
+            metrics.counter("exec.retries").inc();
+            charged += self.retry.backoff_before(attempt);
+        }
+    }
+}
+
+impl<O: DeterministicObjective> SimObjective for CachedObjective<O> {
+    fn evaluate(&mut self, full_cfg: &[f64]) -> EvalResult {
+        self.n_evals += 1;
+        match self.faults {
+            Some(plan) => self.evaluate_faulty(full_cfg, plan),
+            None => {
+                let key = self.inner.cache_key(full_cfg);
+                let token = mix2(self.noise_seed, key.fingerprint());
+                self.evaluate_clean(full_cfg, &key, token)
+            }
+        }
+    }
+
     fn objective(&self) -> Objective {
         self.inner.objective_kind()
     }
 
     fn reference_value(&self, full_cfg: &[f64]) -> f64 {
         self.inner.reference(full_cfg)
+    }
+
+    fn eval_cursor(&self) -> u64 {
+        self.eval_cursor
+    }
+
+    fn seek_eval_cursor(&mut self, cursor: u64) {
+        self.eval_cursor = cursor;
     }
 }
 
@@ -674,6 +1104,122 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.0, b.0, "same key set in the same order");
             assert_eq!(a.1.value.to_bits(), b.1.value.to_bits(), "bit-identical results");
+        }
+    }
+
+    #[test]
+    fn transient_outcomes_are_never_cached() {
+        // Regression: lookup_or_compute used to store whatever the
+        // closure returned, failed or not — one timeout would poison its
+        // key forever. Transients must recompute every time.
+        let cache = EvalCache::new();
+        let s = sim();
+        let key = s.cache_key(s.default_config());
+
+        let (first, hit) = cache
+            .lookup_or_compute_outcome(&key, || EvalOutcome::TimedOut { simulated_secs: 210.0 });
+        assert!(first.is_transient());
+        assert!(!hit);
+
+        // Second call must recompute (the closure runs again) instead of
+        // serving the transient from cache.
+        let mut ran = false;
+        let (second, hit) = cache.lookup_or_compute_outcome(&key, || {
+            ran = true;
+            EvalOutcome::from_result(s.evaluate_pure(s.default_config(), 7))
+        });
+        assert!(ran, "a transient outcome must not satisfy later lookups");
+        assert!(!hit);
+        assert!(second.is_cacheable());
+
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "only the completed result is stored");
+        assert_eq!(stats.misses, 2, "both computes count as misses");
+        assert_eq!(cache.transient_skips(), 1);
+
+        // And now the stored result serves hits as usual.
+        let (_, hit) = cache.lookup_or_compute_outcome(&key, || panic!("must not recompute"));
+        assert!(hit);
+    }
+
+    #[test]
+    fn deterministic_crashes_cache_like_any_result() {
+        // §4.1 crashes are a property of the configuration: cacheable.
+        let cache = EvalCache::new();
+        let s = sim();
+        let key = s.cache_key(s.default_config());
+        let crash = EvalResult {
+            value: f64::NAN,
+            failed: true,
+            metrics: vec![0.0; dbtune_dbsim::METRICS_DIM],
+            simulated_secs: 210.0,
+        };
+        let (out, hit) =
+            cache.lookup_or_compute_outcome(&key, || EvalOutcome::Crashed(crash.clone()));
+        assert!(!hit);
+        assert!(matches!(out, EvalOutcome::Crashed(_)));
+        let (again, hit) = cache.lookup_or_compute_outcome(&key, || panic!("must not recompute"));
+        assert!(hit, "a deterministic crash is served from cache");
+        assert!(matches!(again, EvalOutcome::Crashed(_)));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn eval_outcome_classifies_by_crash_flag() {
+        let ok = EvalResult { value: 1.0, failed: false, metrics: vec![], simulated_secs: 1.0 };
+        let crashed =
+            EvalResult { value: f64::NAN, failed: true, metrics: vec![], simulated_secs: 1.0 };
+        assert!(matches!(EvalOutcome::from_result(ok), EvalOutcome::Ok(_)));
+        assert!(matches!(EvalOutcome::from_result(crashed), EvalOutcome::Crashed(_)));
+        let timeout = EvalOutcome::TimedOut { simulated_secs: 3.5 };
+        assert!(timeout.is_transient() && !timeout.is_cacheable());
+        assert!(timeout.clone().into_result().is_none());
+        assert!((timeout.simulated_secs() - 3.5).abs() < 1e-12);
+        let dead = EvalOutcome::Transient { simulated_secs: 2.0 };
+        assert!(dead.is_transient());
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_exponential_and_parse_round_trips() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 3);
+        assert!((p.backoff_before(1) - 30.0).abs() < 1e-12);
+        assert!((p.backoff_before(2) - 60.0).abs() < 1e-12);
+        assert!((p.backoff_before(3) - 120.0).abs() < 1e-12);
+        assert_eq!(RetryPolicy::parse("off").expect("off"), RetryPolicy::none());
+        assert_eq!(RetryPolicy::parse("").expect("default"), RetryPolicy::default());
+        let q = RetryPolicy::parse("attempts:5,backoff:10,mult:3").expect("ok");
+        assert_eq!(q, RetryPolicy { max_attempts: 5, backoff_secs: 10.0, multiplier: 3.0 });
+        assert!((q.backoff_before(3) - 90.0).abs() < 1e-12);
+        assert!(RetryPolicy::parse("attempts:0").is_err(), "at least one attempt");
+        assert!(RetryPolicy::parse("mult:0.5").is_err(), "shrinking backoff rejected");
+        assert!(RetryPolicy::parse("nope:1").is_err(), "unknown keys rejected");
+    }
+
+    #[test]
+    fn run_grid_contained_reports_panics_in_place() {
+        let cells: Vec<u32> = (0..10).collect();
+        for workers in [1, 4] {
+            let out = run_grid_contained(&cells, workers, |_, &c| {
+                if c % 4 == 1 {
+                    panic!("cell {c} exploded");
+                }
+                c * 10
+            });
+            assert_eq!(out.len(), cells.len());
+            for (c, o) in cells.iter().zip(&out) {
+                match o {
+                    CellOutcome::Completed(v) => {
+                        assert_eq!(*v, c * 10);
+                        assert!(c % 4 != 1);
+                    }
+                    CellOutcome::Panicked { message } => {
+                        assert_eq!(c % 4, 1);
+                        assert!(message.contains(&format!("cell {c} exploded")), "{message:?}");
+                    }
+                }
+            }
+            assert_eq!(out.iter().filter(|o| o.is_panicked()).count(), 3);
         }
     }
 

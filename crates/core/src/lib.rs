@@ -45,12 +45,15 @@ pub mod transfer;
 pub mod tuner;
 
 pub use exec::{
-    cell_seed, resolve_workers, run_grid, CacheKey, CacheStats, CachedObjective,
-    DeterministicObjective, EvalCache,
+    cell_seed, resolve_workers, run_grid, run_grid_contained, CacheKey, CacheStats,
+    CachedObjective, CellOutcome, DeterministicObjective, EvalCache, EvalOutcome, RetryPolicy,
 };
 // The F1 lint's total-order float comparisons live in the workspace's
 // lowest layer; re-exported here so downstream code can say
 // `dbtune_core::ord::cmp_score` without depending on dbtune-linalg.
 pub use dbtune_linalg::ord;
 pub use space::{ConfigSpace, TuningSpace};
-pub use tuner::{run_session, Observation, PhaseTrace, SessionConfig, SessionResult, SimObjective};
+pub use tuner::{
+    run_session, run_session_resumable, CrashRegionMemory, FailurePolicy, Observation, PhaseTrace,
+    RecordedEval, SessionCheckpoint, SessionConfig, SessionResult, SimObjective,
+};

@@ -14,7 +14,9 @@ use crate::repository::Repository;
 use crate::sampling;
 use crate::space::TuningSpace;
 use crate::transfer::{RgpeOptimizer, SurrogateKind};
-use crate::tuner::{orient, run_session, SessionConfig, SessionResult, SimObjective};
+use crate::tuner::{
+    orient, run_session_resumable, SessionCheckpoint, SessionConfig, SessionResult, SimObjective,
+};
 use dbtune_dbsim::{KnobCatalog, METRICS_DIM};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -139,6 +141,30 @@ impl TuningService {
     /// Runs the full pipeline for one request against `objective`,
     /// recording the session into the repository.
     pub fn tune(&mut self, objective: &mut dyn SimObjective, req: &TuningRequest) -> TuningReport {
+        self.tune_with_checkpoints(objective, req, None, None)
+    }
+
+    /// [`Self::tune`] with session checkpoint/resume (see
+    /// `docs/robustness.md`): `resume` continues an interrupted session
+    /// from its last snapshot, `sink` receives a fresh
+    /// [`SessionCheckpoint`] after every completed iteration.
+    ///
+    /// A resumed request must pin its knob set (`knobs_override`) —
+    /// knob selection consumes evaluations outside the checkpointed
+    /// session loop, so re-running it on resume would mean paying the
+    /// pool cost twice; the original run's `selected` knobs are the
+    /// thing to pass back in.
+    pub fn tune_with_checkpoints(
+        &mut self,
+        objective: &mut dyn SimObjective,
+        req: &TuningRequest,
+        resume: Option<&SessionCheckpoint>,
+        sink: Option<&mut dyn FnMut(&SessionCheckpoint)>,
+    ) -> TuningReport {
+        assert!(
+            resume.is_none() || req.knobs_override.is_some(),
+            "resuming a session requires knobs_override (the original run's selected knobs)"
+        );
         let selected = match &req.knobs_override {
             Some(knobs) => knobs.clone(),
             None => self.select_knobs(
@@ -163,11 +189,11 @@ impl TuningService {
                 &sources,
                 req.session.seed,
             );
-            run_session(objective, &space, &mut opt, &req.session)
+            run_session_resumable(objective, &space, &mut opt, &req.session, resume, sink)
         } else {
             let mut opt: Box<dyn Optimizer> =
                 req.optimizer.build(space.space(), METRICS_DIM, req.session.seed);
-            run_session(objective, &space, &mut opt, &req.session)
+            run_session_resumable(objective, &space, &mut opt, &req.session, resume, sink)
         };
 
         self.repository.record_session(&req.task, &space, &result);

@@ -17,6 +17,7 @@ use crate::telemetry::{self, phase_secs};
 use dbtune_dbsim::{DbSimulator, Objective};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Result of evaluating a full configuration on some objective backend.
@@ -42,6 +43,15 @@ pub trait SimObjective {
     /// Noise-free reference performance of `full_cfg` (used for the
     /// default-configuration baseline in improvement accounting).
     fn reference_value(&self, full_cfg: &[f64]) -> f64;
+    /// Position in the backend's evaluation-attempt schedule (see
+    /// `CachedObjective`'s fault plan); backends without fault injection
+    /// report 0. Persisted in session checkpoints.
+    fn eval_cursor(&self) -> u64 {
+        0
+    }
+    /// Realigns the evaluation-attempt schedule after a checkpoint
+    /// resume. No-op for backends without fault injection.
+    fn seek_eval_cursor(&mut self, _cursor: u64) {}
 }
 
 impl SimObjective for DbSimulator {
@@ -90,6 +100,81 @@ pub enum FailurePolicy {
     /// budget). Ablation switch: surrogates never learn where the cliffs
     /// are and keep re-proposing crashing configurations.
     Discard,
+    /// Feed a penalized score (one log-unit below the worst *observed*
+    /// performance — a cliff the surrogate can model without scale
+    /// damage) and remember the crash site: suggestions landing inside a
+    /// remembered crash region are re-drawn a bounded number of times
+    /// (see [`CrashRegionMemory`]). Robustness mode for flaky or
+    /// crash-prone deployments.
+    QuarantinePenalty,
+}
+
+impl FailurePolicy {
+    /// Stable textual name (the checkpoint format's encoding).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailurePolicy::WorstSeen => "worst_seen",
+            FailurePolicy::Discard => "discard",
+            FailurePolicy::QuarantinePenalty => "quarantine_penalty",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "worst_seen" => Ok(FailurePolicy::WorstSeen),
+            "discard" => Ok(FailurePolicy::Discard),
+            "quarantine_penalty" => Ok(FailurePolicy::QuarantinePenalty),
+            other => Err(format!("unknown failure policy `{other}`")),
+        }
+    }
+}
+
+/// Unit-cube L∞ radius of a remembered crash region.
+const QUARANTINE_RADIUS: f64 = 0.05;
+/// How many times a quarantined suggestion is re-drawn before being
+/// accepted anyway (the optimizer may genuinely need to probe the edge).
+const QUARANTINE_RESUGGEST: usize = 4;
+
+/// The crash sites a [`FailurePolicy::QuarantinePenalty`] session has
+/// seen, in the unit cube of the tuning space. A point is *quarantined*
+/// when it lies within L∞ distance [`QUARANTINE_RADIUS`] of a remembered
+/// crash — the session re-draws such suggestions (boundedly), steering
+/// samplers away from known cliffs without carving the region out of the
+/// space entirely.
+#[derive(Clone, Debug, Default)]
+pub struct CrashRegionMemory {
+    points: Vec<Vec<f64>>,
+}
+
+impl CrashRegionMemory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a crash at `unit` (unit-cube coordinates).
+    pub fn remember(&mut self, unit: Vec<f64>) {
+        self.points.push(unit);
+    }
+
+    /// True when `unit` falls inside any remembered crash region.
+    pub fn is_quarantined(&self, unit: &[f64]) -> bool {
+        self.points.iter().any(|p| {
+            p.len() == unit.len()
+                && p.iter().zip(unit).all(|(a, b)| (a - b).abs() <= QUARANTINE_RADIUS)
+        })
+    }
+
+    /// Number of remembered crash sites.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no crash has been remembered.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
 }
 
 /// Session parameters.
@@ -266,20 +351,167 @@ pub fn improvement(obj: Objective, default_value: f64, value: f64) -> f64 {
     }
 }
 
+/// One raw evaluation as recorded in a [`SessionCheckpoint`]. Floats are
+/// stored as raw IEEE-754 bit words so the JSON round-trip is exact —
+/// a resumed session must replay *byte-identical* inputs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecordedEval {
+    /// `EvalResult::value` as `f64::to_bits`.
+    pub value_bits: u64,
+    /// Whether the evaluation failed.
+    pub failed: bool,
+    /// `EvalResult::metrics`, each as `f64::to_bits`.
+    pub metrics_bits: Vec<u64>,
+    /// `EvalResult::simulated_secs` as `f64::to_bits`.
+    pub simulated_secs_bits: u64,
+}
+
+impl RecordedEval {
+    /// Captures a raw evaluation result.
+    pub fn record(res: &EvalResult) -> Self {
+        Self {
+            value_bits: res.value.to_bits(),
+            failed: res.failed,
+            metrics_bits: res.metrics.iter().map(|m| m.to_bits()).collect(),
+            simulated_secs_bits: res.simulated_secs.to_bits(),
+        }
+    }
+
+    /// Rebuilds the exact evaluation result.
+    pub fn restore(&self) -> EvalResult {
+        EvalResult {
+            value: f64::from_bits(self.value_bits),
+            failed: self.failed,
+            metrics: self.metrics_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+            simulated_secs: f64::from_bits(self.simulated_secs_bits),
+        }
+    }
+}
+
+/// A mid-session snapshot from which [`run_session_resumable`] can
+/// continue byte-identically: the session's identity (seed, LHS length,
+/// failure policy), every raw evaluation so far, the RNG state after the
+/// last completed iteration, and the backend's fault-schedule cursor.
+///
+/// Resume *replays* the recorded evaluations through the live
+/// suggest/observe loop instead of serializing optimizer internals —
+/// the optimizer and RNG land in exactly the state they had when the
+/// checkpoint was taken, for all seven optimizer families, and the RNG
+/// state doubles as an end-to-end integrity check (see
+/// `docs/robustness.md` for the JSON format).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Checkpoint format version (currently 1).
+    pub schema: u32,
+    /// `SessionConfig::seed` of the checkpointed session.
+    pub seed: u64,
+    /// `SessionConfig::iterations` of the checkpointed session.
+    pub iterations: usize,
+    /// `SessionConfig::lhs_init` of the checkpointed session.
+    pub lhs_init: usize,
+    /// `SessionConfig::failure_policy`, encoded via
+    /// [`FailurePolicy::as_str`].
+    pub failure_policy: String,
+    /// Iterations completed when the snapshot was taken.
+    pub completed: usize,
+    /// Raw evaluation results of those iterations, in order.
+    pub evals: Vec<RecordedEval>,
+    /// xoshiro256++ state words after the last completed iteration.
+    pub rng_state: [u64; 4],
+    /// The backend's evaluation-attempt cursor (fault-schedule position).
+    pub eval_cursor: u64,
+}
+
+impl SessionCheckpoint {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serialization cannot fail")
+    }
+
+    /// Parses a checkpoint back from [`Self::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let ck: Self = serde_json::from_str(s).map_err(|e| format!("bad checkpoint: {e}"))?;
+        if ck.schema != 1 {
+            return Err(format!("unsupported checkpoint schema {}", ck.schema));
+        }
+        if ck.evals.len() != ck.completed {
+            return Err(format!(
+                "corrupt checkpoint: {} recorded evals for {} completed iterations",
+                ck.evals.len(),
+                ck.completed
+            ));
+        }
+        FailurePolicy::parse(&ck.failure_policy)?;
+        Ok(ck)
+    }
+
+    /// Panics unless this checkpoint belongs to a session shaped like
+    /// `cfg` (same seed, LHS length, failure policy, and no more
+    /// completed iterations than the session has).
+    fn validate_against(&self, cfg: &SessionConfig) {
+        assert_eq!(self.seed, cfg.seed, "checkpoint seed does not match the session");
+        assert_eq!(self.lhs_init, cfg.lhs_init, "checkpoint LHS length does not match");
+        assert_eq!(
+            self.failure_policy,
+            cfg.failure_policy.as_str(),
+            "checkpoint failure policy does not match"
+        );
+        assert_eq!(self.evals.len(), self.completed, "corrupt checkpoint: eval count mismatch");
+        assert!(
+            self.completed <= cfg.iterations,
+            "checkpoint has {} completed iterations but the session only runs {}",
+            self.completed,
+            cfg.iterations
+        );
+    }
+}
+
 /// Runs one tuning session.
-// The iteration index doubles as the LHS-design cursor.
-#[allow(clippy::needless_range_loop)]
 pub fn run_session(
     objective: &mut dyn SimObjective,
     space: &TuningSpace,
     opt: &mut dyn Optimizer,
     cfg: &SessionConfig,
 ) -> SessionResult {
+    run_session_resumable(objective, space, opt, cfg, None, None)
+}
+
+/// [`run_session`] with checkpoint support.
+///
+/// `resume` replays a [`SessionCheckpoint`]'s recorded evaluations
+/// through the live suggest/observe loop (no objective calls), then
+/// continues evaluating from where the snapshot left off — the final
+/// [`SessionResult`] is byte-identical to an uninterrupted run. After
+/// the replay the RNG state is asserted against the snapshot, so silent
+/// divergence (a changed optimizer, a doctored checkpoint) fails loudly
+/// instead of corrupting results.
+///
+/// `sink` is invoked with a fresh checkpoint after every completed
+/// iteration; callers decide persistence cadence (a session killed
+/// between two invocations loses at most one iteration).
+// The iteration index doubles as the LHS-design cursor.
+#[allow(clippy::needless_range_loop)]
+pub fn run_session_resumable(
+    objective: &mut dyn SimObjective,
+    space: &TuningSpace,
+    opt: &mut dyn Optimizer,
+    cfg: &SessionConfig,
+    resume: Option<&SessionCheckpoint>,
+    mut sink: Option<&mut dyn FnMut(&SessionCheckpoint)>,
+) -> SessionResult {
     let _session_span = telemetry::span("session");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let obj = objective.objective();
     let default_value = objective.reference_value(space.base());
     let default_score = orient(obj, default_value);
+
+    let replayed = match resume {
+        Some(ck) => {
+            ck.validate_against(cfg);
+            ck.completed
+        }
+        None => 0,
+    };
 
     // Pre-draw the LHS initial design if the optimizer wants it.
     let n_init = if opt.wants_lhs_init() { cfg.lhs_init.min(cfg.iterations) } else { 0 };
@@ -289,11 +521,28 @@ pub fn run_session(
     let mut best_trace = Vec::with_capacity(cfg.iterations);
     let mut overheads = Vec::with_capacity(cfg.iterations);
     let mut phases = PhaseTrace::with_capacity(cfg.iterations);
+    let mut recorded: Vec<RecordedEval> = Vec::with_capacity(cfg.iterations);
+    let mut crash_memory = CrashRegionMemory::new();
+    let quarantine = cfg.failure_policy == FailurePolicy::QuarantinePenalty;
     let mut best = f64::NEG_INFINITY;
     let mut worst_seen = f64::INFINITY;
+    let mut worst_observed = f64::INFINITY;
     let mut simulated = 0.0;
 
     for it in 0..cfg.iterations {
+        if it == replayed {
+            if let Some(ck) = resume {
+                // End of replay: the live loop takes over. The RNG must
+                // have landed exactly where the snapshot left it —
+                // anything else means the replay diverged.
+                assert_eq!(
+                    rng.state(),
+                    ck.rng_state,
+                    "checkpoint RNG state mismatch: resumed session diverged during replay"
+                );
+                objective.seek_eval_cursor(ck.eval_cursor);
+            }
+        }
         let t0 = Instant::now(); // lint: allow(D2) Fig. 9 overhead timing — the measurand; tuning results unaffected
                                  // The phase collector picks up the `surrogate_fit`/`acquisition`
                                  // spans the optimizer opens inside suggest(); whatever time they
@@ -302,6 +551,19 @@ pub fn run_session(
             let _s = telemetry::span("suggest");
             if it < n_init {
                 init[it].clone()
+            } else if quarantine && !crash_memory.is_empty() {
+                // Re-draw suggestions that land in a remembered crash
+                // region (boundedly — the optimizer may genuinely need
+                // to probe the edge of a cliff).
+                let mut cand = opt.suggest(&mut rng);
+                for _ in 0..QUARANTINE_RESUGGEST {
+                    if !crash_memory.is_quarantined(&space.space().to_unit(&cand)) {
+                        break;
+                    }
+                    telemetry::global().metrics.counter("tuner.quarantine.rejections").inc();
+                    cand = opt.suggest(&mut rng);
+                }
+                cand
             } else {
                 opt.suggest(&mut rng)
             }
@@ -310,17 +572,29 @@ pub fn run_session(
 
         let full = space.full_config(&sub);
         let te = Instant::now(); // lint: allow(D2) Fig. 9 overhead timing — the measurand; tuning results unaffected
-        let res = {
+        let res = if it < replayed {
+            // Replay: feed the recorded evaluation instead of re-running
+            // it; suggest/observe still run live, rebuilding optimizer
+            // and RNG state exactly.
+            resume.expect("replay implies a checkpoint").evals[it].restore()
+        } else {
             let _e = telemetry::span("evaluate");
             objective.evaluate(&full)
         };
         let evaluate_secs = te.elapsed().as_secs_f64();
         simulated += res.simulated_secs;
+        recorded.push(RecordedEval::record(&res));
 
         // §4.1: failures take the worst performance seen so far (or are
-        // discarded under the ablation policy).
+        // discarded / penalized under the other policies).
         let (score, value, failed) = if res.failed {
-            let fallback = if worst_seen.is_finite() {
+            let fallback = if quarantine {
+                // One log-unit below the worst *observed* score: a cliff
+                // the surrogate can model, independent of how many
+                // failures came before.
+                let base = if worst_observed.is_finite() { worst_observed } else { default_score };
+                base - 1.0
+            } else if worst_seen.is_finite() {
                 worst_seen
             } else {
                 default_score - default_score.abs().max(1.0)
@@ -330,6 +604,11 @@ pub fn run_session(
             (orient(obj, res.value), res.value, false)
         };
         worst_seen = worst_seen.min(score);
+        if !failed {
+            worst_observed = worst_observed.min(score);
+        } else if quarantine {
+            crash_memory.remember(space.space().to_unit(&sub));
+        }
         best = best.max(score);
 
         // Algorithm overhead (Figure 9) = statistics collection, model
@@ -360,6 +639,25 @@ pub fn run_session(
         overheads.push(overhead);
         observations.push(Observation { config: sub, value, score, failed, metrics: res.metrics });
         best_trace.push(best);
+
+        // Checkpoints are only emitted for live iterations: during replay
+        // the objective's fault-schedule cursor is not yet realigned, so
+        // a snapshot taken there would record a stale cursor.
+        if it >= replayed {
+            if let Some(sink) = sink.as_deref_mut() {
+                sink(&SessionCheckpoint {
+                    schema: 1,
+                    seed: cfg.seed,
+                    iterations: cfg.iterations,
+                    lhs_init: cfg.lhs_init,
+                    failure_policy: cfg.failure_policy.as_str().to_string(),
+                    completed: it + 1,
+                    evals: recorded.clone(),
+                    rng_state: rng.state(),
+                    eval_cursor: objective.eval_cursor(),
+                });
+            }
+        }
     }
 
     SessionResult {
@@ -535,5 +833,125 @@ mod tests {
         let (fit, acq, _) = result.phases.overhead_totals();
         assert!(fit > 0.0, "model-based sessions must record fitting time");
         assert!(acq > 0.0, "model-based sessions must record acquisition time");
+    }
+
+    #[test]
+    fn result_accessors_agree_with_the_trace() {
+        let mut sim = DbSimulator::new(Workload::Smallbank, Hardware::B, 9);
+        let space = small_space(&sim);
+        let mut opt = OptimizerKind::Smac.build(space.space(), METRICS_DIM, 9);
+        let result = run_session(
+            &mut sim,
+            &space,
+            &mut opt,
+            &SessionConfig { iterations: 25, lhs_init: 8, seed: 9, ..Default::default() },
+        );
+
+        // iterations_to_beat: anything below the default is beaten at
+        // iteration 1; the final best is never beaten; thresholds in
+        // between are beaten exactly where the trace first exceeds them.
+        let first = result.best_score_trace[0];
+        assert_eq!(result.iterations_to_beat(first - 1.0), Some(1));
+        assert_eq!(result.iterations_to_beat(result.best_score()), None);
+        let mid = (first + result.best_score()) / 2.0;
+        if let Some(n) = result.iterations_to_beat(mid) {
+            assert!(result.best_score_trace[n - 1] > mid);
+            assert!(result.best_score_trace[..n - 1].iter().all(|&s| s <= mid));
+        }
+
+        // iterations_to_best points at the first occurrence of the best.
+        let n_best = result.iterations_to_best();
+        assert_eq!(result.best_score_trace[n_best - 1], result.best_score());
+        assert!(result.best_score_trace[..n_best - 1].iter().all(|&s| s < result.best_score()));
+
+        // best_value/best_improvement are consistent transforms.
+        let improv = improvement(result.objective, result.default_value, result.best_value());
+        assert!((result.best_improvement() - improv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_policy_names_round_trip() {
+        for policy in
+            [FailurePolicy::WorstSeen, FailurePolicy::Discard, FailurePolicy::QuarantinePenalty]
+        {
+            assert_eq!(FailurePolicy::parse(policy.as_str()), Ok(policy));
+        }
+        assert!(FailurePolicy::parse("retry_forever").is_err());
+    }
+
+    #[test]
+    fn crash_region_memory_quarantines_by_infinity_norm() {
+        let mut mem = CrashRegionMemory::new();
+        assert!(mem.is_empty());
+        assert!(!mem.is_quarantined(&[0.5, 0.5]), "empty memory quarantines nothing");
+        mem.remember(vec![0.5, 0.5]);
+        assert_eq!(mem.len(), 1);
+        assert!(mem.is_quarantined(&[0.5, 0.5]));
+        assert!(mem.is_quarantined(&[0.5 + QUARANTINE_RADIUS * 0.9, 0.5]));
+        assert!(!mem.is_quarantined(&[0.5 + QUARANTINE_RADIUS * 1.1, 0.5]), "outside the ball");
+        assert!(
+            !mem.is_quarantined(&[0.5, 0.5, 0.5]),
+            "dimension mismatch must never quarantine"
+        );
+        mem.remember(vec![0.1, 0.9]);
+        assert!(mem.is_quarantined(&[0.12, 0.88]), "any remembered point suffices");
+    }
+
+    #[test]
+    fn recorded_eval_is_bit_exact_for_awkward_floats() {
+        let res = EvalResult {
+            value: f64::NAN,
+            failed: true,
+            metrics: vec![0.1 + 0.2, -0.0, f64::INFINITY, 3.0],
+            simulated_secs: 210.000000000001,
+        };
+        let back = RecordedEval::record(&res).restore();
+        assert_eq!(back.value.to_bits(), res.value.to_bits(), "NaN payload preserved");
+        assert_eq!(back.failed, res.failed);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.metrics), bits(&res.metrics));
+        assert_eq!(back.simulated_secs.to_bits(), res.simulated_secs.to_bits());
+    }
+
+    #[test]
+    fn checkpoint_json_round_trip_is_exact() {
+        let ck = SessionCheckpoint {
+            schema: 1,
+            seed: 42,
+            iterations: 30,
+            lhs_init: 8,
+            failure_policy: FailurePolicy::QuarantinePenalty.as_str().to_string(),
+            completed: 2,
+            evals: vec![
+                RecordedEval::record(&EvalResult {
+                    value: 1234.5678,
+                    failed: false,
+                    metrics: vec![0.1, 0.2],
+                    simulated_secs: 210.0,
+                }),
+                RecordedEval::record(&EvalResult {
+                    value: f64::NAN,
+                    failed: true,
+                    metrics: vec![],
+                    simulated_secs: 720.0,
+                }),
+            ],
+            rng_state: [u64::MAX, 0, 0x9e3779b97f4a7c15, 7],
+            eval_cursor: 11,
+        };
+        let json = ck.to_json();
+        let back = SessionCheckpoint::from_json(&json).expect("round-trip");
+        assert_eq!(back.to_json(), json, "serialization is a fixed point");
+        assert_eq!(back.rng_state, ck.rng_state);
+        assert_eq!(back.evals[0].value_bits, ck.evals[0].value_bits);
+
+        // Corrupt inputs are rejected, not misparsed.
+        assert!(SessionCheckpoint::from_json("{}").is_err());
+        assert!(SessionCheckpoint::from_json(&json.replace("\"schema\": 1", "\"schema\": 9"))
+            .is_err());
+        assert!(SessionCheckpoint::from_json(
+            &json.replace("quarantine_penalty", "explode_quietly")
+        )
+        .is_err());
     }
 }

@@ -1,0 +1,317 @@
+//! Deterministic fault injection: replayable chaos for the evaluation
+//! pipeline.
+//!
+//! A production tuning loop over a live DBMS routinely loses individual
+//! evaluations — stress tests time out, a flaky replica dies mid-run, a
+//! metrics scrape returns garbage. The paper's §4.1 only models the
+//! *deterministic* failure (memory overcommit → crash); this module adds
+//! the *transient* kind in a form the workspace's determinism contract
+//! can digest: every fault is a pure function of `(plan_seed,
+//! eval_index)`, so a chaos run replays bit-identically on any worker
+//! count, and turning the plan off restores byte-identical baseline
+//! results.
+//!
+//! The schedule deliberately does **not** depend on the configuration
+//! being evaluated: transient faults strike the *attempt*, not the
+//! configuration (that is what distinguishes them from the simulator's
+//! crash regions), which is also why retried attempts draw fresh
+//! schedule slots. See `docs/robustness.md` for the full grammar and
+//! semantics.
+
+/// What a scheduled fault does to the evaluation it strikes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// The stress test hangs and is killed at the timeout: no result, the
+    /// full timeout window is charged to the simulated clock.
+    Timeout,
+    /// The DBMS (or its host) dies for reasons unrelated to the
+    /// configuration: no result, one evaluation window is lost.
+    SpuriousCrash,
+    /// The evaluation completes but the metrics scrape is corrupted:
+    /// the result stands, the metric vector is deterministically mangled.
+    NoisyMetrics {
+        /// Seed for the deterministic corruption pattern.
+        corruption: u64,
+    },
+    /// The evaluation completes but took far longer than budgeted (I/O
+    /// contention, compaction storm): extra seconds on the ledger.
+    Stall {
+        /// Extra simulated seconds charged on top of the evaluation.
+        extra_secs: f64,
+    },
+}
+
+/// A seeded, replayable schedule of transient faults.
+///
+/// `fault_at(i)` answers "what happens to the i-th evaluation attempt"
+/// purely from `(seed, i)` — no internal state, no stream to keep in
+/// sync. Rates are independent per kind; when several kinds fire on the
+/// same slot the most disruptive wins (timeout > crash > noise > stall),
+/// so the expected disruption never exceeds the sum of the rates.
+///
+/// Parsed from the drivers' `faults=` flag; see [`FaultPlan::parse`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Schedule seed: same seed, same faults, every run.
+    pub seed: u64,
+    /// Probability an attempt times out.
+    pub timeout_rate: f64,
+    /// Probability an attempt dies spuriously.
+    pub crash_rate: f64,
+    /// Probability a completed attempt's metrics are corrupted.
+    pub noise_rate: f64,
+    /// Probability a completed attempt stalls.
+    pub stall_rate: f64,
+    /// Simulated seconds a timeout burns before the harness gives up
+    /// (the stress-test window plus a recovery restart).
+    pub timeout_secs: f64,
+    /// Simulated seconds a stall adds to an otherwise-normal evaluation.
+    pub stall_secs: f64,
+}
+
+/// Default timeout charge: the simulator's 180 s stress window plus the
+/// 30 s restart, i.e. a hung test costs exactly one evaluation slot.
+pub const DEFAULT_TIMEOUT_SECS: f64 = crate::sim::EVAL_SECONDS + crate::sim::RESTART_SECONDS;
+/// Default stall charge: half an evaluation window of extra I/O wait.
+pub const DEFAULT_STALL_SECS: f64 = crate::sim::EVAL_SECONDS / 2.0;
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// splitmix64 finalizer (the same permutation the executor uses for cell
+/// seeds; duplicated here so dbsim stays dependency-light).
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit word to a uniform draw in `[0, 1)`.
+#[inline]
+fn unit(word: u64) -> f64 {
+    // 53 high bits — the full significand of an f64 in [0, 1).
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// A plan that never fires (all rates zero).
+    pub fn disabled() -> Self {
+        Self {
+            seed: 0,
+            timeout_rate: 0.0,
+            crash_rate: 0.0,
+            noise_rate: 0.0,
+            stall_rate: 0.0,
+            timeout_secs: DEFAULT_TIMEOUT_SECS,
+            stall_secs: DEFAULT_STALL_SECS,
+        }
+    }
+
+    /// True when any fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.timeout_rate > 0.0
+            || self.crash_rate > 0.0
+            || self.noise_rate > 0.0
+            || self.stall_rate > 0.0
+    }
+
+    /// The same plan under a different schedule seed — how a grid gives
+    /// every cell its own fault sequence while keeping one set of rates
+    /// (`plan.reseeded(mix(plan.seed, cell_index))`).
+    pub fn reseeded(&self, seed: u64) -> Self {
+        Self { seed, ..*self }
+    }
+
+    /// The fault striking evaluation attempt `eval_index`, if any — a
+    /// pure function of `(self.seed, eval_index)`.
+    ///
+    /// Each kind gets an independent draw from its own substream;
+    /// collisions resolve to the most disruptive kind so a single
+    /// attempt never suffers two faults.
+    pub fn fault_at(&self, eval_index: u64) -> Option<FaultEvent> {
+        let base = splitmix64(self.seed ^ eval_index.rotate_left(17));
+        if unit(splitmix64(base ^ 0x7134_0001)) < self.timeout_rate {
+            return Some(FaultEvent::Timeout);
+        }
+        if unit(splitmix64(base ^ 0x7134_0002)) < self.crash_rate {
+            return Some(FaultEvent::SpuriousCrash);
+        }
+        if unit(splitmix64(base ^ 0x7134_0003)) < self.noise_rate {
+            return Some(FaultEvent::NoisyMetrics { corruption: splitmix64(base ^ 0x7134_0004) });
+        }
+        if unit(splitmix64(base ^ 0x7134_0005)) < self.stall_rate {
+            return Some(FaultEvent::Stall { extra_secs: self.stall_secs });
+        }
+        None
+    }
+
+    /// Deterministically corrupts a metric vector in place (the
+    /// [`FaultEvent::NoisyMetrics`] payload): roughly a quarter of the
+    /// entries are scaled by a factor in `[0.25, 4)` derived from
+    /// `corruption` and the entry index. Applied *after* any cache so
+    /// the stored result stays clean.
+    pub fn corrupt_metrics(corruption: u64, metrics: &mut [f64]) {
+        for (i, m) in metrics.iter_mut().enumerate() {
+            let w = splitmix64(corruption ^ (i as u64).wrapping_mul(0x9e37_79b9));
+            if w & 3 == 0 {
+                // 2^u for u uniform in [-2, 2): multiplicative garbage.
+                *m *= (unit(splitmix64(w)) * 4.0 - 2.0).exp2();
+            }
+        }
+    }
+
+    /// Parses the drivers' `faults=` flag.
+    ///
+    /// Grammar: `off` (or the empty string) disables injection;
+    /// otherwise a comma-separated list of `key:value` pairs with keys
+    /// `seed`, `timeout`, `crash`, `noise`, `stall` (rates in `[0, 1]`)
+    /// and `timeout_secs`, `stall_secs` (positive seconds). Example:
+    /// `faults=seed:11,timeout:0.05,crash:0.03,noise:0.1,stall:0.05`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "off" {
+            return Ok(Self::disabled());
+        }
+        let mut plan = Self::disabled();
+        for pair in spec.split(',') {
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("fault plan: expected key:value, got `{pair}`"))?;
+            let num = || -> Result<f64, String> {
+                value.parse::<f64>().map_err(|_| format!("fault plan: bad number `{value}`"))
+            };
+            let rate = || -> Result<f64, String> {
+                let r = num()?;
+                if (0.0..=1.0).contains(&r) {
+                    Ok(r)
+                } else {
+                    Err(format!("fault plan: rate `{key}` must be in [0,1], got {value}"))
+                }
+            };
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault plan: bad seed `{value}`"))?;
+                }
+                "timeout" => plan.timeout_rate = rate()?,
+                "crash" => plan.crash_rate = rate()?,
+                "noise" => plan.noise_rate = rate()?,
+                "stall" => plan.stall_rate = rate()?,
+                "timeout_secs" => plan.timeout_secs = num()?,
+                "stall_secs" => plan.stall_secs = num()?,
+                other => return Err(format!("fault plan: unknown key `{other}`")),
+            }
+        }
+        if plan.timeout_secs <= 0.0 || plan.stall_secs <= 0.0 {
+            return Err("fault plan: charged seconds must be positive".to_string());
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 11,
+            timeout_rate: 0.05,
+            crash_rate: 0.05,
+            noise_rate: 0.1,
+            stall_rate: 0.1,
+            ..FaultPlan::disabled()
+        }
+    }
+
+    #[test]
+    fn schedule_is_pure_and_replayable() {
+        let plan = busy_plan();
+        let a: Vec<Option<FaultEvent>> = (0..512).map(|i| plan.fault_at(i)).collect();
+        // Query again, out of order: same answers (no internal stream).
+        for i in (0..512).rev() {
+            assert_eq!(plan.fault_at(i), a[i as usize]);
+        }
+        // A different seed reshuffles the schedule.
+        let b: Vec<Option<FaultEvent>> = (0..512).map(|i| plan.reseeded(12).fault_at(i)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_active());
+        assert!((0..4096).all(|i| plan.fault_at(i).is_none()));
+    }
+
+    #[test]
+    fn rates_land_near_targets() {
+        let plan = busy_plan();
+        let n = 20_000u64;
+        let mut counts = [0u64; 4];
+        for i in 0..n {
+            match plan.fault_at(i) {
+                Some(FaultEvent::Timeout) => counts[0] += 1,
+                Some(FaultEvent::SpuriousCrash) => counts[1] += 1,
+                Some(FaultEvent::NoisyMetrics { .. }) => counts[2] += 1,
+                Some(FaultEvent::Stall { .. }) => counts[3] += 1,
+                None => {}
+            }
+        }
+        let frac = |c: u64| c as f64 / n as f64;
+        // Loose 3-sigma-ish bands; priority resolution skims a little off
+        // the lower-priority kinds.
+        assert!((0.04..0.06).contains(&frac(counts[0])), "timeout {}", frac(counts[0]));
+        assert!((0.035..0.06).contains(&frac(counts[1])), "crash {}", frac(counts[1]));
+        assert!((0.07..0.12).contains(&frac(counts[2])), "noise {}", frac(counts[2]));
+        assert!((0.06..0.12).contains(&frac(counts[3])), "stall {}", frac(counts[3]));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_partial() {
+        let mut a: Vec<f64> = (1..=40).map(|i| i as f64).collect();
+        let mut b = a.clone();
+        let orig = a.clone();
+        FaultPlan::corrupt_metrics(99, &mut a);
+        FaultPlan::corrupt_metrics(99, &mut b);
+        assert_eq!(a, b, "same corruption seed, same garbage");
+        let changed = a.iter().zip(&orig).filter(|(x, y)| x != y).count();
+        assert!(changed > 0, "corruption must touch something");
+        assert!(changed < orig.len(), "corruption must not rewrite everything");
+        let mut c = orig.clone();
+        FaultPlan::corrupt_metrics(100, &mut c);
+        assert_ne!(a, c, "different corruption seeds diverge");
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_grammar() {
+        let plan =
+            FaultPlan::parse("seed:11,timeout:0.05,crash:0.03,noise:0.1,stall:0.05").expect("ok");
+        assert_eq!(plan.seed, 11);
+        assert!((plan.timeout_rate - 0.05).abs() < 1e-12);
+        assert!((plan.crash_rate - 0.03).abs() < 1e-12);
+        assert!((plan.noise_rate - 0.1).abs() < 1e-12);
+        assert!((plan.stall_rate - 0.05).abs() < 1e-12);
+        assert!(plan.is_active());
+
+        assert_eq!(FaultPlan::parse("off").expect("off"), FaultPlan::disabled());
+        assert_eq!(FaultPlan::parse("").expect("empty"), FaultPlan::disabled());
+        let secs = FaultPlan::parse("stall:1,stall_secs:42").expect("secs");
+        assert!((secs.stall_secs - 42.0).abs() < 1e-12);
+        match secs.fault_at(0) {
+            Some(FaultEvent::Stall { extra_secs }) => assert!((extra_secs - 42.0).abs() < 1e-12),
+            other => panic!("rate 1.0 must always stall, got {other:?}"),
+        }
+
+        assert!(FaultPlan::parse("timeout:1.5").is_err(), "rates above 1 rejected");
+        assert!(FaultPlan::parse("bogus:1").is_err(), "unknown keys rejected");
+        assert!(FaultPlan::parse("timeout=0.1").is_err(), "= is not the pair separator");
+        assert!(FaultPlan::parse("timeout:0.1,timeout_secs:-5").is_err(), "negative charge");
+    }
+}

@@ -22,15 +22,20 @@
 //!   input of DDPG and the distance space of workload mapping);
 //! * multiplicative log-normal **measurement noise** and a simulated
 //!   wall-clock **cost ledger** (3-minute stress tests + restart) so the
-//!   surrogate benchmark can report paper-style speedups.
+//!   surrogate benchmark can report paper-style speedups;
+//! * seeded **fault plans** ([`fault`]) injecting transient evaluation
+//!   faults — timeouts, spurious crashes, corrupted metrics, stalls —
+//!   on a replayable per-attempt schedule (see `docs/robustness.md`).
 
 pub mod catalog;
+pub mod fault;
 pub mod hardware;
 pub mod knob;
 pub mod sim;
 pub mod workload;
 
 pub use catalog::KnobCatalog;
+pub use fault::{FaultEvent, FaultPlan};
 pub use hardware::Hardware;
 pub use knob::{Domain, KnobSpec};
 pub use sim::{DbSimulator, Objective, Outcome, EVAL_SECONDS, METRICS_DIM, RESTART_SECONDS};

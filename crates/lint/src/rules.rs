@@ -16,6 +16,9 @@
 //! |      | against non-zero literals in optimizer/ml code                   |
 //! | E1   | no `.unwrap()` / `.expect("")` in library code (bench binaries   |
 //! |      | and `#[cfg(test)]` modules exempt)                               |
+//! | E2   | no `catch_unwind` outside the executor's containment layer       |
+//! |      | (`core/src/exec.rs`, `dbsim/src/fault.rs`; tests exempt) — ad    |
+//! |      | hoc panic swallowing hides bugs and can strand shared state      |
 //! | P1   | pragma is malformed (bad grammar, unknown rule, no reason)       |
 //! | P2   | pragma suppresses nothing — stale suppressions must be removed   |
 //!
@@ -31,7 +34,7 @@ use crate::report::{Finding, PragmaRecord};
 use crate::scanner::{self, is_ident_char};
 
 /// Every rule id the engine can emit (and `allow(..)` can name).
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "F1", "E1", "P1", "P2"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "F1", "E1", "E2", "P1", "P2"];
 
 /// Where a file sits in the workspace, which decides rule applicability.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +47,10 @@ pub struct FileClass {
     /// Optimizer/ML code (`crates/ml`, `core/src/optimizer`,
     /// `core/src/importance`): F1's float-literal equality check applies.
     pub float_eq_scope: bool,
+    /// The sanctioned panic-containment layer (`core/src/exec.rs`,
+    /// `dbsim/src/fault.rs`): E2 does not apply. Everywhere else,
+    /// `catch_unwind` must go through `exec::run_grid_contained`.
+    pub panic_scope: bool,
 }
 
 /// Classifies a workspace-relative path (forward slashes).
@@ -55,6 +62,7 @@ pub fn classify(rel: &str) -> FileClass {
         float_eq_scope: r.starts_with("crates/ml/src")
             || r.starts_with("crates/core/src/optimizer")
             || r.starts_with("crates/core/src/importance"),
+        panic_scope: r == "crates/core/src/exec.rs" || r == "crates/dbsim/src/fault.rs",
     }
 }
 
@@ -205,6 +213,18 @@ pub fn scan_source(
             if code.contains(".expect(\"\")") {
                 push("E1", "`.expect(\"\")` carries no context — write a real message".to_string());
             }
+        }
+
+        // E2 — ad hoc panic containment outside the executor.
+        if !class.panic_scope && !in_test && contains_token(code, "catch_unwind") {
+            push(
+                "E2",
+                "`catch_unwind` outside the executor's containment layer swallows panics the \
+                 grid contract is supposed to surface (and can strand shared state mid-update) — \
+                 route the fallible cell through exec::run_grid_contained, or annotate \
+                 `// lint: allow(E2) <why containment is sound here>`"
+                    .to_string(),
+            );
         }
 
         an.advance_blocks(code);
@@ -666,6 +686,23 @@ mod tests {
         // A non-empty expect passes.
         assert!(findings("crates/core/src/x.rs", "fn f(x: Option<u32>) { x.expect(\"ctx\"); }\n")
             .is_empty());
+    }
+
+    #[test]
+    fn e2_catch_unwind_only_in_the_containment_layer() {
+        let src = "fn f() { let r = std::panic::catch_unwind(|| 1); }\n";
+        assert_eq!(findings("crates/core/src/tuner.rs", src), vec![(1, "E2".into())]);
+        assert_eq!(findings("crates/bench/src/bin/fig1.rs", src), vec![(1, "E2".into())]);
+        // The sanctioned containment layer is exempt.
+        assert!(findings("crates/core/src/exec.rs", src).is_empty());
+        assert!(findings("crates/dbsim/src/fault.rs", src).is_empty());
+        // Tests may assert panics.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { std::panic::catch_unwind(|| 1); }\n}\n";
+        assert!(findings("crates/core/src/tuner.rs", test_src).is_empty());
+        // The pragma escape hatch works like any other rule's.
+        let allowed =
+            "fn f() { let r = std::panic::catch_unwind(|| 1); // lint: allow(E2) ffi boundary\n}\n";
+        assert!(findings("crates/core/src/tuner.rs", allowed).is_empty());
     }
 
     #[test]

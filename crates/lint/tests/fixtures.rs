@@ -29,6 +29,7 @@ fn fixture_corpus_exact_findings() {
         ("crates/core/src/pragmas.rs", 12, "P1"),
         ("crates/core/src/pragmas.rs", 17, "P2"),
         ("crates/core/src/pragmas.rs", 22, "P1"),
+        ("crates/core/src/recover.rs", 6, "E2"),
         ("crates/ml/src/model.rs", 6, "D3"),
         ("crates/ml/src/model.rs", 15, "D3"),
         ("crates/obs/src/clock.rs", 19, "D3"),
@@ -38,7 +39,9 @@ fn fixture_corpus_exact_findings() {
     .map(|(p, l, r)| (p.to_string(), *l, r.to_string()))
     .collect();
     assert_eq!(got, want, "fixture findings drifted — update the corpus or the engine");
-    assert_eq!(report.files_scanned, 7);
+    // Nine files: the E2 corpus adds `recover.rs` (violations) and
+    // `exec.rs` (the sanctioned layer, zero findings).
+    assert_eq!(report.files_scanned, 9);
 }
 
 #[test]
@@ -51,6 +54,7 @@ fn fixture_corpus_fails_the_gate() {
     assert_eq!(counts.get("D3").copied(), Some(3));
     assert_eq!(counts.get("F1").copied(), Some(2));
     assert_eq!(counts.get("E1").copied(), Some(1));
+    assert_eq!(counts.get("E2").copied(), Some(1));
     assert_eq!(counts.get("P1").copied(), Some(2));
     assert_eq!(counts.get("P2").copied(), Some(1));
 }
@@ -58,15 +62,17 @@ fn fixture_corpus_fails_the_gate() {
 #[test]
 fn fixture_pragma_audit_trail() {
     let report = scan();
-    // Two well-formed suppressions actually suppress (the `sorted` sugar in
-    // engine.rs and the standalone allow(D2) in pragmas.rs), and both carry
-    // a non-empty justification.
+    // Three well-formed suppressions actually suppress (the `sorted` sugar
+    // in engine.rs, the standalone allow(D2) in pragmas.rs, and the
+    // allow(E2) boundary in recover.rs), and all carry a non-empty
+    // justification.
     let used: Vec<&dbtune_lint::report::PragmaRecord> =
         report.pragmas.iter().filter(|p| p.used).collect();
-    assert_eq!(used.len(), 2, "{:?}", report.pragmas);
+    assert_eq!(used.len(), 3, "{:?}", report.pragmas);
     assert!(used.iter().all(|p| !p.justification.is_empty()));
     assert!(used.iter().any(|p| p.path.ends_with("engine.rs") && p.rules == ["D1"]));
     assert!(used.iter().any(|p| p.path.ends_with("pragmas.rs") && p.rules == ["D2"]));
+    assert!(used.iter().any(|p| p.path.ends_with("recover.rs") && p.rules == ["E2"]));
 }
 
 #[test]
@@ -74,12 +80,13 @@ fn fixture_json_report_round_trips_key_facts() {
     let report = scan();
     let json = report.to_json();
     assert!(json.contains("\"clean\": false"));
-    assert!(json.contains("\"files_scanned\": 7"));
+    assert!(json.contains("\"files_scanned\": 9"));
     assert!(json.contains("\"D1\": 3"));
+    assert!(json.contains("\"E2\": 1"));
     assert!(json.contains("crates/core/src/engine.rs"));
     assert!(json.contains("collected then sorted below"), "justifications reach the JSON report");
     // Human rendering keeps the grep-able path:line: RULE shape.
     let human = report.human();
     assert!(human.contains("crates/core/src/engine.rs:14: D1 — "));
-    assert!(human.contains("14 finding(s) in 7 file(s); 2 active suppression(s)"));
+    assert!(human.contains("15 finding(s) in 9 file(s); 3 active suppression(s)"));
 }

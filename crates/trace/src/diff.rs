@@ -9,9 +9,13 @@
 //!   byte-identical across runs of the same configuration (the PR 1–3
 //!   determinism contract). *Any* delta is flagged: it means the two
 //!   runs did different work, and no timing comparison is meaningful
-//!   until that is explained. Counters whose name ends in `_nanos` or
-//!   `_secs` (`exec.worker.busy_nanos`, …) accumulate wall clock, not
-//!   work, and are compared under the wall-time rule instead.
+//!   until that is explained. The fault-injection counters
+//!   (`exec.retries`, `exec.retry_exhausted`, `exec.panics_contained`,
+//!   `sim.faults.*`) fall under this exact rule too: fault schedules are
+//!   pure functions of the plan seed, so a chaos run's retry count is as
+//!   deterministic as its eval count. Counters whose name ends in
+//!   `_nanos` or `_secs` (`exec.worker.busy_nanos`, …) accumulate wall
+//!   clock, not work, and are compared under the wall-time rule instead.
 //! * **Wall times** — compared on the min-of-N statistic (fastest of N
 //!   observations; the minimum of a deterministic code path estimates
 //!   its true cost, while means and maxima absorb scheduler noise) and
@@ -293,6 +297,32 @@ mod tests {
             entries.iter().find(|e| e.key == "counter:sim.evals").expect("evals counter in diff");
         assert!(counter.flagged, "one extra eval must flag: deterministic");
         assert_eq!(counter.kind, DiffKind::Count);
+    }
+
+    #[test]
+    fn fault_counters_are_held_to_exact_equality() {
+        // Pin the rule assignment: retry/fault counters are derived from
+        // seeded schedules, so they diff as deterministic counts — a
+        // drifting retry count means the chaos run did different work.
+        let mut a = summary(100, 50_000_000, 10);
+        let mut b = summary(100, 50_000_000, 10);
+        for key in
+            ["exec.retries", "exec.retry_exhausted", "exec.panics_contained", "sim.faults.timeout"]
+        {
+            a.counters.insert(key.into(), 7);
+            b.counters.insert(key.into(), 8);
+        }
+        let entries = diff_summaries(&a, &b, &DiffConfig::default());
+        for key in
+            ["exec.retries", "exec.retry_exhausted", "exec.panics_contained", "sim.faults.timeout"]
+        {
+            let e = entries
+                .iter()
+                .find(|e| e.key == format!("counter:{key}"))
+                .expect("fault counter in diff");
+            assert_eq!(e.kind, DiffKind::Count, "{key} must use the exact-equality rule");
+            assert!(e.flagged, "a one-off delta on {key} must flag: {e:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! Fixture: the sanctioned panic-containment layer — `catch_unwind` in
+//! `crates/core/src/exec.rs` is the executor's job, not a violation.
+
+// expect: no finding — this path is E2's one library-code exemption.
+pub fn run_contained(f: impl Fn() -> u32 + std::panic::RefUnwindSafe) -> Option<u32> {
+    std::panic::catch_unwind(|| f()).ok()
+}

@@ -1,0 +1,21 @@
+//! Fixture: rule E2 — ad hoc panic containment outside the executor's
+//! sanctioned layer.
+
+// expect: E2 — library code swallowing panics on its own.
+pub fn swallow(f: impl Fn() -> u32 + std::panic::RefUnwindSafe) -> Option<u32> {
+    std::panic::catch_unwind(|| f()).ok()
+}
+
+// expect: no finding — a justified pragma keeps deliberate containment.
+pub fn boundary(f: impl Fn() -> u32 + std::panic::RefUnwindSafe) -> Option<u32> {
+    std::panic::catch_unwind(|| f()).ok() // lint: allow(E2) ffi callback boundary, state is local
+}
+
+#[cfg(test)]
+mod tests {
+    // expect: no finding — tests may assert that things panic.
+    #[test]
+    fn panics_are_observable() {
+        assert!(std::panic::catch_unwind(|| panic!("boom")).is_err());
+    }
+}
