@@ -1,0 +1,111 @@
+//! Golden regression test for the committed `BENCH_perf.json`: re-runs
+//! the perf-baseline tuning matrix in-process and checks the
+//! deterministic `results` block bit-for-bit against the committed
+//! artifact. Guards the GP/acquisition hot-path optimizations (batched
+//! scoring, incremental Cholesky) — any numeric drift in an optimizer
+//! shows up here as a changed `best_improvement` before CI ever reaches
+//! the slower release-binary diff.
+//!
+//! Worker counts 1, 2, and 8 must all reproduce the same cell results:
+//! the artifact is scheduling-invariant by design. Cache counters are
+//! only exactly reproducible at `workers=1` (concurrent sessions can
+//! race the shared cache and both compute a missing entry), so the
+//! counter comparison is restricted to the single-worker run.
+
+use dbtune_bench::artifact::{load_json_file, lookup, lookup_path};
+use dbtune_bench::{run_tuning_grid, GridOpts, TuningCell};
+use dbtune_core::optimizer::OptimizerKind;
+use dbtune_dbsim::Workload;
+use serde::Value;
+use std::path::Path;
+
+/// Mirror of the `perf_baseline` driver's fixed matrix and settings
+/// (MATRIX / KNOBS / SEED there). Keep in sync — the committed
+/// `BENCH_perf.json` is defined by that driver.
+const MATRIX: [(Workload, OptimizerKind); 4] = [
+    (Workload::Job, OptimizerKind::VanillaBo),
+    (Workload::Job, OptimizerKind::Smac),
+    (Workload::Sysbench, OptimizerKind::Tpe),
+    (Workload::Tpcc, OptimizerKind::Ga),
+];
+const KNOBS: usize = 12;
+const SEED: u64 = 42;
+const ITERS: usize = 60;
+
+fn committed_baseline() -> Value {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json");
+    load_json_file(&path).expect("committed BENCH_perf.json loads")
+}
+
+fn golden_cells(baseline: &Value) -> Vec<(String, String, f64)> {
+    lookup_path(baseline, &["results", "cells"])
+        .and_then(Value::as_array)
+        .expect("results.cells present")
+        .iter()
+        .map(|cell| {
+            let get_str = |k: &str| {
+                lookup(cell, k)
+                    .and_then(Value::as_str)
+                    .unwrap_or_else(|| panic!("cell field {k} missing"))
+                    .to_string()
+            };
+            let best = lookup(cell, "best_improvement")
+                .and_then(Value::as_f64)
+                .expect("cell best_improvement present");
+            (get_str("workload"), get_str("optimizer"), best)
+        })
+        .collect()
+}
+
+fn run_matrix(workers: usize) -> (Vec<f64>, dbtune_bench::ExecReport) {
+    let cells: Vec<TuningCell> = MATRIX
+        .iter()
+        .map(|&(workload, opt_kind)| TuningCell {
+            workload,
+            selected: (0..KNOBS).collect(),
+            opt_kind,
+            iters: ITERS,
+            seed: SEED,
+        })
+        .collect();
+    let opts = GridOpts {
+        workers,
+        cache: true,
+        noise_seed: SEED,
+        faults: dbtune_dbsim::FaultPlan::disabled(),
+        retry: dbtune_core::RetryPolicy::none(),
+    };
+    let (results, exec) = run_tuning_grid(&cells, &opts);
+    (results.iter().map(|r| r.best_improvement()).collect(), exec)
+}
+
+#[test]
+fn matrix_results_match_committed_baseline_across_worker_counts() {
+    let baseline = committed_baseline();
+    let golden = golden_cells(&baseline);
+    assert_eq!(golden.len(), MATRIX.len(), "baseline matrix shape changed");
+
+    for workers in [1usize, 2, 8] {
+        let (best, exec) = run_matrix(workers);
+        for (i, ((workload, optimizer, expect), got)) in golden.iter().zip(&best).enumerate() {
+            assert_eq!(workload, MATRIX[i].0.name(), "cell {i} workload order");
+            assert_eq!(optimizer, MATRIX[i].1.label(), "cell {i} optimizer order");
+            assert_eq!(
+                expect.to_bits(),
+                got.to_bits(),
+                "workers={workers} cell {i} ({workload}/{optimizer}): \
+                 best_improvement drifted from committed baseline ({expect} vs {got})"
+            );
+        }
+        if workers == 1 {
+            let counter = |k: &str| {
+                lookup_path(&baseline, &["results", "counters", k])
+                    .and_then(Value::as_u64)
+                    .unwrap_or_else(|| panic!("baseline counter {k} missing"))
+            };
+            assert_eq!(exec.cache.hits, counter("exec.cache.hits"), "cache hits drifted");
+            assert_eq!(exec.cache.misses, counter("exec.cache.misses"), "cache misses drifted");
+            assert_eq!(exec.cache.entries, counter("exec.cache.entries"), "cache entries drifted");
+        }
+    }
+}

@@ -119,6 +119,77 @@ where
     cur
 }
 
+/// [`maximize`] with batched scoring: the whole candidate pool (random
+/// samples plus incumbent neighbourhoods) is generated up front and handed
+/// to `batch_score` in one call, so surrogates can amortize their
+/// per-prediction setup (e.g. [`crate::gp::GaussianProcess::predict_batch`]
+/// reuses its kernel-row buffers across the pool).
+///
+/// Returns the same configuration as [`maximize`] with a pointwise score,
+/// to the bit: candidate generation draws from `rng` in the identical
+/// order (scoring consumes no randomness), the argmax keeps the *first*
+/// strict maximum in generation order exactly like `maximize`'s `consider`,
+/// and the polish phase is inherently sequential so it scores
+/// one-candidate batches. The `gp_equivalence` suite pins this down.
+pub fn maximize_batched<F>(
+    space: &ConfigSpace,
+    batch_score: F,
+    incumbents: &[Vec<f64>],
+    n_random: usize,
+    rng: &mut impl Rng,
+) -> Vec<f64>
+where
+    F: Fn(&[Vec<f64>]) -> Vec<f64>,
+{
+    let mut pool = Vec::with_capacity(n_random + 16 * incumbents.len());
+    for _ in 0..n_random {
+        pool.push(space.sample(rng));
+    }
+    for inc in incumbents {
+        for _ in 0..16 {
+            pool.push(space.neighbour(inc, 0.1, rng));
+        }
+    }
+
+    let vals = batch_score(&pool);
+    assert_eq!(vals.len(), pool.len(), "batch_score must return one value per candidate");
+    let mut best: Option<usize> = None;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, &v) in vals.iter().enumerate() {
+        if v > best_val {
+            best_val = v;
+            best = Some(i);
+        }
+    }
+    let mut cur = pool
+        .into_iter()
+        .nth(best.expect("no candidates generated"))
+        .expect("argmax index in range");
+    let mut cur_val = best_val;
+
+    // Local polish: greedy single-dimension perturbations (sequential —
+    // each move depends on the previous accept/reject).
+    for _ in 0..4 {
+        let mut improved = false;
+        for d in 0..space.dim() {
+            for &step in &[0.05, 0.2] {
+                let mut cand = cur.clone();
+                space.mutate_dim(&mut cand, d, step, rng);
+                let v = batch_score(std::slice::from_ref(&cand))[0];
+                if v > cur_val {
+                    cur_val = v;
+                    cur = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    cur
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +262,82 @@ mod tests {
         let score = |c: &[f64]| if c[0] == 2.0 { 1.0 } else { 0.0 };
         let best = maximize(&space, score, &[], 50, &mut rng);
         assert_eq!(best[0], 2.0);
+    }
+
+    // ---- edge cases of the closed-form acquisitions -----------------
+
+    #[test]
+    fn ei_at_zero_variance_reduces_to_hinge() {
+        // σ is floored at 1e-9 (√1e-18), so EI degenerates to the hinge
+        // max(μ − best − ξ, 0): exact improvement counts, deficits do not.
+        let gain = expected_improvement(2.0, 0.0, 1.0, 0.0);
+        assert!((gain - 1.0).abs() < 1e-6, "certain improvement must be μ−best: {gain}");
+        let loss = expected_improvement(0.5, 0.0, 1.0, 0.0);
+        assert_eq!(loss, 0.0, "certain non-improvement must be exactly 0");
+        // The ξ jitter shifts the hinge point.
+        let jittered = expected_improvement(1.0, 0.0, 1.0, 0.01);
+        assert_eq!(jittered, 0.0, "μ = best is no improvement once ξ > 0");
+    }
+
+    #[test]
+    fn pi_and_ucb_at_zero_variance() {
+        // PI collapses to a step function around the incumbent.
+        assert!(probability_of_improvement(2.0, 0.0, 1.0, 0.0) > 1.0 - 1e-9);
+        assert!(probability_of_improvement(0.5, 0.0, 1.0, 0.0) < 1e-9);
+        // UCB with zero (or slightly negative, post-floor) variance is
+        // pure exploitation regardless of β.
+        assert_eq!(upper_confidence_bound(1.5, 0.0, 5.0), 1.5);
+        assert_eq!(upper_confidence_bound(1.5, -1e-300, 5.0), 1.5);
+    }
+
+    #[test]
+    fn acquisitions_are_finite_at_extreme_z() {
+        // |z| ≈ 40 overflows naive exp-based formulas; ours must saturate.
+        for (mean, best) in [(40.0, 0.0), (0.0, 40.0), (400.0, 0.0), (0.0, 400.0)] {
+            let ei = expected_improvement(mean, 1.0, best, 0.01);
+            assert!(ei.is_finite() && ei >= 0.0, "EI(μ={mean}, best={best}) = {ei}");
+            let pi = probability_of_improvement(mean, 1.0, best, 0.01);
+            assert!((0.0..=1.0).contains(&pi), "PI(μ={mean}, best={best}) = {pi}");
+        }
+        // Deep in the improvement regime EI approaches μ − best − ξ.
+        let ei = expected_improvement(40.0, 1.0, 0.0, 0.0);
+        assert!((ei - 40.0).abs() < 1e-6, "saturated EI should equal the mean gap: {ei}");
+    }
+
+    #[test]
+    fn erf_is_odd_bounded_and_monotone() {
+        for z in [0.01, 0.5, 1.0, 2.5, 6.0, 40.0] {
+            let (p, n) = (erf(z), erf(-z));
+            assert!((p + n).abs() < 1e-12, "erf must be odd: erf({z})={p}, erf(−{z})={n}");
+            assert!(p > 0.0 && p <= 1.0, "erf({z}) out of bounds: {p}");
+        }
+        let mut prev = -1.0;
+        for i in 0..=80 {
+            let v = erf(-4.0 + i as f64 * 0.1);
+            assert!(v >= prev, "erf must be nondecreasing");
+            prev = v;
+        }
+        assert!(erf(40.0) <= 1.0 && erf(40.0) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn norm_pdf_cdf_tails_are_sane() {
+        // pdf vanishes in both tails; cdf saturates to {0, 1}.
+        let (pdf_lo, cdf_lo) = norm_pdf_cdf(-40.0);
+        let (pdf_hi, cdf_hi) = norm_pdf_cdf(40.0);
+        assert_eq!(pdf_lo, 0.0);
+        assert_eq!(pdf_hi, 0.0);
+        assert!((0.0..1e-12).contains(&cdf_lo));
+        assert!(cdf_hi <= 1.0 && cdf_hi > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn maximize_batched_rejects_wrong_batch_length() {
+        let space = ConfigSpace::new(vec![KnobSpec::real("a", 0.0, 1.0, false, 0.5)]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            maximize_batched(&space, |raws| vec![0.0; raws.len() + 1], &[], 8, &mut rng)
+        }));
+        assert!(result.is_err(), "length-mismatched batch_score must panic");
     }
 }

@@ -6,16 +6,46 @@
 //! kernel hyper-parameters (a single shared lengthscale and the noise
 //! level) are chosen by log-marginal-likelihood over a small grid — cheap,
 //! robust, and deterministic.
+//!
+//! The fit/predict hot path is incremental and batched (see
+//! `docs/gp-internals.md`): [`GaussianProcess::extend`] grows the Cholesky
+//! factor in O(n²) via [`Cholesky::rank1_append`] instead of refactorizing
+//! in O(n³), and [`GaussianProcess::predict_batch`] scores a whole
+//! candidate matrix against cached row-major kernel blocks without
+//! per-candidate allocation. Both are **bit-identical** to the from-scratch
+//! and pointwise paths — the `gp_equivalence` suite enforces it — so every
+//! committed experiment artifact is unchanged by the optimization.
 
+use crate::telemetry;
 use dbtune_linalg::stats;
 use dbtune_linalg::{Cholesky, Matrix};
 
 /// A positive-definite covariance function over encoded configurations.
+///
+/// Implementations must be *bitwise symmetric* — `eval(a, b)` and
+/// `eval(b, a)` return the same `f64` bit pattern — because the cached
+/// covariance matrix mirrors its lower triangle instead of evaluating
+/// both orders. All three kernels here satisfy this: they only consume
+/// coordinate differences through `(aᵢ − bᵢ)²` or `|aᵢ − bᵢ|`.
 pub trait Kernel: Send + Sync {
     /// Evaluates `k(a, b)`.
     fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
     /// Returns a copy with a different lengthscale (for the grid search).
     fn with_lengthscale(&self, ls: f64) -> Box<dyn Kernel>;
+
+    /// Evaluates `k(xᵢ, q)` for every row of `xs` into `out`.
+    ///
+    /// The provided implementation loops [`Kernel::eval`]; concrete
+    /// kernels override it with the same loop so the element math runs
+    /// monomorphized (one virtual call per row block instead of one per
+    /// training point). Values are identical either way.
+    fn eval_into(&self, xs: &Matrix, q: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(xs.rows(), out.len());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.eval(xs.row(i), q);
+        }
+    }
 }
 
 /// Squared-exponential kernel on the unit cube (vanilla BO / OtterTune).
@@ -33,6 +63,13 @@ impl Kernel for RbfKernel {
 
     fn with_lengthscale(&self, ls: f64) -> Box<dyn Kernel> {
         Box::new(RbfKernel { lengthscale: ls })
+    }
+
+    fn eval_into(&self, xs: &Matrix, q: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(xs.rows(), out.len());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.eval(xs.row(i), q);
+        }
     }
 }
 
@@ -52,6 +89,13 @@ impl Kernel for Matern52Kernel {
 
     fn with_lengthscale(&self, ls: f64) -> Box<dyn Kernel> {
         Box::new(Matern52Kernel { lengthscale: ls })
+    }
+
+    fn eval_into(&self, xs: &Matrix, q: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(xs.rows(), out.len());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.eval(xs.row(i), q);
+        }
     }
 }
 
@@ -96,14 +140,56 @@ impl Kernel for MixedKernel {
     fn with_lengthscale(&self, ls: f64) -> Box<dyn Kernel> {
         Box::new(MixedKernel { lengthscale: ls, ..self.clone() })
     }
+
+    fn eval_into(&self, xs: &Matrix, q: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(xs.rows(), out.len());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.eval(xs.row(i), q);
+        }
+    }
+}
+
+/// Builds the noisy covariance matrix `K + noise·I` over `x`.
+///
+/// Only the lower triangle is evaluated; the upper triangle is mirrored.
+/// Kernels are bitwise symmetric (see [`Kernel`]), so the result is
+/// bit-identical to evaluating every `(i, j)` pair — at half the kernel
+/// calls.
+fn kernel_matrix(kernel: &dyn Kernel, x: &[Vec<f64>], noise: f64) -> Matrix {
+    let n = x.len();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = kernel.eval(&x[i], &x[j]);
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+        }
+    }
+    k.add_diagonal(noise);
+    k
 }
 
 /// A fitted Gaussian process with standardized targets.
+///
+/// Training inputs and the noisy covariance are cached in row-major
+/// [`Matrix`] blocks so [`GaussianProcess::extend`] can grow the model in
+/// O(n²) and [`GaussianProcess::predict_batch`] can stream kernel rows
+/// without re-deriving anything.
 pub struct GaussianProcess {
     kernel: Box<dyn Kernel>,
-    x: Vec<Vec<f64>>,
+    /// Training inputs, one encoded configuration per row.
+    x: Matrix,
+    /// Cached `K + noise·I` — grown alongside `x`, and the input to the
+    /// jitter-fallback refactorization.
+    k: Matrix,
+    /// Original-scale targets (standardization is recomputed on extend).
+    y_raw: Vec<f64>,
+    /// Cached `K⁻¹ y` solve against standardized targets.
     alpha: Vec<f64>,
     chol: Cholesky,
+    /// Diagonal jitter the current factor carries (0.0 on the fast path).
+    /// A jittered factor cannot be appended to — see `extend`.
+    jitter: f64,
     y_mean: f64,
     y_std: f64,
     noise: f64,
@@ -117,17 +203,23 @@ impl GaussianProcess {
     pub fn fit(kernel: Box<dyn Kernel>, x: &[Vec<f64>], y: &[f64], noise: f64) -> Self {
         assert_eq!(x.len(), y.len());
         assert!(!x.is_empty(), "GP fit on empty data");
-        let y_mean = stats::mean(y);
-        let y_std = stats::std_dev(y).max(1e-12);
-        let yn: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
-
-        let n = x.len();
-        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
-        k.add_diagonal(noise);
-        let (chol, _) = Cholesky::decompose_with_jitter(&k, 1e-8, 12)
+        let k = kernel_matrix(kernel.as_ref(), x, noise);
+        let (chol, jitter) = Cholesky::decompose_with_jitter(&k, 1e-8, 12)
             .expect("GP covariance not PD even with jitter");
-        let alpha = chol.solve(&yn);
-        Self { kernel, x: x.to_vec(), alpha, chol, y_mean, y_std, noise }
+        let mut gp = Self {
+            kernel,
+            x: Matrix::from_rows(x),
+            k,
+            y_raw: y.to_vec(),
+            alpha: Vec::new(),
+            chol,
+            jitter,
+            y_mean: 0.0,
+            y_std: 1.0,
+            noise,
+        };
+        gp.refresh_alpha();
+        gp
     }
 
     /// Fits with lengthscale and noise selected by maximizing the log
@@ -137,33 +229,207 @@ impl GaussianProcess {
         Self::fit(kernel.with_lengthscale(ls), x, y, noise)
     }
 
+    /// Recomputes target standardization and the `alpha = K⁻¹ y` cache
+    /// from the current factor. O(n²).
+    fn refresh_alpha(&mut self) {
+        self.y_mean = stats::mean(&self.y_raw);
+        self.y_std = stats::std_dev(&self.y_raw).max(1e-12);
+        let yn: Vec<f64> = self.y_raw.iter().map(|v| (v - self.y_mean) / self.y_std).collect();
+        self.alpha = self.chol.solve(&yn);
+    }
+
+    /// Absorbs one new observation in O(n²) instead of refitting in O(n³).
+    ///
+    /// The new kernel row is appended to the cached covariance and the
+    /// factor is grown with [`Cholesky::rank1_append`]; the standardizer
+    /// and the `alpha` solve are refreshed against the full history. The
+    /// result is bit-identical to [`GaussianProcess::fit`] on the extended
+    /// data with the same kernel and noise (the `gp_equivalence` suite
+    /// proves this per kernel).
+    ///
+    /// Fallback rule: if the current factor carries jitter, or the append
+    /// loses positive-definiteness, the extended covariance is
+    /// refactorized from scratch with the usual jitter ladder — exactly
+    /// what a from-scratch fit would do.
+    pub fn extend(&mut self, x_new: Vec<f64>, y_new: f64) {
+        let _span = telemetry::span("gp.extend");
+        let n = self.x.rows();
+        let mut row = vec![0.0; n + 1];
+        self.kernel.eval_into(&self.x, &x_new, &mut row[..n]);
+        row[n] = self.kernel.eval(&x_new, &x_new) + self.noise;
+        self.k.grow_square(&row, &row[..n]);
+        self.x.push_row(&x_new);
+        self.y_raw.push(y_new);
+
+        let appended = self.jitter == 0.0 && self.chol.rank1_append(&row).is_ok();
+        if !appended {
+            let (chol, jitter) = Cholesky::decompose_with_jitter(&self.k, 1e-8, 12)
+                .expect("GP covariance not PD even with jitter");
+            self.chol = chol;
+            self.jitter = jitter;
+        }
+        self.refresh_alpha();
+    }
+
     /// Posterior mean and variance at `q` (original target scale).
     pub fn predict(&self, q: &[f64]) -> (f64, f64) {
-        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
-        let mean_n = dbtune_linalg::matrix::dot(&kstar, &self.alpha);
-        let v = self.chol.solve_lower(&kstar);
+        let n = self.x.rows();
+        let mut kstar = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        self.predict_into(q, &mut kstar, &mut v)
+    }
+
+    /// Lane width of the interleaved batch path: eight independent
+    /// triangular solves run together — enough in-flight dependency
+    /// chains to hide the FMA latency of the solve's loop-carried
+    /// recurrence even on 2-wide SIMD, without spilling the per-lane
+    /// accumulators out of registers.
+    const LANES: usize = 8;
+
+    /// Posterior mean and variance for every query row, in one pass.
+    ///
+    /// Queries are processed in blocks of [`Self::LANES`]. The kernel
+    /// row and the mean dot-product run per lane with the exact scalar
+    /// routines; the triangular solve — the latency-bound dependency
+    /// chain that dominates batched acquisition — runs through
+    /// [`Cholesky::solve_lower_interleaved`], which executes each lane's
+    /// scalar operation sequence on four independent chains at once.
+    /// Leftover queries (and single-query calls, e.g. polish probes)
+    /// take the plain pointwise path. Every element is bit-identical to
+    /// [`GaussianProcess::predict`] on the same query — the
+    /// `gp_equivalence` suite enforces this.
+    ///
+    /// The `gp.predict_batch` span only opens for true batches
+    /// (`qs.len() > 1`): single-probe calls are ~µs-scale and emitting a
+    /// journal line per probe would cost more than the work it measures.
+    pub fn predict_batch(&self, qs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let _span = (qs.len() > 1).then(|| telemetry::span("gp.predict_batch"));
+        const LANES: usize = GaussianProcess::LANES;
+        let n = self.x.rows();
+        let mut out = Vec::with_capacity(qs.len());
+        // Per-lane contiguous kernel rows plus lane-major solve buffers,
+        // shared across all blocks — no per-candidate allocation.
+        let mut kstar = vec![0.0; n * LANES];
+        let mut b_il = vec![0.0; n * LANES];
+        let mut v_il = vec![0.0; n * LANES];
+        let mut blocks = qs.chunks_exact(LANES);
+        for block in blocks.by_ref() {
+            let mut mean_n = [0.0; LANES];
+            for (l, q) in block.iter().enumerate() {
+                let row = &mut kstar[l * n..(l + 1) * n];
+                self.kernel.eval_into(&self.x, q, row);
+                mean_n[l] = dbtune_linalg::matrix::dot(row, &self.alpha);
+            }
+            for k in 0..n {
+                for l in 0..LANES {
+                    b_il[k * LANES + l] = kstar[l * n + k];
+                }
+            }
+            self.chol.solve_lower_interleaved::<LANES>(&b_il, &mut v_il);
+            for (l, q) in block.iter().enumerate() {
+                let kss = self.kernel.eval(q, q) + self.noise;
+                // Same fold as the scalar path: Σ vᵢ² in ascending k,
+                // with the exact-zero skip of `sum_of_squares`.
+                let mut s2 = 0.0;
+                for vk in v_il.chunks_exact(LANES) {
+                    let vi = vk[l];
+                    // `!(… < …)`, not `… >= …`: NaN must stay computed.
+                    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                    if !(vi.abs() < SOS_SKIP_BELOW) {
+                        s2 += vi * vi;
+                    }
+                }
+                let var_n = (kss - s2).max(1e-12);
+                out.push((
+                    mean_n[l] * self.y_std + self.y_mean,
+                    var_n * self.y_std * self.y_std,
+                ));
+            }
+        }
+        let mut ks = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        for q in blocks.remainder() {
+            out.push(self.predict_into(q, &mut ks, &mut v));
+        }
+        out
+    }
+
+    /// One posterior evaluation against caller-provided scratch buffers.
+    fn predict_into(&self, q: &[f64], kstar: &mut [f64], v: &mut [f64]) -> (f64, f64) {
+        self.kernel.eval_into(&self.x, q, kstar);
+        let mean_n = dbtune_linalg::matrix::dot(kstar, &self.alpha);
+        self.chol.solve_lower_into(kstar, v);
         let kss = self.kernel.eval(q, q) + self.noise;
-        let var_n = (kss - v.iter().map(|vi| vi * vi).sum::<f64>()).max(1e-12);
+        let var_n = (kss - sum_of_squares(v)).max(1e-12);
         (mean_n * self.y_std + self.y_mean, var_n * self.y_std * self.y_std)
     }
 
     /// Number of training points.
     pub fn n_train(&self) -> usize {
-        self.x.len()
+        self.x.rows()
     }
+
+    /// Diagonal jitter the current factor carries (0.0 on the fast path;
+    /// diagnostics and the equivalence tests).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+}
+
+/// Terms with `|vᵢ|` below this bound are skipped by [`sum_of_squares`].
+///
+/// The constant is 2⁻⁵³⁸, safely under the exact-underflow boundary
+/// 2⁻⁵³⁷·⁵: for `|vᵢ| < 2⁻⁵³⁸` the true square is below 2⁻¹⁰⁷⁶, less
+/// than half the smallest subnormal (2⁻¹⁰⁷⁴), so `vᵢ * vᵢ` rounds to
+/// exactly `+0.0` — and `s += 0.0` is a bitwise no-op on a non-negative
+/// accumulator. Skipping such terms therefore returns the *identical*
+/// `f64` while sidestepping the subnormal-arithmetic stalls that
+/// otherwise dominate GP variance at short lengthscales, where most
+/// kernel weights sit around 1e-200 and their squares land in the
+/// hardware's microcode-assisted subnormal range (~8× slower per
+/// acquisition candidate, measured).
+const SOS_SKIP_BELOW: f64 = 1.112536929253601e-162;
+
+/// `Σ vᵢ²` in slice order, with the exact-zero skip described at
+/// [`SOS_SKIP_BELOW`]. Bit-identical to the naive
+/// `v.iter().map(|vi| vi * vi).sum()` fold on every input (the negated
+/// comparison keeps NaN terms in the computed path).
+#[inline]
+fn sum_of_squares(v: &[f64]) -> f64 {
+    let mut s2 = 0.0;
+    for &vi in v {
+        // `!(… < …)`, not `… >= …`: NaN must stay computed.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(vi.abs() < SOS_SKIP_BELOW) {
+            s2 += vi * vi;
+        }
+    }
+    s2
 }
 
 /// Selects `(lengthscale, noise)` by log marginal likelihood over a small
 /// grid. Exposed so optimizers can cache the selection and refresh it
 /// periodically instead of re-running the grid on every iteration.
+///
+/// The covariance is built once per lengthscale and cloned per noise
+/// level (the noise only touches the diagonal), and the standardized
+/// targets are computed once — same values as rebuilding everything per
+/// grid point, at a third of the kernel evaluations.
 pub fn select_hyperparams(kernel: &dyn Kernel, x: &[Vec<f64>], y: &[f64]) -> (f64, f64) {
     const LENGTHSCALES: [f64; 6] = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6];
     const NOISES: [f64; 3] = [1e-6, 1e-4, 1e-2];
+    let n = x.len();
+    let y_mean = stats::mean(y);
+    let y_std = stats::std_dev(y).max(1e-12);
+    let yn: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
     let mut best: Option<(f64, f64, f64)> = None; // (lml, ls, noise)
     for &ls in &LENGTHSCALES {
         let k = kernel.with_lengthscale(ls);
+        let base = kernel_matrix(k.as_ref(), x, 0.0);
         for &noise in &NOISES {
-            if let Some(lml) = log_marginal_likelihood(k.as_ref(), x, y, noise) {
+            let mut kn = base.clone();
+            kn.add_diagonal(noise);
+            if let Some(lml) = log_marginal_likelihood(&kn, &yn, n) {
                 if best.is_none_or(|(b, _, _)| lml > b) {
                     best = Some((lml, ls, noise));
                 }
@@ -174,23 +440,12 @@ pub fn select_hyperparams(kernel: &dyn Kernel, x: &[Vec<f64>], y: &[f64]) -> (f6
     (ls, noise)
 }
 
-/// Log marginal likelihood of standardized targets under the kernel;
-/// `None` if the covariance cannot be factorized.
-fn log_marginal_likelihood(
-    kernel: &dyn Kernel,
-    x: &[Vec<f64>],
-    y: &[f64],
-    noise: f64,
-) -> Option<f64> {
-    let n = x.len();
-    let y_mean = stats::mean(y);
-    let y_std = stats::std_dev(y).max(1e-12);
-    let yn: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
-    let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
-    k.add_diagonal(noise);
-    let (chol, _) = Cholesky::decompose_with_jitter(&k, 1e-8, 8).ok()?;
-    let alpha = chol.solve(&yn);
-    let fit: f64 = dbtune_linalg::matrix::dot(&yn, &alpha);
+/// Log marginal likelihood of standardized targets `yn` under the noisy
+/// covariance `kn`; `None` if the covariance cannot be factorized.
+fn log_marginal_likelihood(kn: &Matrix, yn: &[f64], n: usize) -> Option<f64> {
+    let (chol, _) = Cholesky::decompose_with_jitter(kn, 1e-8, 8).ok()?;
+    let alpha = chol.solve(yn);
+    let fit: f64 = dbtune_linalg::matrix::dot(yn, &alpha);
     Some(
         -0.5 * fit
             - 0.5 * chol.log_determinant()
@@ -284,5 +539,72 @@ mod tests {
         let gp = GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.5 }), &x, &y, 1e-8);
         let (m, _) = gp.predict(&[0.0]);
         assert!((m - 1000.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn kernels_are_bitwise_symmetric() {
+        // The cached covariance mirrors its lower triangle, which is only
+        // sound if eval(a, b) and eval(b, a) agree to the bit.
+        let kernels: Vec<Box<dyn Kernel>> = vec![
+            Box::new(RbfKernel { lengthscale: 0.3 }),
+            Box::new(Matern52Kernel { lengthscale: 0.3 }),
+            Box::new(MixedKernel {
+                cont_dims: vec![0, 2],
+                cat_dims: vec![1],
+                lengthscale: 0.3,
+                hamming_weight: 2.0,
+            }),
+        ];
+        let a = [0.137, 2.0, 0.911];
+        let b = [0.552, 3.0, 0.004];
+        for k in &kernels {
+            assert_eq!(k.eval(&a, &b).to_bits(), k.eval(&b, &a).to_bits());
+        }
+    }
+
+    #[test]
+    fn extend_matches_full_fit_on_toy_data() {
+        let (x, y) = toy_data();
+        let full = GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.2 }), &x, &y, 1e-6);
+        let mut inc =
+            GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.2 }), &x[..3], &y[..3], 1e-6);
+        for i in 3..x.len() {
+            inc.extend(x[i].clone(), y[i]);
+        }
+        assert_eq!(inc.n_train(), full.n_train());
+        for q in [&[0.21][..], &[0.5], &[0.98], &[1.7]] {
+            let (mf, vf) = full.predict(q);
+            let (mi, vi) = inc.predict(q);
+            assert_eq!(mf.to_bits(), mi.to_bits(), "mean drifted at {q:?}");
+            assert_eq!(vf.to_bits(), vi.to_bits(), "variance drifted at {q:?}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_pointwise_predict() {
+        let (x, y) = toy_data();
+        let gp = GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.2 }), &x, &y, 1e-6);
+        let queries: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 7.0 - 0.4]).collect();
+        let batch = gp.predict_batch(&queries);
+        for (q, (mb, vb)) in queries.iter().zip(batch) {
+            let (m, v) = gp.predict(q);
+            assert_eq!(m.to_bits(), mb.to_bits());
+            assert_eq!(v.to_bits(), vb.to_bits());
+        }
+    }
+
+    #[test]
+    fn extend_on_duplicate_points_falls_back_to_jitter() {
+        // A duplicated input row makes the bordered covariance singular at
+        // noise 0: the append must fail cleanly and the jitter ladder must
+        // rescue the refit, leaving a usable (and flagged) model.
+        let x = vec![vec![0.2], vec![0.8]];
+        let y = vec![1.0, 2.0];
+        let mut gp = GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.5 }), &x, &y, 0.0);
+        gp.extend(vec![0.2], 1.0);
+        assert_eq!(gp.n_train(), 3);
+        assert!(gp.jitter() > 0.0, "duplicate row must force the jitter fallback");
+        let (m, v) = gp.predict(&[0.5]);
+        assert!(m.is_finite() && v >= 0.0);
     }
 }

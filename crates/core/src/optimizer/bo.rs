@@ -9,7 +9,7 @@
 
 use super::{ObsStore, Optimizer};
 use crate::acquisition::{
-    expected_improvement, maximize, probability_of_improvement, upper_confidence_bound,
+    expected_improvement, maximize_batched, probability_of_improvement, upper_confidence_bound,
 };
 use crate::gp::{select_hyperparams, GaussianProcess, Kernel, MixedKernel, RbfKernel};
 use crate::space::ConfigSpace;
@@ -55,6 +55,12 @@ pub struct BoOptimizer {
     /// Cached `(lengthscale, noise)` and the observation count it was
     /// selected at; the grid search reruns every 10 observations.
     hp_cache: Option<(f64, f64, usize)>,
+    /// Incrementally maintained GP: reused across suggests via
+    /// `GaussianProcess::extend` while the hyper-parameters stay fixed.
+    gp: Option<GaussianProcess>,
+    /// Hyper-parameters the cached GP was fitted with, as IEEE-754 bit
+    /// words — the reuse test is exact identity, not float comparison.
+    gp_hp: Option<(u64, u64)>,
 }
 
 impl BoOptimizer {
@@ -68,6 +74,8 @@ impl BoOptimizer {
             n_candidates: 512,
             acquisition: Acquisition::Ei,
             hp_cache: None,
+            gp: None,
+            gp_hp: None,
         }
     }
 
@@ -125,20 +133,45 @@ impl Optimizer for BoOptimizer {
         if self.obs.len() < 2 {
             return self.space.sample(rng);
         }
-        let gp = {
+        {
             let _fit = telemetry::span("surrogate_fit");
-            let x_enc: Vec<Vec<f64>> = self.obs.x.iter().map(|c| self.encode(c)).collect();
             let n = self.obs.len();
             let (ls, noise) = match self.hp_cache {
                 Some((ls, noise, at)) if n < at + 10 => (ls, noise),
                 _ => {
+                    let x_enc: Vec<Vec<f64>> = self.obs.x.iter().map(|c| self.encode(c)).collect();
                     let hp = select_hyperparams(self.kernel().as_ref(), &x_enc, &self.obs.y);
                     self.hp_cache = Some((hp.0, hp.1, n));
                     hp
                 }
             };
-            GaussianProcess::fit(self.kernel().with_lengthscale(ls), &x_enc, &self.obs.y, noise)
-        };
+            let hp_bits = (ls.to_bits(), noise.to_bits());
+            // The cached GP is reusable while the selected hyper-parameters
+            // are bit-identical to the ones it was fitted with; new
+            // observations are absorbed in O(n²) via `extend`, which is
+            // bit-identical to refitting from scratch (gp_equivalence).
+            let reusable = self.gp_hp == Some(hp_bits)
+                && self.gp.as_ref().is_some_and(|gp| gp.n_train() <= n);
+            if reusable {
+                let fitted = self.gp.as_ref().map_or(0, |gp| gp.n_train());
+                let pending: Vec<(Vec<f64>, f64)> =
+                    (fitted..n).map(|i| (self.encode(&self.obs.x[i]), self.obs.y[i])).collect();
+                let gp = self.gp.as_mut().expect("reusable GP present");
+                for (xe, ye) in pending {
+                    gp.extend(xe, ye);
+                }
+            } else {
+                let x_enc: Vec<Vec<f64>> = self.obs.x.iter().map(|c| self.encode(c)).collect();
+                self.gp = Some(GaussianProcess::fit(
+                    self.kernel().with_lengthscale(ls),
+                    &x_enc,
+                    &self.obs.y,
+                    noise,
+                ));
+                self.gp_hp = Some(hp_bits);
+            }
+        }
+        let gp = self.gp.as_ref().expect("GP fitted above");
         let best =
             self.ei_best_override.unwrap_or_else(|| self.obs.best_score().expect("nonempty"));
 
@@ -146,15 +179,18 @@ impl Optimizer for BoOptimizer {
             self.obs.top_k(3).into_iter().map(|i| self.obs.x[i].clone()).collect();
         let acq = self.acquisition;
         let _acq_span = telemetry::span("acquisition");
-        maximize(
+        maximize_batched(
             &self.space,
-            |raw| {
-                let (m, v) = gp.predict(&self.encode(raw));
-                match acq {
-                    Acquisition::Ei => expected_improvement(m, v, best, 0.01),
-                    Acquisition::Ucb { beta } => upper_confidence_bound(m, v, beta),
-                    Acquisition::Pi => probability_of_improvement(m, v, best, 0.01),
-                }
+            |raws| {
+                let enc: Vec<Vec<f64>> = raws.iter().map(|r| self.encode(r)).collect();
+                gp.predict_batch(&enc)
+                    .into_iter()
+                    .map(|(m, v)| match acq {
+                        Acquisition::Ei => expected_improvement(m, v, best, 0.01),
+                        Acquisition::Ucb { beta } => upper_confidence_bound(m, v, beta),
+                        Acquisition::Pi => probability_of_improvement(m, v, best, 0.01),
+                    })
+                    .collect()
             },
             &incumbents,
             self.n_candidates,

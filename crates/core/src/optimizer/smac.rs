@@ -8,10 +8,10 @@
 //! heterogeneous spaces.
 
 use super::{ObsStore, Optimizer};
-use crate::acquisition::{expected_improvement, maximize};
+use crate::acquisition::{expected_improvement, maximize_batched};
 use crate::space::ConfigSpace;
 use crate::telemetry;
-use dbtune_ml::{RandomForest, RandomForestParams, Regressor, UncertainRegressor};
+use dbtune_ml::{RandomForest, RandomForestParams, Regressor};
 use rand::rngs::StdRng;
 
 /// SMAC hyper-parameters.
@@ -96,11 +96,13 @@ impl Optimizer for Smac {
         let incumbents: Vec<Vec<f64>> =
             self.obs.top_k(10).into_iter().map(|i| self.obs.x[i].clone()).collect();
         let _acq_span = telemetry::span("acquisition");
-        maximize(
+        maximize_batched(
             &self.space,
-            |raw| {
-                let (m, v) = rf.predict_with_variance(raw);
-                expected_improvement(m, v, best, 0.01)
+            |raws| {
+                rf.predict_with_variance_batch(raws)
+                    .into_iter()
+                    .map(|(m, v)| expected_improvement(m, v, best, 0.01))
+                    .collect()
             },
             &incumbents,
             self.params.n_candidates,

@@ -129,11 +129,12 @@ impl Turbo {
 
         let d = self.space.dim();
         let p_perturb = (20.0 / d as f64).min(1.0);
-        let mut best_cfg: Option<Vec<f64>> = None;
-        let mut best_ei = f64::NEG_INFINITY;
         // The probe loop is TuRBO's acquisition step (the fit above is
-        // accounted separately, so nothing is double-counted).
+        // accounted separately, so nothing is double-counted). Candidates
+        // are generated first — prediction consumes no randomness, so the
+        // RNG stream is unchanged — then scored in one batched pass.
         let _acq_span = telemetry::span("acquisition");
+        let mut pool = Vec::with_capacity(self.params.n_candidates);
         for _ in 0..self.params.n_candidates {
             let mut cand = center.clone();
             let mut any = false;
@@ -148,14 +149,18 @@ impl Turbo {
                 let j = rng.gen_range(0..d);
                 cand[j] = (center[j] + (rng.gen::<f64>() - 0.5) * region.length).clamp(0.0, 1.0);
             }
-            let (m, v) = gp.predict(&cand);
+            pool.push(cand);
+        }
+        let mut best_cfg: Option<usize> = None;
+        let mut best_ei = f64::NEG_INFINITY;
+        for (i, (m, v)) in gp.predict_batch(&pool).into_iter().enumerate() {
             let ei = expected_improvement(m, v, best, 0.01);
             if ei > best_ei {
                 best_ei = ei;
-                best_cfg = Some(cand);
+                best_cfg = Some(i);
             }
         }
-        best_cfg.map(|c| (self.space.from_unit(&c), best_ei))
+        best_cfg.map(|i| (self.space.from_unit(&pool[i]), best_ei))
     }
 }
 

@@ -2,7 +2,9 @@
 //! kernel/acquisition interplay at the integration level.
 
 use dbtune_core::acquisition::{expected_improvement, norm_pdf_cdf};
-use dbtune_core::gp::{select_hyperparams, GaussianProcess, Kernel, Matern52Kernel, RbfKernel};
+use dbtune_core::gp::{
+    select_hyperparams, GaussianProcess, Kernel, Matern52Kernel, MixedKernel, RbfKernel,
+};
 
 fn wiggly(n: usize, freq: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
@@ -74,6 +76,92 @@ fn norm_cdf_is_monotone_and_symmetric() {
     assert!(lo < mid && mid < hi);
     assert!((lo + hi - 1.0).abs() < 1e-6, "Φ(−z)+Φ(z)=1 violated");
     assert!((mid - 0.5).abs() < 1e-9);
+}
+
+/// All kernels the optimizers use, over 2-dim inputs where dim 1 doubles
+/// as a categorical code for the mixed kernel.
+fn kernel_sweep() -> Vec<(&'static str, Box<dyn Kernel>)> {
+    vec![
+        ("rbf", Box::new(RbfKernel { lengthscale: 0.3 })),
+        ("matern52", Box::new(Matern52Kernel { lengthscale: 0.3 })),
+        (
+            "mixed",
+            Box::new(MixedKernel {
+                cont_dims: vec![0],
+                cat_dims: vec![1],
+                lengthscale: 0.3,
+                hamming_weight: 2.0,
+            }),
+        ),
+    ]
+}
+
+fn golden_sample(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen(), rng.gen_range(0..3) as f64]).collect();
+    let y: Vec<f64> = x.iter().map(|v| (v[0] * 7.0).cos() + 0.3 * v[1] + 25.0).collect();
+    (x, y)
+}
+
+/// Golden sweep for the hot-path overhaul: for every kernel the
+/// optimizers use, `fit_auto` + incremental `extend` + `predict_batch`
+/// must reproduce the from-scratch pointwise pipeline to the bit —
+/// including the grid-selected hyper-parameters, which must not be
+/// perturbed by the shared-base-matrix optimization in
+/// `select_hyperparams`.
+#[test]
+fn hot_path_pipeline_is_bit_identical_for_every_kernel() {
+    let (x, y) = golden_sample(30, 17);
+    let probes = golden_sample(12, 91).0;
+    for (name, kernel) in kernel_sweep() {
+        let full = GaussianProcess::fit_auto(kernel.with_lengthscale(0.3), &x, &y);
+        // Rebuild incrementally under the same selected hyper-parameters.
+        let (ls, noise) = select_hyperparams(kernel.as_ref(), &x, &y);
+        let mut inc =
+            GaussianProcess::fit(kernel.with_lengthscale(ls), &x[..3], &y[..3], noise);
+        for i in 3..x.len() {
+            inc.extend(x[i].clone(), y[i]);
+        }
+        let batch = inc.predict_batch(&probes);
+        for (q, (bm, bv)) in probes.iter().zip(batch) {
+            let (fm, fv) = full.predict(q);
+            assert_eq!(fm.to_bits(), bm.to_bits(), "{name}: batched/incremental mean drifted");
+            assert_eq!(fv.to_bits(), bv.to_bits(), "{name}: batched/incremental variance drifted");
+        }
+    }
+}
+
+/// The incremental path must not degrade model quality either: held-out
+/// R² after a long chain of `extend` calls equals the from-scratch fit's.
+#[test]
+fn extend_preserves_held_out_generalization() {
+    let (x, y) = wiggly(60, 6.0);
+    let (tx, ty): (Vec<Vec<f64>>, Vec<f64>) = x
+        .iter()
+        .zip(&y)
+        .enumerate()
+        .filter(|(i, _)| i % 3 != 0)
+        .map(|(_, (xv, yv))| (xv.clone(), *yv))
+        .unzip();
+    let (ls, noise) =
+        select_hyperparams(&Matern52Kernel { lengthscale: 0.3 }, &tx, &ty);
+    let mut gp = GaussianProcess::fit(
+        Box::new(Matern52Kernel { lengthscale: ls }),
+        &tx[..2],
+        &ty[..2],
+        noise,
+    );
+    for i in 2..tx.len() {
+        gp.extend(tx[i].clone(), ty[i]);
+    }
+    let held: Vec<(&Vec<f64>, f64)> =
+        x.iter().zip(&y).enumerate().filter(|(i, _)| i % 3 == 0).map(|(_, (a, b))| (a, *b)).collect();
+    let preds: Vec<f64> = held.iter().map(|(q, _)| gp.predict(q).0).collect();
+    let truth: Vec<f64> = held.iter().map(|(_, t)| *t).collect();
+    let r2 = dbtune_linalg::stats::r_squared(&preds, &truth);
+    assert!(r2 > 0.95, "incrementally built GP generalizes poorly: {r2}");
 }
 
 #[test]

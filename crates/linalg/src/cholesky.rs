@@ -82,11 +82,64 @@ impl Cholesky {
         &self.l
     }
 
+    /// Grows the factor by one row for the bordered matrix
+    /// `[[A, k], [kᵀ, d]]`, where `row = [k₀ … kₙ₋₁, d]` is the new last
+    /// row of the extended matrix.
+    ///
+    /// This is the O(n²) incremental update behind the GP hot path: the
+    /// leading `n × n` block of the extended factor *is* the current
+    /// factor (Cholesky processes rows top-down, so earlier rows never
+    /// see later ones), and the new row is one forward substitution plus
+    /// a square root. The arithmetic below replays
+    /// [`Cholesky::decompose`]'s last-row recurrence operation for
+    /// operation, so the updated factor is **bit-identical** to
+    /// refactorizing the extended matrix from scratch — the invariant the
+    /// `gp_equivalence` suite pins down.
+    ///
+    /// On loss of positive-definiteness (the new pivot is non-positive or
+    /// non-finite) the factor is left untouched and an error is returned;
+    /// callers fall back to [`Cholesky::decompose_with_jitter`] on the
+    /// full extended matrix, which matches what a from-scratch fit would
+    /// have done.
+    pub fn rank1_append(&mut self, row: &[f64]) -> Result<(), NotPositiveDefinite> {
+        let n = self.l.rows();
+        assert_eq!(row.len(), n + 1, "rank1_append row must have length n + 1");
+        let mut new_row = vec![0.0; n + 1];
+        for j in 0..n {
+            let mut sum = row[j];
+            let lrow = self.l.row(j);
+            for (k, nv) in new_row.iter().enumerate().take(j) {
+                sum -= nv * lrow[k];
+            }
+            new_row[j] = sum / lrow[j];
+        }
+        let mut sum = row[n];
+        for nv in new_row.iter().take(n) {
+            sum -= nv * nv;
+        }
+        if sum <= 0.0 || !sum.is_finite() {
+            return Err(NotPositiveDefinite);
+        }
+        new_row[n] = sum.sqrt();
+        let zeros = vec![0.0; n];
+        self.l.grow_square(&new_row, &zeros);
+        Ok(())
+    }
+
     /// Solves `L x = b` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.l.rows()];
+        self.solve_lower_into(b, &mut x);
+        x
+    }
+
+    /// [`Cholesky::solve_lower`] into a caller-provided buffer — the
+    /// allocation-free variant batched GP prediction calls once per
+    /// candidate. Identical arithmetic, identical results.
+    pub fn solve_lower_into(&self, b: &[f64], x: &mut [f64]) {
         let n = self.l.rows();
         assert_eq!(b.len(), n);
-        let mut x = vec![0.0; n];
+        assert_eq!(x.len(), n);
         for i in 0..n {
             let mut sum = b[i];
             let row = self.l.row(i);
@@ -95,7 +148,40 @@ impl Cholesky {
             }
             x[i] = sum / row[i];
         }
-        x
+    }
+
+    /// Forward substitution for `L` lane-interleaved right-hand sides at
+    /// once: `b` and `x` hold lane-major data (`b[i * L + lane]` is row
+    /// `i` of right-hand side `lane`).
+    ///
+    /// Each lane performs **exactly** the operation sequence of
+    /// [`Cholesky::solve_lower_into`] — `sum = b[i]`, then
+    /// `sum -= row[k] * x[k]` in ascending `k`, then `sum / row[i]` — so
+    /// per-lane results are bit-identical to the scalar solve. The point
+    /// of interleaving is instruction-level parallelism: the scalar
+    /// solve is one loop-carried FMA chain (each `sum` update waits on
+    /// the previous one), while `L` independent chains keep the FP units
+    /// busy. This is what makes batched GP prediction faster than the
+    /// pointwise loop without changing a single output bit.
+    pub fn solve_lower_interleaved<const L: usize>(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n * L);
+        assert_eq!(x.len(), n * L);
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut sum = [0.0f64; L];
+            sum.copy_from_slice(&b[i * L..(i + 1) * L]);
+            for (k, xk) in x.chunks_exact(L).enumerate().take(i) {
+                let lk = row[k];
+                for l in 0..L {
+                    sum[l] -= lk * xk[l];
+                }
+            }
+            let di = row[i];
+            for (l, s) in sum.iter().enumerate() {
+                x[i * L + l] = s / di;
+            }
+        }
     }
 
     /// Solves `Lᵀ x = b` (backward substitution).
@@ -194,6 +280,34 @@ mod tests {
         let x = solve_spd(&a, &b).expect("SPD decomposition succeeds");
         for xi in x {
             assert!((xi - 2.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn interleaved_solve_is_bitwise_equal_to_scalar_solve() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).expect("SPD decomposition succeeds");
+        const L: usize = 4;
+        let rhs: Vec<Vec<f64>> = (0..L)
+            .map(|l| (0..3).map(|i| (i as f64 + 1.0) * 0.37 - l as f64 * 1.21).collect())
+            .collect();
+        let mut b_il = vec![0.0; 3 * L];
+        for (l, b) in rhs.iter().enumerate() {
+            for (i, v) in b.iter().enumerate() {
+                b_il[i * L + l] = *v;
+            }
+        }
+        let mut x_il = vec![0.0; 3 * L];
+        c.solve_lower_interleaved::<L>(&b_il, &mut x_il);
+        for (l, b) in rhs.iter().enumerate() {
+            let x = c.solve_lower(b);
+            for (i, xv) in x.iter().enumerate() {
+                assert_eq!(
+                    xv.to_bits(),
+                    x_il[i * L + l].to_bits(),
+                    "lane {l} row {i} drifted from the scalar solve"
+                );
+            }
         }
     }
 

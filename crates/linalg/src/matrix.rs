@@ -181,6 +181,42 @@ impl Matrix {
         out
     }
 
+    /// Appends a row to the matrix, keeping the column count.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.cols()` (unless the matrix is empty,
+    /// in which case the row defines the column count).
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "push_row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Grows a square `n × n` matrix to `(n+1) × (n+1)`.
+    ///
+    /// `row` (length `n + 1`) becomes the new last row; the new last
+    /// column is filled with `col` (length `n`, rows `0..n`). The two
+    /// callers are the incremental Cholesky (zero upper column) and the
+    /// cached GP covariance (symmetric column = row prefix).
+    pub fn grow_square(&mut self, row: &[f64], col: &[f64]) {
+        assert_eq!(self.rows, self.cols, "grow_square requires a square matrix");
+        let n = self.rows;
+        assert_eq!(row.len(), n + 1, "grow_square row length mismatch");
+        assert_eq!(col.len(), n, "grow_square column length mismatch");
+        let mut data = Vec::with_capacity((n + 1) * (n + 1));
+        for (r, &cv) in col.iter().enumerate() {
+            data.extend_from_slice(self.row(r));
+            data.push(cv);
+        }
+        data.extend_from_slice(row);
+        self.rows = n + 1;
+        self.cols = n + 1;
+        self.data = data;
+    }
+
     /// Adds `lambda` to every diagonal element in place.
     pub fn add_diagonal(&mut self, lambda: f64) {
         let n = self.rows.min(self.cols);

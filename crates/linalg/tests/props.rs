@@ -43,6 +43,84 @@ proptest! {
         prop_assert!(c.log_determinant().is_finite());
     }
 
+    /// `rank1_append` grown row-by-row from the leading block equals
+    /// `decompose` of the full matrix, bit for bit — the invariant the GP
+    /// incremental fit stands on.
+    #[test]
+    fn rank1_append_equals_full_decompose(a in spd_matrix(6)) {
+        let n = a.rows();
+        let lead = Matrix::from_fn(2, 2, |i, j| a[(i, j)]);
+        let mut inc = Cholesky::decompose(&lead).expect("leading block SPD");
+        for m in 2..n {
+            let row: Vec<f64> = (0..=m).map(|j| a[(m, j)]).collect();
+            inc.rank1_append(&row).expect("SPD extension");
+        }
+        let full = Cholesky::decompose(&a).expect("SPD by construction");
+        let (li, lf) = (inc.factor(), full.factor());
+        prop_assert_eq!(li.rows(), lf.rows());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    li[(i, j)].to_bits(), lf[(i, j)].to_bits(),
+                    "factor bits differ at ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    /// Appending a row that duplicates an existing one makes the bordered
+    /// matrix singular. Whatever the final pivot rounds to, `rank1_append`
+    /// must agree *exactly* with a from-scratch `decompose` of the
+    /// extended matrix: same success/failure verdict, bit-identical factor
+    /// on success, untouched factor plus a working jitter fallback on
+    /// failure — the GP extend/fallback contract.
+    #[test]
+    fn rank1_append_agrees_with_decompose_on_singular_extension(
+        a in spd_matrix(4), dup in 0usize..4,
+    ) {
+        let n = a.rows();
+        let c0 = Cholesky::decompose(&a).expect("SPD by construction");
+        let mut inc = c0.clone();
+        // New row = copy of row `dup`, bordered diagonal = a[dup][dup].
+        let mut row: Vec<f64> = (0..n).map(|j| a[(dup, j)]).collect();
+        row.push(a[(dup, dup)]);
+        let mut ext = a.clone();
+        ext.grow_square(&row, &row[..n]);
+        match (inc.rank1_append(&row), Cholesky::decompose(&ext)) {
+            (Ok(()), Ok(full)) => {
+                for i in 0..=n {
+                    for j in 0..=n {
+                        prop_assert_eq!(
+                            inc.factor()[(i, j)].to_bits(), full.factor()[(i, j)].to_bits(),
+                            "factor bits differ at ({}, {})", i, j
+                        );
+                    }
+                }
+            }
+            (Err(_), Err(_)) => {
+                // Failed append leaves the factor exactly as it was...
+                for i in 0..n {
+                    for j in 0..n {
+                        prop_assert_eq!(
+                            inc.factor()[(i, j)].to_bits(), c0.factor()[(i, j)].to_bits()
+                        );
+                    }
+                }
+                // ...and the caller-side jitter ladder rescues the refit.
+                let (c, jitter) = Cholesky::decompose_with_jitter(&ext, 1e-8, 12)
+                    .expect("jitter ladder rescues the singular extension");
+                prop_assert!(jitter > 0.0);
+                prop_assert_eq!(c.factor().rows(), n + 1);
+            }
+            (append, full) => {
+                prop_assert!(
+                    false,
+                    "verdict mismatch: append {:?} vs decompose {:?}", append, full.map(|_| ())
+                );
+            }
+        }
+    }
+
     #[test]
     fn ranks_are_a_permutation_average(xs in proptest::collection::vec(-100.0f64..100.0, 2..40)) {
         let r = stats::ranks(&xs);

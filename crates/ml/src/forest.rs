@@ -107,6 +107,26 @@ impl RandomForest {
     pub fn is_fitted(&self) -> bool {
         !self.trees.is_empty()
     }
+
+    /// [`UncertainRegressor::predict_with_variance`] over a whole batch of
+    /// rows, reusing one per-tree prediction buffer across the batch
+    /// instead of allocating per row. Each element is bit-identical to the
+    /// pointwise call — same tree traversals, same summation order.
+    pub fn predict_with_variance_batch(&self, rows: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        assert!(self.is_fitted(), "predict on unfitted forest");
+        let mut preds = vec![0.0; self.trees.len()];
+        rows.iter()
+            .map(|row| {
+                for (p, t) in preds.iter_mut().zip(&self.trees) {
+                    *p = t.predict(row);
+                }
+                let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+                let var =
+                    preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
+                (mean, var)
+            })
+            .collect()
+    }
 }
 
 impl Regressor for RandomForest {

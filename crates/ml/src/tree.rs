@@ -57,6 +57,22 @@ impl SplitRule {
             }
         }
     }
+
+    /// [`SplitRule::goes_left`] against column-major training data
+    /// (`cols[feature][row_id]`) — the fit hot path reads one column
+    /// value instead of chasing the row vector. Same comparison, same
+    /// value bits, same verdict.
+    #[inline]
+    fn goes_left_col(&self, cols: &[Vec<f64>], row_id: usize) -> bool {
+        match *self {
+            SplitRule::Numeric { feature, threshold } => cols[feature][row_id] <= threshold,
+            SplitRule::Categorical { feature, left_mask } => {
+                let code = cols[feature][row_id] as i64;
+                debug_assert!((0..64).contains(&code), "category code out of range");
+                left_mask & (1u64 << code) != 0
+            }
+        }
+    }
 }
 
 /// A node in the tree arena.
@@ -135,8 +151,41 @@ impl DecisionTree {
         assert!(!sample_indices.is_empty(), "cannot fit tree on empty sample");
         self.nodes.clear();
         self.split_counts.iter_mut().for_each(|c| *c = 0);
-        let mut idx = sample_indices.to_vec();
-        self.root = self.build(x, y, &mut idx, 0, rng);
+        // Presort the sample once per numeric feature; nodes then maintain
+        // these lists through order-preserving in-place partitions of
+        // their [lo, hi) segment, so split search never sorts again
+        // (O(n) scan instead of O(n log n) per node — same splits to the
+        // bit, see `best_numeric_split`) and node construction never
+        // allocates (all buffers live in one fit-scoped arena).
+        let d = self.feature_kinds.len();
+        // Column-major copy of the training block: split search touches
+        // one feature at a time, so `cols[f][i]` turns every row-vector
+        // chase into a dense column read. Values are copied verbatim —
+        // identical bits, identical splits.
+        let cols: Vec<Vec<f64>> =
+            (0..d).map(|f| x.iter().map(|row| row[f]).collect()).collect();
+        let mut sorted: Vec<Vec<usize>> = Vec::with_capacity(d);
+        for (f, kind) in self.feature_kinds.iter().enumerate() {
+            match kind {
+                FeatureKind::Continuous => {
+                    let mut s = sample_indices.to_vec();
+                    s.sort_by(|&a, &b| dbtune_linalg::ord::cmp_f64(&cols[f][a], &cols[f][b]));
+                    sorted.push(s);
+                }
+                FeatureKind::Categorical { .. } => sorted.push(Vec::new()),
+            }
+        }
+        let mut arena = BuildArena {
+            cols,
+            idx: sample_indices.to_vec(),
+            sorted,
+            goes_left: vec![false; x.len()],
+            part_scratch: Vec::with_capacity(sample_indices.len()),
+            feat_scratch: Vec::with_capacity(d),
+            split_scratch: Vec::new(),
+        };
+        let hi = arena.idx.len();
+        self.root = self.build(y, &mut arena, 0, hi, 0, rng);
     }
 
     /// The node arena (root at [`DecisionTree::root_index`]).
@@ -161,37 +210,48 @@ impl DecisionTree {
 
     fn build(
         &mut self,
-        x: &[Vec<f64>],
         y: &[f64],
-        idx: &mut [usize],
+        arena: &mut BuildArena,
+        lo: usize,
+        hi: usize,
         depth: usize,
         rng: &mut impl Rng,
     ) -> usize {
-        let n = idx.len();
-        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
-        let sse: f64 = idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
+        let n = hi - lo;
+        let mean = arena.idx[lo..hi].iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+        let sse: f64 = arena.idx[lo..hi].iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
 
         let stop =
             depth >= self.params.max_depth || n < self.params.min_samples_split || sse <= 1e-12;
         if !stop {
-            if let Some((rule, gain)) = self.best_split(x, y, idx, rng) {
+            if let Some((rule, gain)) = self.best_split(y, arena, lo, hi, rng) {
                 if gain > 1e-12 {
-                    // Partition indices in place around the rule.
-                    let mut left: Vec<usize> = Vec::with_capacity(n / 2);
-                    let mut right: Vec<usize> = Vec::with_capacity(n / 2);
-                    for &i in idx.iter() {
-                        if rule.goes_left(&x[i]) {
-                            left.push(i);
-                        } else {
-                            right.push(i);
-                        }
+                    // Route each row through the rule exactly once; the
+                    // cached verdicts then drive every partition below.
+                    let mut nl = 0usize;
+                    for &i in &arena.idx[lo..hi] {
+                        let goes_left = rule.goes_left_col(&arena.cols, i);
+                        arena.goes_left[i] = goes_left;
+                        nl += usize::from(goes_left);
                     }
-                    if left.len() >= self.params.min_samples_leaf
-                        && right.len() >= self.params.min_samples_leaf
+                    if nl >= self.params.min_samples_leaf
+                        && (n - nl) >= self.params.min_samples_leaf
                     {
                         self.split_counts[rule.feature()] += 1;
-                        let l = self.build(x, y, &mut left, depth + 1, rng);
-                        let r = self.build(x, y, &mut right, depth + 1, rng);
+                        // Partition this node's segment of every row
+                        // list in place, preserving order: an
+                        // order-preserving partition of a sorted list
+                        // stays sorted (and keeps tie order).
+                        let BuildArena { idx, sorted, goes_left, part_scratch, .. } = arena;
+                        stable_partition(&mut idx[lo..hi], goes_left, part_scratch);
+                        for s in sorted.iter_mut() {
+                            if !s.is_empty() {
+                                stable_partition(&mut s[lo..hi], goes_left, part_scratch);
+                            }
+                        }
+                        let mid = lo + nl;
+                        let l = self.build(y, arena, lo, mid, depth + 1, rng);
+                        let r = self.build(y, arena, mid, hi, depth + 1, rng);
                         self.nodes.push(Node::Internal { rule, left: l, right: r });
                         return self.nodes.len() - 1;
                     }
@@ -206,17 +266,21 @@ impl DecisionTree {
     /// returning the rule and its SSE reduction.
     fn best_split(
         &self,
-        x: &[Vec<f64>],
         y: &[f64],
-        idx: &[usize],
+        arena: &mut BuildArena,
+        lo: usize,
+        hi: usize,
         rng: &mut impl Rng,
     ) -> Option<(SplitRule, f64)> {
+        let BuildArena { cols, idx, sorted, feat_scratch, split_scratch, .. } = arena;
+        let idx = &idx[lo..hi];
         let d = self.feature_kinds.len();
-        let mut features: Vec<usize> = (0..d).collect();
+        feat_scratch.clear();
+        feat_scratch.extend(0..d);
         if let Some(k) = self.params.max_features {
             if k < d {
-                features.shuffle(rng);
-                features.truncate(k);
+                feat_scratch.shuffle(rng);
+                feat_scratch.truncate(k);
             }
         }
 
@@ -226,14 +290,24 @@ impl DecisionTree {
         let parent_sse = sum_sq - sum * sum / n;
 
         let mut best: Option<(SplitRule, f64)> = None;
-        for &f in &features {
+        for &f in feat_scratch.iter() {
             let candidate = match self.feature_kinds[f] {
-                FeatureKind::Continuous => {
-                    best_numeric_split(x, y, idx, f, self.params.min_samples_leaf)
-                }
-                FeatureKind::Categorical { cardinality } => {
-                    best_categorical_split(x, y, idx, f, cardinality, self.params.min_samples_leaf)
-                }
+                FeatureKind::Continuous => best_numeric_split(
+                    &cols[f],
+                    y,
+                    &sorted[f][lo..hi],
+                    f,
+                    self.params.min_samples_leaf,
+                    split_scratch,
+                ),
+                FeatureKind::Categorical { cardinality } => best_categorical_split(
+                    &cols[f],
+                    y,
+                    idx,
+                    f,
+                    cardinality,
+                    self.params.min_samples_leaf,
+                ),
             };
             if let Some((rule, child_sse)) = candidate {
                 let gain = parent_sse - child_sse;
@@ -246,8 +320,111 @@ impl DecisionTree {
     }
 }
 
-/// Exact best threshold split on a numeric feature by sorted prefix scan.
+/// Fit-scoped working set for the segment-based build. A node is the
+/// range `[lo, hi)` of every row list: `idx` holds the node's member
+/// rows in parent order, and `sorted` holds one list per numeric
+/// feature kept sorted by feature value (empty for categorical
+/// features). Splitting a node stably partitions each list's segment in
+/// place, so no buffer is ever allocated per node.
+///
+/// Stability argument: an order-preserving partition of a stably sorted
+/// sequence equals the stable sort of the partitioned sequence, and a
+/// node's segment is itself an order-preserving partition of the fit
+/// sample — so each sorted segment is exactly what sorting the node's
+/// `(value, y)` pairs used to produce, ties included. Rows duplicated
+/// by bootstrap sampling are no exception: duplicates share a value and
+/// always route to the same child.
+struct BuildArena {
+    /// Column-major training values (`cols[feature][row_id]`), copied
+    /// once per fit so split search and routing read dense columns.
+    cols: Vec<Vec<f64>>,
+    idx: Vec<usize>,
+    sorted: Vec<Vec<usize>>,
+    /// Per-row routing verdict for the split currently being applied,
+    /// indexed by original row id (bootstrap duplicates agree).
+    goes_left: Vec<bool>,
+    /// Spill buffer for [`stable_partition`].
+    part_scratch: Vec<usize>,
+    /// Feature-subsample buffer for `best_split`.
+    feat_scratch: Vec<usize>,
+    /// `(value, target)` gather buffer for [`best_numeric_split`].
+    split_scratch: Vec<(f64, f64)>,
+}
+
+/// Stably partitions `seg` so rows with `goes_left[row] == true` come
+/// first, each side in original order. Two passes over a spill copy —
+/// O(n), allocation-free once `scratch` has warmed up.
+fn stable_partition(seg: &mut [usize], goes_left: &[bool], scratch: &mut Vec<usize>) {
+    scratch.clear();
+    scratch.extend_from_slice(seg);
+    let mut w = 0;
+    for &i in scratch.iter() {
+        if goes_left[i] {
+            seg[w] = i;
+            w += 1;
+        }
+    }
+    for &i in scratch.iter() {
+        if !goes_left[i] {
+            seg[w] = i;
+            w += 1;
+        }
+    }
+}
+
+/// Exact best threshold split on a numeric feature by prefix scan over
+/// `sorted_rows`, the node's rows presorted by this feature (see
+/// [`BuildArena`]). Gathers `(value, y)` pairs from the feature's dense
+/// column into `scratch` in sorted order — bit-identical to the
+/// historical sort-per-node implementation
+/// (`best_numeric_split_reference` under test) at O(n) instead of
+/// O(n log n).
 fn best_numeric_split(
+    col: &[f64],
+    y: &[f64],
+    sorted_rows: &[usize],
+    feature: usize,
+    min_leaf: usize,
+    scratch: &mut Vec<(f64, f64)>,
+) -> Option<(SplitRule, f64)> {
+    scratch.clear();
+    scratch.extend(sorted_rows.iter().map(|&i| (col[i], y[i])));
+    let pairs: &[(f64, f64)] = scratch;
+    let n = pairs.len();
+    if pairs[0].0 == pairs[n - 1].0 {
+        return None; // constant feature
+    }
+    let total: f64 = pairs.iter().map(|p| p.1).sum();
+    let total_sq: f64 = pairs.iter().map(|p| p.1 * p.1).sum();
+
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    let mut best: Option<(f64, f64)> = None; // (threshold, child_sse)
+    for i in 0..n - 1 {
+        left_sum += pairs[i].1;
+        left_sq += pairs[i].1 * pairs[i].1;
+        if pairs[i].0 == pairs[i + 1].0 {
+            continue; // cannot split between equal values
+        }
+        let nl = (i + 1) as f64;
+        let nr = (n - i - 1) as f64;
+        if (i + 1) < min_leaf || (n - i - 1) < min_leaf {
+            continue;
+        }
+        let sse_l = left_sq - left_sum * left_sum / nl;
+        let sse_r = (total_sq - left_sq) - (total - left_sum) * (total - left_sum) / nr;
+        let child = sse_l + sse_r;
+        if best.is_none_or(|(_, b)| child < b) {
+            best = Some((0.5 * (pairs[i].0 + pairs[i + 1].0), child));
+        }
+    }
+    best.map(|(threshold, sse)| (SplitRule::Numeric { feature, threshold }, sse))
+}
+
+/// The historical sort-per-node numeric split search, kept verbatim as
+/// the oracle for the presort fast path's equivalence proptest.
+#[cfg(test)]
+fn best_numeric_split_reference(
     x: &[Vec<f64>],
     y: &[f64],
     idx: &[usize],
@@ -296,7 +473,7 @@ fn best_numeric_split(
 /// scan as if numeric.
 #[allow(clippy::needless_range_loop)]
 fn best_categorical_split(
-    x: &[Vec<f64>],
+    col: &[f64],
     y: &[f64],
     idx: &[usize],
     feature: usize,
@@ -308,7 +485,7 @@ fn best_categorical_split(
     let mut sum = vec![0.0; cardinality];
     let mut sum_sq = vec![0.0; cardinality];
     for &i in idx {
-        let c = x[i][feature] as usize;
+        let c = col[i] as usize;
         debug_assert!(c < cardinality, "category code {c} >= cardinality {cardinality}");
         count[c] += 1;
         sum[c] += y[i];
@@ -464,6 +641,74 @@ mod tests {
         let t = fit_tree(&x, &y, vec![FeatureKind::Continuous]);
         assert_eq!(t.nodes().len(), 1);
         assert_eq!(t.predict(&[100.0]), 3.0);
+    }
+
+    /// Runs the fast path the way `build` does: presort the node's rows
+    /// stably by feature value, then gather-and-scan.
+    fn fast_split(
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        feature: usize,
+        min_leaf: usize,
+    ) -> Option<(SplitRule, f64)> {
+        let col: Vec<f64> = x.iter().map(|row| row[feature]).collect();
+        let mut sorted = idx.to_vec();
+        sorted.sort_by(|&a, &b| dbtune_linalg::ord::cmp_f64(&col[a], &col[b]));
+        let mut scratch = Vec::new();
+        best_numeric_split(&col, y, &sorted, feature, min_leaf, &mut scratch)
+    }
+
+    fn assert_split_eq(
+        a: Option<(SplitRule, f64)>,
+        b: Option<(SplitRule, f64)>,
+        context: &str,
+    ) {
+        match (a, b) {
+            (None, None) => {}
+            (Some((ra, sa)), Some((rb, sb))) => {
+                assert_eq!(ra, rb, "rule mismatch: {context}");
+                assert_eq!(sa.to_bits(), sb.to_bits(), "SSE bits mismatch: {context}");
+            }
+            (a, b) => panic!("split presence mismatch ({context}): {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn presorted_split_matches_reference_with_ties_and_duplicates() {
+        // Heavy value ties plus bootstrap-style duplicate indices — the
+        // cases where a stability bug would change the chosen threshold.
+        let x: Vec<Vec<f64>> = (0..24).map(|i| vec![(i % 6) as f64, (i % 4) as f64]).collect();
+        let y: Vec<f64> = (0..24).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let idx: Vec<usize> = (0..24).chain([3, 3, 17, 8, 8, 8]).collect();
+        for feature in 0..2 {
+            for min_leaf in [1, 3, 8] {
+                let r = best_numeric_split_reference(&x, &y, &idx, feature, min_leaf);
+                let f = fast_split(&x, &y, &idx, feature, min_leaf);
+                assert_split_eq(r, f, &format!("feature {feature}, min_leaf {min_leaf}"));
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The presort fast path returns the same rule and the same SSE
+        /// bits as the historical sort-per-node search, on arbitrary data
+        /// (quantized to force ties) and arbitrary row multisets.
+        #[test]
+        fn presorted_split_equals_reference(
+            vals in proptest::collection::vec((0u32..8, -100i32..100), 2..60),
+            picks in proptest::collection::vec(0usize..60, 2..80),
+            min_leaf in 1usize..5,
+        ) {
+            let x: Vec<Vec<f64>> = vals.iter().map(|(v, _)| vec![*v as f64 / 4.0]).collect();
+            let y: Vec<f64> = vals.iter().map(|(_, t)| *t as f64 / 10.0).collect();
+            let idx: Vec<usize> = picks.iter().map(|&p| p % x.len()).collect();
+            let r = best_numeric_split_reference(&x, &y, &idx, 0, min_leaf);
+            let f = fast_split(&x, &y, &idx, 0, min_leaf);
+            assert_split_eq(r, f, "proptest case");
+        }
     }
 
     #[test]
