@@ -99,6 +99,53 @@ pub fn parse_perf_baseline(value: &Value) -> Result<PerfBaseline, String> {
     Ok(baseline)
 }
 
+/// The comparable content of one `BENCH_quality.json` artifact (the
+/// regret-curve sibling of [`PerfBaseline`]). Everything here is
+/// deterministic, so the diff rule is exact equality throughout — the
+/// fingerprint decides, the per-session fields exist to name what moved.
+#[derive(Clone, Debug, Default)]
+pub struct QualityBaseline {
+    /// Canonical serialization of the whole `results` block.
+    pub results_fingerprint: String,
+    /// Per-session headline numbers: label → (final best, final simple
+    /// regret, final cumulative regret).
+    pub sessions: BTreeMap<String, (f64, Option<f64>, Option<f64>)>,
+}
+
+fn opt_f64(value: Option<&Value>, what: &str) -> Result<Option<f64>, String> {
+    match value {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| format!("{what} is not a number")),
+    }
+}
+
+/// Parses a `BENCH_quality.json` value into the plain
+/// [`QualityBaseline`] struct the `quality_baseline` driver compares
+/// (mirror of [`parse_perf_baseline`]).
+pub fn parse_quality_baseline(value: &Value) -> Result<QualityBaseline, String> {
+    let results = lookup(value, "results").ok_or("BENCH_quality.json has no \"results\"")?;
+    let mut baseline = QualityBaseline {
+        results_fingerprint: serde_json::to_string(results)
+            .map_err(|e| format!("cannot serialize results fingerprint: {e:?}"))?,
+        ..Default::default()
+    };
+    let sessions = lookup(results, "sessions")
+        .and_then(Value::as_array)
+        .ok_or("results has no \"sessions\" array")?;
+    for (i, session) in sessions.iter().enumerate() {
+        let label = lookup(session, "session")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("results.sessions[{i}].session missing"))?;
+        let best = lookup(session, "final_best")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("results.sessions[{i}].final_best missing"))?;
+        let regret = opt_f64(lookup(session, "final_regret"), "final_regret")?;
+        let cum = opt_f64(lookup(session, "final_cum_regret"), "final_cum_regret")?;
+        baseline.sessions.insert(label.to_string(), (best, regret, cum));
+    }
+    Ok(baseline)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +197,39 @@ mod tests {
         let value: Value =
             serde_json::from_str(r#"{"timing": {"wall_secs": []}}"#).expect("sample JSON parses");
         assert!(parse_perf_baseline(&value).expect_err("must be rejected").contains("results"));
+    }
+
+    const QUALITY_SAMPLE: &str = r#"{
+        "schema": 1,
+        "results": {
+            "sessions": [
+                {"session": "smac/job/s42", "final_best": -1.25,
+                 "final_regret": 0.05, "final_cum_regret": 4.5},
+                {"session": "random/job/s42", "final_best": -1.5,
+                 "final_regret": null, "final_cum_regret": null}
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn parses_the_quality_shape() {
+        let value: Value = serde_json::from_str(QUALITY_SAMPLE).expect("sample parses");
+        let b = parse_quality_baseline(&value).expect("quality baseline parses");
+        assert_eq!(b.sessions.len(), 2);
+        assert_eq!(b.sessions["smac/job/s42"], (-1.25, Some(0.05), Some(4.5)));
+        assert_eq!(b.sessions["random/job/s42"], (-1.5, None, None));
+        assert!(b.results_fingerprint.contains("final_best"));
+    }
+
+    #[test]
+    fn quality_errors_name_the_missing_piece() {
+        let value: Value = serde_json::from_str(r#"{"schema": 1}"#).expect("parses");
+        assert!(parse_quality_baseline(&value).expect_err("rejected").contains("results"));
+        let value: Value = serde_json::from_str(r#"{"results": {}}"#).expect("parses");
+        assert!(parse_quality_baseline(&value).expect_err("rejected").contains("sessions"));
+        let value: Value = serde_json::from_str(r#"{"results": {"sessions": [{"session": "x"}]}}"#)
+            .expect("parses");
+        assert!(parse_quality_baseline(&value).expect_err("rejected").contains("final_best"));
     }
 
     #[test]

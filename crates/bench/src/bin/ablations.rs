@@ -59,7 +59,13 @@ fn session(
         &mut obj,
         space,
         opt,
-        &SessionConfig { iterations: iters, lhs_init: 10, seed, failure_policy: policy },
+        &SessionConfig {
+            iterations: iters,
+            lhs_init: 10,
+            seed,
+            failure_policy: policy,
+            ..Default::default()
+        },
     )
 }
 

@@ -127,11 +127,17 @@ fn main() {
                 pct(r.baseline_improvement),
                 pct(r.chaos_improvement),
                 pct(r.degradation),
-                format!("{:+.1}%", 100.0 * (r.chaos_simulated_secs / r.baseline_simulated_secs - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (r.chaos_simulated_secs / r.baseline_simulated_secs - 1.0)
+                ),
             ]
         })
         .collect();
-    print_table(&["Optimizer", "Baseline", "Under faults", "Degradation", "Extra sim. time"], &rows);
+    print_table(
+        &["Optimizer", "Baseline", "Under faults", "Degradation", "Extra sim. time"],
+        &rows,
+    );
 
     let degs: Vec<f64> = runs.iter().map(|r| r.degradation).collect();
     let median_deg = dbtune_bench::median(&degs);

@@ -82,7 +82,8 @@ fn main() -> ExitCode {
             | TraceEvent::Counter { seq, .. }
             | TraceEvent::Gauge { seq, .. }
             | TraceEvent::Hist { seq, .. }
-            | TraceEvent::Cell { seq, .. } => {
+            | TraceEvent::Cell { seq, .. }
+            | TraceEvent::Diag { seq, .. } => {
                 if lineno == 1 {
                     eprintln!("{path}:{lineno}: first line must be a meta event");
                     errors += 1;

@@ -7,6 +7,7 @@
 //! paper-scale settings.
 
 pub mod artifact;
+pub mod quality;
 
 use dbtune_core::exec::{
     cell_seed, resolve_workers, run_grid, CacheStats, CachedObjective, EvalCache, RetryPolicy,
@@ -132,12 +133,14 @@ pub struct GridOpts {
 }
 
 impl GridOpts {
-    /// Parses `workers=` / `cache=` / `trace=` / `faults=` / `retries=`
-    /// from the driver's arguments. `driver` names the binary; it
-    /// becomes the journal's `source` when `trace=<path>` starts one
-    /// (the `DBTUNE_TRACE` environment variable is handled by the
-    /// telemetry global itself). Fault injection defaults off; see
-    /// `docs/robustness.md` for the flag grammar.
+    /// Parses `workers=` / `cache=` / `trace=` / `diag=` / `faults=` /
+    /// `retries=` from the driver's arguments. `driver` names the
+    /// binary; it becomes the journal's `source` when `trace=<path>`
+    /// starts one (the `DBTUNE_TRACE` environment variable is handled by
+    /// the telemetry global itself). `diag=on` latches the optimizer-
+    /// quality recorder (see docs/observability.md) — its records reach
+    /// a file only when the journal is also on. Fault injection defaults
+    /// off; see `docs/robustness.md` for the flag grammar.
     pub fn from_args(driver: &str, args: &ExpArgs, noise_seed: u64) -> Self {
         let cache = match args.get_str("cache", "on").as_str() {
             "on" => true,
@@ -150,11 +153,22 @@ impl GridOpts {
                 .enable_journal(std::path::Path::new(&trace), driver)
                 .unwrap_or_else(|e| panic!("cannot open trace journal {trace}: {e}"));
         }
+        match args.get_str("diag", "off").as_str() {
+            "on" => telemetry::global().enable_diag(),
+            "off" => {}
+            other => panic!("bad value for diag: {other} (expected on|off)"),
+        }
         let faults = FaultPlan::parse(&args.get_str("faults", "off"))
             .unwrap_or_else(|e| panic!("bad value for faults: {e}"));
         let retry = RetryPolicy::parse(&args.get_str("retries", ""))
             .unwrap_or_else(|e| panic!("bad value for retries: {e}"));
-        Self { workers: resolve_workers(args.opt_usize("workers")), cache, noise_seed, faults, retry }
+        Self {
+            workers: resolve_workers(args.opt_usize("workers")),
+            cache,
+            noise_seed,
+            faults,
+            retry,
+        }
     }
 
     /// A fresh shared cache, or `None` when disabled.
@@ -172,15 +186,24 @@ impl GridOpts {
     /// read the same numbers.
     pub fn report(&self, cache: Option<&Arc<EvalCache>>) -> ExecReport {
         let stats = cache.map(|c| c.stats()).unwrap_or_default();
+        let transient_skips = cache.map(|c| c.transient_skips()).unwrap_or(0);
         let metrics = &telemetry::global().metrics;
         metrics.counter("exec.cache.hits").add(stats.hits);
         metrics.counter("exec.cache.misses").add(stats.misses);
         metrics.gauge("exec.cache.entries").set(stats.entries as i64);
+        // Published lazily, like `sim.faults.*`: the counter can only be
+        // nonzero under fault injection, and registering it at zero
+        // would add a key to every fault-free telemetry block (committed
+        // artifacts must stay byte-identical).
+        if transient_skips > 0 {
+            metrics.counter("exec.cache.transient_skips").add(transient_skips);
+        }
         ExecReport {
             workers: self.workers,
             cache_enabled: self.cache,
             noise_seed: self.noise_seed,
             cache: stats,
+            transient_skips,
             faults: self.faults,
             retry: self.retry,
         }
@@ -203,6 +226,10 @@ pub struct ExecReport {
     pub noise_seed: u64,
     /// Cache counters (all zero when the cache was off).
     pub cache: CacheStats,
+    /// Transient outcomes the cache refused to store (zero unless fault
+    /// injection was on; serialized only then — see
+    /// [`EvalCache::transient_skips`]).
+    pub transient_skips: u64,
     /// The fault schedule the grid ran under (inactive by default).
     pub faults: FaultPlan,
     /// The retry policy applied to transient faults.
@@ -219,6 +246,7 @@ impl Serialize for ExecReport {
         // Chaos settings appear only when injection is on: faults-off
         // artifacts must stay byte-identical to the pre-fault baseline.
         if self.faults.is_active() {
+            fields.push(("cache_transient_skips".to_string(), self.transient_skips.to_value()));
             fields.push((
                 "faults".to_string(),
                 serde::Value::Object(vec![
@@ -280,7 +308,13 @@ pub fn run_cached_session_with_stats(
     cache: Option<Arc<EvalCache>>,
     noise_seed: u64,
 ) -> (SessionResult, u64, u64) {
-    run_faulty_session_with_stats(cell, cache, noise_seed, FaultPlan::disabled(), RetryPolicy::none())
+    run_faulty_session_with_stats(
+        cell,
+        cache,
+        noise_seed,
+        FaultPlan::disabled(),
+        RetryPolicy::none(),
+    )
 }
 
 /// [`run_cached_session_with_stats`] under a fault schedule: the cell's
@@ -300,6 +334,12 @@ pub fn run_faulty_session_with_stats(
     let space = TuningSpace::with_default_base(&catalog, cell.selected.clone(), Hardware::B);
     let mut opt = cell.opt_kind.build(space.space(), METRICS_DIM, cell.seed);
     let mut obj = CachedObjective::with_faults(sim, cache, noise_seed, plan, retry);
+    // Label diag records so one journal distinguishes grid cells; the
+    // label is built only when the recorder is on (it never influences
+    // tuning either way).
+    let diag_label = telemetry::global()
+        .diag_enabled()
+        .then(|| diag_session_label(cell.opt_kind, cell.workload, cell.selected.len(), cell.seed));
     let result = run_session(
         &mut obj,
         &space,
@@ -308,10 +348,26 @@ pub fn run_faulty_session_with_stats(
             iterations: cell.iters,
             lhs_init: 10,
             seed: cell.seed,
+            diag_label,
             ..Default::default()
         },
     );
     (result, obj.n_hits() as u64, obj.n_misses() as u64)
+}
+
+/// The diag session label a grid cell's records carry: optimizer slug,
+/// lowercased workload name, knob count, and seed (`smac/job/k12/s42`).
+/// One definition so journal producers and `BENCH_quality.json`
+/// consumers agree. The knob count matters: drivers like fig5/fig7
+/// sweep space sizes with everything else fixed, and two sessions that
+/// fold into one label would merge into a nonsense summary.
+pub fn diag_session_label(
+    opt_kind: OptimizerKind,
+    workload: Workload,
+    knobs: usize,
+    seed: u64,
+) -> String {
+    format!("{}/{}/k{knobs}/s{seed}", opt_kind.slug(), workload.name().to_lowercase())
 }
 
 /// The per-cell fault schedule: the grid plan reseeded by the cell's
@@ -374,7 +430,7 @@ pub fn print_exec_summary(exec: &ExecReport) {
     );
     if exec.faults.is_active() {
         println!(
-            "[chaos] fault seed={} timeouts={} spurious crashes={} noisy={} stalls={} | retries={} exhausted={} panics contained={}",
+            "[chaos] fault seed={} timeouts={} spurious crashes={} noisy={} stalls={} | retries={} exhausted={} panics contained={} cache skips={}",
             exec.faults.seed,
             metrics.counter("sim.faults.timeout").get(),
             metrics.counter("sim.faults.crash").get(),
@@ -383,6 +439,7 @@ pub fn print_exec_summary(exec: &ExecReport) {
             metrics.counter("exec.retries").get(),
             metrics.counter("exec.retry_exhausted").get(),
             metrics.counter("exec.panics_contained").get(),
+            exec.transient_skips,
         );
     }
 }

@@ -1,0 +1,93 @@
+//! The diag recorder's determinism contract, enforced end to end:
+//!
+//! 1. **Byte-identity with diagnostics on or off.** The recorder only
+//!    observes — the optimum estimate and the surrogate's capture of
+//!    its own prediction consume no randomness — so the quality
+//!    matrix's tuning results must be bit-for-bit identical with
+//!    `diag=on` and `diag=off`, at every worker count.
+//! 2. **Scheduling-invariant summaries.** Folding the journals of
+//!    `workers=1/2/8` runs must produce the same `"results"` block:
+//!    journal line order differs under concurrency, per-session record
+//!    streams and the fixed-matrix-order fold must not.
+//! 3. **The committed baseline is reproducible.** The freshly folded
+//!    block must equal `BENCH_quality.json`'s `results` block exactly —
+//!    the same fold `diag_report` and `quality_baseline` apply to a
+//!    real journal, reproducing the committed regret summaries.
+//!
+//! Everything lives in ONE test: `enable_diag` is a process-global
+//! latch, so the diag-off phase must fully precede it, and the test
+//! harness would otherwise race phases across threads.
+
+use dbtune_bench::artifact::{load_json_file, lookup};
+use dbtune_bench::{quality, run_tuning_grid, GridOpts};
+use dbtune_core::telemetry;
+use std::path::Path;
+
+/// One matrix run; returns every session's score trace as bit patterns
+/// (strict byte-identity, not tolerance comparison).
+fn run_matrix(workers: usize, journal: Option<&Path>) -> Vec<Vec<u64>> {
+    let tele = telemetry::global();
+    if let Some(path) = journal {
+        tele.enable_journal(path, "quality_determinism").expect("journal opens");
+    }
+    let cells = quality::quality_cells(quality::DEFAULT_ITERS);
+    let opts = GridOpts {
+        workers,
+        cache: true,
+        noise_seed: quality::SEED,
+        faults: dbtune_dbsim::FaultPlan::disabled(),
+        retry: dbtune_core::RetryPolicy::none(),
+    };
+    let (results, _) = run_tuning_grid(&cells, &opts);
+    if journal.is_some() {
+        tele.journal.flush();
+        tele.journal.disable();
+    }
+    results.iter().map(|r| r.best_score_trace.iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+fn fold_results(journal_path: &Path) -> String {
+    let text = std::fs::read_to_string(journal_path).expect("journal readable");
+    let journal = dbtune_trace::load_journal_str(&text).expect("journal loads");
+    let results = quality::results_value(&journal).expect("journal folds into results");
+    serde_json::to_string(&results).expect("results serialize")
+}
+
+#[test]
+fn quality_matrix_is_byte_identical_with_diag_on_off_and_reproduces_baseline() {
+    let scratch = std::env::temp_dir();
+
+    // Phase 1: diag OFF — the reference trajectories. Must come first:
+    // the diag gate latches on for the rest of the process.
+    let reference = run_matrix(1, None);
+
+    // Phase 2: diag ON at workers 1, 2, and 8, each with a journal.
+    telemetry::global().enable_diag();
+    let mut folded: Vec<String> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let path = scratch
+            .join(format!("dbtune_quality_determinism_{}_{workers}.jsonl", std::process::id()));
+        let traces = run_matrix(workers, Some(&path));
+        assert_eq!(
+            traces, reference,
+            "workers={workers}: diag=on changed the tuning results — the recorder must \
+             only observe"
+        );
+        folded.push(fold_results(&path));
+        let _ = std::fs::remove_file(&path);
+    }
+    assert_eq!(folded[0], folded[1], "workers=1 vs 2: folded results differ");
+    assert_eq!(folded[0], folded[2], "workers=1 vs 8: folded results differ");
+
+    // Phase 3: the committed baseline reproduces exactly.
+    let committed = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_quality.json");
+    let baseline = load_json_file(&committed).expect("committed BENCH_quality.json loads");
+    let baseline_results = lookup(&baseline, "results").expect("baseline has results");
+    let baseline_fp = serde_json::to_string(baseline_results).expect("baseline results serialize");
+    assert_eq!(
+        folded[0], baseline_fp,
+        "freshly folded quality results differ from committed BENCH_quality.json — \
+         intended optimizer changes must regenerate the baseline in the same commit \
+         (cargo run --release --bin quality_baseline)"
+    );
+}

@@ -38,6 +38,7 @@
 //! [`run_grid_contained`] catches a panicking cell so one dying session
 //! degrades to a reported failure instead of killing the grid.
 
+use crate::space::TuningSpace;
 use crate::telemetry;
 use crate::tuner::{EvalResult, SimObjective};
 use dbtune_dbsim::{DbSimulator, FaultEvent, FaultPlan, KnobSpec, Objective};
@@ -340,9 +341,8 @@ impl EvalOutcome {
     pub fn simulated_secs(&self) -> f64 {
         match self {
             EvalOutcome::Ok(res) | EvalOutcome::Crashed(res) => res.simulated_secs,
-            EvalOutcome::TimedOut { simulated_secs } | EvalOutcome::Transient { simulated_secs } => {
-                *simulated_secs
-            }
+            EvalOutcome::TimedOut { simulated_secs }
+            | EvalOutcome::Transient { simulated_secs } => *simulated_secs,
         }
     }
 }
@@ -594,8 +594,7 @@ impl EvalCache {
         key: &CacheKey,
         f: impl FnOnce() -> EvalResult,
     ) -> (EvalResult, bool) {
-        let (outcome, hit) =
-            self.lookup_or_compute_outcome(key, || EvalOutcome::from_result(f()));
+        let (outcome, hit) = self.lookup_or_compute_outcome(key, || EvalOutcome::from_result(f()));
         (outcome.into_result().expect("completed-result closure cannot yield a transient"), hit)
     }
 
@@ -713,6 +712,12 @@ pub trait DeterministicObjective {
     fn metrics_dim(&self) -> usize {
         0
     }
+    /// Noise-free optimum over the tuned sub-space (the quality flight
+    /// recorder's regret baseline; see `SimObjective::optimum_value`).
+    /// `None` — the default — for backends without a known optimum.
+    fn optimum(&self, _space: &TuningSpace) -> Option<f64> {
+        None
+    }
 }
 
 /// Shared references delegate, so one trained objective (e.g. a
@@ -741,6 +746,10 @@ impl<T: DeterministicObjective + ?Sized> DeterministicObjective for &T {
 
     fn metrics_dim(&self) -> usize {
         (**self).metrics_dim()
+    }
+
+    fn optimum(&self, space: &TuningSpace) -> Option<f64> {
+        (**self).optimum(space)
     }
 }
 
@@ -774,6 +783,10 @@ impl DeterministicObjective for DbSimulator {
     fn metrics_dim(&self) -> usize {
         dbtune_dbsim::METRICS_DIM
     }
+
+    fn optimum(&self, space: &TuningSpace) -> Option<f64> {
+        self.estimate_optimum_over(space.selected(), space.base())
+    }
 }
 
 /// Adapter plugging a [`DeterministicObjective`] into the session driver,
@@ -799,6 +812,9 @@ pub struct CachedObjective<O: DeterministicObjective> {
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
     eval_cursor: u64,
+    /// Whether the most recent evaluation's failure came from an
+    /// exhausted transient-fault retry budget (diag outcome tagging).
+    last_transient: bool,
 }
 
 impl<O: DeterministicObjective> CachedObjective<O> {
@@ -816,6 +832,7 @@ impl<O: DeterministicObjective> CachedObjective<O> {
             faults: None,
             retry: RetryPolicy::none(),
             eval_cursor: 0,
+            last_transient: false,
         }
     }
 
@@ -930,6 +947,7 @@ impl<O: DeterministicObjective> CachedObjective<O> {
             charged += lost;
             if attempt >= self.retry.max_attempts {
                 metrics.counter("exec.retry_exhausted").inc();
+                self.last_transient = true;
                 // Out of attempts: surface a failed evaluation carrying
                 // the full simulated cost of the doomed slot. The session
                 // driver treats it like any crash (worst-seen
@@ -950,6 +968,7 @@ impl<O: DeterministicObjective> CachedObjective<O> {
 impl<O: DeterministicObjective> SimObjective for CachedObjective<O> {
     fn evaluate(&mut self, full_cfg: &[f64]) -> EvalResult {
         self.n_evals += 1;
+        self.last_transient = false;
         match self.faults {
             Some(plan) => self.evaluate_faulty(full_cfg, plan),
             None => {
@@ -974,6 +993,14 @@ impl<O: DeterministicObjective> SimObjective for CachedObjective<O> {
 
     fn seek_eval_cursor(&mut self, cursor: u64) {
         self.eval_cursor = cursor;
+    }
+
+    fn optimum_value(&self, space: &TuningSpace) -> Option<f64> {
+        self.inner.optimum(space)
+    }
+
+    fn last_failure_was_transient(&self) -> bool {
+        self.last_transient
     }
 }
 

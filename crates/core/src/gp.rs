@@ -340,10 +340,7 @@ impl GaussianProcess {
                     }
                 }
                 let var_n = (kss - s2).max(1e-12);
-                out.push((
-                    mean_n[l] * self.y_std + self.y_mean,
-                    var_n * self.y_std * self.y_std,
-                ));
+                out.push((mean_n[l] * self.y_std + self.y_mean, var_n * self.y_std * self.y_std));
             }
         }
         let mut ks = vec![0.0; n];

@@ -7,7 +7,7 @@
 //! experiment. Vanilla BO's ordinal encoding imposes a fake ordering on
 //! categorical options; the Hamming kernel treats every mismatch equally.
 
-use super::{ObsStore, Optimizer};
+use super::{ObsStore, Optimizer, SurrogateIntrospect};
 use crate::acquisition::{
     expected_improvement, maximize_batched, probability_of_improvement, upper_confidence_bound,
 };
@@ -61,6 +61,11 @@ pub struct BoOptimizer {
     /// Hyper-parameters the cached GP was fitted with, as IEEE-754 bit
     /// words — the reuse test is exact identity, not float comparison.
     gp_hp: Option<(u64, u64)>,
+    /// Predictive `(mean, variance)` at the most recent suggestion,
+    /// captured for the quality recorder only when diagnostics are on
+    /// (the capture is an extra stateless predict — no RNG, no model
+    /// mutation — so the suggestion stream is unchanged either way).
+    last_pred: Option<(f64, f64)>,
 }
 
 impl BoOptimizer {
@@ -76,6 +81,7 @@ impl BoOptimizer {
             hp_cache: None,
             gp: None,
             gp_hp: None,
+            last_pred: None,
         }
     }
 
@@ -130,6 +136,7 @@ impl Optimizer for BoOptimizer {
     }
 
     fn suggest(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.last_pred = None;
         if self.obs.len() < 2 {
             return self.space.sample(rng);
         }
@@ -150,8 +157,8 @@ impl Optimizer for BoOptimizer {
             // are bit-identical to the ones it was fitted with; new
             // observations are absorbed in O(n²) via `extend`, which is
             // bit-identical to refitting from scratch (gp_equivalence).
-            let reusable = self.gp_hp == Some(hp_bits)
-                && self.gp.as_ref().is_some_and(|gp| gp.n_train() <= n);
+            let reusable =
+                self.gp_hp == Some(hp_bits) && self.gp.as_ref().is_some_and(|gp| gp.n_train() <= n);
             if reusable {
                 let fitted = self.gp.as_ref().map_or(0, |gp| gp.n_train());
                 let pending: Vec<(Vec<f64>, f64)> =
@@ -179,7 +186,7 @@ impl Optimizer for BoOptimizer {
             self.obs.top_k(3).into_iter().map(|i| self.obs.x[i].clone()).collect();
         let acq = self.acquisition;
         let _acq_span = telemetry::span("acquisition");
-        maximize_batched(
+        let cand = maximize_batched(
             &self.space,
             |raws| {
                 let enc: Vec<Vec<f64>> = raws.iter().map(|r| self.encode(r)).collect();
@@ -195,11 +202,28 @@ impl Optimizer for BoOptimizer {
             &incumbents,
             self.n_candidates,
             rng,
-        )
+        );
+        // Quality diagnostics: re-score the winner for its predictive
+        // moments. Stateless and RNG-free, and skipped entirely when
+        // diagnostics are off, so the diag-off path is byte-for-byte the
+        // original one.
+        let pred = if telemetry::global().diag_enabled() {
+            gp.predict_batch(&[self.encode(&cand)]).first().copied()
+        } else {
+            None
+        };
+        self.last_pred = pred;
+        cand
     }
 
     fn observe(&mut self, cfg: &[f64], score: f64, _metrics: &[f64]) {
         self.obs.push(cfg, score);
+    }
+}
+
+impl SurrogateIntrospect for BoOptimizer {
+    fn last_prediction(&self) -> Option<(f64, f64)> {
+        self.last_pred
     }
 }
 

@@ -12,7 +12,7 @@
 //! framework: pre-train on source workloads, then warm-start the target
 //! session from the saved weights (§7).
 
-use super::Optimizer;
+use super::{Optimizer, SurrogateIntrospect};
 use crate::space::ConfigSpace;
 use crate::telemetry;
 use dbtune_ml::{Activation, Mlp, MlpParams};
@@ -226,6 +226,10 @@ impl Ddpg {
         self.target_critic.soft_update_from(&self.critic, self.params.tau);
     }
 }
+
+// Model-free family from the quality recorder's viewpoint:
+// no surrogate scores the suggestion, so the default `None` applies.
+impl SurrogateIntrospect for Ddpg {}
 
 impl Optimizer for Ddpg {
     fn name(&self) -> &str {

@@ -5,7 +5,7 @@
 //! different category, crossover swaps whole genes — which is why the
 //! paper lists GA as heterogeneity-capable despite its simplicity.
 
-use super::Optimizer;
+use super::{Optimizer, SurrogateIntrospect};
 use crate::space::ConfigSpace;
 use crate::telemetry;
 use rand::rngs::StdRng;
@@ -104,6 +104,10 @@ impl Ga {
         self.queue = next;
     }
 }
+
+// Model-free family from the quality recorder's viewpoint:
+// no surrogate scores the suggestion, so the default `None` applies.
+impl SurrogateIntrospect for Ga {}
 
 impl Optimizer for Ga {
     fn name(&self) -> &str {

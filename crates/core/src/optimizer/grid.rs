@@ -3,7 +3,7 @@
 //! visiting points in a shuffled order so early iterations already cover
 //! the space; refines the lattice once exhausted.
 
-use super::Optimizer;
+use super::{Optimizer, SurrogateIntrospect};
 use crate::space::ConfigSpace;
 use crate::telemetry;
 use rand::rngs::StdRng;
@@ -72,6 +72,10 @@ impl GridSearch {
         self.levels += 1;
     }
 }
+
+// Model-free family from the quality recorder's viewpoint:
+// no surrogate scores the suggestion, so the default `None` applies.
+impl SurrogateIntrospect for GridSearch {}
 
 impl Optimizer for GridSearch {
     fn name(&self) -> &str {

@@ -26,11 +26,32 @@ pub use smac::{Smac, SmacParams};
 pub use tpe::{Tpe, TpeParams};
 pub use turbo::{Turbo, TurboParams};
 
+/// Read-only introspection into a model-based optimizer's surrogate,
+/// consumed by the optimizer-quality flight recorder (`dbtune-diag`).
+///
+/// After [`Optimizer::suggest`] returns, [`last_prediction`] exposes the
+/// surrogate's predictive `(mean, variance)` at the chosen point — on the
+/// oriented score scale, captured *before* the observation is folded in —
+/// or `None` when no model scored the suggestion (model-free optimizers,
+/// init/random-interleave/fallback paths). Implementations must only
+/// *observe*: capturing the prediction may never consume randomness or
+/// alter the suggestion stream (the `quality_determinism` suite enforces
+/// byte-identical results with diagnostics on or off).
+///
+/// [`last_prediction`]: SurrogateIntrospect::last_prediction
+pub trait SurrogateIntrospect {
+    /// Predictive moments at the most recently suggested point, if a
+    /// surrogate scored it.
+    fn last_prediction(&self) -> Option<(f64, f64)> {
+        None
+    }
+}
+
 /// A sequential configuration optimizer.
 ///
 /// The driver alternates [`Optimizer::suggest`] and [`Optimizer::observe`];
 /// scores are maximize-oriented (throughput, or negated latency).
-pub trait Optimizer {
+pub trait Optimizer: SurrogateIntrospect {
     /// Short display name (matching the paper's terminology).
     fn name(&self) -> &str;
 
@@ -45,6 +66,12 @@ pub trait Optimizer {
     /// initialization (§4.1 does this for BO-based optimizers only).
     fn wants_lhs_init(&self) -> bool {
         true
+    }
+}
+
+impl SurrogateIntrospect for Box<dyn Optimizer> {
+    fn last_prediction(&self) -> Option<(f64, f64)> {
+        self.as_ref().last_prediction()
     }
 }
 
@@ -159,6 +186,23 @@ impl OptimizerKind {
             OptimizerKind::Ga => "GA",
             OptimizerKind::Random => "Random",
             OptimizerKind::Grid => "Grid Search",
+        }
+    }
+
+    /// Machine-friendly identifier (lowercase, no spaces) for artifact
+    /// keys and diagnostic session labels, where [`Self::label`]'s
+    /// paper-style names would need quoting.
+    pub fn slug(self) -> &'static str {
+        match self {
+            OptimizerKind::VanillaBo => "vanilla_bo",
+            OptimizerKind::MixedKernelBo => "mixed_bo",
+            OptimizerKind::Smac => "smac",
+            OptimizerKind::Tpe => "tpe",
+            OptimizerKind::Turbo => "turbo",
+            OptimizerKind::Ddpg => "ddpg",
+            OptimizerKind::Ga => "ga",
+            OptimizerKind::Random => "random",
+            OptimizerKind::Grid => "grid",
         }
     }
 

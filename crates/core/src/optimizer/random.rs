@@ -1,7 +1,7 @@
 //! Uniform random search — the control baseline every model-based
 //! optimizer must beat.
 
-use super::Optimizer;
+use super::{Optimizer, SurrogateIntrospect};
 use crate::space::ConfigSpace;
 use crate::telemetry;
 use rand::rngs::StdRng;
@@ -17,6 +17,10 @@ impl RandomSearch {
         Self { space }
     }
 }
+
+// Model-free family from the quality recorder's viewpoint:
+// no surrogate scores the suggestion, so the default `None` applies.
+impl SurrogateIntrospect for RandomSearch {}
 
 impl Optimizer for RandomSearch {
     fn name(&self) -> &str {

@@ -7,7 +7,7 @@
 //! knobs, which is why the paper crowns SMAC on both high-dimensional and
 //! heterogeneous spaces.
 
-use super::{ObsStore, Optimizer};
+use super::{ObsStore, Optimizer, SurrogateIntrospect};
 use crate::acquisition::{expected_improvement, maximize_batched};
 use crate::space::ConfigSpace;
 use crate::telemetry;
@@ -42,12 +42,24 @@ pub struct Smac {
     pub ei_best_override: Option<f64>,
     seed: u64,
     n_suggest: usize,
+    /// Forest's predictive `(mean, variance)` at the most recent
+    /// suggestion, captured for the quality recorder only when
+    /// diagnostics are on (stateless, RNG-free).
+    last_pred: Option<(f64, f64)>,
 }
 
 impl Smac {
     /// Creates SMAC over `space` with a deterministic forest seed.
     pub fn new(space: ConfigSpace, params: SmacParams, seed: u64) -> Self {
-        Self { space, params, obs: ObsStore::default(), ei_best_override: None, seed, n_suggest: 0 }
+        Self {
+            space,
+            params,
+            obs: ObsStore::default(),
+            ei_best_override: None,
+            seed,
+            n_suggest: 0,
+            last_pred: None,
+        }
     }
 
     /// The observations recorded so far.
@@ -78,6 +90,7 @@ impl Optimizer for Smac {
     }
 
     fn suggest(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.last_pred = None;
         self.n_suggest += 1;
         if self.obs.len() < 2 {
             return self.space.sample(rng);
@@ -96,7 +109,7 @@ impl Optimizer for Smac {
         let incumbents: Vec<Vec<f64>> =
             self.obs.top_k(10).into_iter().map(|i| self.obs.x[i].clone()).collect();
         let _acq_span = telemetry::span("acquisition");
-        maximize_batched(
+        let cand = maximize_batched(
             &self.space,
             |raws| {
                 rf.predict_with_variance_batch(raws)
@@ -107,11 +120,26 @@ impl Optimizer for Smac {
             &incumbents,
             self.params.n_candidates,
             rng,
-        )
+        );
+        // Quality diagnostics: re-score the winner for its predictive
+        // moments (SMAC's forest predicts on raw configurations).
+        // Stateless and RNG-free; skipped when diagnostics are off so
+        // that path stays byte-for-byte the original one.
+        if telemetry::global().diag_enabled() {
+            self.last_pred =
+                rf.predict_with_variance_batch(std::slice::from_ref(&cand)).first().copied();
+        }
+        cand
     }
 
     fn observe(&mut self, cfg: &[f64], score: f64, _metrics: &[f64]) {
         self.obs.push(cfg, score);
+    }
+}
+
+impl SurrogateIntrospect for Smac {
+    fn last_prediction(&self) -> Option<(f64, f64)> {
+        self.last_pred
     }
 }
 

@@ -7,7 +7,7 @@
 //! poor showing: it cannot capture interactions such as
 //! `tmp_table_size × innodb_thread_concurrency` (§6.2.1).
 
-use super::{ObsStore, Optimizer};
+use super::{ObsStore, Optimizer, SurrogateIntrospect};
 use crate::space::ConfigSpace;
 use crate::telemetry;
 use dbtune_dbsim::knob::Domain;
@@ -122,6 +122,10 @@ impl Tpe {
         Self { space, params, obs: ObsStore::default() }
     }
 }
+
+// Model-free family from the quality recorder's viewpoint:
+// no surrogate scores the suggestion, so the default `None` applies.
+impl SurrogateIntrospect for Tpe {}
 
 impl Optimizer for Tpe {
     fn name(&self) -> &str {

@@ -9,7 +9,7 @@
 //! observations keeps the Cholesky cost bounded — the paper's explanation
 //! for TuRBO's SMAC-like overhead curve in Figure 9.
 
-use super::Optimizer;
+use super::{Optimizer, SurrogateIntrospect};
 use crate::acquisition::expected_improvement;
 use crate::gp::{GaussianProcess, Matern52Kernel};
 use crate::space::ConfigSpace;
@@ -75,6 +75,11 @@ pub struct Turbo {
     last_region: usize,
     /// Round-robin cursor for regions still warming up.
     rr: usize,
+    /// Winning region GP's predictive `(mean, variance)` at the most
+    /// recent suggestion. The acquisition loop already computes every
+    /// candidate's moments, so carrying the winner's out costs nothing
+    /// and needs no diagnostics gate.
+    last_pred: Option<(f64, f64)>,
 }
 
 impl Turbo {
@@ -82,7 +87,7 @@ impl Turbo {
     pub fn new(space: ConfigSpace, params: TurboParams) -> Self {
         assert!(params.n_regions >= 1, "need at least one trust region");
         let regions = (0..params.n_regions).map(|_| Region::fresh(params.length_init)).collect();
-        Self { space, params, regions, last_region: 0, rr: 0 }
+        Self { space, params, regions, last_region: 0, rr: 0, last_pred: None }
     }
 
     /// Failure tolerance scales with dimensionality (Eriksson et al.).
@@ -100,9 +105,9 @@ impl Turbo {
         self.regions.iter().map(|r| r.restarts).sum()
     }
 
-    /// Best candidate of one region: `(config, EI)`; `None` while the
-    /// region is still warming up.
-    fn region_candidate(&self, ri: usize, rng: &mut StdRng) -> Option<(Vec<f64>, f64)> {
+    /// Best candidate of one region: `(config, EI, predictive moments)`;
+    /// `None` while the region is still warming up.
+    fn region_candidate(&self, ri: usize, rng: &mut StdRng) -> Option<(Vec<f64>, f64, (f64, f64))> {
         let region = &self.regions[ri];
         if region.x.len() < 4 {
             return None;
@@ -153,14 +158,16 @@ impl Turbo {
         }
         let mut best_cfg: Option<usize> = None;
         let mut best_ei = f64::NEG_INFINITY;
+        let mut best_mv = (0.0, 0.0);
         for (i, (m, v)) in gp.predict_batch(&pool).into_iter().enumerate() {
             let ei = expected_improvement(m, v, best, 0.01);
             if ei > best_ei {
                 best_ei = ei;
                 best_cfg = Some(i);
+                best_mv = (m, v);
             }
         }
-        best_cfg.map(|i| (self.space.from_unit(&pool[i]), best_ei))
+        best_cfg.map(|i| (self.space.from_unit(&pool[i]), best_ei, best_mv))
     }
 }
 
@@ -170,6 +177,7 @@ impl Optimizer for Turbo {
     }
 
     fn suggest(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.last_pred = None;
         // Warm-up: regions with too little data get random samples,
         // round-robin so all regions accumulate independent histories.
         let m = self.regions.len();
@@ -183,17 +191,20 @@ impl Optimizer for Turbo {
         }
 
         // Bandit: take the region whose candidate has the highest EI.
-        let mut best: Option<(usize, Vec<f64>, f64)> = None;
+        // (region index, config, EI, (predictive mean, variance)).
+        type RegionBest = (usize, Vec<f64>, f64, (f64, f64));
+        let mut best: Option<RegionBest> = None;
         for ri in 0..m {
-            if let Some((cfg, ei)) = self.region_candidate(ri, rng) {
-                if best.as_ref().is_none_or(|(_, _, b)| ei > *b) {
-                    best = Some((ri, cfg, ei));
+            if let Some((cfg, ei, mv)) = self.region_candidate(ri, rng) {
+                if best.as_ref().is_none_or(|(_, _, b, _)| ei > *b) {
+                    best = Some((ri, cfg, ei, mv));
                 }
             }
         }
         match best {
-            Some((ri, cfg, _)) => {
+            Some((ri, cfg, _, mv)) => {
                 self.last_region = ri;
+                self.last_pred = Some(mv);
                 cfg
             }
             None => {
@@ -243,6 +254,12 @@ impl Optimizer for Turbo {
                 region.restarts = restarts;
             }
         }
+    }
+}
+
+impl SurrogateIntrospect for Turbo {
+    fn last_prediction(&self) -> Option<(f64, f64)> {
+        self.last_pred
     }
 }
 

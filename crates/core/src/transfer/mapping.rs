@@ -10,7 +10,7 @@
 //! this framework (§7.2).
 
 use super::SourceTask;
-use crate::optimizer::{BoKind, BoOptimizer, Optimizer, Smac, SmacParams};
+use crate::optimizer::{BoKind, BoOptimizer, Optimizer, Smac, SmacParams, SurrogateIntrospect};
 use crate::space::ConfigSpace;
 use rand::rngs::StdRng;
 
@@ -89,6 +89,10 @@ impl MappedOptimizer {
         tz.iter().map(|z| z * t_std + t_mean).collect()
     }
 }
+
+// Model-free family from the quality recorder's viewpoint:
+// no surrogate scores the suggestion, so the default `None` applies.
+impl SurrogateIntrospect for MappedOptimizer {}
 
 impl Optimizer for MappedOptimizer {
     fn name(&self) -> &str {

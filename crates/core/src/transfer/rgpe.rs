@@ -13,7 +13,7 @@
 use super::SourceTask;
 use crate::acquisition::{expected_improvement, maximize};
 use crate::gp::{GaussianProcess, MixedKernel};
-use crate::optimizer::{ObsStore, Optimizer};
+use crate::optimizer::{ObsStore, Optimizer, SurrogateIntrospect};
 use crate::space::ConfigSpace;
 use dbtune_ml::{RandomForest, RandomForestParams, Regressor, UncertainRegressor};
 use rand::rngs::StdRng;
@@ -174,6 +174,10 @@ impl RgpeOptimizer {
         &self.obs
     }
 }
+
+// Model-free family from the quality recorder's viewpoint:
+// no surrogate scores the suggestion, so the default `None` applies.
+impl SurrogateIntrospect for RgpeOptimizer {}
 
 impl Optimizer for RgpeOptimizer {
     fn name(&self) -> &str {

@@ -13,7 +13,7 @@
 use crate::optimizer::Optimizer;
 use crate::sampling;
 use crate::space::TuningSpace;
-use crate::telemetry::{self, phase_secs};
+use crate::telemetry::{self, phase_secs, TraceEvent};
 use dbtune_dbsim::{DbSimulator, Objective};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +52,20 @@ pub trait SimObjective {
     /// Realigns the evaluation-attempt schedule after a checkpoint
     /// resume. No-op for backends without fault injection.
     fn seek_eval_cursor(&mut self, _cursor: u64) {}
+    /// Noise-free optimum of the objective over the tuned sub-space, on
+    /// the raw metric scale — the regret baseline of the quality flight
+    /// recorder (`dbtune-diag`). `None` (the default) when no optimum is
+    /// known (e.g. surrogate benchmarks); regret fields then stay null.
+    fn optimum_value(&self, _space: &TuningSpace) -> Option<f64> {
+        None
+    }
+    /// Whether the most recent [`Self::evaluate`] failure came from an
+    /// exhausted transient-fault retry budget rather than a modelled
+    /// crash (diag outcome tagging). Backends without fault injection
+    /// always report `false`.
+    fn last_failure_was_transient(&self) -> bool {
+        false
+    }
 }
 
 impl SimObjective for DbSimulator {
@@ -71,6 +85,10 @@ impl SimObjective for DbSimulator {
 
     fn reference_value(&self, full_cfg: &[f64]) -> f64 {
         self.expected_value(full_cfg).expect("reference configuration must not crash")
+    }
+
+    fn optimum_value(&self, space: &TuningSpace) -> Option<f64> {
+        self.estimate_optimum_over(space.selected(), space.base())
     }
 }
 
@@ -188,11 +206,21 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Crash handling (§4.1; see [`FailurePolicy`]).
     pub failure_policy: FailurePolicy,
+    /// Session label attached to this session's `diag` journal records
+    /// (see `dbtune-diag`); `None` falls back to the optimizer's display
+    /// name. Only consulted when diagnostics are enabled.
+    pub diag_label: Option<String>,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        Self { iterations: 200, lhs_init: 10, seed: 0, failure_policy: FailurePolicy::default() }
+        Self {
+            iterations: 200,
+            lhs_init: 10,
+            seed: 0,
+            failure_policy: FailurePolicy::default(),
+            diag_label: None,
+        }
     }
 }
 
@@ -529,6 +557,25 @@ pub fn run_session_resumable(
     let mut worst_observed = f64::INFINITY;
     let mut simulated = 0.0;
 
+    // Optimizer-quality flight recorder (`dbtune-diag`): one `diag`
+    // journal event per iteration. Gated separately from tracing and
+    // strictly observational — the optimum estimate and the surrogate's
+    // capture of its own prediction consume no randomness and never feed
+    // back into tuning decisions, so results are byte-identical with
+    // diagnostics on or off (the `quality_determinism` suite).
+    let diag = telemetry::global().diag_enabled();
+    let diag_label: String = if diag {
+        cfg.diag_label.clone().unwrap_or_else(|| opt.name().to_string())
+    } else {
+        String::new()
+    };
+    // Regret baseline on the oriented log scale; computed once per
+    // session, and only when diagnostics are on.
+    let diag_optimum: Option<f64> =
+        if diag { objective.optimum_value(space).map(|v| orient(obj, v)) } else { None };
+    let mut diag_units: Vec<Vec<f64>> = Vec::new();
+    let mut diag_cum_regret = 0.0f64;
+
     for it in 0..cfg.iterations {
         if it == replayed {
             if let Some(ck) = resume {
@@ -610,6 +657,52 @@ pub fn run_session_resumable(
             crash_memory.remember(space.space().to_unit(&sub));
         }
         best = best.max(score);
+
+        if diag {
+            let unit = space.space().to_unit(&sub);
+            // Novelty: L∞ distance to the nearest previously evaluated
+            // configuration (unit space); null for the first evaluation.
+            let novelty = diag_units
+                .iter()
+                .map(|p| p.iter().zip(&unit).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max))
+                .min_by(crate::ord::cmp_f64);
+            let (regret, cum_regret) = match diag_optimum {
+                Some(optimum) => {
+                    diag_cum_regret += optimum - score;
+                    // Simple regret of the incumbent; mildly negative
+                    // values are possible because the baseline is
+                    // noise-free while observed scores carry simulated
+                    // measurement noise.
+                    (Some(optimum - best), Some(diag_cum_regret))
+                }
+                None => (None, None),
+            };
+            let outcome = if !failed {
+                "ok"
+            } else if objective.last_failure_was_transient() {
+                "fault"
+            } else {
+                "crash"
+            };
+            // LHS init iterations never call suggest(), so no surrogate
+            // scored them; everything else reports whatever the optimizer
+            // captured (None for model-free families).
+            let pred = if it < n_init { None } else { opt.last_prediction() };
+            telemetry::global().journal.emit(TraceEvent::Diag {
+                session: diag_label.clone(),
+                iter: it as u64,
+                outcome: outcome.to_string(),
+                score_bits: score.to_bits(),
+                best_bits: best.to_bits(),
+                regret_bits: regret.map(f64::to_bits),
+                cum_regret_bits: cum_regret.map(f64::to_bits),
+                novelty_bits: novelty.map(f64::to_bits),
+                pred_mean_bits: pred.map(|(m, _)| m.to_bits()),
+                pred_var_bits: pred.map(|(_, v)| v.to_bits()),
+                seq: 0,
+            });
+            diag_units.push(unit);
+        }
 
         // Algorithm overhead (Figure 9) = statistics collection, model
         // fitting, and model probe — i.e. everything but the evaluation.
@@ -889,10 +982,7 @@ mod tests {
         assert!(mem.is_quarantined(&[0.5, 0.5]));
         assert!(mem.is_quarantined(&[0.5 + QUARANTINE_RADIUS * 0.9, 0.5]));
         assert!(!mem.is_quarantined(&[0.5 + QUARANTINE_RADIUS * 1.1, 0.5]), "outside the ball");
-        assert!(
-            !mem.is_quarantined(&[0.5, 0.5, 0.5]),
-            "dimension mismatch must never quarantine"
-        );
+        assert!(!mem.is_quarantined(&[0.5, 0.5, 0.5]), "dimension mismatch must never quarantine");
         mem.remember(vec![0.1, 0.9]);
         assert!(mem.is_quarantined(&[0.12, 0.88]), "any remembered point suffices");
     }
@@ -947,8 +1037,9 @@ mod tests {
 
         // Corrupt inputs are rejected, not misparsed.
         assert!(SessionCheckpoint::from_json("{}").is_err());
-        assert!(SessionCheckpoint::from_json(&json.replace("\"schema\": 1", "\"schema\": 9"))
-            .is_err());
+        assert!(
+            SessionCheckpoint::from_json(&json.replace("\"schema\": 1", "\"schema\": 9")).is_err()
+        );
         assert!(SessionCheckpoint::from_json(
             &json.replace("quarantine_penalty", "explode_quietly")
         )

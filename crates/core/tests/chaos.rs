@@ -48,7 +48,13 @@ fn cells() -> Vec<(Workload, OptimizerKind, u64)> {
 }
 
 fn session_cfg(seed: u64, policy: FailurePolicy) -> SessionConfig {
-    SessionConfig { iterations: 12, lhs_init: 5, seed, failure_policy: policy }
+    SessionConfig {
+        iterations: 12,
+        lhs_init: 5,
+        seed,
+        failure_policy: policy,
+        ..Default::default()
+    }
 }
 
 /// Runs the grid with a per-cell reseeded copy of `plan` (exactly what
@@ -272,8 +278,7 @@ fn run_with_sink(
     let catalog = sim.catalog().clone();
     let space = TuningSpace::with_default_base(&catalog, vec![0, 1, 2, 3, 4], Hardware::B);
     let mut opt = OptimizerKind::Smac.build(space.space(), METRICS_DIM, 7);
-    let mut obj =
-        CachedObjective::with_faults(sim, None, NOISE_SEED, plan, RetryPolicy::default());
+    let mut obj = CachedObjective::with_faults(sim, None, NOISE_SEED, plan, RetryPolicy::default());
     let mut kept: Option<SessionCheckpoint> = None;
     let mut sink = |ck: &SessionCheckpoint| {
         if ck.completed == kill_after {
@@ -297,8 +302,7 @@ fn resume_from(ck: &SessionCheckpoint, plan: FaultPlan, policy: FailurePolicy) -
     let catalog = sim.catalog().clone();
     let space = TuningSpace::with_default_base(&catalog, vec![0, 1, 2, 3, 4], Hardware::B);
     let mut opt = OptimizerKind::Smac.build(space.space(), METRICS_DIM, 7);
-    let mut obj =
-        CachedObjective::with_faults(sim, None, NOISE_SEED, plan, RetryPolicy::default());
+    let mut obj = CachedObjective::with_faults(sim, None, NOISE_SEED, plan, RetryPolicy::default());
     run_session_resumable(&mut obj, &space, &mut opt, &session_cfg(7, policy), Some(ck), None)
 }
 
@@ -373,6 +377,7 @@ fn quarantine_penalty_scores_crashes_one_log_unit_below_worst_observed() {
         lhs_init: 5,
         seed: 3,
         failure_policy: FailurePolicy::QuarantinePenalty,
+        ..Default::default()
     };
     let result = run_session(&mut obj, &space, &mut opt, &cfg);
 
@@ -403,8 +408,10 @@ fn quarantine_penalty_scores_crashes_one_log_unit_below_worst_observed() {
 
 /// Small but non-trivial session for the property test.
 fn tiny_session(workers: usize, retry: RetryPolicy) -> Vec<Vec<u64>> {
-    let grid: Vec<(Workload, OptimizerKind, u64)> =
-        vec![(Workload::Sysbench, OptimizerKind::Smac, 700), (Workload::Sysbench, OptimizerKind::Tpe, 700)];
+    let grid: Vec<(Workload, OptimizerKind, u64)> = vec![
+        (Workload::Sysbench, OptimizerKind::Smac, 700),
+        (Workload::Sysbench, OptimizerKind::Tpe, 700),
+    ];
     let cache = EvalCache::shared();
     digest(&run_grid(&grid, workers, |_, &(wl, opt_kind, seed)| {
         let sim = DbSimulator::new(wl, Hardware::B, seed);

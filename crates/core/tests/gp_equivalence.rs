@@ -149,12 +149,7 @@ fn mixed_space() -> ConfigSpace {
 fn maximize_batched_matches_pointwise_maximize_under_gp_scoring() {
     let space = mixed_space();
     let (x, y) = sample_data(16, 21);
-    let gp = GaussianProcess::fit(
-        Box::new(RbfKernel { lengthscale: 0.3 }),
-        &x,
-        &y,
-        1e-4,
-    );
+    let gp = GaussianProcess::fit(Box::new(RbfKernel { lengthscale: 0.3 }), &x, &y, 1e-4);
     let best = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let incumbents: Vec<Vec<f64>> = vec![vec![0.4, 12.0, 1.0], vec![0.9, 640.0, 3.0]];
     for seed in [1u64, 7, 42, 1234] {
@@ -186,11 +181,7 @@ fn maximize_batched_matches_pointwise_maximize_under_gp_scoring() {
         );
         assert_eq!(a.len(), b.len());
         for (d, (va, vb)) in a.iter().zip(&b).enumerate() {
-            assert_eq!(
-                va.to_bits(),
-                vb.to_bits(),
-                "seed {seed}: dim {d} differs ({va} vs {vb})"
-            );
+            assert_eq!(va.to_bits(), vb.to_bits(), "seed {seed}: dim {d} differs ({va} vs {vb})");
         }
         // The two searches must also leave their RNGs in the same state.
         assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "RNG streams diverged at seed {seed}");
@@ -204,9 +195,7 @@ fn maximize_batched_matches_pointwise_under_forest_scoring() {
     let space = mixed_space();
     let mut rng = StdRng::seed_from_u64(3);
     let x: Vec<Vec<f64>> = (0..40)
-        .map(|_| {
-            vec![rng.gen::<f64>(), rng.gen_range(1..=1000) as f64, rng.gen_range(0..4) as f64]
-        })
+        .map(|_| vec![rng.gen::<f64>(), rng.gen_range(1..=1000) as f64, rng.gen_range(0..4) as f64])
         .collect();
     let y: Vec<f64> = x.iter().map(|v| v[0] * 2.0 - (v[1] / 500.0 - 1.0).abs() + v[2]).collect();
     let mut rf = RandomForest::new(RandomForestParams::surrogate(3, 17), space.feature_kinds());
@@ -252,9 +241,10 @@ fn maximize_batched_matches_pointwise_under_forest_scoring() {
 fn bo_suggest_stream_matches_from_scratch_reference() {
     for kind in [BoKind::Vanilla, BoKind::Mixed] {
         let space = mixed_space();
-        let objective =
-            |c: &[f64]| -(c[0] - 0.7).powi(2) - ((c[1] - 300.0) / 1000.0).powi(2)
-                + if c[2] == 2.0 { 0.5 } else { 0.0 };
+        let objective = |c: &[f64]| {
+            -(c[0] - 0.7).powi(2) - ((c[1] - 300.0) / 1000.0).powi(2)
+                + if c[2] == 2.0 { 0.5 } else { 0.0 }
+        };
 
         let encode = |raw: &[f64]| -> Vec<f64> {
             match kind {
@@ -262,15 +252,7 @@ fn bo_suggest_stream_matches_from_scratch_reference() {
                 BoKind::Mixed => raw
                     .iter()
                     .zip(space.specs())
-                    .map(
-                        |(v, s)| {
-                            if s.domain.is_categorical() {
-                                *v
-                            } else {
-                                s.domain.to_unit(*v)
-                            }
-                        },
-                    )
+                    .map(|(v, s)| if s.domain.is_categorical() { *v } else { s.domain.to_unit(*v) })
                     .collect(),
             }
         };

@@ -119,8 +119,7 @@ fn hot_path_pipeline_is_bit_identical_for_every_kernel() {
         let full = GaussianProcess::fit_auto(kernel.with_lengthscale(0.3), &x, &y);
         // Rebuild incrementally under the same selected hyper-parameters.
         let (ls, noise) = select_hyperparams(kernel.as_ref(), &x, &y);
-        let mut inc =
-            GaussianProcess::fit(kernel.with_lengthscale(ls), &x[..3], &y[..3], noise);
+        let mut inc = GaussianProcess::fit(kernel.with_lengthscale(ls), &x[..3], &y[..3], noise);
         for i in 3..x.len() {
             inc.extend(x[i].clone(), y[i]);
         }
@@ -145,8 +144,7 @@ fn extend_preserves_held_out_generalization() {
         .filter(|(i, _)| i % 3 != 0)
         .map(|(_, (xv, yv))| (xv.clone(), *yv))
         .unzip();
-    let (ls, noise) =
-        select_hyperparams(&Matern52Kernel { lengthscale: 0.3 }, &tx, &ty);
+    let (ls, noise) = select_hyperparams(&Matern52Kernel { lengthscale: 0.3 }, &tx, &ty);
     let mut gp = GaussianProcess::fit(
         Box::new(Matern52Kernel { lengthscale: ls }),
         &tx[..2],
@@ -156,8 +154,13 @@ fn extend_preserves_held_out_generalization() {
     for i in 2..tx.len() {
         gp.extend(tx[i].clone(), ty[i]);
     }
-    let held: Vec<(&Vec<f64>, f64)> =
-        x.iter().zip(&y).enumerate().filter(|(i, _)| i % 3 == 0).map(|(_, (a, b))| (a, *b)).collect();
+    let held: Vec<(&Vec<f64>, f64)> = x
+        .iter()
+        .zip(&y)
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, (a, b))| (a, *b))
+        .collect();
     let preds: Vec<f64> = held.iter().map(|(q, _)| gp.predict(q).0).collect();
     let truth: Vec<f64> = held.iter().map(|(_, t)| *t).collect();
     let r2 = dbtune_linalg::stats::r_squared(&preds, &truth);

@@ -195,9 +195,8 @@ impl FaultPlan {
             };
             match key.trim() {
                 "seed" => {
-                    plan.seed = value
-                        .parse()
-                        .map_err(|_| format!("fault plan: bad seed `{value}`"))?;
+                    plan.seed =
+                        value.parse().map_err(|_| format!("fault plan: bad seed `{value}`"))?;
                 }
                 "timeout" => plan.timeout_rate = rate()?,
                 "crash" => plan.crash_rate = rate()?,

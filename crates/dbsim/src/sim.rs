@@ -356,6 +356,68 @@ impl DbSimulator {
         })
     }
 
+    /// Deterministic estimate of the noise-free optimum over the
+    /// sub-space spanned by `knob_indices` (catalog indices), every other
+    /// knob held at `base` — the regret baseline of the quality flight
+    /// recorder (`dbtune-diag`).
+    ///
+    /// The multiplicative surface has interaction terms, so there is no
+    /// closed form; instead we run coordinate ascent over
+    /// [`Self::expected_value`]: each sweep scans every selected knob on
+    /// a fixed 17-point unit-space grid (categoricals enumerate all
+    /// choices), keeps the best value, and three sweeps let knobs react
+    /// to each other's moves. Pure function of the catalog and arguments
+    /// — no randomness, no mutation — so the estimate is byte-stable.
+    /// Crashing grid points are skipped; `None` only if every probed
+    /// configuration (including `base`) crashes.
+    ///
+    /// The result is a (tight, deterministic) *lower* bound on the true
+    /// optimum of the subspace, which is exactly what a regret baseline
+    /// needs: regressions show up as growing regret against a fixed
+    /// reference. Observed scores carry simulated measurement noise, so
+    /// slightly negative regret is possible and documented.
+    pub fn estimate_optimum_over(&self, knob_indices: &[usize], base: &[f64]) -> Option<f64> {
+        const GRID: usize = 17;
+        const SWEEPS: usize = 3;
+        let orient = |v: f64| match self.objective() {
+            Objective::Throughput => v,
+            Objective::Latency95 => -v,
+        };
+        let mut cfg = base.to_vec();
+        let mut best = self.expected_value(&cfg).map(orient);
+        for _ in 0..SWEEPS {
+            for &ki in knob_indices {
+                let spec = &self.catalog.specs()[ki];
+                let steps = match spec.domain.cardinality() {
+                    Some(c) => c.min(GRID),
+                    None => GRID,
+                };
+                if steps < 2 {
+                    continue;
+                }
+                let mut best_v = cfg[ki];
+                for step in 0..steps {
+                    let u = step as f64 / (steps - 1) as f64;
+                    let v = spec.domain.from_unit(u);
+                    let prev = cfg[ki];
+                    cfg[ki] = v;
+                    if let Some(val) = self.expected_value(&cfg).map(orient) {
+                        if best.is_none_or(|b| val > b) {
+                            best = Some(val);
+                            best_v = v;
+                        }
+                    }
+                    cfg[ki] = prev;
+                }
+                cfg[ki] = best_v;
+            }
+        }
+        best.map(|b| match self.objective() {
+            Objective::Throughput => b,
+            Objective::Latency95 => -b,
+        })
+    }
+
     /// Effective server thread count implied by a configuration.
     fn effective_threads(&self, cfg: &[f64]) -> f64 {
         let t = cfg[self.idx.thread_concurrency];
@@ -679,6 +741,37 @@ mod tests {
         cfg[cat.expect_index("max_heap_table_size")] = 2048.0;
         let out = s.evaluate(&cfg);
         assert!(out.failed, "512 threads × 2GB tmp tables must overcommit");
+    }
+
+    #[test]
+    fn optimum_estimate_beats_default_and_is_deterministic() {
+        let s = sim(Workload::Sysbench);
+        let cat = s.catalog().clone();
+        let knobs = vec![
+            cat.expect_index("innodb_buffer_pool_size"),
+            cat.expect_index("innodb_flush_log_at_trx_commit"),
+            cat.expect_index("innodb_log_file_size"),
+        ];
+        let base = s.default_config().to_vec();
+        let opt = s.estimate_optimum_over(&knobs, &base).expect("default must not crash");
+        let dflt = s.expected_value(&base).expect("default must evaluate");
+        assert!(opt >= dflt, "coordinate ascent can never do worse than base: {dflt} -> {opt}");
+        assert!(opt > dflt * 1.05, "tuning 3 impactful knobs should pay off: {dflt} -> {opt}");
+        let again = s.estimate_optimum_over(&knobs, &base).expect("same inputs");
+        assert_eq!(opt.to_bits(), again.to_bits(), "estimator must be byte-stable");
+    }
+
+    #[test]
+    fn optimum_estimate_minimizes_latency_objectives() {
+        let s = sim(Workload::Job);
+        let cat = s.catalog().clone();
+        let knobs =
+            vec![cat.expect_index("innodb_buffer_pool_size"), cat.expect_index("join_buffer_size")];
+        let base = s.default_config().to_vec();
+        let opt = s.estimate_optimum_over(&knobs, &base).expect("default must not crash");
+        let dflt = s.expected_value(&base).expect("default must evaluate");
+        assert_eq!(s.objective(), Objective::Latency95);
+        assert!(opt <= dflt, "latency optimum must not exceed base: {dflt} -> {opt}");
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Surrogate calibration diagnostics from one-step-ahead predictions.
+//!
+//! Every model-based suggestion carries the surrogate's predictive
+//! `N(mu, sigma^2)` at the chosen point, captured *before* the
+//! observation is folded in — a genuine out-of-sample test of the
+//! model, one point per iteration, for free. Against the subsequently
+//! observed score `y` we compute:
+//!
+//! * standardized residual `z = (y - mu) / sigma`,
+//! * negative log predictive density
+//!   `NLPD = 0.5 ln(2 pi sigma^2) + (y - mu)^2 / (2 sigma^2)`,
+//! * empirical coverage of the 1-sigma / 2-sigma intervals
+//!   (`|z| <= 1` -> ~68.27%, `|z| <= 2` -> ~95.45% when calibrated),
+//! * the exploration share: the fraction of model-based suggestions
+//!   whose predicted mean sits *below* the incumbent at suggestion time
+//!   (the acquisition chose them for their variance, not their mean).
+//!
+//! Only `ok`-outcome records enter the residual statistics — crash and
+//! fault scores are failure-policy penalties, not draws from the
+//! predictive distribution. The exploration share classifies the
+//! *suggestion*, which happened before the outcome was known, so it
+//! counts every predicted record.
+
+use crate::record::IterationRecord;
+
+/// Aggregate calibration statistics for one session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Calibration {
+    /// Number of scored predictions (ok outcome, positive variance).
+    pub n_scored: u64,
+    /// Fraction of scored residuals with `|z| <= 1` (calibrated: ~0.6827).
+    pub coverage_1s: f64,
+    /// Fraction of scored residuals with `|z| <= 2` (calibrated: ~0.9545).
+    pub coverage_2s: f64,
+    /// Mean negative log predictive density over scored records
+    /// (standard normal residuals: `0.5 ln(2 pi) + 0.5` ~= 1.4189).
+    pub mean_nlpd: f64,
+    /// Mean absolute standardized residual (calibrated: ~0.7979).
+    pub mean_abs_z: f64,
+    /// Fraction of model-based suggestions predicted below the
+    /// incumbent; `NaN`-free only when at least one was classifiable.
+    pub exploration_share: f64,
+    /// Number of suggestions that entered the exploration share.
+    pub n_classified: u64,
+}
+
+/// Negative log predictive density of observing `y` under `N(mu, var)`.
+pub fn nlpd(y: f64, mu: f64, var: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    0.5 * (two_pi * var).ln() + (y - mu) * (y - mu) / (2.0 * var)
+}
+
+/// Computes calibration statistics over one session's records, in
+/// iteration order. Returns `None` when no record carries a usable
+/// prediction (model-free optimizers, pure init phases).
+pub fn calibration(records: &[IterationRecord]) -> Option<Calibration> {
+    let mut n_scored = 0u64;
+    let mut in_1s = 0u64;
+    let mut in_2s = 0u64;
+    let mut sum_nlpd = 0.0f64;
+    let mut sum_abs_z = 0.0f64;
+    let mut n_classified = 0u64;
+    let mut n_explore = 0u64;
+    // Incumbent *before* each iteration = best reported by the previous
+    // record (records store the post-observation incumbent).
+    let mut prev_best: Option<f64> = None;
+    for rec in records {
+        if let (Some(mu), Some(var)) = (rec.pred_mean, rec.pred_var) {
+            if let Some(incumbent) = prev_best {
+                n_classified += 1;
+                if mu < incumbent {
+                    n_explore += 1;
+                }
+            }
+            if rec.is_ok() && var > 0.0 {
+                let z = (rec.score - mu) / var.sqrt();
+                n_scored += 1;
+                if z.abs() <= 1.0 {
+                    in_1s += 1;
+                }
+                if z.abs() <= 2.0 {
+                    in_2s += 1;
+                }
+                sum_nlpd += nlpd(rec.score, mu, var);
+                sum_abs_z += z.abs();
+            }
+        }
+        prev_best = Some(rec.best);
+    }
+    if n_scored == 0 && n_classified == 0 {
+        return None;
+    }
+    let frac = |num: u64, den: u64| if den == 0 { f64::NAN } else { num as f64 / den as f64 };
+    Some(Calibration {
+        n_scored,
+        coverage_1s: frac(in_1s, n_scored),
+        coverage_2s: frac(in_2s, n_scored),
+        mean_nlpd: if n_scored == 0 { f64::NAN } else { sum_nlpd / n_scored as f64 },
+        mean_abs_z: if n_scored == 0 { f64::NAN } else { sum_abs_z / n_scored as f64 },
+        exploration_share: frac(n_explore, n_classified),
+        n_classified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OUTCOME_CRASH, OUTCOME_OK};
+
+    /// Deterministic standard-normal stream: a fixed-seed LCG feeding
+    /// Box-Muller. Good enough for coverage assertions at n = 40_000.
+    struct NormalStream {
+        state: u64,
+    }
+
+    impl NormalStream {
+        fn new() -> Self {
+            Self { state: 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        fn uniform(&mut self) -> f64 {
+            // Numerical Recipes LCG constants; top 53 bits -> (0, 1).
+            self.state =
+                self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((self.state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+        }
+
+        fn standard_normal(&mut self) -> f64 {
+            let u1 = self.uniform();
+            let u2 = self.uniform();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+
+    fn record_with(mu: f64, var: f64, y: f64, iter: u64) -> IterationRecord {
+        IterationRecord {
+            session: "s".into(),
+            iter,
+            outcome: OUTCOME_OK.into(),
+            score: y,
+            best: y,
+            regret: None,
+            cum_regret: None,
+            novelty: None,
+            pred_mean: Some(mu),
+            pred_var: Some(var),
+        }
+    }
+
+    #[test]
+    fn perfectly_calibrated_gaussian_residuals_hit_nominal_coverage() {
+        let mut stream = NormalStream::new();
+        let sigma = 0.7;
+        let records: Vec<IterationRecord> = (0..40_000)
+            .map(|i| {
+                let mu = 3.0 + (i as f64 / 1000.0).sin();
+                let y = mu + sigma * stream.standard_normal();
+                record_with(mu, sigma * sigma, y, i)
+            })
+            .collect();
+        let cal = calibration(&records).expect("predictions present");
+        assert_eq!(cal.n_scored, 40_000);
+        assert!((cal.coverage_1s - 0.6827).abs() < 0.01, "1-sigma coverage {}", cal.coverage_1s);
+        assert!((cal.coverage_2s - 0.9545).abs() < 0.01, "2-sigma coverage {}", cal.coverage_2s);
+        // E[NLPD] = 0.5 ln(2 pi sigma^2) + 0.5; E|z| = sqrt(2/pi).
+        let expect_nlpd = 0.5 * (2.0 * std::f64::consts::PI * sigma * sigma).ln() + 0.5;
+        assert!((cal.mean_nlpd - expect_nlpd).abs() < 0.03, "NLPD {}", cal.mean_nlpd);
+        let expect_abs_z = (2.0 / std::f64::consts::PI).sqrt();
+        assert!((cal.mean_abs_z - expect_abs_z).abs() < 0.02, "mean |z| {}", cal.mean_abs_z);
+    }
+
+    #[test]
+    fn overconfident_surrogate_undercovers() {
+        let mut stream = NormalStream::new();
+        // True noise sigma = 1, but the model claims sigma = 0.25.
+        let records: Vec<IterationRecord> =
+            (0..20_000).map(|i| record_with(0.0, 0.0625, stream.standard_normal(), i)).collect();
+        let cal = calibration(&records).expect("predictions present");
+        assert!(cal.coverage_1s < 0.3, "claimed 1-sigma should undercover: {}", cal.coverage_1s);
+        assert!(cal.mean_nlpd > 2.0, "overconfidence inflates NLPD: {}", cal.mean_nlpd);
+    }
+
+    #[test]
+    fn nlpd_matches_closed_form_posterior() {
+        // N(2, 0.25) observing y = 2.5: 0.5 ln(2 pi * 0.25) + 0.25/0.5.
+        let expect = 0.5 * (2.0 * std::f64::consts::PI * 0.25).ln() + 0.5;
+        assert!((nlpd(2.5, 2.0, 0.25) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_scores_are_excluded_from_residuals_but_not_exploration() {
+        let mut ok = record_with(1.0, 1.0, 1.5, 1);
+        ok.best = 2.0;
+        let mut crash = record_with(0.5, 1.0, -50.0, 2); // penalty score
+        crash.outcome = OUTCOME_CRASH.into();
+        crash.best = 2.0;
+        let first = IterationRecord {
+            pred_mean: None,
+            pred_var: None,
+            ..record_with(0.0, 0.0, 2.0, 0) // init record establishes the incumbent
+        };
+        let cal = calibration(&[first, ok, crash]).expect("some predictions");
+        assert_eq!(cal.n_scored, 1, "crash residual must not be scored");
+        assert_eq!(cal.n_classified, 2, "both suggestions classified");
+        assert!((cal.exploration_share - 1.0).abs() < 1e-12, "both means below incumbent 2.0");
+    }
+
+    #[test]
+    fn no_predictions_yields_none() {
+        let rec =
+            IterationRecord { pred_mean: None, pred_var: None, ..record_with(0.0, 0.0, 1.0, 0) };
+        assert!(calibration(&[rec]).is_none());
+    }
+}

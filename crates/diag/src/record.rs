@@ -1,0 +1,193 @@
+//! The per-iteration quality record and its journal round-trip.
+//!
+//! One record per tuner iteration, decoded from (and encodable to) the
+//! `diag` journal event. All scores live on the tuner's *oriented*
+//! log-score scale (higher is better for both throughput and latency
+//! objectives), so incumbents, regrets, and surrogate predictions are
+//! directly comparable. Floats cross the JSONL boundary as IEEE-754 bit
+//! words, making the round-trip exact for every value including NaN
+//! penalty scores.
+
+use dbtune_obs::TraceEvent;
+
+/// Evaluation completed normally.
+pub const OUTCOME_OK: &str = "ok";
+/// The simulated DBMS crashed under this configuration (failure-policy
+/// penalty score recorded).
+pub const OUTCOME_CRASH: &str = "crash";
+/// A transient injected fault exhausted the retry budget.
+pub const OUTCOME_FAULT: &str = "fault";
+
+/// One tuner iteration, as seen by the quality recorder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterationRecord {
+    /// Session label, e.g. `"bo-gp/ro_heavy"` — the grouping key for
+    /// per-session reports.
+    pub session: String,
+    /// Zero-based iteration index within the session.
+    pub iter: u64,
+    /// Outcome tag: [`OUTCOME_OK`], [`OUTCOME_CRASH`], or
+    /// [`OUTCOME_FAULT`]. Unknown tags are carried through verbatim for
+    /// forward compatibility.
+    pub outcome: String,
+    /// Oriented score observed this iteration (post failure policy).
+    pub score: f64,
+    /// Incumbent (best-so-far) *after* absorbing this iteration.
+    pub best: f64,
+    /// Simple regret of the incumbent: `optimum - best`. `None` when the
+    /// objective has no known optimum (e.g. surrogate benchmarks).
+    pub regret: Option<f64>,
+    /// Cumulative regret: running sum of `optimum - score` over all
+    /// iterations so far. `None` when the optimum is unknown.
+    pub cum_regret: Option<f64>,
+    /// L-infinity distance in unit space to the nearest previously
+    /// evaluated configuration. `None` for the first evaluation.
+    pub novelty: Option<f64>,
+    /// Surrogate's predictive mean at the chosen point, captured
+    /// *before* the observation was folded in. `None` for model-free
+    /// optimizers and for init/random/fallback suggestions.
+    pub pred_mean: Option<f64>,
+    /// Surrogate's predictive variance at the chosen point (same
+    /// capture rules as `pred_mean`).
+    pub pred_var: Option<f64>,
+}
+
+impl IterationRecord {
+    /// Whether the evaluation completed normally.
+    pub fn is_ok(&self) -> bool {
+        self.outcome == OUTCOME_OK
+    }
+
+    /// Whether a model-based surrogate scored the chosen point.
+    pub fn has_prediction(&self) -> bool {
+        self.pred_mean.is_some() && self.pred_var.is_some()
+    }
+
+    /// Encodes the record as a journal event. `seq` is normally 0 — the
+    /// journal assigns the real sequence number under its writer lock.
+    pub fn to_event(&self, seq: u64) -> TraceEvent {
+        TraceEvent::Diag {
+            session: self.session.clone(),
+            iter: self.iter,
+            outcome: self.outcome.clone(),
+            score_bits: self.score.to_bits(),
+            best_bits: self.best.to_bits(),
+            regret_bits: self.regret.map(f64::to_bits),
+            cum_regret_bits: self.cum_regret.map(f64::to_bits),
+            novelty_bits: self.novelty.map(f64::to_bits),
+            pred_mean_bits: self.pred_mean.map(f64::to_bits),
+            pred_var_bits: self.pred_var.map(f64::to_bits),
+            seq,
+        }
+    }
+
+    /// Decodes a journal event; `None` for every non-`diag` event kind.
+    pub fn from_event(event: &TraceEvent) -> Option<Self> {
+        match event {
+            TraceEvent::Diag {
+                session,
+                iter,
+                outcome,
+                score_bits,
+                best_bits,
+                regret_bits,
+                cum_regret_bits,
+                novelty_bits,
+                pred_mean_bits,
+                pred_var_bits,
+                seq: _,
+            } => Some(Self {
+                session: session.clone(),
+                iter: *iter,
+                outcome: outcome.clone(),
+                score: f64::from_bits(*score_bits),
+                best: f64::from_bits(*best_bits),
+                regret: regret_bits.map(f64::from_bits),
+                cum_regret: cum_regret_bits.map(f64::from_bits),
+                novelty: novelty_bits.map(f64::from_bits),
+                pred_mean: pred_mean_bits.map(f64::from_bits),
+                pred_var: pred_var_bits.map(f64::from_bits),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Pulls every quality record out of an event stream, in journal order.
+/// Non-`diag` events are skipped.
+pub fn extract_records<'a, I>(events: I) -> Vec<IterationRecord>
+where
+    I: IntoIterator<Item = &'a TraceEvent>,
+{
+    events.into_iter().filter_map(IterationRecord::from_event).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(iter: u64) -> IterationRecord {
+        IterationRecord {
+            session: "bo-gp/ro_heavy".into(),
+            iter,
+            outcome: OUTCOME_OK.into(),
+            score: 4.25,
+            best: 4.5,
+            regret: Some(0.125),
+            cum_regret: Some(3.75),
+            novelty: Some(0.0625),
+            pred_mean: Some(4.1),
+            pred_var: Some(0.02),
+        }
+    }
+
+    #[test]
+    fn event_round_trip_is_exact() {
+        let rec = sample(7);
+        let back = IterationRecord::from_event(&rec.to_event(0)).expect("diag event decodes");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn nan_and_none_fields_round_trip() {
+        let rec = IterationRecord {
+            session: "s".into(),
+            iter: 0,
+            outcome: OUTCOME_CRASH.into(),
+            score: f64::NAN,
+            best: f64::NEG_INFINITY,
+            regret: None,
+            cum_regret: None,
+            novelty: None,
+            pred_mean: None,
+            pred_var: None,
+        };
+        let back = IterationRecord::from_event(&rec.to_event(0)).expect("decodes");
+        // PartialEq fails on NaN; compare bit patterns instead.
+        assert_eq!(back.score.to_bits(), rec.score.to_bits());
+        assert_eq!(back.best.to_bits(), rec.best.to_bits());
+        assert!(back.regret.is_none() && back.pred_mean.is_none());
+    }
+
+    #[test]
+    fn jsonl_round_trip_through_the_journal_format_is_exact() {
+        let rec = sample(3);
+        let line = rec.to_event(9).to_jsonl();
+        let parsed = TraceEvent::parse_line(&line).expect("line parses");
+        assert_eq!(IterationRecord::from_event(&parsed).expect("diag"), rec);
+    }
+
+    #[test]
+    fn extract_skips_foreign_events() {
+        let events = vec![
+            TraceEvent::Meta { version: 1, source: "t".into() },
+            sample(0).to_event(1),
+            TraceEvent::Counter { name: "c".into(), value: 1, seq: 2 },
+            sample(1).to_event(3),
+        ];
+        let recs = extract_records(&events);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].iter, 0);
+        assert_eq!(recs[1].iter, 1);
+    }
+}

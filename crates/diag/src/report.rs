@@ -1,0 +1,139 @@
+//! Text rendering: per-session convergence/calibration reports and the
+//! cross-optimizer ranking table (the `diag_report` binary's output).
+//!
+//! Formatting uses fixed-precision `format!` only — Rust float
+//! formatting is pure software and deterministic, so report text is a
+//! pure function of the journal bytes.
+
+use crate::calibration::Calibration;
+use crate::summary::ConvergenceSummary;
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.6}"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// Renders one session's convergence summary and (when the optimizer is
+/// model-based) its calibration block.
+pub fn render_session_report(summary: &ConvergenceSummary, cal: Option<&Calibration>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## session {}\n", summary.session));
+    out.push_str(&format!(
+        "iterations: {} (ok {}, crash {}, fault {}; {} with surrogate prediction)\n",
+        summary.iters, summary.n_ok, summary.n_crash, summary.n_fault, summary.n_predicted
+    ));
+    out.push_str(&format!(
+        "final best (oriented): {:.6}   simple regret: {}   cumulative regret: {}\n",
+        summary.final_best,
+        fmt_opt(summary.final_regret),
+        fmt_opt(summary.final_cum_regret)
+    ));
+    out.push_str(&format!("mean novelty (L-inf, unit space): {}\n", fmt_opt(summary.mean_novelty)));
+    out.push_str("best-so-far curve:");
+    for (iter, best) in &summary.best_curve {
+        out.push_str(&format!("  [{iter}] {best:.6}"));
+    }
+    out.push('\n');
+    match cal {
+        Some(c) if c.n_scored > 0 => {
+            out.push_str(&format!(
+                "calibration over {} scored predictions: coverage 1s {:.4} (want ~0.6827), \
+                 2s {:.4} (want ~0.9545), mean NLPD {:.4}, mean |z| {:.4}\n",
+                c.n_scored, c.coverage_1s, c.coverage_2s, c.mean_nlpd, c.mean_abs_z
+            ));
+            out.push_str(&format!(
+                "exploration share: {:.4} of {} model-based suggestions predicted below incumbent\n",
+                c.exploration_share, c.n_classified
+            ));
+        }
+        _ => out.push_str("calibration: n/a (model-free optimizer or no scored predictions)\n"),
+    }
+    out
+}
+
+/// Renders the cross-optimizer ranking table, best final incumbent
+/// first (ties broken by session label for determinism).
+pub fn render_ranking(rows: &[(ConvergenceSummary, Option<Calibration>)]) -> String {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (sa, sb) = (&rows[a].0, &rows[b].0);
+        // Higher oriented score ranks first; NaN (empty session) sinks.
+        let fa = if sa.final_best.is_nan() { f64::NEG_INFINITY } else { sa.final_best };
+        let fb = if sb.final_best.is_nan() { f64::NEG_INFINITY } else { sb.final_best };
+        fb.partial_cmp(&fa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| sa.session.cmp(&sb.session))
+    });
+    let mut out = String::new();
+    out.push_str("| rank | session | final best | simple regret | cum regret | cov 1s | NLPD |\n");
+    out.push_str("|------|---------|------------|---------------|------------|--------|------|\n");
+    for (rank, &i) in order.iter().enumerate() {
+        let (s, cal) = &rows[i];
+        let (cov, nlpd) = match cal {
+            Some(c) if c.n_scored > 0 => {
+                (format!("{:.4}", c.coverage_1s), format!("{:.4}", c.mean_nlpd))
+            }
+            _ => ("n/a".to_string(), "n/a".to_string()),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.6} | {} | {} | {} | {} |\n",
+            rank + 1,
+            s.session,
+            s.final_best,
+            fmt_opt(s.final_regret),
+            fmt_opt(s.final_cum_regret),
+            cov,
+            nlpd
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(session: &str, best: f64) -> ConvergenceSummary {
+        ConvergenceSummary {
+            session: session.into(),
+            iters: 4,
+            n_ok: 4,
+            n_crash: 0,
+            n_fault: 0,
+            n_predicted: 2,
+            final_best: best,
+            final_regret: Some(10.0 - best),
+            final_cum_regret: Some(12.0),
+            best_curve: vec![(0, best - 1.0), (3, best)],
+            mean_novelty: Some(0.25),
+        }
+    }
+
+    #[test]
+    fn session_report_mentions_the_key_numbers() {
+        let text = render_session_report(&summary("bo-gp/ro_heavy", 4.5), None);
+        assert!(text.contains("session bo-gp/ro_heavy"));
+        assert!(text.contains("final best (oriented): 4.500000"));
+        assert!(text.contains("simple regret: 5.500000"));
+        assert!(text.contains("calibration: n/a"));
+    }
+
+    #[test]
+    fn ranking_sorts_by_final_best_desc_with_name_tiebreak() {
+        let rows =
+            vec![(summary("b", 1.0), None), (summary("a", 3.0), None), (summary("c", 3.0), None)];
+        let table = render_ranking(&rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[2].starts_with("| 1 | a |"), "{table}");
+        assert!(lines[3].starts_with("| 2 | c |"), "{table}");
+        assert!(lines[4].starts_with("| 3 | b |"), "{table}");
+    }
+
+    #[test]
+    fn ranking_is_deterministic_text() {
+        let rows = vec![(summary("a", 2.0), None)];
+        assert_eq!(render_ranking(&rows), render_ranking(&rows));
+    }
+}

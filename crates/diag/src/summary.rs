@@ -1,0 +1,175 @@
+//! Per-session convergence summaries: best-so-far curves at
+//! deterministic checkpoints, final regrets, outcome tallies.
+//!
+//! These summaries are what `BENCH_quality.json` commits: a pure
+//! function of the journal's `diag` records, with every float carried
+//! as its exact bit pattern, so re-running `diag_report` over a real
+//! journal reproduces the committed numbers byte-for-byte.
+
+use crate::record::{IterationRecord, OUTCOME_CRASH, OUTCOME_FAULT, OUTCOME_OK};
+
+/// Convergence summary of one tuning session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvergenceSummary {
+    /// Session label (grouping key from the records).
+    pub session: String,
+    /// Number of iterations recorded.
+    pub iters: u64,
+    /// Outcome tallies.
+    pub n_ok: u64,
+    /// Crash-outcome iterations.
+    pub n_crash: u64,
+    /// Fault-outcome iterations (retry budget exhausted).
+    pub n_fault: u64,
+    /// Iterations that carried a surrogate prediction.
+    pub n_predicted: u64,
+    /// Final incumbent on the oriented score scale.
+    pub final_best: f64,
+    /// Final simple regret (`optimum - best`); `None` when the
+    /// objective exposes no optimum. Mildly negative values are
+    /// possible: the optimum estimate is noise-free while observed
+    /// scores carry simulated measurement noise.
+    pub final_regret: Option<f64>,
+    /// Final cumulative regret; `None` when the optimum is unknown.
+    pub final_cum_regret: Option<f64>,
+    /// Best-so-far curve sampled at deterministic checkpoints
+    /// (first, quartiles, last — deduplicated, ascending): `(iter, best)`.
+    pub best_curve: Vec<(u64, f64)>,
+    /// Mean novelty (L-infinity unit-space distance to the nearest
+    /// earlier evaluation) over iterations that have one.
+    pub mean_novelty: Option<f64>,
+}
+
+/// Checkpoint iteration indices for a session of `n` records: first,
+/// quartiles, and last, deduplicated. Deterministic in `n` only.
+fn checkpoints(n: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut idx = vec![0, n / 4, n / 2, 3 * n / 4, n - 1];
+    idx.sort_unstable();
+    idx.dedup();
+    idx
+}
+
+/// Summarizes one session's records (iteration order expected).
+pub fn summarize_session(session: &str, records: &[IterationRecord]) -> ConvergenceSummary {
+    let mut n_ok = 0u64;
+    let mut n_crash = 0u64;
+    let mut n_fault = 0u64;
+    let mut n_predicted = 0u64;
+    let mut novelty_sum = 0.0f64;
+    let mut novelty_n = 0u64;
+    for rec in records {
+        match rec.outcome.as_str() {
+            OUTCOME_OK => n_ok += 1,
+            OUTCOME_CRASH => n_crash += 1,
+            OUTCOME_FAULT => n_fault += 1,
+            _ => {}
+        }
+        if rec.has_prediction() {
+            n_predicted += 1;
+        }
+        if let Some(d) = rec.novelty {
+            novelty_sum += d;
+            novelty_n += 1;
+        }
+    }
+    let last = records.last();
+    ConvergenceSummary {
+        session: session.to_string(),
+        iters: records.len() as u64,
+        n_ok,
+        n_crash,
+        n_fault,
+        n_predicted,
+        final_best: last.map_or(f64::NAN, |r| r.best),
+        final_regret: last.and_then(|r| r.regret),
+        final_cum_regret: last.and_then(|r| r.cum_regret),
+        best_curve: checkpoints(records.len())
+            .into_iter()
+            .map(|i| (records[i].iter, records[i].best))
+            .collect(),
+        mean_novelty: if novelty_n == 0 { None } else { Some(novelty_sum / novelty_n as f64) },
+    }
+}
+
+/// Groups records by session label, preserving first-appearance order
+/// (journal order is deterministic, so so is this).
+pub fn group_sessions(records: &[IterationRecord]) -> Vec<(String, Vec<IterationRecord>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: Vec<Vec<IterationRecord>> = Vec::new();
+    for rec in records {
+        match order.iter().position(|s| *s == rec.session) {
+            Some(i) => groups[i].push(rec.clone()),
+            None => {
+                order.push(rec.session.clone());
+                groups.push(vec![rec.clone()]);
+            }
+        }
+    }
+    order.into_iter().zip(groups).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(session: &str, iter: u64, score: f64, best: f64) -> IterationRecord {
+        IterationRecord {
+            session: session.into(),
+            iter,
+            outcome: OUTCOME_OK.into(),
+            score,
+            best,
+            regret: Some(10.0 - best),
+            cum_regret: Some((iter + 1) as f64),
+            novelty: if iter == 0 { None } else { Some(0.5) },
+            pred_mean: None,
+            pred_var: None,
+        }
+    }
+
+    #[test]
+    fn checkpoints_cover_first_quartiles_last() {
+        assert_eq!(checkpoints(0), Vec::<usize>::new());
+        assert_eq!(checkpoints(1), vec![0]);
+        assert_eq!(checkpoints(2), vec![0, 1]);
+        assert_eq!(checkpoints(8), vec![0, 2, 4, 6, 7]);
+        assert_eq!(checkpoints(40), vec![0, 10, 20, 30, 39]);
+    }
+
+    #[test]
+    fn summary_tracks_best_curve_and_tallies() {
+        let records: Vec<IterationRecord> =
+            (0..8).map(|i| rec("a", i, i as f64, (i as f64).max(3.0))).collect();
+        let s = summarize_session("a", &records);
+        assert_eq!(s.iters, 8);
+        assert_eq!(s.n_ok, 8);
+        assert_eq!(s.n_crash + s.n_fault, 0);
+        assert_eq!(s.final_best, 7.0);
+        assert_eq!(s.final_regret, Some(3.0));
+        assert_eq!(s.final_cum_regret, Some(8.0));
+        assert_eq!(s.best_curve, vec![(0, 3.0), (2, 3.0), (4, 4.0), (6, 6.0), (7, 7.0)]);
+        assert_eq!(s.mean_novelty, Some(0.5));
+    }
+
+    #[test]
+    fn outcome_tallies_split_by_kind() {
+        let mut records = vec![rec("a", 0, 1.0, 1.0), rec("a", 1, 2.0, 2.0)];
+        records[0].outcome = OUTCOME_CRASH.into();
+        records[1].outcome = OUTCOME_FAULT.into();
+        let s = summarize_session("a", &records);
+        assert_eq!((s.n_ok, s.n_crash, s.n_fault), (0, 1, 1));
+    }
+
+    #[test]
+    fn grouping_preserves_first_appearance_order() {
+        let records = vec![rec("b", 0, 1.0, 1.0), rec("a", 0, 1.0, 1.0), rec("b", 1, 2.0, 2.0)];
+        let groups = group_sessions(&records);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "b");
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, "a");
+    }
+}

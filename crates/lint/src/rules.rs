@@ -19,6 +19,9 @@
 //! | E2   | no `catch_unwind` outside the executor's containment layer       |
 //! |      | (`core/src/exec.rs`, `dbsim/src/fault.rs`; tests exempt) — ad    |
 //! |      | hoc panic swallowing hides bugs and can strand shared state      |
+//! | M1   | metric/span name literals (`.counter("…")`, `span("…")`, …)     |
+//! |      | must be lowercase dotted snake (`[a-z0-9_.]+`) so journal keys,  |
+//! |      | diff whitelists, and diag session labels stay grep-stable        |
 //! | P1   | pragma is malformed (bad grammar, unknown rule, no reason)       |
 //! | P2   | pragma suppresses nothing — stale suppressions must be removed   |
 //!
@@ -34,7 +37,7 @@ use crate::report::{Finding, PragmaRecord};
 use crate::scanner::{self, is_ident_char};
 
 /// Every rule id the engine can emit (and `allow(..)` can name).
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "F1", "E1", "E2", "P1", "P2"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "F1", "E1", "E2", "M1", "P1", "P2"];
 
 /// Where a file sits in the workspace, which decides rule applicability.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -97,6 +100,9 @@ const CLOCK_READS: &[&str] = &["Instant::now(", "SystemTime::now(", "UNIX_EPOCH"
 /// Unseeded randomness patterns (D3).
 const UNSEEDED_RNG: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
 
+/// Telemetry registration calls whose literal name argument M1 validates.
+const METRIC_CALLS: &[&str] = &["counter", "gauge", "histogram", "span", "span_record"];
+
 /// Scans one file's source. `path` is recorded in findings verbatim.
 pub fn scan_source(
     path: &str,
@@ -104,6 +110,7 @@ pub fn scan_source(
     source: &str,
 ) -> (Vec<Finding>, Vec<PragmaRecord>) {
     let lines = scanner::clean(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
     let mut an = Analyzer {
         blocks: Vec::new(),
         head: String::new(),
@@ -225,6 +232,23 @@ pub fn scan_source(
                  `// lint: allow(E2) <why containment is sound here>`"
                     .to_string(),
             );
+        }
+
+        // M1 — metric/span name literals. The scanner masks string
+        // bodies, so the names are read back from the raw source line at
+        // call sites the cleaned line confirms are real code.
+        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
+        for name in metric_name_literals(code, raw_line) {
+            if !is_metric_slug(&name) {
+                push(
+                    "M1",
+                    format!(
+                        "telemetry name `{name}` is not a lowercase dotted slug ([a-z0-9_.]+) — \
+                         journal keys, baseline-diff whitelists, and diag session labels all \
+                         match on these strings verbatim"
+                    ),
+                );
+            }
         }
 
         an.advance_blocks(code);
@@ -594,6 +618,41 @@ fn literal_is_nonzero(lit: &str) -> bool {
     lit.replace('_', "").parse::<f64>().map(|v| v != 0.0).unwrap_or(false)
 }
 
+/// Byte positions in `hay` where token `call` is immediately followed by
+/// `("` — a telemetry registration passing a literal name.
+fn call_literal_positions<'a>(hay: &'a str, call: &'a str) -> impl Iterator<Item = usize> + 'a {
+    token_positions(hay, call).filter(move |&pos| hay[pos + call.len()..].starts_with("(\""))
+}
+
+/// The string literals passed as name arguments to telemetry calls on
+/// this line. `code` (the cleaned line) gates the check — occurrences
+/// that lived only in comments or strings were cleaned away — and `raw`
+/// (the original line) supplies the literal text the scanner masked.
+fn metric_name_literals(code: &str, raw: &str) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for call in METRIC_CALLS {
+        if call_literal_positions(code, call).next().is_none() {
+            continue;
+        }
+        for pos in call_literal_positions(raw, call) {
+            let start = pos + call.len() + 2;
+            if let Some(len) = raw[start..].find('"') {
+                names.push(raw[start..start + len].to_string());
+            }
+        }
+    }
+    names
+}
+
+/// M1's alphabet: lowercase dotted snake, the shape every journal key,
+/// diff whitelist, and diag session label in the repo greps for.
+fn is_metric_slug(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -697,12 +756,38 @@ mod tests {
         assert!(findings("crates/core/src/exec.rs", src).is_empty());
         assert!(findings("crates/dbsim/src/fault.rs", src).is_empty());
         // Tests may assert panics.
-        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { std::panic::catch_unwind(|| 1); }\n}\n";
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { std::panic::catch_unwind(|| 1); }\n}\n";
         assert!(findings("crates/core/src/tuner.rs", test_src).is_empty());
         // The pragma escape hatch works like any other rule's.
         let allowed =
             "fn f() { let r = std::panic::catch_unwind(|| 1); // lint: allow(E2) ffi boundary\n}\n";
         assert!(findings("crates/core/src/tuner.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn m1_flags_non_slug_telemetry_names() {
+        let src = "fn f(t: &Telemetry) {\n    t.metrics.counter(\"exec.cache.hits\").inc();\n    t.metrics.counter(\"Exec.CacheHits\").inc();\n    let _s = span(\"suggest phase\");\n    t.span_record(\"gp-extend\", 5);\n}\n";
+        assert_eq!(
+            findings("crates/core/src/x.rs", src),
+            vec![(3, "M1".into()), (4, "M1".into()), (5, "M1".into())]
+        );
+    }
+
+    #[test]
+    fn m1_ignores_comments_dynamic_names_and_unrelated_calls() {
+        // A commented-out call, a non-literal name, and a lookalike
+        // identifier must all stay silent.
+        let src = "fn f(t: &Telemetry, name: &str) {\n    // t.metrics.counter(\"Old Name\").inc();\n    t.metrics.counter(name).inc();\n    my_span(\"Not A Telemetry Call\");\n}\n";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn m1_applies_in_tests_and_telemetry_crates_and_takes_pragmas() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(t: &Telemetry) { t.metrics.gauge(\"Queue Depth\").set(1); }\n}\n";
+        assert_eq!(findings("crates/obs/src/x.rs", src), vec![(3, "M1".into())]);
+        let allowed = "fn f(t: &Telemetry) {\n    t.metrics.histogram(\"legacy-latency\"); // lint: allow(M1) legacy dashboard key\n}\n";
+        assert!(findings("crates/core/src/x.rs", allowed).is_empty());
     }
 
     #[test]

@@ -162,8 +162,7 @@ impl DecisionTree {
         // one feature at a time, so `cols[f][i]` turns every row-vector
         // chase into a dense column read. Values are copied verbatim —
         // identical bits, identical splits.
-        let cols: Vec<Vec<f64>> =
-            (0..d).map(|f| x.iter().map(|row| row[f]).collect()).collect();
+        let cols: Vec<Vec<f64>> = (0..d).map(|f| x.iter().map(|row| row[f]).collect()).collect();
         let mut sorted: Vec<Vec<usize>> = Vec::with_capacity(d);
         for (f, kind) in self.feature_kinds.iter().enumerate() {
             match kind {
@@ -659,11 +658,7 @@ mod tests {
         best_numeric_split(&col, y, &sorted, feature, min_leaf, &mut scratch)
     }
 
-    fn assert_split_eq(
-        a: Option<(SplitRule, f64)>,
-        b: Option<(SplitRule, f64)>,
-        context: &str,
-    ) {
+    fn assert_split_eq(a: Option<(SplitRule, f64)>, b: Option<(SplitRule, f64)>, context: &str) {
         match (a, b) {
             (None, None) => {}
             (Some((ra, sa)), Some((rb, sb))) => {

@@ -100,6 +100,44 @@ pub enum TraceEvent {
         /// Journal sequence number.
         seq: u64,
     },
+    /// One tuner iteration's optimizer-quality record (emitted only when
+    /// diagnostics are enabled — see `Telemetry::enable_diag`):
+    /// `{"type":"diag","session":S,"iter":N,"outcome":S,"score_bits":N,"best_bits":N,"regret_bits":N|null,"cum_regret_bits":N|null,"novelty_bits":N|null,"pred_mean_bits":N|null,"pred_var_bits":N|null,"seq":N}`.
+    ///
+    /// All floats travel as IEEE-754 bit words (`f64::to_bits`) so the
+    /// journal's flat integer parser round-trips them exactly — the same
+    /// convention session checkpoints use. Oriented score scale
+    /// throughout (ln-throughput / −ln-latency); optional fields are
+    /// `null` when the quantity does not exist for the iteration (no
+    /// known optimum, model-free optimizer, LHS warm-up, first
+    /// iteration's novelty).
+    Diag {
+        /// Session label (driver-assigned; groups one session's records).
+        session: String,
+        /// Iteration index within the session (0-based).
+        iter: u64,
+        /// How the evaluation ended: `ok`, `crash`, or `fault`.
+        outcome: String,
+        /// This iteration's oriented score, as bits.
+        score_bits: u64,
+        /// Incumbent (best-so-far) oriented score after this iteration.
+        best_bits: u64,
+        /// Simple regret `optimum − best`, when the workload's simulated
+        /// optimum is known.
+        regret_bits: Option<u64>,
+        /// Cumulative regret `Σ (optimum − score_i)` up to this iteration.
+        cum_regret_bits: Option<u64>,
+        /// L∞ distance in unit space to the nearest previously evaluated
+        /// configuration (`null` on the first iteration).
+        novelty_bits: Option<u64>,
+        /// Surrogate's pre-observation predictive mean at the chosen
+        /// point (model-based optimizers only).
+        pred_mean_bits: Option<u64>,
+        /// Surrogate's pre-observation predictive variance.
+        pred_var_bits: Option<u64>,
+        /// Journal sequence number.
+        seq: u64,
+    },
 }
 
 impl TraceEvent {
@@ -112,6 +150,7 @@ impl TraceEvent {
             TraceEvent::Gauge { .. } => "gauge",
             TraceEvent::Hist { .. } => "hist",
             TraceEvent::Cell { .. } => "cell",
+            TraceEvent::Diag { .. } => "diag",
         }
     }
 
@@ -161,6 +200,37 @@ impl TraceEvent {
                     s,
                     r#"{{"type":"cell","index":{index},"cache_hits":{cache_hits},"cache_misses":{cache_misses},"dur_nanos":{dur_nanos},"thread":{thread},"seq":{seq}}}"#
                 );
+            }
+            TraceEvent::Diag {
+                session,
+                iter,
+                outcome,
+                score_bits,
+                best_bits,
+                regret_bits,
+                cum_regret_bits,
+                novelty_bits,
+                pred_mean_bits,
+                pred_var_bits,
+                seq,
+            } => {
+                let _ = write!(s, r#"{{"type":"diag","session":"#);
+                escape_into(&mut s, session);
+                let _ = write!(s, r#","iter":{iter},"outcome":"#);
+                escape_into(&mut s, outcome);
+                let _ = write!(s, r#","score_bits":{score_bits},"best_bits":{best_bits}"#);
+                let mut opt = |key: &str, v: &Option<u64>| {
+                    let _ = match v {
+                        Some(v) => write!(s, r#","{key}":{v}"#),
+                        None => write!(s, r#","{key}":null"#),
+                    };
+                };
+                opt("regret_bits", regret_bits);
+                opt("cum_regret_bits", cum_regret_bits);
+                opt("novelty_bits", novelty_bits);
+                opt("pred_mean_bits", pred_mean_bits);
+                opt("pred_var_bits", pred_var_bits);
+                let _ = write!(s, r#","seq":{seq}}}"#);
             }
         }
         s
@@ -242,6 +312,30 @@ impl TraceEvent {
                 thread: get_u64("thread")?,
                 seq: get_u64("seq")?,
             }),
+            "diag" => {
+                let get_opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+                    match get(key)? {
+                        FlatValue::Null => Ok(None),
+                        FlatValue::UInt(u) => Ok(Some(*u)),
+                        other => Err(format!(
+                            "field '{key}' is not a non-negative integer or null: {other:?}"
+                        )),
+                    }
+                };
+                Ok(TraceEvent::Diag {
+                    session: get_str("session")?,
+                    iter: get_u64("iter")?,
+                    outcome: get_str("outcome")?,
+                    score_bits: get_u64("score_bits")?,
+                    best_bits: get_u64("best_bits")?,
+                    regret_bits: get_opt_u64("regret_bits")?,
+                    cum_regret_bits: get_opt_u64("cum_regret_bits")?,
+                    novelty_bits: get_opt_u64("novelty_bits")?,
+                    pred_mean_bits: get_opt_u64("pred_mean_bits")?,
+                    pred_var_bits: get_opt_u64("pred_var_bits")?,
+                    seq: get_u64("seq")?,
+                })
+            }
             other => Err(format!("unknown event type '{other}'")),
         }
     }
@@ -254,7 +348,8 @@ impl TraceEvent {
             | TraceEvent::Counter { seq, .. }
             | TraceEvent::Gauge { seq, .. }
             | TraceEvent::Hist { seq, .. }
-            | TraceEvent::Cell { seq, .. } => *seq,
+            | TraceEvent::Cell { seq, .. }
+            | TraceEvent::Diag { seq, .. } => *seq,
         }
     }
 
@@ -265,7 +360,8 @@ impl TraceEvent {
             | TraceEvent::Counter { seq, .. }
             | TraceEvent::Gauge { seq, .. }
             | TraceEvent::Hist { seq, .. }
-            | TraceEvent::Cell { seq, .. } => *seq = n,
+            | TraceEvent::Cell { seq, .. }
+            | TraceEvent::Diag { seq, .. } => *seq = n,
         }
         self
     }
@@ -562,6 +658,32 @@ mod tests {
             thread: 1,
             seq: 5,
         });
+        round_trip(TraceEvent::Diag {
+            session: "bo/ro_heavy".into(),
+            iter: 17,
+            outcome: "ok".into(),
+            score_bits: 4.2f64.to_bits(),
+            best_bits: 4.5f64.to_bits(),
+            regret_bits: Some(0.3f64.to_bits()),
+            cum_regret_bits: Some(7.1f64.to_bits()),
+            novelty_bits: Some(0.25f64.to_bits()),
+            pred_mean_bits: Some(4.1f64.to_bits()),
+            pred_var_bits: Some(0.02f64.to_bits()),
+            seq: 6,
+        });
+        round_trip(TraceEvent::Diag {
+            session: "random/wo_heavy".into(),
+            iter: 0,
+            outcome: "crash".into(),
+            score_bits: (-1.0f64).to_bits(),
+            best_bits: 0.0f64.to_bits(),
+            regret_bits: None,
+            cum_regret_bits: None,
+            novelty_bits: None,
+            pred_mean_bits: None,
+            pred_var_bits: None,
+            seq: 7,
+        });
     }
 
     #[test]
@@ -582,6 +704,31 @@ mod tests {
         assert_eq!(
             ev.to_jsonl(),
             r#"{"type":"span","name":"a","parent":null,"depth":0,"dur_nanos":2,"thread":0,"seq":9}"#
+        );
+    }
+
+    #[test]
+    fn diag_field_order_is_stable() {
+        let ev = TraceEvent::Diag {
+            session: "s".into(),
+            iter: 3,
+            outcome: "ok".into(),
+            score_bits: 10,
+            best_bits: 11,
+            regret_bits: Some(12),
+            cum_regret_bits: None,
+            novelty_bits: Some(13),
+            pred_mean_bits: None,
+            pred_var_bits: None,
+            seq: 9,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            concat!(
+                r#"{"type":"diag","session":"s","iter":3,"outcome":"ok","#,
+                r#""score_bits":10,"best_bits":11,"regret_bits":12,"cum_regret_bits":null,"#,
+                r#""novelty_bits":13,"pred_mean_bits":null,"pred_var_bits":null,"seq":9}"#
+            )
         );
     }
 

@@ -11,6 +11,7 @@ use crate::journal::{Journal, TraceEvent};
 use crate::metrics::{MetricsSnapshot, Registry};
 use crate::span::{SpanGuard, SpanSnapshot, SpanTable};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 /// Environment variable that enables the global journal at startup.
@@ -26,6 +27,10 @@ pub struct Telemetry {
     pub metrics: Registry,
     /// Optional JSONL event sink.
     pub journal: Journal,
+    /// Optimizer-quality diagnostics gate (`diag` journal events). Off by
+    /// default; separate from the journal switch so perf traces stay
+    /// byte-identical whether or not diagnostics are requested.
+    diag: AtomicBool,
 }
 
 impl Telemetry {
@@ -63,6 +68,20 @@ impl Telemetry {
     /// Starts the JSONL journal at `path` (see [`Journal::enable`]).
     pub fn enable_journal(&self, path: &Path, source: &str) -> std::io::Result<()> {
         self.journal.enable(path, source)
+    }
+
+    /// Whether optimizer-quality diagnostics (`diag` journal events and
+    /// the extra surrogate predictions that feed them) are requested.
+    /// The check is one relaxed atomic load, mirroring the journal gate.
+    pub fn diag_enabled(&self) -> bool {
+        self.diag.load(Ordering::Relaxed)
+    }
+
+    /// Turns optimizer-quality diagnostics on (drivers' `diag=on` flag).
+    /// Diagnostics only *observe* — the determinism contract above holds
+    /// with the gate in either position.
+    pub fn enable_diag(&self) {
+        self.diag.store(true, Ordering::Relaxed);
     }
 
     /// Writes one `counter`/`gauge`/`hist` event per registry instrument
@@ -178,6 +197,14 @@ mod tests {
             .map(|l| TraceEvent::parse_line(l).expect("valid line").kind().to_string())
             .collect();
         assert_eq!(kinds, vec!["meta", "counter", "gauge", "hist"]);
+    }
+
+    #[test]
+    fn diag_gate_defaults_off_and_latches_on() {
+        let t = Telemetry::new();
+        assert!(!t.diag_enabled(), "diagnostics must be opt-in");
+        t.enable_diag();
+        assert!(t.diag_enabled());
     }
 
     #[test]

@@ -143,6 +143,11 @@ pub fn diff_summaries(base: &RunSummary, cur: &RunSummary, cfg: &DiffConfig) -> 
         ));
     }
     out.push(exact_entry("cells".to_string(), Some(base.cells as f64), Some(cur.cells as f64)));
+    out.push(exact_entry(
+        "diag.records".to_string(),
+        Some(base.diag_records as f64),
+        Some(cur.diag_records as f64),
+    ));
     for key in union_keys(&base.spans, &cur.spans) {
         let (b, c) = (base.spans.get(key), cur.spans.get(key));
         out.push(exact_entry(
@@ -361,6 +366,60 @@ mod tests {
         let base = summary(100, 100_000_000, 10);
         let faster = summary(100, 10_000_000, 10);
         let entries = diff_summaries(&base, &faster, &DiffConfig::default());
+        assert!(!entries.iter().any(|e| e.flagged), "{entries:#?}");
+    }
+
+    #[test]
+    fn one_sided_counters_flag_in_both_directions() {
+        // A counter present in only one run means the runs did different
+        // work — flagged no matter which side it appears on.
+        let mut a = summary(100, 50_000_000, 10);
+        let b = summary(100, 50_000_000, 10);
+        a.counters.insert("exec.cache.transient_skips".into(), 3);
+        let entries = diff_summaries(&a, &b, &DiffConfig::default());
+        let only_base = entries
+            .iter()
+            .find(|e| e.key == "counter:exec.cache.transient_skips")
+            .expect("one-sided counter in diff");
+        assert!(only_base.flagged);
+        assert_eq!(only_base.kind, DiffKind::Count);
+        assert!(only_base.note.contains("missing from current"), "{}", only_base.note);
+        assert_eq!(only_base.rel_delta(), None, "one-sided entries have no relative delta");
+
+        let entries = diff_summaries(&b, &a, &DiffConfig::default());
+        let only_cur = entries
+            .iter()
+            .find(|e| e.key == "counter:exec.cache.transient_skips")
+            .expect("one-sided counter in diff");
+        assert!(only_cur.flagged);
+        assert!(only_cur.note.contains("missing from baseline"), "{}", only_cur.note);
+    }
+
+    #[test]
+    fn diag_record_counts_diff_exactly() {
+        let a = summary(100, 50_000_000, 10);
+        let mut b = summary(100, 50_000_000, 10);
+        b.diag_records = 40;
+        let entries = diff_summaries(&a, &b, &DiffConfig::default());
+        let diag =
+            entries.iter().find(|e| e.key == "diag.records").expect("diag.records entry in diff");
+        assert!(diag.flagged, "diag record count is a control-flow count: exact");
+        assert_eq!(diag.kind, DiffKind::Count);
+
+        let entries = diff_summaries(&a, &a.clone(), &DiffConfig::default());
+        let diag =
+            entries.iter().find(|e| e.key == "diag.records").expect("diag.records entry in diff");
+        assert!(!diag.flagged);
+    }
+
+    #[test]
+    fn empty_summaries_diff_clean() {
+        // Two freshly-defaulted summaries (e.g. from empty journals)
+        // align on the structural keys only and flag nothing.
+        let entries =
+            diff_summaries(&RunSummary::default(), &RunSummary::default(), &DiffConfig::default());
+        assert!(entries.iter().any(|e| e.key == "cells"));
+        assert!(entries.iter().any(|e| e.key == "diag.records"));
         assert!(!entries.iter().any(|e| e.flagged), "{entries:#?}");
     }
 

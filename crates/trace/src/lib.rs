@@ -67,6 +67,12 @@ pub struct JournalData {
 /// Strictly loads a journal from its text: every line must parse, the
 /// first line must be a supported `meta` event. Errors name the line.
 ///
+/// One deliberate exception to strictness: lines whose only defect is an
+/// *unknown event type* are skipped, not fatal. A journal written by a
+/// newer toolkit (same schema version, extra event kinds — exactly how
+/// `diag` arrived) stays analyzable by older tools; malformed JSON and
+/// bad fields on known kinds still abort with the line number.
+///
 /// This is the loader the analysis tools use — for *validation*, where
 /// each bad line should be reported rather than aborting, iterate
 /// [`dbtune_obs::journal::parse_journal`] directly.
@@ -75,7 +81,11 @@ pub fn load_journal_str(text: &str) -> Result<JournalData, String> {
     let mut version = 0;
     let mut events = Vec::new();
     for (line, parsed) in parse_journal(text) {
-        let event = parsed.map_err(|e| format!("line {line}: {e}"))?;
+        let event = match parsed {
+            Ok(event) => event,
+            Err(e) if e.contains("unknown event type") && line > 1 => continue,
+            Err(e) => return Err(format!("line {line}: {e}")),
+        };
         match (&event, line) {
             (TraceEvent::Meta { version: v, source: s }, 1) => {
                 if *v != SCHEMA_VERSION {
@@ -113,6 +123,41 @@ mod tests {
         assert_eq!(j.version, 1);
         assert_eq!(j.events.len(), 1);
         assert_eq!(j.events[0].line, 2);
+    }
+
+    #[test]
+    fn skips_unknown_event_kinds_but_keeps_other_errors_fatal() {
+        // Forward compatibility: a journal from a newer toolkit with an
+        // extra event kind still loads; its known lines are kept.
+        let text = concat!(
+            "{\"type\":\"meta\",\"version\":1,\"source\":\"unit\"}\n",
+            "{\"type\":\"hologram\",\"name\":\"x\",\"seq\":1}\n",
+            "{\"type\":\"counter\",\"name\":\"sim.evals\",\"value\":3,\"seq\":2}\n",
+        );
+        let j = load_journal_str(text).expect("unknown kinds are skipped");
+        assert_eq!(j.events.len(), 1);
+        assert_eq!(j.events[0].line, 3);
+
+        // The skip applies only to unknown *kinds*: a known kind with a
+        // bad field still aborts with the line number.
+        let bad_field = concat!(
+            "{\"type\":\"meta\",\"version\":1,\"source\":\"unit\"}\n",
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":\"oops\",\"seq\":1}\n",
+        );
+        assert!(load_journal_str(bad_field).expect_err("must be rejected").contains("line 2"));
+
+        // And the first line must still be a meta event, even if its
+        // kind is unknown.
+        let unknown_first = "{\"type\":\"hologram\",\"name\":\"x\",\"seq\":1}";
+        assert!(load_journal_str(unknown_first).expect_err("must be rejected").contains("line 1"));
+    }
+
+    #[test]
+    fn meta_only_journal_loads_with_zero_events() {
+        let j = load_journal_str("{\"type\":\"meta\",\"version\":1,\"source\":\"unit\"}\n")
+            .expect("meta-only journal is valid");
+        assert_eq!(j.source, "unit");
+        assert!(j.events.is_empty());
     }
 
     #[test]

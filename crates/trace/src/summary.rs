@@ -39,6 +39,11 @@ pub struct RunSummary {
     pub spans: BTreeMap<String, SpanSummary>,
     /// Completed grid cells observed (`cell` events).
     pub cells: u64,
+    /// Optimizer-quality records observed (`diag` events). Like `cells`
+    /// this is a control-flow count — deterministic for a fixed driver
+    /// configuration — so it rides along in the summary even though the
+    /// record payloads themselves are analyzed by `dbtune-diag`.
+    pub diag_records: u64,
 }
 
 /// The `q`-quantile of sorted `values` (nearest-rank, matching the
@@ -68,6 +73,7 @@ pub fn summarize(journal: &JournalData) -> RunSummary {
                 out.gauges.insert(name.clone(), *value);
             }
             TraceEvent::Cell { .. } => out.cells += 1,
+            TraceEvent::Diag { .. } => out.diag_records += 1,
             TraceEvent::Meta { .. } | TraceEvent::Hist { .. } => {}
         }
     }
@@ -137,11 +143,25 @@ mod tests {
                     thread: 0,
                     seq: 7,
                 }),
+                line(TraceEvent::Diag {
+                    session: "bo/ro".into(),
+                    iter: 0,
+                    outcome: "ok".into(),
+                    score_bits: 1.0f64.to_bits(),
+                    best_bits: 1.0f64.to_bits(),
+                    regret_bits: None,
+                    cum_regret_bits: None,
+                    novelty_bits: None,
+                    pred_mean_bits: None,
+                    pred_var_bits: None,
+                    seq: 8,
+                }),
             ],
         };
         let s = summarize(&journal);
         assert_eq!(s.source, "unit");
         assert_eq!(s.cells, 1);
+        assert_eq!(s.diag_records, 1);
         assert_eq!(s.counters["sim.evals"], 9, "last flush wins");
         assert_eq!(s.gauges["exec.cache.entries"], 3);
         let fit = &s.spans["fit"];

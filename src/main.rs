@@ -213,6 +213,7 @@ impl Args {
             lhs_init: self.usize_opt("init", 10)?,
             seed: self.u64_opt("seed", 42)?,
             failure_policy: self.failure_policy()?,
+            ..Default::default()
         })
     }
 
