@@ -96,6 +96,17 @@ pub fn parse_perf_baseline(value: &Value) -> Result<PerfBaseline, String> {
             baseline.span_min_nanos.insert(name.clone(), min);
         }
     }
+    // Memory columns arrived after the first committed baselines —
+    // optional, so pre-memprof artifacts still parse (and the diff's
+    // one-sided rule keeps the comparison silent when a side is empty).
+    if let Some(mem) = lookup(timing, "mem") {
+        if let Some(peak) = lookup(mem, "peak_bytes") {
+            baseline.mem_peak_bytes = f64_series(peak, "timing.mem.peak_bytes")?;
+        }
+        if let Some(allocs) = lookup(mem, "alloc_count") {
+            baseline.mem_alloc_counts = f64_series(allocs, "timing.mem.alloc_count")?;
+        }
+    }
     Ok(baseline)
 }
 
@@ -159,7 +170,8 @@ mod tests {
         "timing": {
             "wall_secs": [1.5, 1.25],
             "phases": {"surrogate_fit_secs": [0.5, 0.4]},
-            "spans": {"suggest": {"count": 40, "min_nanos": 900, "p50_nanos": 1000, "p99_nanos": 2000}}
+            "spans": {"suggest": {"count": 40, "min_nanos": 900, "p50_nanos": 1000, "p99_nanos": 2000}},
+            "mem": {"peak_bytes": [5000000, 5100000], "alloc_count": [120000, 120000]}
         }
     }"#;
 
@@ -172,7 +184,20 @@ mod tests {
         assert_eq!(b.wall_secs, vec![1.5, 1.25]);
         assert_eq!(b.phase_secs["surrogate_fit_secs"], vec![0.5, 0.4]);
         assert_eq!(b.span_min_nanos["suggest"], 900);
+        assert_eq!(b.mem_peak_bytes, vec![5_000_000.0, 5_100_000.0]);
+        assert_eq!(b.mem_alloc_counts, vec![120_000.0, 120_000.0]);
         assert!(b.results_fingerprint.contains("best_improvement"));
+    }
+
+    #[test]
+    fn artifacts_without_mem_columns_still_parse() {
+        let value: Value = serde_json::from_str(
+            r#"{"results": {"counters": {}}, "timing": {"wall_secs": [1.0]}}"#,
+        )
+        .expect("sample JSON parses");
+        let b = parse_perf_baseline(&value).expect("pre-memprof artifact parses");
+        assert!(b.mem_peak_bytes.is_empty());
+        assert!(b.mem_alloc_counts.is_empty());
     }
 
     #[test]

@@ -24,10 +24,19 @@
 //!   per-span aggregates from a trace journal taken during each repeat.
 //!   Noisy by nature; the diff compares minima over repeats against a
 //!   relative threshold and absolute floor (see `dbtune_trace::diff`).
+//!   The memory profiler is latched on for the whole run, so `"timing"`
+//!   also carries a `"mem"` block: per-repeat `peak_bytes` (cumulative
+//!   high-water — the latch is one-way, so later repeats can only raise
+//!   it; the min-over-repeats diff statistic reads repeat 0) and
+//!   `alloc_count` (per-repeat delta, deterministic like the counters
+//!   but compared under the noise rule because allocator-level counts
+//!   may shift with unrelated library changes).
 //!
 //! Exit codes: 0 ok (including `mode=warn` with regressions, and a
 //! missing `against=` file), 1 determinism failure or regression under
-//! `mode=gate`, 2 usage or I/O error.
+//! `mode=gate`, 2 usage or I/O error. Flagged `mem:` keys are reported
+//! but never gate — memory columns are warn-only, like `mode=warn`
+//! wall time.
 
 use dbtune_bench::artifact::{load_json_file, parse_perf_baseline};
 use dbtune_bench::{run_tuning_grid, ExpArgs, GridOpts, TuningCell};
@@ -86,9 +95,16 @@ fn main() -> ExitCode {
         .collect();
 
     let tele = telemetry::global();
+    // Memory columns are part of the baseline contract: latch the
+    // profiler for the whole run (accounting is read-only — the
+    // determinism check below proves results are unaffected).
+    tele.enable_memprof();
     let scratch = std::env::temp_dir();
     let mut results_blocks: Vec<Value> = Vec::new();
     let mut wall_secs: Vec<f64> = Vec::new();
+    let mut mem_peak_bytes: Vec<u64> = Vec::new();
+    let mut mem_alloc_counts: Vec<u64> = Vec::new();
+    let mut allocs0 = dbtune_obs::memprof::global_stats().alloc_count;
     let mut phase_secs: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     // Per-span over repeats: (count, min, p50, p99), minima over repeats
     // for the time fields; counts must agree.
@@ -188,12 +204,19 @@ fn main() -> ExitCode {
                 })
                 .or_insert((span.count, span.min_nanos, span.p50_nanos, span.p99_nanos));
         }
+        let mem = dbtune_obs::memprof::global_stats();
+        mem_peak_bytes.push(mem.peak_bytes);
+        mem_alloc_counts.push(mem.alloc_count - allocs0);
+        allocs0 = mem.alloc_count;
         println!(
-            "[repeat {}/{repeats}] wall={wall:.2}s cells={} cache hits={} misses={}",
+            "[repeat {}/{repeats}] wall={wall:.2}s cells={} cache hits={} misses={} \
+             peak_bytes={} allocs={}",
             repeat + 1,
             summary.cells,
             exec.cache.hits,
-            exec.cache.misses
+            exec.cache.misses,
+            mem.peak_bytes,
+            mem_alloc_counts.last().copied().unwrap_or(0),
         );
     }
 
@@ -270,6 +293,19 @@ fn main() -> ExitCode {
                             .collect(),
                     ),
                 ),
+                (
+                    "mem",
+                    obj(vec![
+                        (
+                            "peak_bytes",
+                            Value::Array(mem_peak_bytes.iter().map(|&b| uint(b)).collect()),
+                        ),
+                        (
+                            "alloc_count",
+                            Value::Array(mem_alloc_counts.iter().map(|&c| uint(c)).collect()),
+                        ),
+                    ]),
+                ),
             ]),
         ),
     ]);
@@ -307,15 +343,32 @@ fn main() -> ExitCode {
         }
     };
     let entries = diff_baselines(&base, &cur, &DiffConfig::default());
-    let flagged: Vec<_> = entries.iter().filter(|e| e.flagged).collect();
+    // Memory columns never gate: `mem:` keys come from allocator-level
+    // accounting that unrelated library changes can legitimately move,
+    // so they are reported like `mode=warn` wall time even under
+    // `mode=gate`.
+    let (mem_flagged, flagged): (Vec<_>, Vec<_>) =
+        entries.iter().filter(|e| e.flagged).partition(|e| e.key.starts_with("mem:"));
     println!("\n[diff vs {against}: {} keys compared]", entries.len());
+    let fmt = |v: Option<f64>| v.map_or("—".to_string(), |v: f64| format!("{v:.0}"));
+    if !mem_flagged.is_empty() {
+        println!("{} memory delta(s) (warn-only):", mem_flagged.len());
+        for entry in &mem_flagged {
+            println!(
+                "  {:<36} {:>14} -> {:<14} {}",
+                entry.key,
+                fmt(entry.base),
+                fmt(entry.cur),
+                entry.note
+            );
+        }
+    }
     if flagged.is_empty() {
         println!("OK — deterministic results identical, no wall-time regressions");
         return ExitCode::SUCCESS;
     }
     println!("{} flagged delta(s):", flagged.len());
     for entry in &flagged {
-        let fmt = |v: Option<f64>| v.map_or("—".to_string(), |v| format!("{v:.0}"));
         println!(
             "  {:<36} {:>14} -> {:<14} {}",
             entry.key,

@@ -16,9 +16,18 @@
 //! minus its direct children's, so the column sums exactly to the
 //! instrumented wall time. Exit codes: 0 ok, 1 structurally invalid
 //! journal, 2 usage or I/O error.
+//!
+//! Journals with `mem` events (memprof latched on, see
+//! docs/observability.md) additionally get a top-allocating-spans table
+//! and a **bytes-weighted** collapsed-stack file (`<journal>.mem.folded`)
+//! where frame width is allocated bytes instead of nanoseconds.
 
 use dbtune_bench::artifact::load_journal;
-use dbtune_trace::{build_trees, chrome_trace, collapsed_stacks, merge_paths, MergedNode};
+use dbtune_trace::{
+    build_trees, chrome_trace, collapsed_stacks, mem_to_span_events, merge_paths, MemSummary,
+    MergedNode,
+};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -77,6 +86,53 @@ fn main() -> ExitCode {
         if roots_total > 0 { self_total as f64 / roots_total as f64 * 100.0 } else { 100.0 },
     );
 
+    // Memory attribution (present only when the run had memprof latched
+    // on): per-span-name allocation totals, self-sorted so churn sources
+    // top the table.
+    let mut mem: BTreeMap<&str, MemSummary> = BTreeMap::new();
+    for jl in &journal.events {
+        if let dbtune_core::telemetry::TraceEvent::Mem {
+            name,
+            self_bytes,
+            self_allocs,
+            total_bytes,
+            total_allocs,
+            ..
+        } = &jl.event
+        {
+            let m = mem.entry(name.as_str()).or_default();
+            m.closes += 1;
+            m.self_bytes += self_bytes;
+            m.self_allocs += self_allocs;
+            m.total_bytes += total_bytes;
+            m.total_allocs += total_allocs;
+        }
+    }
+    if !mem.is_empty() {
+        let mut rows: Vec<(&str, MemSummary)> = mem.into_iter().collect();
+        rows.sort_by(|a, b| b.1.self_bytes.cmp(&a.1.self_bytes).then(a.0.cmp(b.0)));
+        println!();
+        println!(
+            "{:<24} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "top allocating spans",
+            "closes",
+            "self bytes",
+            "self allocs",
+            "total bytes",
+            "total allocs"
+        );
+        for (name, m) in rows.iter().take(10) {
+            println!(
+                "{name:<24} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                m.closes,
+                format_bytes(m.self_bytes),
+                m.self_allocs,
+                format_bytes(m.total_bytes),
+                m.total_allocs,
+            );
+        }
+    }
+
     let stem = journal_path.file_stem().map(|s| s.to_string_lossy().to_string());
     let stem = stem.unwrap_or_else(|| "trace".to_string());
     let dir =
@@ -87,10 +143,34 @@ fn main() -> ExitCode {
     }
     let folded_path = dir.join(format!("{stem}.folded"));
     let chrome_path = dir.join(format!("{stem}.chrome.json"));
-    for (path, content) in [
-        (&folded_path, collapsed_stacks(&merged)),
-        (&chrome_path, chrome_trace(&trees, &journal.source)),
-    ] {
+    let mut exports = vec![
+        (folded_path, collapsed_stacks(&merged)),
+        (chrome_path, chrome_trace(&trees, &journal.source)),
+    ];
+    // Bytes-weighted flamegraph: project `mem` events onto synthetic
+    // spans whose duration IS their total allocated bytes, then reuse
+    // the same tree/merge/collapse pipeline — frame width becomes bytes.
+    let mem_spans = mem_to_span_events(&journal.events);
+    if !mem_spans.is_empty() {
+        // A journal whose latch flipped mid-run has spans that opened
+        // unprofiled and closed without a `mem` event, so the mem stream
+        // may not reconstruct — skip the export rather than fail (the
+        // wall-time products above are unaffected).
+        match build_trees(&mem_spans) {
+            Ok(mem_trees) => exports.push((
+                dir.join(format!("{stem}.mem.folded")),
+                collapsed_stacks(&merge_paths(&mem_trees)),
+            )),
+            Err(e) => {
+                eprintln!(
+                    "trace_report: {}: mem stream does not reconstruct (latched mid-run?), \
+                     skipping {stem}.mem.folded: {e}",
+                    journal_path.display()
+                );
+            }
+        }
+    }
+    for (path, content) in &exports {
         if let Err(e) = std::fs::write(path, content) {
             eprintln!("trace_report: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
@@ -121,6 +201,19 @@ fn print_merged(node: &MergedNode, indent: &str, grand_total: u64) {
         );
         let child_indent = format!("{indent}{}", if last { "  " } else { "│ " });
         print_merged(child, &child_indent, grand_total);
+    }
+}
+
+/// Bytes with an adaptive binary unit.
+fn format_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.2}GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.2}MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1}KiB", bytes as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{bytes}B")
     }
 }
 

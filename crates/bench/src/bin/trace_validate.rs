@@ -83,6 +83,7 @@ fn main() -> ExitCode {
             | TraceEvent::Gauge { seq, .. }
             | TraceEvent::Hist { seq, .. }
             | TraceEvent::Cell { seq, .. }
+            | TraceEvent::Mem { seq, .. }
             | TraceEvent::Diag { seq, .. } => {
                 if lineno == 1 {
                     eprintln!("{path}:{lineno}: first line must be a meta event");

@@ -133,14 +133,19 @@ pub struct GridOpts {
 }
 
 impl GridOpts {
-    /// Parses `workers=` / `cache=` / `trace=` / `diag=` / `faults=` /
-    /// `retries=` from the driver's arguments. `driver` names the
-    /// binary; it becomes the journal's `source` when `trace=<path>`
-    /// starts one (the `DBTUNE_TRACE` environment variable is handled by
-    /// the telemetry global itself). `diag=on` latches the optimizer-
-    /// quality recorder (see docs/observability.md) — its records reach
-    /// a file only when the journal is also on. Fault injection defaults
-    /// off; see `docs/robustness.md` for the flag grammar.
+    /// Parses `workers=` / `cache=` / `trace=` / `diag=` / `mem=` /
+    /// `faults=` / `retries=` from the driver's arguments. `driver`
+    /// names the binary; it becomes the journal's `source` when
+    /// `trace=<path>` starts one (the `DBTUNE_TRACE` environment
+    /// variable is handled by the telemetry global itself). `diag=on`
+    /// latches the optimizer-quality recorder (see
+    /// docs/observability.md) — its records reach a file only when the
+    /// journal is also on. `mem=on` latches the memory profiler the
+    /// same way: span closes start carrying `mem` events (journal on)
+    /// and the `mem.*` metrics are published at report time; accounting
+    /// is read-only, so results stay byte-identical either way. Fault
+    /// injection defaults off; see `docs/robustness.md` for the flag
+    /// grammar.
     pub fn from_args(driver: &str, args: &ExpArgs, noise_seed: u64) -> Self {
         let cache = match args.get_str("cache", "on").as_str() {
             "on" => true,
@@ -157,6 +162,11 @@ impl GridOpts {
             "on" => telemetry::global().enable_diag(),
             "off" => {}
             other => panic!("bad value for diag: {other} (expected on|off)"),
+        }
+        match args.get_str("mem", "off").as_str() {
+            "on" => telemetry::global().enable_memprof(),
+            "off" => {}
+            other => panic!("bad value for mem: {other} (expected on|off)"),
         }
         let faults = FaultPlan::parse(&args.get_str("faults", "off"))
             .unwrap_or_else(|e| panic!("bad value for faults: {e}"));
@@ -197,6 +207,28 @@ impl GridOpts {
         // artifacts must stay byte-identical).
         if transient_skips > 0 {
             metrics.counter("exec.cache.transient_skips").add(transient_skips);
+        }
+        // Memory metrics follow the same lazy rule: registered only when
+        // the profiler is latched (`mem=on`), so unprofiled artifacts
+        // keep their exact telemetry key set. All of these live in the
+        // `"telemetry"` block only — like wall clock, never `"results"`.
+        if telemetry::global().memprof_enabled() {
+            let mem = dbtune_obs::memprof::global_stats();
+            metrics.gauge("mem.peak_bytes").set(mem.peak_bytes as i64);
+            metrics.gauge("mem.live_bytes").set(mem.live_bytes as i64);
+            metrics.counter("mem.alloc_count").add(mem.alloc_count);
+            metrics.counter("mem.alloc_bytes").add(mem.alloc_bytes);
+            let evals = metrics.counter("sim.evals").get();
+            if let Some(per_eval) = mem.alloc_count.checked_div(evals) {
+                metrics.gauge("mem.allocs_per_eval").set(per_eval as i64);
+            }
+            for (span, agg) in dbtune_obs::memprof::table_snapshot() {
+                match span {
+                    "surrogate_fit" => metrics.counter("mem.fit.alloc_bytes").add(agg.self_bytes),
+                    "acquisition" => metrics.counter("mem.acq.alloc_bytes").add(agg.self_bytes),
+                    _ => {}
+                }
+            }
         }
         ExecReport {
             workers: self.workers,
@@ -428,6 +460,13 @@ pub fn print_exec_summary(exec: &ExecReport) {
         metrics.counter("sim.evals").get(),
         metrics.counter("sim.crashes").get(),
     );
+    if telemetry::global().memprof_enabled() {
+        let mem = dbtune_obs::memprof::global_stats();
+        println!(
+            "[mem] peak={} live={} allocs={} alloc bytes={}",
+            mem.peak_bytes, mem.live_bytes, mem.alloc_count, mem.alloc_bytes,
+        );
+    }
     if exec.faults.is_active() {
         println!(
             "[chaos] fault seed={} timeouts={} spurious crashes={} noisy={} stalls={} | retries={} exhausted={} panics contained={} cache skips={}",

@@ -1,0 +1,178 @@
+//! The memory profiler's read-only contract: latching memprof on must
+//! not move a single result bit, at any worker count.
+//!
+//! Two angles:
+//!
+//! * **Cross-process** — `fig9_overhead` runs with `mem=on` and
+//!   `mem=off` at workers 1/2/8; the `"results"` payloads must be
+//!   byte-identical (the latch is process-global and one-way, so the
+//!   off/on comparison needs separate processes).
+//! * **In-process** — this test binary latches memprof, re-runs the
+//!   perf-baseline tuning matrix, and checks every `best_improvement`
+//!   bit-for-bit against the committed `BENCH_perf.json` (the same
+//!   golden cells `perf_matrix_golden` checks *without* the latch).
+//!   Running in its own integration-test binary keeps the latch from
+//!   leaking into other tests.
+//!
+//! A journal taken under `mem=on` must also carry structurally valid
+//! `mem` events — one per profiled span close, self ≤ total.
+
+use dbtune_bench::artifact::{load_json_file, lookup, lookup_path};
+use dbtune_bench::{run_tuning_grid, GridOpts, TuningCell};
+use dbtune_core::optimizer::OptimizerKind;
+use dbtune_core::telemetry::TraceEvent;
+use dbtune_dbsim::Workload;
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbtune_memprof_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs `fig9_overhead` at tiny scale and returns the canonical
+/// serialization of its `"results"` payload (mirror of the
+/// `telemetry_determinism` harness, plus the `mem=` flag).
+fn run_fig9(dir: &Path, workers: usize, mem: &str, trace: Option<&Path>) -> String {
+    let exe = env!("CARGO_BIN_EXE_fig9_overhead");
+    let mut args = vec![
+        "samples=120".to_string(),
+        "iters=6".to_string(),
+        "cache=on".to_string(),
+        format!("workers={workers}"),
+        format!("mem={mem}"),
+    ];
+    if let Some(t) = trace {
+        args.push(format!("trace={}", t.display()));
+    }
+    let out = Command::new(exe).args(&args).current_dir(dir).output().expect("spawn fig9");
+    assert!(
+        out.status.success(),
+        "fig9_overhead failed (workers={workers}, mem={mem})\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let text = std::fs::read_to_string(dir.join("results/fig9_overhead.json"))
+        .expect("driver wrote results json");
+    let value: Value = serde_json::from_str(&text).expect("valid JSON");
+    let results = lookup(&value, "results").expect("top-level 'results'");
+    serde_json::to_string(results).expect("serialize results")
+}
+
+#[test]
+fn results_identical_with_memprof_on_and_off_across_worker_counts() {
+    let dir = scratch("onoff");
+    let baseline = run_fig9(&dir, 1, "off", None);
+    for workers in [1usize, 2, 8] {
+        let off = run_fig9(&dir, workers, "off", None);
+        assert_eq!(baseline, off, "results drifted across worker counts (workers={workers})");
+        let on = run_fig9(&dir, workers, "on", None);
+        assert_eq!(
+            baseline, on,
+            "latching memprof changed the results payload (workers={workers})"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profiled_journal_carries_sound_mem_events() {
+    let dir = scratch("journal");
+    let trace = dir.join("trace.jsonl");
+    run_fig9(&dir, 2, "on", Some(&trace));
+
+    let text = std::fs::read_to_string(&trace).expect("journal written");
+    let journal = dbtune_trace::load_journal_str(&text).expect("journal loads");
+    let violations = dbtune_trace::check_structure(&journal.events);
+    assert!(violations.is_empty(), "profiled journal has violations: {violations:?}");
+
+    let mut mem_events = 0u64;
+    let mut span_events = 0u64;
+    for jl in &journal.events {
+        match &jl.event {
+            TraceEvent::Mem {
+                name, self_bytes, self_allocs, total_bytes, total_allocs, ..
+            } => {
+                mem_events += 1;
+                assert!(
+                    self_bytes <= total_bytes && self_allocs <= total_allocs,
+                    "mem '{name}' self exceeds total"
+                );
+            }
+            TraceEvent::Span { .. } => span_events += 1,
+            _ => {}
+        }
+    }
+    assert!(mem_events > 0, "mem=on journal has no mem events");
+    // The whole run was latched, so every span close carried its frame.
+    assert_eq!(mem_events, span_events, "one mem event per span close when latched");
+
+    // The bytes-weighted projection must reconstruct (frames mirror the
+    // span stack exactly when the latch covers the whole run).
+    let mem_spans = dbtune_trace::mem_to_span_events(&journal.events);
+    assert_eq!(mem_spans.len() as u64, mem_events);
+    dbtune_trace::build_trees(&mem_spans).expect("mem stream reconstructs into trees");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mirror of the `perf_baseline` driver's fixed matrix (MATRIX / KNOBS /
+/// SEED / iters there) — the same golden cells `perf_matrix_golden`
+/// checks, here re-run with the allocator accounting live.
+const MATRIX: [(Workload, OptimizerKind); 4] = [
+    (Workload::Job, OptimizerKind::VanillaBo),
+    (Workload::Job, OptimizerKind::Smac),
+    (Workload::Sysbench, OptimizerKind::Tpe),
+    (Workload::Tpcc, OptimizerKind::Ga),
+];
+const KNOBS: usize = 12;
+const SEED: u64 = 42;
+const ITERS: usize = 60;
+
+#[test]
+fn latched_matrix_matches_committed_baseline() {
+    dbtune_obs::memprof::enable();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json");
+    let baseline = load_json_file(&path).expect("committed BENCH_perf.json loads");
+    let golden = lookup_path(&baseline, &["results", "cells"])
+        .and_then(Value::as_array)
+        .expect("results.cells present");
+
+    let cells: Vec<TuningCell> = MATRIX
+        .iter()
+        .map(|&(workload, opt_kind)| TuningCell {
+            workload,
+            selected: (0..KNOBS).collect(),
+            opt_kind,
+            iters: ITERS,
+            seed: SEED,
+        })
+        .collect();
+    let opts = GridOpts {
+        workers: 1,
+        cache: true,
+        noise_seed: SEED,
+        faults: dbtune_dbsim::FaultPlan::disabled(),
+        retry: dbtune_core::RetryPolicy::none(),
+    };
+    let (results, _exec) = run_tuning_grid(&cells, &opts);
+
+    assert_eq!(golden.len(), results.len(), "baseline matrix shape changed");
+    for (i, (cell, result)) in golden.iter().zip(&results).enumerate() {
+        let expect = lookup(cell, "best_improvement")
+            .and_then(Value::as_f64)
+            .expect("cell best_improvement present");
+        assert_eq!(
+            expect.to_bits(),
+            result.best_improvement().to_bits(),
+            "cell {i}: best_improvement drifted with memprof latched on"
+        );
+    }
+
+    // And the accounting itself must have seen the run: a four-cell
+    // tuning grid cannot execute without allocating.
+    let stats = dbtune_obs::memprof::global_stats();
+    assert!(stats.alloc_count > 0, "latched run recorded no allocations");
+    assert!(stats.peak_bytes >= stats.live_bytes, "peak below live in snapshot");
+}

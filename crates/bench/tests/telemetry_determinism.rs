@@ -93,6 +93,7 @@ fn journal_lines_all_parse_against_the_schema() {
             | TraceEvent::Gauge { seq, .. }
             | TraceEvent::Hist { seq, .. }
             | TraceEvent::Cell { seq, .. }
+            | TraceEvent::Mem { seq, .. }
             | TraceEvent::Diag { seq, .. } => {
                 assert!(idx > 0, "first line must be meta");
                 assert!(*seq > last_seq, "seq must be strictly increasing");

@@ -19,6 +19,9 @@
 //! | E2   | no `catch_unwind` outside the executor's containment layer       |
 //! |      | (`core/src/exec.rs`, `dbsim/src/fault.rs`; tests exempt) — ad    |
 //! |      | hoc panic swallowing hides bugs and can strand shared state      |
+//! | E3   | no `Box::leak` / `mem::forget` outside `crates/obs` (tests       |
+//! |      | exempt) — leaked bytes sit in the memory profiler's live/peak    |
+//! |      | books forever and skew every span's attribution                  |
 //! | M1   | metric/span name literals (`.counter("…")`, `span("…")`, …)     |
 //! |      | must be lowercase dotted snake (`[a-z0-9_.]+`) so journal keys,  |
 //! |      | diff whitelists, and diag session labels stay grep-stable        |
@@ -37,7 +40,7 @@ use crate::report::{Finding, PragmaRecord};
 use crate::scanner::{self, is_ident_char};
 
 /// Every rule id the engine can emit (and `allow(..)` can name).
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "F1", "E1", "E2", "M1", "P1", "P2"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "F1", "E1", "E2", "E3", "M1", "P1", "P2"];
 
 /// Where a file sits in the workspace, which decides rule applicability.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +57,10 @@ pub struct FileClass {
     /// `dbsim/src/fault.rs`): E2 does not apply. Everywhere else,
     /// `catch_unwind` must go through `exec::run_grid_contained`.
     pub panic_scope: bool,
+    /// `crates/obs` alone (narrower than `telemetry`, which also covers
+    /// `crates/trace`): E3 does not apply — the allocator-accounting
+    /// layer may deliberately pin its own state for `'static` access.
+    pub obs_crate: bool,
 }
 
 /// Classifies a workspace-relative path (forward slashes).
@@ -66,6 +73,7 @@ pub fn classify(rel: &str) -> FileClass {
             || r.starts_with("crates/core/src/optimizer")
             || r.starts_with("crates/core/src/importance"),
         panic_scope: r == "crates/core/src/exec.rs" || r == "crates/dbsim/src/fault.rs",
+        obs_crate: r.starts_with("crates/obs/"),
     }
 }
 
@@ -99,6 +107,11 @@ const CLOCK_READS: &[&str] = &["Instant::now(", "SystemTime::now(", "UNIX_EPOCH"
 
 /// Unseeded randomness patterns (D3).
 const UNSEEDED_RNG: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
+
+/// Allocation-leaking calls (E3). Path-qualified so `MyBox::leak` or a
+/// local `forget()` never match; `std::mem::forget` still does (the char
+/// before `mem` is `:`, a token boundary).
+const LEAK_CALLS: &[&str] = &["Box::leak", "mem::forget"];
 
 /// Telemetry registration calls whose literal name argument M1 validates.
 const METRIC_CALLS: &[&str] = &["counter", "gauge", "histogram", "span", "span_record"];
@@ -232,6 +245,24 @@ pub fn scan_source(
                  `// lint: allow(E2) <why containment is sound here>`"
                     .to_string(),
             );
+        }
+
+        // E3 — leaked allocations outside the accounting layer.
+        if !class.obs_crate && !in_test {
+            for pat in LEAK_CALLS {
+                if contains_token(code, pat) {
+                    push(
+                        "E3",
+                        format!(
+                            "`{pat}` leaks the allocation past the memory profiler's books — \
+                             live/peak bytes stay inflated forever and the owning span's \
+                             attribution is wrong. Keep the value owned (OnceLock/Arc), or \
+                             annotate `// lint: allow(E3) <why the leak is bounded>`"
+                        ),
+                    );
+                    break;
+                }
+            }
         }
 
         // M1 — metric/span name literals. The scanner masks string
@@ -763,6 +794,28 @@ mod tests {
         let allowed =
             "fn f() { let r = std::panic::catch_unwind(|| 1); // lint: allow(E2) ffi boundary\n}\n";
         assert!(findings("crates/core/src/tuner.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn e3_leaks_forbidden_outside_obs() {
+        let src = "fn f(v: Vec<u32>) -> &'static [u32] { Box::leak(v.into_boxed_slice()) }\n";
+        assert_eq!(findings("crates/core/src/tuner.rs", src), vec![(1, "E3".into())]);
+        let forget = "fn g(v: Vec<u32>) { std::mem::forget(v); }\n";
+        assert_eq!(findings("crates/ml/src/x.rs", forget), vec![(1, "E3".into())]);
+        // The accounting layer itself is exempt — but its sibling
+        // telemetry crate `crates/trace` is not.
+        assert!(findings("crates/obs/src/memprof.rs", src).is_empty());
+        assert_eq!(findings("crates/trace/src/x.rs", src), vec![(1, "E3".into())]);
+        // Tests may leak to fabricate 'static fixtures.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { Box::leak(Box::new(1u32)); }\n}\n";
+        assert!(findings("crates/core/src/tuner.rs", test_src).is_empty());
+        // Lookalike identifiers and other `leak`/`forget` paths stay silent.
+        let lookalike = "fn h() { MyBox::leak(); my_mem::forget(); forget(); }\n";
+        assert!(findings("crates/core/src/x.rs", lookalike).is_empty());
+        // The pragma escape hatch works like any other rule's.
+        let allowed = "fn f(s: String) -> &'static str { Box::leak(s.into_boxed_str()) \
+                       // lint: allow(E3) interned once at startup\n}\n";
+        assert!(findings("crates/core/src/x.rs", allowed).is_empty());
     }
 
     #[test]

@@ -25,6 +25,8 @@ fn fixture_corpus_exact_findings() {
         ("crates/core/src/engine.rs", 27, "D1"),
         ("crates/core/src/engine.rs", 44, "E1"),
         ("crates/core/src/engine.rs", 44, "F1"),
+        ("crates/core/src/leaky.rs", 6, "E3"),
+        ("crates/core/src/leaky.rs", 11, "E3"),
         ("crates/core/src/names.rs", 8, "M1"),
         ("crates/core/src/names.rs", 9, "M1"),
         ("crates/core/src/optimizer/acq.rs", 11, "F1"),
@@ -41,10 +43,11 @@ fn fixture_corpus_exact_findings() {
     .map(|(p, l, r)| (p.to_string(), *l, r.to_string()))
     .collect();
     assert_eq!(got, want, "fixture findings drifted — update the corpus or the engine");
-    // Ten files: the E2 corpus adds `recover.rs` (violations) and
+    // Twelve files: the E2 corpus adds `recover.rs` (violations) and
     // `exec.rs` (the sanctioned layer, zero findings); the M1 corpus
-    // adds `names.rs`.
-    assert_eq!(report.files_scanned, 10);
+    // adds `names.rs`; the E3 corpus adds `leaky.rs` (violations) and
+    // `obs/src/arena.rs` (the exempt accounting layer, zero findings).
+    assert_eq!(report.files_scanned, 12);
 }
 
 #[test]
@@ -58,6 +61,7 @@ fn fixture_corpus_fails_the_gate() {
     assert_eq!(counts.get("F1").copied(), Some(2));
     assert_eq!(counts.get("E1").copied(), Some(1));
     assert_eq!(counts.get("E2").copied(), Some(1));
+    assert_eq!(counts.get("E3").copied(), Some(2));
     assert_eq!(counts.get("M1").copied(), Some(2));
     assert_eq!(counts.get("P1").copied(), Some(2));
     assert_eq!(counts.get("P2").copied(), Some(1));
@@ -66,17 +70,19 @@ fn fixture_corpus_fails_the_gate() {
 #[test]
 fn fixture_pragma_audit_trail() {
     let report = scan();
-    // Four well-formed suppressions actually suppress (the `sorted` sugar
+    // Five well-formed suppressions actually suppress (the `sorted` sugar
     // in engine.rs, the standalone allow(D2) in pragmas.rs, the allow(E2)
-    // boundary in recover.rs, and the allow(M1) legacy key in names.rs),
-    // and all carry a non-empty justification.
+    // boundary in recover.rs, the allow(E3) interned leak in leaky.rs,
+    // and the allow(M1) legacy key in names.rs), and all carry a
+    // non-empty justification.
     let used: Vec<&dbtune_lint::report::PragmaRecord> =
         report.pragmas.iter().filter(|p| p.used).collect();
-    assert_eq!(used.len(), 4, "{:?}", report.pragmas);
+    assert_eq!(used.len(), 5, "{:?}", report.pragmas);
     assert!(used.iter().all(|p| !p.justification.is_empty()));
     assert!(used.iter().any(|p| p.path.ends_with("engine.rs") && p.rules == ["D1"]));
     assert!(used.iter().any(|p| p.path.ends_with("pragmas.rs") && p.rules == ["D2"]));
     assert!(used.iter().any(|p| p.path.ends_with("recover.rs") && p.rules == ["E2"]));
+    assert!(used.iter().any(|p| p.path.ends_with("leaky.rs") && p.rules == ["E3"]));
     assert!(used.iter().any(|p| p.path.ends_with("names.rs") && p.rules == ["M1"]));
 }
 
@@ -85,14 +91,15 @@ fn fixture_json_report_round_trips_key_facts() {
     let report = scan();
     let json = report.to_json();
     assert!(json.contains("\"clean\": false"));
-    assert!(json.contains("\"files_scanned\": 10"));
+    assert!(json.contains("\"files_scanned\": 12"));
     assert!(json.contains("\"D1\": 3"));
     assert!(json.contains("\"E2\": 1"));
+    assert!(json.contains("\"E3\": 2"));
     assert!(json.contains("\"M1\": 2"));
     assert!(json.contains("crates/core/src/engine.rs"));
     assert!(json.contains("collected then sorted below"), "justifications reach the JSON report");
     // Human rendering keeps the grep-able path:line: RULE shape.
     let human = report.human();
     assert!(human.contains("crates/core/src/engine.rs:14: D1 — "));
-    assert!(human.contains("17 finding(s) in 10 file(s); 4 active suppression(s)"));
+    assert!(human.contains("19 finding(s) in 12 file(s); 5 active suppression(s)"));
 }

@@ -138,10 +138,18 @@ impl Regressor for RandomForest {
         let n_boot = ((n as f64) * self.params.bootstrap_fraction).round().max(1.0) as usize;
         self.trees.clear();
         self.trees.reserve(self.params.n_trees);
+        // One scratch for the whole ensemble: the column-major copy of
+        // `x` and every build buffer are shared across trees instead of
+        // being reallocated per tree (same splits to the bit — see
+        // `FitScratch`). This was the worst allocation-churn site in a
+        // SMAC session by an order of magnitude.
+        let mut scratch = crate::tree::FitScratch::for_design(x, self.feature_kinds.len());
+        let mut indices: Vec<usize> = Vec::with_capacity(n_boot);
         for _ in 0..self.params.n_trees {
-            let indices: Vec<usize> = (0..n_boot).map(|_| rng.gen_range(0..n)).collect();
+            indices.clear();
+            indices.extend((0..n_boot).map(|_| rng.gen_range(0..n)));
             let mut tree = DecisionTree::new(self.params.tree.clone(), self.feature_kinds.clone());
-            tree.fit_indices(x, y, &indices, &mut rng);
+            tree.fit_indices_with(&mut scratch, x, y, &indices, &mut rng);
             self.trees.push(tree);
         }
     }

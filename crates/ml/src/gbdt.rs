@@ -111,10 +111,13 @@ impl GradientBoosting {
         let mut val_pred: Vec<f64> = vec![self.base; x_val.len()];
         let mut best_rmse = f64::INFINITY;
         let mut best_stages = 0usize;
+        // Shared across stages: the design matrix never changes, only
+        // the residual target does (see `FitScratch`).
+        let mut scratch = crate::tree::FitScratch::for_design(x, self.feature_kinds.len());
         for stage in 0..self.params.n_stages {
             let stage_idx = self.stage_rows(&idx, &mut rng);
             let mut tree = DecisionTree::new(tree_params.clone(), self.feature_kinds.clone());
-            tree.fit_indices(x, &residual, &stage_idx, &mut rng);
+            tree.fit_indices_with(&mut scratch, x, &residual, &stage_idx, &mut rng);
             for (r, row) in residual.iter_mut().zip(x) {
                 *r -= self.params.learning_rate * tree.predict(row);
             }
@@ -171,10 +174,11 @@ impl Regressor for GradientBoosting {
             min_samples_split: self.params.min_samples_leaf * 2,
             max_features: None,
         };
+        let mut scratch = crate::tree::FitScratch::for_design(x, self.feature_kinds.len());
         for _ in 0..self.params.n_stages {
             let stage_idx = self.stage_rows(&idx, &mut rng);
             let mut tree = DecisionTree::new(tree_params.clone(), self.feature_kinds.clone());
-            tree.fit_indices(x, &residual, &stage_idx, &mut rng);
+            tree.fit_indices_with(&mut scratch, x, &residual, &stage_idx, &mut rng);
             for (r, row) in residual.iter_mut().zip(x) {
                 *r -= self.params.learning_rate * tree.predict(row);
             }

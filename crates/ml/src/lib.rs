@@ -27,7 +27,7 @@ pub use knn::KnnRegressor;
 pub use linear::{LassoRegression, LinearRegression, PolynomialFeatures, RidgeRegression};
 pub use mlp::{Activation, Mlp, MlpParams};
 pub use svr::{SvrKind, SvrParams, SvrRegressor};
-pub use tree::{DecisionTree, DecisionTreeParams, Node, SplitRule};
+pub use tree::{DecisionTree, DecisionTreeParams, FitScratch, Node, SplitRule};
 
 /// A regression model over row-major `f64` feature vectors.
 ///

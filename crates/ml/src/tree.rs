@@ -140,6 +140,11 @@ impl DecisionTree {
 
     /// Fits using an explicit RNG (used by forests for reproducible feature
     /// subsampling). `sample_indices` selects the training rows.
+    ///
+    /// Builds a fresh [`FitScratch`] per call; ensemble fitters that
+    /// refit many trees over the same design matrix should build one
+    /// scratch and call [`DecisionTree::fit_indices_with`] instead —
+    /// identical splits, none of the per-tree buffer churn.
     pub fn fit_indices(
         &mut self,
         x: &[Vec<f64>],
@@ -147,8 +152,30 @@ impl DecisionTree {
         sample_indices: &[usize],
         rng: &mut impl Rng,
     ) {
+        let mut scratch = FitScratch::for_design(x, self.feature_kinds.len());
+        self.fit_indices_with(&mut scratch, x, y, sample_indices, rng);
+    }
+
+    /// [`DecisionTree::fit_indices`] with caller-owned buffers. The
+    /// scratch must have been built by [`FitScratch::for_design`] over
+    /// this `x` (its column-major copy is reused verbatim — the check
+    /// below catches shape drift; keeping the *values* in sync is the
+    /// caller's contract). Bit-identical to `fit_indices`: every buffer
+    /// is cleared and rebuilt to exactly the state a fresh fit produces,
+    /// only the allocations are reused.
+    pub fn fit_indices_with(
+        &mut self,
+        scratch: &mut FitScratch,
+        x: &[Vec<f64>],
+        y: &[f64],
+        sample_indices: &[usize],
+        rng: &mut impl Rng,
+    ) {
         assert_eq!(x.len(), y.len());
         assert!(!sample_indices.is_empty(), "cannot fit tree on empty sample");
+        let d = self.feature_kinds.len();
+        assert_eq!(scratch.cols.len(), d, "scratch built for a different feature count");
+        assert_eq!(scratch.n_rows, x.len(), "scratch built for a different row count");
         self.nodes.clear();
         self.split_counts.iter_mut().for_each(|c| *c = 0);
         // Presort the sample once per numeric feature; nodes then maintain
@@ -156,35 +183,26 @@ impl DecisionTree {
         // their [lo, hi) segment, so split search never sorts again
         // (O(n) scan instead of O(n log n) per node — same splits to the
         // bit, see `best_numeric_split`) and node construction never
-        // allocates (all buffers live in one fit-scoped arena).
-        let d = self.feature_kinds.len();
-        // Column-major copy of the training block: split search touches
-        // one feature at a time, so `cols[f][i]` turns every row-vector
-        // chase into a dense column read. Values are copied verbatim —
-        // identical bits, identical splits.
-        let cols: Vec<Vec<f64>> = (0..d).map(|f| x.iter().map(|row| row[f]).collect()).collect();
-        let mut sorted: Vec<Vec<usize>> = Vec::with_capacity(d);
+        // allocates (all buffers live in the scratch).
+        scratch.sorted.resize_with(d, Vec::new);
         for (f, kind) in self.feature_kinds.iter().enumerate() {
+            let s = &mut scratch.sorted[f];
+            s.clear();
             match kind {
                 FeatureKind::Continuous => {
-                    let mut s = sample_indices.to_vec();
-                    s.sort_by(|&a, &b| dbtune_linalg::ord::cmp_f64(&cols[f][a], &cols[f][b]));
-                    sorted.push(s);
+                    s.extend_from_slice(sample_indices);
+                    let col = &scratch.cols[f];
+                    s.sort_by(|&a, &b| dbtune_linalg::ord::cmp_f64(&col[a], &col[b]));
                 }
-                FeatureKind::Categorical { .. } => sorted.push(Vec::new()),
+                FeatureKind::Categorical { .. } => {}
             }
         }
-        let mut arena = BuildArena {
-            cols,
-            idx: sample_indices.to_vec(),
-            sorted,
-            goes_left: vec![false; x.len()],
-            part_scratch: Vec::with_capacity(sample_indices.len()),
-            feat_scratch: Vec::with_capacity(d),
-            split_scratch: Vec::new(),
-        };
-        let hi = arena.idx.len();
-        self.root = self.build(y, &mut arena, 0, hi, 0, rng);
+        scratch.idx.clear();
+        scratch.idx.extend_from_slice(sample_indices);
+        scratch.goes_left.clear();
+        scratch.goes_left.resize(x.len(), false);
+        let hi = scratch.idx.len();
+        self.root = self.build(y, scratch, 0, hi, 0, rng);
     }
 
     /// The node arena (root at [`DecisionTree::root_index`]).
@@ -210,7 +228,7 @@ impl DecisionTree {
     fn build(
         &mut self,
         y: &[f64],
-        arena: &mut BuildArena,
+        arena: &mut FitScratch,
         lo: usize,
         hi: usize,
         depth: usize,
@@ -241,7 +259,7 @@ impl DecisionTree {
                         // list in place, preserving order: an
                         // order-preserving partition of a sorted list
                         // stays sorted (and keeps tie order).
-                        let BuildArena { idx, sorted, goes_left, part_scratch, .. } = arena;
+                        let FitScratch { idx, sorted, goes_left, part_scratch, .. } = arena;
                         stable_partition(&mut idx[lo..hi], goes_left, part_scratch);
                         for s in sorted.iter_mut() {
                             if !s.is_empty() {
@@ -266,12 +284,12 @@ impl DecisionTree {
     fn best_split(
         &self,
         y: &[f64],
-        arena: &mut BuildArena,
+        arena: &mut FitScratch,
         lo: usize,
         hi: usize,
         rng: &mut impl Rng,
     ) -> Option<(SplitRule, f64)> {
-        let BuildArena { cols, idx, sorted, feat_scratch, split_scratch, .. } = arena;
+        let FitScratch { cols, idx, sorted, feat_scratch, split_scratch, cat, .. } = arena;
         let idx = &idx[lo..hi];
         let d = self.feature_kinds.len();
         feat_scratch.clear();
@@ -306,6 +324,7 @@ impl DecisionTree {
                     f,
                     cardinality,
                     self.params.min_samples_leaf,
+                    cat,
                 ),
             };
             if let Some((rule, child_sse)) = candidate {
@@ -319,10 +338,16 @@ impl DecisionTree {
     }
 }
 
-/// Fit-scoped working set for the segment-based build. A node is the
-/// range `[lo, hi)` of every row list: `idx` holds the node's member
-/// rows in parent order, and `sorted` holds one list per numeric
-/// feature kept sorted by feature value (empty for categorical
+/// Reusable working set for the segment-based build — the fix for the
+/// worst allocation-churn site the memory profiler found (an ensemble
+/// refit rebuilt every one of these buffers, including the column-major
+/// copy of an unchanged design matrix, once per tree). Build one with
+/// [`FitScratch::for_design`] and pass it to
+/// [`DecisionTree::fit_indices_with`] for every tree over that matrix.
+///
+/// A node is the range `[lo, hi)` of every row list: `idx` holds the
+/// node's member rows in parent order, and `sorted` holds one list per
+/// numeric feature kept sorted by feature value (empty for categorical
 /// features). Splitting a node stably partitions each list's segment in
 /// place, so no buffer is ever allocated per node.
 ///
@@ -333,10 +358,14 @@ impl DecisionTree {
 /// `(value, y)` pairs used to produce, ties included. Rows duplicated
 /// by bootstrap sampling are no exception: duplicates share a value and
 /// always route to the same child.
-struct BuildArena {
+pub struct FitScratch {
     /// Column-major training values (`cols[feature][row_id]`), copied
-    /// once per fit so split search and routing read dense columns.
+    /// once per design matrix so split search and routing read dense
+    /// columns. Values are copied verbatim — identical bits, identical
+    /// splits.
     cols: Vec<Vec<f64>>,
+    /// Row count `cols` was built from (shape check in `fit_indices_with`).
+    n_rows: usize,
     idx: Vec<usize>,
     sorted: Vec<Vec<usize>>,
     /// Per-row routing verdict for the split currently being applied,
@@ -348,6 +377,38 @@ struct BuildArena {
     feat_scratch: Vec<usize>,
     /// `(value, target)` gather buffer for [`best_numeric_split`].
     split_scratch: Vec<(f64, f64)>,
+    /// Per-category accumulators for [`best_categorical_split`].
+    cat: CatScratch,
+}
+
+impl FitScratch {
+    /// Builds the scratch for a design matrix: the column-major copy is
+    /// made here, once, and shared by every subsequent fit over `x`.
+    pub fn for_design(x: &[Vec<f64>], d: usize) -> Self {
+        Self {
+            cols: (0..d).map(|f| x.iter().map(|row| row[f]).collect()).collect(),
+            n_rows: x.len(),
+            idx: Vec::with_capacity(x.len()),
+            sorted: Vec::new(),
+            goes_left: Vec::with_capacity(x.len()),
+            part_scratch: Vec::with_capacity(x.len()),
+            feat_scratch: Vec::with_capacity(d),
+            split_scratch: Vec::new(),
+            cat: CatScratch::default(),
+        }
+    }
+}
+
+/// Per-node accumulators for [`best_categorical_split`], hoisted out of
+/// the node loop (five fresh vectors per categorical feature per node
+/// was the second-worst churn source in a forest refit).
+#[derive(Default)]
+struct CatScratch {
+    count: Vec<usize>,
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+    present: Vec<usize>,
+    ordered: Vec<usize>,
 }
 
 /// Stably partitions `seg` so rows with `goes_left[row] == true` come
@@ -478,11 +539,16 @@ fn best_categorical_split(
     feature: usize,
     cardinality: usize,
     min_leaf: usize,
+    scratch: &mut CatScratch,
 ) -> Option<(SplitRule, f64)> {
     assert!(cardinality <= 64, "categorical cardinality above bitmask capacity");
-    let mut count = vec![0usize; cardinality];
-    let mut sum = vec![0.0; cardinality];
-    let mut sum_sq = vec![0.0; cardinality];
+    let CatScratch { count, sum, sum_sq, present, ordered } = scratch;
+    count.clear();
+    count.resize(cardinality, 0);
+    sum.clear();
+    sum.resize(cardinality, 0.0);
+    sum_sq.clear();
+    sum_sq.resize(cardinality, 0.0);
     for &i in idx {
         let c = col[i] as usize;
         debug_assert!(c < cardinality, "category code {c} >= cardinality {cardinality}");
@@ -490,11 +556,13 @@ fn best_categorical_split(
         sum[c] += y[i];
         sum_sq[c] += y[i] * y[i];
     }
-    let present: Vec<usize> = (0..cardinality).filter(|&c| count[c] > 0).collect();
+    present.clear();
+    present.extend((0..cardinality).filter(|&c| count[c] > 0));
     if present.len() < 2 {
         return None;
     }
-    let mut ordered = present.clone();
+    ordered.clear();
+    ordered.extend_from_slice(present);
     ordered.sort_by(|&a, &b| {
         let ma = sum[a] / count[a] as f64;
         let mb = sum[b] / count[b] as f64;

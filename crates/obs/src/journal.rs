@@ -100,6 +100,35 @@ pub enum TraceEvent {
         /// Journal sequence number.
         seq: u64,
     },
+    /// One span's allocation attribution (emitted at span close only
+    /// when the memprof latch is on — see `memprof::enable`):
+    /// `{"type":"mem","name":S,"parent":S|null,"depth":N,"self_bytes":N,"self_allocs":N,"total_bytes":N,"total_allocs":N,"thread":N,"seq":N}`.
+    ///
+    /// `total_*` counts everything allocated on the span's thread while
+    /// it was open; `self_*` is the total minus what its direct
+    /// children claimed, so `self <= total` always (checked by
+    /// `trace_validate`). Deallocations never reduce these — they
+    /// measure churn, not residency.
+    Mem {
+        /// Span name (same taxonomy as [`TraceEvent::Span`]).
+        name: String,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<String>,
+        /// Nesting depth on the emitting thread (0 = root).
+        depth: u32,
+        /// Bytes allocated by the span itself (total minus children).
+        self_bytes: u64,
+        /// Allocations by the span itself.
+        self_allocs: u64,
+        /// Bytes allocated while the span was open.
+        total_bytes: u64,
+        /// Allocations while the span was open.
+        total_allocs: u64,
+        /// Per-process thread ordinal.
+        thread: u64,
+        /// Journal sequence number.
+        seq: u64,
+    },
     /// One tuner iteration's optimizer-quality record (emitted only when
     /// diagnostics are enabled — see `Telemetry::enable_diag`):
     /// `{"type":"diag","session":S,"iter":N,"outcome":S,"score_bits":N,"best_bits":N,"regret_bits":N|null,"cum_regret_bits":N|null,"novelty_bits":N|null,"pred_mean_bits":N|null,"pred_var_bits":N|null,"seq":N}`.
@@ -150,6 +179,7 @@ impl TraceEvent {
             TraceEvent::Gauge { .. } => "gauge",
             TraceEvent::Hist { .. } => "hist",
             TraceEvent::Cell { .. } => "cell",
+            TraceEvent::Mem { .. } => "mem",
             TraceEvent::Diag { .. } => "diag",
         }
     }
@@ -199,6 +229,29 @@ impl TraceEvent {
                 let _ = write!(
                     s,
                     r#"{{"type":"cell","index":{index},"cache_hits":{cache_hits},"cache_misses":{cache_misses},"dur_nanos":{dur_nanos},"thread":{thread},"seq":{seq}}}"#
+                );
+            }
+            TraceEvent::Mem {
+                name,
+                parent,
+                depth,
+                self_bytes,
+                self_allocs,
+                total_bytes,
+                total_allocs,
+                thread,
+                seq,
+            } => {
+                let _ = write!(s, r#"{{"type":"mem","name":"#);
+                escape_into(&mut s, name);
+                s.push_str(",\"parent\":");
+                match parent {
+                    Some(p) => escape_into(&mut s, p),
+                    None => s.push_str("null"),
+                }
+                let _ = write!(
+                    s,
+                    r#","depth":{depth},"self_bytes":{self_bytes},"self_allocs":{self_allocs},"total_bytes":{total_bytes},"total_allocs":{total_allocs},"thread":{thread},"seq":{seq}}}"#
                 );
             }
             TraceEvent::Diag {
@@ -312,6 +365,24 @@ impl TraceEvent {
                 thread: get_u64("thread")?,
                 seq: get_u64("seq")?,
             }),
+            "mem" => Ok(TraceEvent::Mem {
+                name: get_str("name")?,
+                parent: match get("parent")? {
+                    FlatValue::Null => None,
+                    FlatValue::Str(s) => Some(s.clone()),
+                    other => {
+                        return Err(format!("field 'parent' is not a string or null: {other:?}"))
+                    }
+                },
+                depth: u32::try_from(get_u64("depth")?)
+                    .map_err(|_| "field 'depth' overflows u32".to_string())?,
+                self_bytes: get_u64("self_bytes")?,
+                self_allocs: get_u64("self_allocs")?,
+                total_bytes: get_u64("total_bytes")?,
+                total_allocs: get_u64("total_allocs")?,
+                thread: get_u64("thread")?,
+                seq: get_u64("seq")?,
+            }),
             "diag" => {
                 let get_opt_u64 = |key: &str| -> Result<Option<u64>, String> {
                     match get(key)? {
@@ -349,6 +420,7 @@ impl TraceEvent {
             | TraceEvent::Gauge { seq, .. }
             | TraceEvent::Hist { seq, .. }
             | TraceEvent::Cell { seq, .. }
+            | TraceEvent::Mem { seq, .. }
             | TraceEvent::Diag { seq, .. } => *seq,
         }
     }
@@ -361,6 +433,7 @@ impl TraceEvent {
             | TraceEvent::Gauge { seq, .. }
             | TraceEvent::Hist { seq, .. }
             | TraceEvent::Cell { seq, .. }
+            | TraceEvent::Mem { seq, .. }
             | TraceEvent::Diag { seq, .. } => *seq = n,
         }
         self
@@ -658,6 +731,28 @@ mod tests {
             thread: 1,
             seq: 5,
         });
+        round_trip(TraceEvent::Mem {
+            name: "surrogate_fit".into(),
+            parent: Some("suggest".into()),
+            depth: 2,
+            self_bytes: 4096,
+            self_allocs: 12,
+            total_bytes: 8192,
+            total_allocs: 40,
+            thread: 3,
+            seq: 8,
+        });
+        round_trip(TraceEvent::Mem {
+            name: "session".into(),
+            parent: None,
+            depth: 0,
+            self_bytes: 0,
+            self_allocs: 0,
+            total_bytes: u64::MAX,
+            total_allocs: u64::MAX,
+            thread: 0,
+            seq: 9,
+        });
         round_trip(TraceEvent::Diag {
             session: "bo/ro_heavy".into(),
             iter: 17,
@@ -704,6 +799,29 @@ mod tests {
         assert_eq!(
             ev.to_jsonl(),
             r#"{"type":"span","name":"a","parent":null,"depth":0,"dur_nanos":2,"thread":0,"seq":9}"#
+        );
+    }
+
+    #[test]
+    fn mem_field_order_is_stable() {
+        let ev = TraceEvent::Mem {
+            name: "a".into(),
+            parent: None,
+            depth: 0,
+            self_bytes: 1,
+            self_allocs: 2,
+            total_bytes: 3,
+            total_allocs: 4,
+            thread: 0,
+            seq: 9,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            concat!(
+                r#"{"type":"mem","name":"a","parent":null,"depth":0,"#,
+                r#""self_bytes":1,"self_allocs":2,"total_bytes":3,"total_allocs":4,"#,
+                r#""thread":0,"seq":9}"#
+            )
         );
     }
 

@@ -19,6 +19,12 @@
 //!   flag; when disabled it costs exactly one relaxed atomic load per
 //!   span close.
 //!
+//! A fourth, orthogonal layer is **memory profiling** ([`memprof`]): a
+//! counting `#[global_allocator]` wrapper, latched on one-way per
+//! process (`mem=on` / [`Telemetry::enable_memprof`]), that attributes
+//! allocation counts and bytes to the active span and emits `mem`
+//! journal events at span close.
+//!
 //! **Determinism contract:** telemetry only *observes*. It never draws
 //! randomness, never feeds timing back into tuning decisions, and keeps
 //! wall-clock numbers out of every `"results"` payload — a traced run and
@@ -30,12 +36,14 @@
 
 pub mod hist;
 pub mod journal;
+pub mod memprof;
 pub mod metrics;
 pub mod span;
 pub mod telemetry;
 
 pub use hist::{HistSnapshot, LogHistogram};
 pub use journal::{parse_journal, Journal, TraceEvent};
+pub use memprof::{MemAgg, MemDelta, MemStats, ThreadMemStats};
 pub use metrics::{Counter, Gauge, MetricsSnapshot, Registry};
 pub use span::{
     collect_phases, current_context, PhaseRecord, SpanGuard, SpanSnapshot, SpanStats, SpanTable,

@@ -172,6 +172,10 @@ pub struct SpanGuard<'a> {
     start: Instant,
     stats: Arc<SpanStats>,
     journal: &'a Journal,
+    /// Whether a memprof attribution frame was opened for this span
+    /// (only when the latch was already on at open — keeps the frame
+    /// stack aligned with the span stack across a mid-span latch flip).
+    mem_frame: bool,
 }
 
 impl<'a> SpanGuard<'a> {
@@ -184,7 +188,8 @@ impl<'a> SpanGuard<'a> {
             s.push(name);
             (parent, depth)
         });
-        Self { name, parent, depth, start: Instant::now(), stats, journal }
+        let mem_frame = crate::memprof::frame_open();
+        Self { name, parent, depth, start: Instant::now(), stats, journal, mem_frame }
     }
 
     /// The span's name.
@@ -196,6 +201,9 @@ impl<'a> SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let nanos = self.start.elapsed().as_nanos() as u64;
+        // Close the attribution frame before anything below allocates,
+        // so journal-emission overhead lands on the parent span.
+        let mem = if self.mem_frame { Some(crate::memprof::frame_close(self.name)) } else { None };
         STACK.with(|s| {
             let popped = s.borrow_mut().pop();
             debug_assert_eq!(popped, Some(self.name), "span guards must close LIFO");
@@ -216,6 +224,19 @@ impl Drop for SpanGuard<'_> {
                 thread: crate::journal::thread_ordinal(),
                 seq: 0, // assigned by the journal
             });
+            if let Some(d) = mem {
+                self.journal.emit(TraceEvent::Mem {
+                    name: self.name.to_string(),
+                    parent: self.parent.map(str::to_string),
+                    depth: self.depth,
+                    self_bytes: d.self_bytes,
+                    self_allocs: d.self_allocs,
+                    total_bytes: d.total_bytes,
+                    total_allocs: d.total_allocs,
+                    thread: crate::journal::thread_ordinal(),
+                    seq: 0, // assigned by the journal
+                });
+            }
         }
     }
 }

@@ -84,6 +84,20 @@ impl Telemetry {
         self.diag.store(true, Ordering::Relaxed);
     }
 
+    /// Latches memory-allocation accounting on (drivers' `mem=on` flag).
+    /// Unlike `diag`, the latch is necessarily process-global — the
+    /// counting allocator cannot reach a `Telemetry` instance — so this
+    /// is a thin alias for [`crate::memprof::enable`], kept here so
+    /// drivers flip every observability gate through one type.
+    pub fn enable_memprof(&self) {
+        crate::memprof::enable();
+    }
+
+    /// Whether the memory-accounting latch has been flipped.
+    pub fn memprof_enabled(&self) -> bool {
+        crate::memprof::enabled()
+    }
+
     /// Writes one `counter`/`gauge`/`hist` event per registry instrument
     /// to the journal (no-op when disabled), then flushes. Drivers call
     /// this right before saving their JSON artifact.

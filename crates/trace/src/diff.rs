@@ -94,19 +94,36 @@ fn exact_entry(key: String, base: Option<f64>, cur: Option<f64>) -> DiffEntry {
 }
 
 fn wall_entry(key: String, base: Option<f64>, cur: Option<f64>, cfg: &DiffConfig) -> DiffEntry {
+    noisy_entry(key, base, cur, cfg, "ns")
+}
+
+/// The threshold rule for any noisy measurement: wall times (`unit` =
+/// "ns") and memory quantities (peak/live bytes, allocation totals),
+/// which jitter with thread scheduling and allocator internals the same
+/// way wall clock jitters with the scheduler. `abs_floor_nanos` doubles
+/// as the floor in the measurement's own unit (5e6 ≈ 5 ms ≈ 5 MB — both
+/// are sensible "too small to care" scales).
+fn noisy_entry(
+    key: String,
+    base: Option<f64>,
+    cur: Option<f64>,
+    cfg: &DiffConfig,
+    unit: &str,
+) -> DiffEntry {
     let (flagged, note) = match (base, cur) {
         (Some(b), Some(c)) => {
             let regressed =
                 c > b * (1.0 + cfg.rel_threshold) && (c - b) > cfg.abs_floor_nanos as f64;
             if regressed {
                 let pct = if b > 0.0 { (c - b) / b * 100.0 } else { f64::INFINITY };
-                (true, format!("slower by {pct:.1}% (min-of-N {b:.0} -> {c:.0} ns)"))
+                let verb = if unit == "ns" { "slower" } else { "grew" };
+                (true, format!("{verb} by {pct:.1}% (min-of-N {b:.0} -> {c:.0} {unit})"))
             } else {
                 (false, String::new())
             }
         }
         // Presence changes are reported through the count entries; a
-        // one-sided wall time alone is not flagged again.
+        // one-sided measurement alone is not flagged again.
         _ => (false, String::new()),
     };
     DiffEntry { key, kind: DiffKind::WallTime, base, cur, flagged, note }
@@ -136,10 +153,32 @@ pub fn diff_summaries(base: &RunSummary, cur: &RunSummary, cfg: &DiffConfig) -> 
         }
     }
     for key in union_keys(&base.gauges, &cur.gauges) {
+        let (b, c) =
+            (base.gauges.get(key).map(|&v| v as f64), cur.gauges.get(key).map(|&v| v as f64));
+        // Memory gauges (`mem.peak_bytes`, `mem.live_bytes`,
+        // `mem.allocs_per_eval`) are measurements of allocator state,
+        // not work counts: peak depends on cross-thread overlap and
+        // live on flush timing, so they get the threshold rule.
+        if key.starts_with("mem.") {
+            let unit = if key.contains("bytes") { "bytes" } else { "allocs" };
+            out.push(noisy_entry(format!("gauge:{key}"), b, c, cfg, unit));
+        } else {
+            out.push(exact_entry(format!("gauge:{key}"), b, c));
+        }
+    }
+    // Span-attributed allocation columns: deterministic work counts
+    // (the code path fully determines what it allocates), so exact.
+    for key in union_keys(&base.mem, &cur.mem) {
+        let (b, c) = (base.mem.get(key), cur.mem.get(key));
         out.push(exact_entry(
-            format!("gauge:{key}"),
-            base.gauges.get(key).map(|&v| v as f64),
-            cur.gauges.get(key).map(|&v| v as f64),
+            format!("mem.allocs:{key}"),
+            b.map(|m| m.total_allocs as f64),
+            c.map(|m| m.total_allocs as f64),
+        ));
+        out.push(exact_entry(
+            format!("mem.bytes:{key}"),
+            b.map(|m| m.total_bytes as f64),
+            c.map(|m| m.total_bytes as f64),
         ));
     }
     out.push(exact_entry("cells".to_string(), Some(base.cells as f64), Some(cur.cells as f64)));
@@ -181,6 +220,11 @@ pub struct PerfBaseline {
     pub phase_secs: std::collections::BTreeMap<String, Vec<f64>>,
     /// Per-span aggregates (`timing.spans`): name → (count, min_nanos).
     pub span_min_nanos: std::collections::BTreeMap<String, u64>,
+    /// Per-repeat global peak bytes (`mem.peak_bytes`); empty when the
+    /// artifact predates memory profiling.
+    pub mem_peak_bytes: Vec<f64>,
+    /// Per-repeat global allocation counts (`mem.alloc_count`).
+    pub mem_alloc_counts: Vec<f64>,
 }
 
 /// Minimum of a per-repeat series (the min-of-N statistic), `None` when
@@ -237,6 +281,26 @@ pub fn diff_baselines(base: &PerfBaseline, cur: &PerfBaseline, cfg: &DiffConfig)
             cfg,
         ));
     }
+    // Memory columns, keyed under the `mem:` namespace so the CI gate
+    // can treat them warn-only (runner allocators and std versions move
+    // these; wall times at least have the same excuse). Peak uses the
+    // caller's floor (5e6 ≈ 5 MB by default); allocation counts get a
+    // tighter floor — a thousand allocations is real churn.
+    out.push(noisy_entry(
+        "mem:peak_bytes".to_string(),
+        min_of(&base.mem_peak_bytes),
+        min_of(&cur.mem_peak_bytes),
+        cfg,
+        "bytes",
+    ));
+    let alloc_cfg = DiffConfig { rel_threshold: cfg.rel_threshold, abs_floor_nanos: 1_000 };
+    out.push(noisy_entry(
+        "mem:alloc_count".to_string(),
+        min_of(&base.mem_alloc_counts),
+        min_of(&cur.mem_alloc_counts),
+        &alloc_cfg,
+        "allocs",
+    ));
     out
 }
 
@@ -443,6 +507,92 @@ mod tests {
             .find(|e| e.key == "span.min:only_in_base")
             .expect("wall entry for base-only span");
         assert!(!wall.flagged, "presence is reported once, via the count");
+    }
+
+    #[test]
+    fn mem_columns_are_exact_for_counts_and_thresholded_for_peak() {
+        use crate::summary::MemSummary;
+        let mut a = summary(100, 50_000_000, 10);
+        let mut b = summary(100, 50_000_000, 10);
+        a.mem.insert(
+            "surrogate_fit".into(),
+            MemSummary {
+                closes: 10,
+                self_bytes: 1_000,
+                self_allocs: 5,
+                total_bytes: 2_000,
+                total_allocs: 9,
+            },
+        );
+        b.mem.insert(
+            "surrogate_fit".into(),
+            MemSummary {
+                closes: 10,
+                self_bytes: 1_000,
+                self_allocs: 5,
+                total_bytes: 2_000,
+                total_allocs: 10, // one extra allocation
+            },
+        );
+        a.gauges.insert("mem.peak_bytes".into(), 100_000_000);
+        b.gauges.insert("mem.peak_bytes".into(), 110_000_000); // 10%: noise
+        let entries = diff_summaries(&a, &b, &DiffConfig::default());
+        let allocs = entries
+            .iter()
+            .find(|e| e.key == "mem.allocs:surrogate_fit")
+            .expect("mem allocs entry in diff");
+        assert_eq!(allocs.kind, DiffKind::Count);
+        assert!(allocs.flagged, "a single-allocation delta is deterministic drift: {allocs:?}");
+        let peak =
+            entries.iter().find(|e| e.key == "gauge:mem.peak_bytes").expect("peak entry in diff");
+        assert_eq!(peak.kind, DiffKind::WallTime, "peak uses the threshold rule");
+        assert!(!peak.flagged, "10% peak jitter is noise: {peak:?}");
+
+        // Peak growth past threshold+floor flags, with byte units.
+        b.gauges.insert("mem.peak_bytes".into(), 200_000_000);
+        let entries = diff_summaries(&a, &b, &DiffConfig::default());
+        let peak =
+            entries.iter().find(|e| e.key == "gauge:mem.peak_bytes").expect("peak entry in diff");
+        assert!(peak.flagged, "{peak:?}");
+        assert!(peak.note.contains("bytes"), "{}", peak.note);
+    }
+
+    #[test]
+    fn baseline_mem_columns_ride_the_noise_rule_and_tolerate_old_artifacts() {
+        let mut base = PerfBaseline {
+            results_fingerprint: "{}".into(),
+            mem_peak_bytes: vec![100_000_000.0, 101_000_000.0],
+            mem_alloc_counts: vec![500_000.0, 500_100.0],
+            ..Default::default()
+        };
+        let mut same = base.clone();
+        same.mem_peak_bytes = vec![108_000_000.0];
+        same.mem_alloc_counts = vec![500_050.0];
+        let entries = diff_baselines(&base, &same, &DiffConfig::default());
+        assert!(!entries.iter().any(|e| e.flagged), "{entries:#?}");
+
+        // 2x peak regression flags under the mem: namespace.
+        let mut grown = base.clone();
+        grown.mem_peak_bytes = vec![200_000_000.0];
+        let entries = diff_baselines(&base, &grown, &DiffConfig::default());
+        let peak = entries.iter().find(|e| e.key == "mem:peak_bytes").expect("peak entry");
+        assert!(peak.flagged, "{peak:?}");
+
+        // A 40% allocation-count regression flags even though it is far
+        // below the 5e6 wall floor (counts get the tighter floor).
+        let mut churny = base.clone();
+        churny.mem_alloc_counts = vec![700_000.0];
+        let entries = diff_baselines(&base, &churny, &DiffConfig::default());
+        let allocs = entries.iter().find(|e| e.key == "mem:alloc_count").expect("alloc entry");
+        assert!(allocs.flagged, "{allocs:?}");
+        assert!(allocs.note.contains("allocs"), "{}", allocs.note);
+
+        // An old baseline with no mem series diffs clean against a new
+        // artifact that has them (one-sided measurements never flag).
+        base.mem_peak_bytes.clear();
+        base.mem_alloc_counts.clear();
+        let entries = diff_baselines(&base, &grown, &DiffConfig::default());
+        assert!(!entries.iter().any(|e| e.key.starts_with("mem:") && e.flagged), "{entries:#?}");
     }
 
     #[test]

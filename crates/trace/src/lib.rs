@@ -36,8 +36,10 @@ pub mod validate;
 
 pub use diff::{diff_baselines, diff_summaries, DiffConfig, DiffEntry, DiffKind, PerfBaseline};
 pub use export::{chrome_trace, collapsed_stacks};
-pub use summary::{summarize, RunSummary, SpanSummary};
-pub use tree::{build_trees, merge_paths, MergedNode, SpanNode, ThreadTree, TreeError};
+pub use summary::{summarize, MemSummary, RunSummary, SpanSummary};
+pub use tree::{
+    build_trees, mem_to_span_events, merge_paths, MergedNode, SpanNode, ThreadTree, TreeError,
+};
 pub use validate::{check_structure, Violation};
 
 use dbtune_obs::journal::{parse_journal, SCHEMA_VERSION};

@@ -25,6 +25,25 @@ pub struct SpanSummary {
     pub p99_nanos: u64,
 }
 
+/// Aggregate of every `mem` event of one span name across the run —
+/// allocation churn attributed to that span. Bytes and counts are
+/// deterministic for a fixed configuration at `workers=1` (allocation
+/// is a pure function of the code path), so the diff holds them to
+/// exact equality like other work counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemSummary {
+    /// `mem` events folded in (one per span close while latched).
+    pub closes: u64,
+    /// Summed self-attributed bytes (total minus children).
+    pub self_bytes: u64,
+    /// Summed self-attributed allocations.
+    pub self_allocs: u64,
+    /// Summed total bytes allocated while the span was open.
+    pub total_bytes: u64,
+    /// Summed total allocations while the span was open.
+    pub total_allocs: u64,
+}
+
 /// Everything in one run the diff can align by name.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunSummary {
@@ -37,6 +56,9 @@ pub struct RunSummary {
     pub gauges: BTreeMap<String, i64>,
     /// Per-span-name aggregates.
     pub spans: BTreeMap<String, SpanSummary>,
+    /// Per-span-name allocation aggregates (`mem` events; empty unless
+    /// the run had memprof latched on).
+    pub mem: BTreeMap<String, MemSummary>,
     /// Completed grid cells observed (`cell` events).
     pub cells: u64,
     /// Optimizer-quality records observed (`diag` events). Like `cells`
@@ -71,6 +93,16 @@ pub fn summarize(journal: &JournalData) -> RunSummary {
             }
             TraceEvent::Gauge { name, value, .. } => {
                 out.gauges.insert(name.clone(), *value);
+            }
+            TraceEvent::Mem {
+                name, self_bytes, self_allocs, total_bytes, total_allocs, ..
+            } => {
+                let m = out.mem.entry(name.clone()).or_default();
+                m.closes += 1;
+                m.self_bytes += self_bytes;
+                m.self_allocs += self_allocs;
+                m.total_bytes += total_bytes;
+                m.total_allocs += total_allocs;
             }
             TraceEvent::Cell { .. } => out.cells += 1,
             TraceEvent::Diag { .. } => out.diag_records += 1,
@@ -170,6 +202,41 @@ mod tests {
         assert_eq!(fit.min_nanos, 10);
         assert_eq!(fit.p50_nanos, 20);
         assert_eq!(fit.p99_nanos, 30);
+    }
+
+    #[test]
+    fn mem_events_aggregate_per_span_name() {
+        let mem = |name: &str, self_b: u64, self_a: u64, total_b: u64, total_a: u64| {
+            line(TraceEvent::Mem {
+                name: name.into(),
+                parent: None,
+                depth: 0,
+                self_bytes: self_b,
+                self_allocs: self_a,
+                total_bytes: total_b,
+                total_allocs: total_a,
+                thread: 0,
+                seq: 0,
+            })
+        };
+        let journal = JournalData {
+            source: "unit".into(),
+            version: 1,
+            events: vec![
+                mem("fit", 100, 2, 300, 5),
+                mem("fit", 50, 1, 60, 2),
+                mem("acq", 10, 1, 10, 1),
+            ],
+        };
+        let s = summarize(&journal);
+        let fit = &s.mem["fit"];
+        assert_eq!(fit.closes, 2);
+        assert_eq!(fit.self_bytes, 150);
+        assert_eq!(fit.self_allocs, 3);
+        assert_eq!(fit.total_bytes, 360);
+        assert_eq!(fit.total_allocs, 7);
+        assert_eq!(s.mem["acq"].closes, 1);
+        assert!(s.spans.is_empty(), "mem events do not create span summaries");
     }
 
     #[test]

@@ -249,6 +249,39 @@ pub fn merge_paths(trees: &[ThreadTree]) -> MergedNode {
     root
 }
 
+/// Projects a journal's `mem` events onto synthetic `span` events whose
+/// duration is the span's **total allocated bytes**. `mem` events carry
+/// the same name/parent/depth/thread fields and arrive in the same
+/// close order as their spans, so the whole span pipeline —
+/// [`build_trees`] → [`merge_paths`] → `collapsed_stacks` — applies
+/// unchanged, and its self-value arithmetic (total minus children)
+/// reproduces exactly the `self_bytes` the profiler recorded per event.
+/// The result: a bytes-weighted tree/flamegraph for free.
+///
+/// Returns an empty vec when the journal has no `mem` events (memprof
+/// was not latched).
+pub fn mem_to_span_events(events: &[JournalLine]) -> Vec<JournalLine> {
+    events
+        .iter()
+        .filter_map(|jl| match &jl.event {
+            TraceEvent::Mem { name, parent, depth, total_bytes, thread, seq, .. } => {
+                Some(JournalLine {
+                    line: jl.line,
+                    event: TraceEvent::Span {
+                        name: name.clone(),
+                        parent: parent.clone(),
+                        depth: *depth,
+                        dur_nanos: *total_bytes,
+                        thread: *thread,
+                        seq: *seq,
+                    },
+                })
+            }
+            _ => None,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +318,52 @@ mod tests {
                 JournalLine { line: i + 2, event }
             })
             .collect()
+    }
+
+    #[test]
+    fn mem_events_project_onto_a_bytes_weighted_span_tree() {
+        let mem = |name: &str, parent: Option<&str>, depth: u32, self_b: u64, total_b: u64| {
+            TraceEvent::Mem {
+                name: name.to_string(),
+                parent: parent.map(str::to_string),
+                depth,
+                self_bytes: self_b,
+                self_allocs: 1,
+                total_bytes: total_b,
+                total_allocs: 2,
+                thread: 0,
+                seq: 0,
+            }
+        };
+        // session { fit(400 self) ; acq(100 self) ; 500 self } — close
+        // order: fit, acq, session. A stray span event rides along to
+        // prove the projection drops non-mem kinds.
+        let events: Vec<JournalLine> = vec![
+            JournalLine { line: 2, event: mem("fit", Some("session"), 1, 400, 400) },
+            JournalLine {
+                line: 3,
+                event: TraceEvent::Span {
+                    name: "fit".into(),
+                    parent: Some("session".into()),
+                    depth: 1,
+                    dur_nanos: 999,
+                    thread: 0,
+                    seq: 2,
+                },
+            },
+            JournalLine { line: 4, event: mem("acq", Some("session"), 1, 100, 100) },
+            JournalLine { line: 5, event: mem("session", None, 0, 500, 1000) },
+        ];
+        let projected = mem_to_span_events(&events);
+        assert_eq!(projected.len(), 3, "span events are dropped from the projection");
+        let trees = build_trees(&projected).expect("mem stream rebuilds like spans");
+        let merged = merge_paths(&trees);
+        let session = &merged.children["session"];
+        assert_eq!(session.total_nanos, 1000, "synthetic duration = total bytes");
+        assert_eq!(session.self_nanos, 500, "tree self = recorded self_bytes");
+        assert_eq!(session.children["fit"].self_nanos, 400);
+        assert_eq!(session.children["acq"].self_nanos, 100);
+        assert!(mem_to_span_events(&[]).is_empty());
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   are monotonically non-decreasing;
 //! * histogram flushes satisfy `p50 <= p99` and report quantiles only
 //!   when `count > 0`;
-//! * histogram counts, like counters, never decrease across flushes.
+//! * histogram counts, like counters, never decrease across flushes;
+//! * `mem` events satisfy `self <= total` for both bytes and counts
+//!   (self is total minus children — negative deltas cannot be encoded
+//!   at all, `u64` fields reject them at parse time), and when both
+//!   memory gauges are flushed, `mem.peak_bytes >= mem.live_bytes`.
 //!
 //! Unlike the strict loader, validation reports *every* violation it
 //! can find rather than stopping at the first, so a corrupted journal
@@ -58,6 +62,9 @@ pub fn check_structure(events: &[JournalLine]) -> Vec<Violation> {
     // last flush, last value).
     let mut counters: BTreeMap<&str, (usize, u64)> = BTreeMap::new();
     let mut hist_counts: BTreeMap<&str, (usize, u64)> = BTreeMap::new();
+    // Last flushed memory gauges: (line, value).
+    let mut mem_peak: Option<(usize, i64)> = None;
+    let mut mem_live: Option<(usize, i64)> = None;
     for jl in events {
         match &jl.event {
             TraceEvent::Counter { name, value, .. } => {
@@ -73,6 +80,32 @@ pub fn check_structure(events: &[JournalLine]) -> Vec<Violation> {
                     }
                 }
                 counters.insert(name, (jl.line, *value));
+            }
+            TraceEvent::Gauge { name, value, .. } => match name.as_str() {
+                "mem.peak_bytes" => mem_peak = Some((jl.line, *value)),
+                "mem.live_bytes" => mem_live = Some((jl.line, *value)),
+                _ => {}
+            },
+            TraceEvent::Mem {
+                name, self_bytes, self_allocs, total_bytes, total_allocs, ..
+            } => {
+                if self_bytes > total_bytes {
+                    out.push(Violation {
+                        line: jl.line,
+                        message: format!(
+                            "mem '{name}' has self_bytes {self_bytes} > total_bytes {total_bytes}"
+                        ),
+                    });
+                }
+                if self_allocs > total_allocs {
+                    out.push(Violation {
+                        line: jl.line,
+                        message: format!(
+                            "mem '{name}' has self_allocs {self_allocs} > total_allocs \
+                             {total_allocs}"
+                        ),
+                    });
+                }
             }
             TraceEvent::Hist { name, count, p50_nanos, p99_nanos, .. } => {
                 if p50_nanos > p99_nanos {
@@ -101,6 +134,18 @@ pub fn check_structure(events: &[JournalLine]) -> Vec<Violation> {
                 hist_counts.insert(name, (jl.line, *count));
             }
             _ => {}
+        }
+    }
+
+    // Peak is a high-water mark of live, so the last flush of both
+    // gauges must satisfy peak >= live (the writer re-clamps at
+    // snapshot time — a violation means a corrupted or forged journal).
+    if let (Some((_, peak)), Some((live_line, live))) = (mem_peak, mem_live) {
+        if peak < live {
+            out.push(Violation {
+                line: live_line,
+                message: format!("mem.peak_bytes {peak} < mem.live_bytes {live}"),
+            });
         }
     }
 
@@ -190,6 +235,68 @@ mod tests {
         let v = check_structure(&events);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("count went backwards"), "{}", v[0].message);
+    }
+
+    fn mem(
+        l: usize,
+        name: &str,
+        self_b: u64,
+        self_a: u64,
+        total_b: u64,
+        total_a: u64,
+    ) -> JournalLine {
+        line(
+            l,
+            TraceEvent::Mem {
+                name: name.into(),
+                parent: None,
+                depth: 0,
+                self_bytes: self_b,
+                self_allocs: self_a,
+                total_bytes: total_b,
+                total_allocs: total_a,
+                thread: 0,
+                seq: l as u64,
+            },
+        )
+    }
+
+    fn gauge(l: usize, name: &str, value: i64) -> JournalLine {
+        line(l, TraceEvent::Gauge { name: name.into(), value, seq: l as u64 })
+    }
+
+    #[test]
+    fn sound_mem_events_and_gauges_pass() {
+        let events = vec![
+            mem(2, "fit", 100, 2, 300, 5),
+            mem(3, "session", 0, 0, 300, 5),
+            gauge(4, "mem.live_bytes", 1_000),
+            gauge(5, "mem.peak_bytes", 2_000),
+        ];
+        assert_eq!(check_structure(&events), vec![]);
+    }
+
+    #[test]
+    fn flags_mem_self_exceeding_total() {
+        let events = vec![mem(2, "fit", 400, 2, 300, 5), mem(3, "acq", 0, 9, 10, 5)];
+        let v = check_structure(&events);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("self_bytes 400 > total_bytes 300"), "{}", v[0].message);
+        assert!(v[1].message.contains("self_allocs 9 > total_allocs 5"), "{}", v[1].message);
+    }
+
+    #[test]
+    fn flags_peak_below_live() {
+        let events = vec![gauge(2, "mem.peak_bytes", 500), gauge(3, "mem.live_bytes", 900)];
+        let v = check_structure(&events);
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].message.contains("mem.peak_bytes 500 < mem.live_bytes 900"),
+            "{}",
+            v[0].message
+        );
+        // One-sided gauges are fine (a run may flush peak without live).
+        assert_eq!(check_structure(&[gauge(2, "mem.peak_bytes", 500)]), vec![]);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Fixture: rule E3 — leaked allocations escape the memory profiler's
+//! books (`Box::leak` never deallocates; `mem::forget` skips the hook).
+
+// expect: E3 — Box::leak pins bytes for 'static, invisible to accounting.
+pub fn stash(v: Vec<u32>) -> &'static [u32] {
+    Box::leak(v.into_boxed_slice())
+}
+
+// expect: E3 — mem::forget drops the value without running the allocator.
+pub fn vanish(v: Vec<u32>) {
+    std::mem::forget(v);
+}
+
+// expect: no finding — a justified pragma keeps a deliberate, bounded leak.
+pub fn intern(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str()) // lint: allow(E3) interned once at startup, bounded set
+}
+
+#[cfg(test)]
+mod tests {
+    // expect: no finding — tests may leak to fabricate 'static fixtures.
+    #[test]
+    fn leaked_fixture() {
+        let s: &'static str = Box::leak(String::from("e3").into_boxed_str());
+        assert_eq!(s, "e3");
+    }
+}

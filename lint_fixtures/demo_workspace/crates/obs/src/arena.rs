@@ -1,0 +1,8 @@
+//! Fixture: `crates/obs` is the allocator-accounting layer itself — E3
+//! does not apply there (the profiler pins its own state for 'static
+//! access, and its counters are explicitly outside the books).
+
+// expect: no finding — obs owns the allocator hooks and may leak.
+pub fn pin(state: Vec<u64>) -> &'static [u64] {
+    Box::leak(state.into_boxed_slice())
+}
