@@ -16,6 +16,16 @@
 //!   bare float-literal equality in optimizer/ml code;
 //! * **E1** — no context-free `.unwrap()` / `.expect("")` in library code.
 //!
+//! On top of the line rules sits a workspace-level analysis: a symbol
+//! layer ([`symbols`]) parses fn items and call sites out of the masked
+//! token stream, [`graph`] resolves them into an intra-workspace call
+//! graph, and [`passes`] runs three graph-level families over it —
+//! **R** (determinism taint reachable from the results-producing
+//! tuner/exec/dbsim paths), **C** (concurrency hygiene: relaxed-load
+//! guards, inconsistent lock order), and **S** (telemetry schema
+//! agreement between code, `docs/observability.md`, and the
+//! `dbtune-trace::diff` policy table).
+//!
 //! Violations are suppressible line-by-line with a `// lint:` pragma that
 //! *must* carry a justification; every pragma is captured in the JSON
 //! report, so the suppression inventory is itself reviewable.
@@ -24,10 +34,13 @@
 //! tracking (no rustc plugin, no syn) and depends only on `std`, so it
 //! builds in seconds and can run as the first CI job.
 
+pub mod graph;
+pub mod passes;
 pub mod pragma;
 pub mod report;
 pub mod rules;
 pub mod scanner;
+pub mod symbols;
 pub mod walk;
 
 pub use report::{Finding, PragmaRecord, Report};

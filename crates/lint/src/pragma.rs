@@ -22,6 +22,10 @@ pub struct Pragma {
     pub line: usize,
     /// Rule ids this pragma suppresses (empty when malformed).
     pub rules: Vec<String>,
+    /// Rule ids named in `allow(…)` that no rule defines. These become
+    /// P3 findings (not grammar errors): the pragma stays well-formed
+    /// and its *known* rules still suppress.
+    pub unknown: Vec<String>,
     /// The required free-text justification.
     pub justification: String,
     /// Why the pragma failed to parse, if it did.
@@ -41,7 +45,7 @@ impl Pragma {
 /// line carried code besides the comment.
 pub fn parse(line: usize, body: &str, standalone: bool) -> Pragma {
     let body = body.trim();
-    let make = |rules: Vec<String>, rest: &str, malformed: Option<String>| {
+    let make = |rules: Vec<String>, unknown: Vec<String>, rest: &str, malformed: Option<String>| {
         let justification = rest.trim().trim_start_matches(['-', '—']).trim().to_string();
         let malformed = malformed.or_else(|| {
             if justification.is_empty() {
@@ -50,40 +54,38 @@ pub fn parse(line: usize, body: &str, standalone: bool) -> Pragma {
                 None
             }
         });
-        Pragma { line, rules, justification, malformed, standalone }
+        Pragma { line, rules, unknown, justification, malformed, standalone }
     };
 
     if let Some(rest) = body.strip_prefix("sorted") {
-        return make(vec!["D1".into()], rest, None);
+        return make(vec!["D1".into()], Vec::new(), rest, None);
     }
     if let Some(rest) = body.strip_prefix("allow") {
         let rest = rest.trim_start();
         if let Some(inner_start) = rest.strip_prefix('(') {
             if let Some(close) = inner_start.find(')') {
                 let (inner, tail) = inner_start.split_at(close);
-                let rules: Vec<String> = inner
+                let listed: Vec<String> = inner
                     .split(',')
                     .map(|r| r.trim().to_string())
                     .filter(|r| !r.is_empty())
                     .collect();
-                let unknown: Vec<&String> =
-                    rules.iter().filter(|r| !RULE_IDS.contains(&r.as_str())).collect();
-                let malformed = if rules.is_empty() {
-                    Some("allow() lists no rules".into())
-                } else if !unknown.is_empty() {
-                    Some(format!(
-                        "unknown rule id(s) {:?}; known rules are {:?}",
-                        unknown, RULE_IDS
-                    ))
-                } else {
-                    None
-                };
-                return make(rules, &tail[1..], malformed);
+                let malformed =
+                    if listed.is_empty() { Some("allow() lists no rules".into()) } else { None };
+                let (rules, unknown): (Vec<String>, Vec<String>) =
+                    listed.into_iter().partition(|r| RULE_IDS.contains(&r.as_str()));
+                return make(rules, unknown, &tail[1..], malformed);
             }
         }
-        return make(Vec::new(), "", Some("allow must be followed by (RULE[, RULE…])".into()));
+        return make(
+            Vec::new(),
+            Vec::new(),
+            "",
+            Some("allow must be followed by (RULE[, RULE…])".into()),
+        );
     }
     make(
+        Vec::new(),
         Vec::new(),
         "",
         Some(format!("unrecognised pragma `lint: {body}`; expected `allow(...)` or `sorted`")),
@@ -123,9 +125,17 @@ mod tests {
     }
 
     #[test]
-    fn unknown_rule_is_malformed() {
+    fn unknown_rule_is_reported_not_malformed() {
+        // Unknown ids surface as P3 findings downstream; the pragma
+        // itself stays well-formed and its known ids still suppress.
         let p = parse(1, "allow(D9) whatever", false);
-        assert!(p.malformed.expect("malformed").contains("unknown rule"));
+        assert!(p.malformed.is_none(), "{:?}", p.malformed);
+        assert_eq!(p.unknown, vec!["D9".to_string()]);
+        assert!(p.rules.is_empty());
+        let p = parse(1, "allow(D1, Z9) mixed list", false);
+        assert!(p.malformed.is_none());
+        assert!(p.covers("D1"));
+        assert_eq!(p.unknown, vec!["Z9".to_string()]);
     }
 
     #[test]

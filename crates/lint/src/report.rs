@@ -41,6 +41,9 @@ pub struct Report {
     pub root: String,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Wall-clock duration of the scan, in milliseconds. Telemetry
+    /// about the lint run itself — never part of any gating decision.
+    pub wall_ms: u64,
     /// All unsuppressed findings, ordered by (path, line, rule).
     pub findings: Vec<Finding>,
     /// Every pragma in the tree (used or not), ordered by (path, line).
@@ -83,9 +86,10 @@ impl Report {
     /// `docs/static-analysis.md`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"version\": 2,");
         let _ = writeln!(out, "  \"root\": {},", json_str(&self.root));
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"wall_ms\": {},", self.wall_ms);
         let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
         out.push_str("  \"counts\": {");
         let counts = self.counts();
@@ -159,6 +163,7 @@ mod tests {
         Report {
             root: ".".into(),
             files_scanned: 2,
+            wall_ms: 12,
             findings: vec![Finding {
                 path: "crates/x/src/a.rs".into(),
                 line: 7,
@@ -185,6 +190,8 @@ mod tests {
     #[test]
     fn json_escapes_and_counts() {
         let j = sample().to_json();
+        assert!(j.contains("\"version\": 2"), "{j}");
+        assert!(j.contains("\"wall_ms\": 12"), "{j}");
         assert!(j.contains("\"counts\": {\"D1\": 1}"), "{j}");
         assert!(j.contains("has \\\"quotes\\\" and\\nnewline"));
         assert!(j.contains("\"justification\": \"telemetry only\""));

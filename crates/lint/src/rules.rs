@@ -25,8 +25,23 @@
 //! | M1   | metric/span name literals (`.counter("…")`, `span("…")`, …)     |
 //! |      | must be lowercase dotted snake (`[a-z0-9_.]+`) so journal keys,  |
 //! |      | diff whitelists, and diag session labels stay grep-stable        |
-//! | P1   | pragma is malformed (bad grammar, unknown rule, no reason)       |
+//! | C1   | `Ordering::Relaxed` load used as a branch guard in the           |
+//! |      | executor/obs concurrency scope — relaxed loads carry no          |
+//! |      | happens-before edge, so data published by another thread may     |
+//! |      | not be visible yet (the memprof latch gets a documented pragma)  |
+//! | P1   | pragma is malformed (bad grammar, no reason)                     |
 //! | P2   | pragma suppresses nothing — stale suppressions must be removed   |
+//! | P3   | pragma's `allow(…)` names a rule id no rule defines              |
+//!
+//! The workspace-level passes in [`crate::passes`] add three more
+//! families over the call graph ([`crate::graph`]): **R** (determinism
+//! taint reachable from results paths: R1 clock laundering, R2 RNG
+//! laundering, R3 env reads, R4 thread-id, R5 unordered iteration of a
+//! returned hash collection), **C2** (inconsistent lock-acquisition
+//! order across the call graph), and **S** (telemetry schema drift
+//! between code, `docs/observability.md`, and the `dbtune-trace::diff`
+//! policy table: S1 undocumented emitter, S2 documented-but-dead name,
+//! S3 policy entry with no emitter).
 //!
 //! The scanner is a heuristic token pass, not a type checker: it tracks
 //! identifiers *textually bound* to hash collections (let bindings with
@@ -40,7 +55,10 @@ use crate::report::{Finding, PragmaRecord};
 use crate::scanner::{self, is_ident_char};
 
 /// Every rule id the engine can emit (and `allow(..)` can name).
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "F1", "E1", "E2", "E3", "M1", "P1", "P2"];
+pub const RULE_IDS: &[&str] = &[
+    "D1", "D2", "D3", "F1", "E1", "E2", "E3", "M1", "R1", "R2", "R3", "R4", "R5", "C1", "C2",
+    "S1", "S2", "S3", "P1", "P2", "P3",
+];
 
 /// Where a file sits in the workspace, which decides rule applicability.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,6 +79,9 @@ pub struct FileClass {
     /// `crates/trace`): E3 does not apply — the allocator-accounting
     /// layer may deliberately pin its own state for `'static` access.
     pub obs_crate: bool,
+    /// The cross-thread machinery (`core/src/exec.rs` and `crates/obs`):
+    /// the concurrency hygiene rules C1/C2 apply here.
+    pub conc_scope: bool,
 }
 
 /// Classifies a workspace-relative path (forward slashes).
@@ -74,6 +95,7 @@ pub fn classify(rel: &str) -> FileClass {
             || r.starts_with("crates/core/src/importance"),
         panic_scope: r == "crates/core/src/exec.rs" || r == "crates/dbsim/src/fault.rs",
         obs_crate: r.starts_with("crates/obs/"),
+        conc_scope: r == "crates/core/src/exec.rs" || r.starts_with("crates/obs/"),
     }
 }
 
@@ -116,12 +138,22 @@ const LEAK_CALLS: &[&str] = &["Box::leak", "mem::forget"];
 /// Telemetry registration calls whose literal name argument M1 validates.
 const METRIC_CALLS: &[&str] = &["counter", "gauge", "histogram", "span", "span_record"];
 
-/// Scans one file's source. `path` is recorded in findings verbatim.
+/// Scans one file's source and resolves its pragmas locally. `path` is
+/// recorded in findings verbatim. The workspace walker uses
+/// [`scan_file_raw`] + [`resolve_suppressions`] instead, so pragmas can
+/// also suppress the graph-level R/C/S findings merged in between.
 pub fn scan_source(
     path: &str,
     class: FileClass,
     source: &str,
 ) -> (Vec<Finding>, Vec<PragmaRecord>) {
+    let (raw, pragmas) = scan_file_raw(path, class, source);
+    resolve_suppressions(path, raw, pragmas)
+}
+
+/// Runs the line rules over one file, returning unsuppressed findings
+/// plus the parsed pragmas (suppression is resolved separately).
+pub fn scan_file_raw(path: &str, class: FileClass, source: &str) -> (Vec<Finding>, Vec<Pragma>) {
     let lines = scanner::clean(source);
     let raw_lines: Vec<&str> = source.lines().collect();
     let mut an = Analyzer {
@@ -265,6 +297,26 @@ pub fn scan_source(
             }
         }
 
+        // C1 — relaxed atomic load guarding a branch in the cross-thread
+        // machinery. A relaxed load may observe the flag before the data
+        // it advertises is visible; publication guards need Acquire (and
+        // the store side Release). The memprof latch is the sanctioned
+        // exception, carried on documented pragmas.
+        if class.conc_scope
+            && !in_test
+            && code.contains(".load(Ordering::Relaxed)")
+            && (contains_token(code, "if") || contains_token(code, "while"))
+        {
+            push(
+                "C1",
+                "`Ordering::Relaxed` load used as a branch guard — relaxed loads carry no \
+                 happens-before edge, so data published by the storing thread may not be \
+                 visible yet. Use `Ordering::Acquire` (paired with a Release store), or \
+                 annotate `// lint: allow(C1) <why relaxed is sound here>`"
+                    .to_string(),
+            );
+        }
+
         // M1 — metric/span name literals. The scanner masks string
         // bodies, so the names are read back from the raw source line at
         // call sites the cleaned line confirms are real code.
@@ -285,11 +337,13 @@ pub fn scan_source(
         an.advance_blocks(code);
     }
 
-    resolve_suppressions(path, raw, pragmas)
+    (raw, pragmas)
 }
 
-/// Applies pragma suppressions and emits P1/P2 pragma diagnostics.
-fn resolve_suppressions(
+/// Applies pragma suppressions to one file's findings and emits the
+/// P1/P2/P3 pragma diagnostics. `raw` may include graph-level R/C/S
+/// findings the workspace passes attributed to this file.
+pub fn resolve_suppressions(
     path: &str,
     raw: Vec<Finding>,
     mut pragmas: Vec<Pragma>,
@@ -325,7 +379,22 @@ fn resolve_suppressions(
                 rule: "P1".to_string(),
                 message: format!("malformed lint pragma: {why}"),
             });
-        } else if !used[i] {
+            continue;
+        }
+        if !p.unknown.is_empty() {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: p.line,
+                rule: "P3".to_string(),
+                message: format!(
+                    "allow() names unknown rule id(s) {:?}; known rules are {:?}",
+                    p.unknown, RULE_IDS
+                ),
+            });
+        }
+        // Stale check: only pragmas whose *known* rules all suppressed
+        // nothing. An unknown-id pragma already carries the P3 above.
+        if !used[i] && p.unknown.is_empty() {
             findings.push(Finding {
                 path: path.to_string(),
                 line: p.line,
@@ -841,6 +910,37 @@ mod tests {
         assert_eq!(findings("crates/obs/src/x.rs", src), vec![(3, "M1".into())]);
         let allowed = "fn f(t: &Telemetry) {\n    t.metrics.histogram(\"legacy-latency\"); // lint: allow(M1) legacy dashboard key\n}\n";
         assert!(findings("crates/core/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn c1_relaxed_guard_in_conc_scope() {
+        let src = "fn f() {\n    if READY.load(Ordering::Relaxed) { publish(); }\n}\n";
+        assert_eq!(findings("crates/core/src/exec.rs", src), vec![(2, "C1".into())]);
+        assert_eq!(findings("crates/obs/src/x.rs", src), vec![(2, "C1".into())]);
+        // Outside the cross-thread machinery the line rule stays silent.
+        assert!(findings("crates/core/src/tuner.rs", src).is_empty());
+        // A plain relaxed load (counter read, no branch) is fine.
+        let plain = "fn g(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n";
+        assert!(findings("crates/core/src/exec.rs", plain).is_empty());
+        // An Acquire guard is the fix.
+        let acq = "fn h() { if READY.load(Ordering::Acquire) { publish(); } }\n";
+        assert!(findings("crates/core/src/exec.rs", acq).is_empty());
+        // Tests are exempt; the pragma escape hatch works.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { while F.load(Ordering::Relaxed) {} }\n}\n";
+        assert!(findings("crates/obs/src/x.rs", test_src).is_empty());
+        let allowed = "fn f() {\n    if L.load(Ordering::Relaxed) { t(); } // lint: allow(C1) latch is monotonic\n}\n";
+        assert!(findings("crates/obs/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn pragma_diagnostics_p3_unknown_rule() {
+        let src = "fn f() {\n    let y = 1; // lint: allow(Z9) not a rule\n}\n";
+        assert_eq!(findings("crates/core/src/x.rs", src), vec![(2, "P3".into())]);
+        // Mixed list: the known id still suppresses, the unknown still
+        // surfaces — no P2 piggybacks on the same pragma.
+        let mixed = "fn f(x: Option<u32>) {\n    x.unwrap(); // lint: allow(E1, Z9) demo mixed\n}\n";
+        assert_eq!(findings("crates/core/src/x.rs", mixed), vec![(2, "P3".into())]);
     }
 
     #[test]

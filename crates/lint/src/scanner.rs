@@ -88,7 +88,14 @@ pub fn clean(source: &str) -> Vec<CleanLine> {
                         j += 1;
                     }
                 }
-                code.push(' ');
+                // The replacement space stands in for the comment on the
+                // current line. An unterminated comment runs to EOF; if
+                // the source's last character is a newline, that line was
+                // already pushed, and the space would fabricate an extra
+                // line the source does not have.
+                if depth == 0 || chars.last() != Some(&'\n') {
+                    code.push(' ');
+                }
                 i = j;
             }
             '"' => {
@@ -121,7 +128,10 @@ pub fn clean(source: &str) -> Vec<CleanLine> {
             }
         }
     }
-    if !code.is_empty() || pragma.is_some() || lines.is_empty() {
+    // A source that does not end in a newline still has a final line —
+    // even when everything on it was stripped (e.g. a trailing `// …`
+    // comment), the line itself exists and must be represented.
+    if !code.is_empty() || pragma.is_some() || lines.is_empty() || chars.last() != Some(&'\n') {
         end_line!();
     }
     lines
@@ -146,14 +156,24 @@ fn consume_string(
 ) -> usize {
     let mut j = i + 1;
     let mut empty = true;
+    let mut terminated = false;
     while j < chars.len() {
         match chars[j] {
             '\\' => {
                 empty = false;
+                // A backslash escapes exactly one character — but when
+                // that character is a newline (the string-continuation
+                // escape), the *source* still advances a line, and the
+                // cleaned lines must advance with it or every line
+                // number after the literal drifts.
+                if chars.get(j + 1) == Some(&'\n') {
+                    lines.push(CleanLine { code: std::mem::take(code), pragma: pragma.take() });
+                }
                 j += 2;
             }
             '"' => {
                 j += 1;
+                terminated = true;
                 break;
             }
             '\n' => {
@@ -167,7 +187,12 @@ fn consume_string(
             }
         }
     }
-    code.push_str(if empty { "\"\"" } else { "\"_\"" });
+    // An unterminated literal runs to EOF; if the source's final char is
+    // a newline, that line was already pushed above, and the mask would
+    // fabricate an extra line the source does not have.
+    if terminated || chars.last() != Some(&'\n') {
+        code.push_str(if empty { "\"\"" } else { "\"_\"" });
+    }
     j
 }
 
@@ -205,6 +230,7 @@ fn try_prefixed_literal(
         }
         j += 1; // past the opening quote
         let mut empty = true;
+        let mut terminated = false;
         loop {
             match chars.get(j) {
                 None => break,
@@ -223,6 +249,7 @@ fn try_prefixed_literal(
                     }
                     if seen == hashes {
                         j = k;
+                        terminated = true;
                         break;
                     }
                     empty = false;
@@ -234,7 +261,11 @@ fn try_prefixed_literal(
                 }
             }
         }
-        code.push_str(if empty { "\"\"" } else { "\"_\"" });
+        // Same EOF guard as `consume_string`: no mask for an
+        // unterminated literal whose last source char was a newline.
+        if terminated || chars.last() != Some(&'\n') {
+            code.push_str(if empty { "\"\"" } else { "\"_\"" });
+        }
         return Some(j);
     }
     // Non-raw byte literal: b"…" or b'…'.
@@ -262,7 +293,10 @@ fn try_char_literal(chars: &[char], i: usize) -> Option<usize> {
             }
             (chars.get(j) == Some(&'\'')).then_some(j + 1)
         }
-        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 3),
+        // A raw newline cannot sit inside a real char literal; matching
+        // one here would swallow the line break and desync every line
+        // number after it.
+        Some(&c) if c != '\n' && chars.get(i + 2) == Some(&'\'') => Some(i + 3),
         _ => None, // lifetime ('a, '_) or stray quote
     }
 }
@@ -308,6 +342,46 @@ mod tests {
     }
 
     #[test]
+    fn unterminated_block_comment_keeps_line_count() {
+        // An unterminated `/*` runs to EOF; its replacement space must
+        // not mint a line the source does not have (found by the
+        // mask_props property tests).
+        assert_eq!(codes("/* open\n").len(), 1);
+        assert_eq!(codes("x(); /* open\ny").len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_keeps_line_count() {
+        // Same phantom-line hazard as the block comment, for string
+        // literals: the `"_"` mask must not mint a line past a trailing
+        // newline when the literal never closes (found by the
+        // mask_props property tests).
+        assert_eq!(codes("\"abc\n").len(), 1);
+        assert_eq!(codes("x(); \"abc\ny").len(), 2);
+        assert_eq!(codes("r#\"abc\n").len(), 1);
+        assert_eq!(codes("x(); r#\"abc\ny\"#").len(), 2);
+    }
+
+    #[test]
+    fn trailing_comment_line_without_newline_is_kept() {
+        // A final line holding only a comment cleans to empty code, but
+        // the line still exists in the source and must be represented
+        // (found by the mask_props property tests).
+        assert_eq!(codes("\n//").len(), 2);
+        assert_eq!(codes("x\n// tail comment").len(), 2);
+        assert_eq!(codes("//").len(), 1);
+    }
+
+    #[test]
+    fn quote_newline_quote_is_not_a_char_literal() {
+        // `'` + newline + `'` must never match as a char literal — the
+        // line break would be swallowed and every later line number
+        // would drift (found by the mask_props property tests).
+        let out = codes("let a = x;'\n'let b = y;");
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
     fn multiline_string_preserves_line_count() {
         let out = codes("let s = \"first\nsecond\"; done");
         assert_eq!(out.len(), 2);
@@ -322,6 +396,27 @@ mod tests {
         // Pragma text inside a *string* is not a pragma.
         let scanned = clean(r#"let s = "// lint: sorted fake";"#);
         assert!(scanned[0].pragma.is_none());
+    }
+
+    #[test]
+    fn string_continuation_escape_keeps_lines_aligned() {
+        // `\` before a newline is Rust's string-continuation escape; the
+        // cleaned output must still advance a line there, or every rule
+        // after the literal reports shifted line numbers.
+        let out = codes("let s = \"a\\\nb\"; after\nInstant::now()");
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert_eq!(out[2], "Instant::now()");
+        // Escaped quote right after a continuation still masks properly.
+        let out = codes("let s = \"x\\\n\\\"y\"; z\ntail");
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert_eq!(out[2], "tail");
+    }
+
+    #[test]
+    fn raw_string_with_fewer_hashes_inside() {
+        // A `"#` inside an `r##"…"##` literal is content, not a close.
+        let out = codes("let s = r##\"quote \"# still inside\"##; done");
+        assert_eq!(out, vec!["let s = \"_\"; done"]);
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn fixture_corpus_exact_findings() {
         ("crates/core/src/optimizer/acq.rs", 11, "F1"),
         ("crates/core/src/pragmas.rs", 12, "P1"),
         ("crates/core/src/pragmas.rs", 17, "P2"),
-        ("crates/core/src/pragmas.rs", 22, "P1"),
+        ("crates/core/src/pragmas.rs", 22, "P3"),
         ("crates/core/src/recover.rs", 6, "E2"),
         ("crates/ml/src/model.rs", 6, "D3"),
         ("crates/ml/src/model.rs", 15, "D3"),
@@ -63,8 +63,9 @@ fn fixture_corpus_fails_the_gate() {
     assert_eq!(counts.get("E2").copied(), Some(1));
     assert_eq!(counts.get("E3").copied(), Some(2));
     assert_eq!(counts.get("M1").copied(), Some(2));
-    assert_eq!(counts.get("P1").copied(), Some(2));
+    assert_eq!(counts.get("P1").copied(), Some(1));
     assert_eq!(counts.get("P2").copied(), Some(1));
+    assert_eq!(counts.get("P3").copied(), Some(1));
 }
 
 #[test]

@@ -25,4 +25,13 @@ fn repository_is_clean_under_gate() {
             p.line
         );
     }
+    // Pin the suppression inventory: a new pragma is a reviewable event,
+    // not something that should slip in silently. Update the count (and
+    // say why in the PR) when adding or removing one.
+    assert_eq!(
+        report.pragmas.len(),
+        23,
+        "active suppression count changed — review the new/removed pragma:\n{:#?}",
+        report.pragmas
+    );
 }

@@ -42,6 +42,60 @@ impl Default for DiffConfig {
     }
 }
 
+/// How a metric's cross-run delta is judged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricPolicy {
+    /// Deterministic work count: any delta means the runs did different
+    /// work, and is flagged.
+    Exact,
+    /// Noisy measurement (wall-time accumulator, allocator state):
+    /// compared under the threshold rule.
+    Noise,
+}
+
+/// The workspace metric schema: every counter and gauge the tree emits,
+/// with the diff rule it is held to. Names not listed here fall back to
+/// the naming-convention heuristics below (`_nanos`/`_secs` counters and
+/// `mem.` gauges are noisy), so the table is an explicit pin, not a new
+/// behavior — entry assignments match what the heuristics decide.
+///
+/// Keep one entry per line: the `dbtune-lint` schema pass (rule family
+/// S) parses this table textually and cross-checks it against the
+/// emitters in code and the tables in `docs/observability.md`.
+pub const METRIC_POLICY: &[(&str, MetricPolicy)] = &[
+    ("exec.cache.entries", MetricPolicy::Exact),
+    ("exec.cache.hits", MetricPolicy::Exact),
+    ("exec.cache.misses", MetricPolicy::Exact),
+    ("exec.cache.transient_skips", MetricPolicy::Exact),
+    ("exec.cells", MetricPolicy::Exact),
+    ("exec.panics_contained", MetricPolicy::Exact),
+    ("exec.queue.depth", MetricPolicy::Exact),
+    ("exec.retries", MetricPolicy::Exact),
+    ("exec.retry_exhausted", MetricPolicy::Exact),
+    ("exec.worker.busy_nanos", MetricPolicy::Noise),
+    ("exec.worker.idle_nanos", MetricPolicy::Noise),
+    ("exec.worker.steal_nanos", MetricPolicy::Noise),
+    ("mem.acq.alloc_bytes", MetricPolicy::Exact),
+    ("mem.alloc_bytes", MetricPolicy::Exact),
+    ("mem.alloc_count", MetricPolicy::Exact),
+    ("mem.allocs_per_eval", MetricPolicy::Noise),
+    ("mem.fit.alloc_bytes", MetricPolicy::Exact),
+    ("mem.live_bytes", MetricPolicy::Noise),
+    ("mem.peak_bytes", MetricPolicy::Noise),
+    ("sim.crashes", MetricPolicy::Exact),
+    ("sim.evals", MetricPolicy::Exact),
+    ("sim.faults.crash", MetricPolicy::Exact),
+    ("sim.faults.noise", MetricPolicy::Exact),
+    ("sim.faults.stall", MetricPolicy::Exact),
+    ("sim.faults.timeout", MetricPolicy::Exact),
+    ("tuner.quarantine.rejections", MetricPolicy::Exact),
+];
+
+/// Looks a metric name up in [`METRIC_POLICY`].
+pub fn policy_for(key: &str) -> Option<MetricPolicy> {
+    METRIC_POLICY.iter().find(|(k, _)| *k == key).map(|&(_, p)| p)
+}
+
 /// What a diff entry compares.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DiffKind {
@@ -146,7 +200,13 @@ pub fn diff_summaries(base: &RunSummary, cur: &RunSummary, cfg: &DiffConfig) -> 
         // Counters that accumulate wall clock (`exec.worker.busy_nanos`
         // and friends) are measurements, not counts — they get the
         // noise rule. Everything else counts work and must be exact.
-        if key.ends_with("_nanos") || key.ends_with("_secs") {
+        // Known names resolve through METRIC_POLICY; unknown names fall
+        // back to the `_nanos`/`_secs` naming convention.
+        let noisy = match policy_for(key) {
+            Some(p) => p == MetricPolicy::Noise,
+            None => key.ends_with("_nanos") || key.ends_with("_secs"),
+        };
+        if noisy {
             out.push(wall_entry(format!("counter:{key}"), b, c, cfg));
         } else {
             out.push(exact_entry(format!("counter:{key}"), b, c));
@@ -158,8 +218,14 @@ pub fn diff_summaries(base: &RunSummary, cur: &RunSummary, cfg: &DiffConfig) -> 
         // Memory gauges (`mem.peak_bytes`, `mem.live_bytes`,
         // `mem.allocs_per_eval`) are measurements of allocator state,
         // not work counts: peak depends on cross-thread overlap and
-        // live on flush timing, so they get the threshold rule.
-        if key.starts_with("mem.") {
+        // live on flush timing, so they get the threshold rule. Known
+        // names resolve through METRIC_POLICY; unknown names fall back
+        // to the `mem.` prefix convention.
+        let noisy = match policy_for(key) {
+            Some(p) => p == MetricPolicy::Noise,
+            None => key.starts_with("mem."),
+        };
+        if noisy {
             let unit = if key.contains("bytes") { "bytes" } else { "allocs" };
             out.push(noisy_entry(format!("gauge:{key}"), b, c, cfg, unit));
         } else {
@@ -323,6 +389,26 @@ mod tests {
             },
         );
         s
+    }
+
+    #[test]
+    fn metric_policy_table_pins_the_naming_conventions() {
+        // The table is an explicit pin of the heuristics, not an
+        // override: a Noise entry must be a wall-time accumulator or an
+        // allocator-state gauge by name, and vice versa — so adding a
+        // mis-filed entry (or renaming a metric out of its convention)
+        // fails here instead of silently changing diff behavior.
+        for (key, policy) in METRIC_POLICY {
+            let counter_noise = key.ends_with("_nanos") || key.ends_with("_secs");
+            let gauge_noise = key.starts_with("mem.") && !key.contains("alloc_");
+            let expect =
+                if counter_noise || gauge_noise { MetricPolicy::Noise } else { MetricPolicy::Exact };
+            assert_eq!(*policy, expect, "policy for {key} contradicts its naming convention");
+        }
+        assert_eq!(policy_for("sim.evals"), Some(MetricPolicy::Exact));
+        assert_eq!(policy_for("exec.worker.busy_nanos"), Some(MetricPolicy::Noise));
+        assert_eq!(policy_for("mem.peak_bytes"), Some(MetricPolicy::Noise));
+        assert_eq!(policy_for("no.such.metric"), None);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Fixture: the pragma grammar end to end — standalone suppression,
-//! missing justification (P1), stale pragma (P2), unknown rule id (P1).
+//! missing justification (P1), stale pragma (P2), unknown rule id (P3).
 
 // expect: no finding — standalone pragma covers the next line.
 pub fn suppressed_clock() -> std::time::Instant {
@@ -17,7 +17,7 @@ pub fn stale_pragma() -> u32 {
     42 // lint: allow(D3) nothing random happens here
 }
 
-// expect: P1 — `Z9` is not a rule id.
+// expect: P3 — `Z9` is not a rule id.
 pub fn unknown_rule() -> u32 {
     7 // lint: allow(Z9) not a rule id
 }

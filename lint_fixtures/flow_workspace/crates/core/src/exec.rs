@@ -1,0 +1,44 @@
+//! Fixture: the concurrency family — C1 relaxed-load guard, C2 direct
+//! and cross-function lock-order inversions.
+
+// expect: C1 — a Relaxed load guarding publication carries no
+// happens-before edge.
+pub fn poll(flag: &AtomicBool) {
+    if flag.load(Ordering::Relaxed) {
+        publish();
+    }
+}
+
+// expect: C2 (paired with drain_ba) — q.a then q.b here…
+pub fn drain_ab(q: &Queues) {
+    let ga = q.a.lock().expect("a side");
+    let gb = q.b.lock().expect("b side");
+    drop((ga, gb));
+}
+
+// …and q.b then q.a here.
+pub fn drain_ba(q: &Queues) {
+    let gb = q.b.lock().expect("b side");
+    let ga = q.a.lock().expect("a side");
+    drop((ga, gb));
+}
+
+// expect: C2 (paired with rebuild) — holds s.log across a call into
+// `reindex`, which takes s.idx.
+pub fn append(s: &Store) {
+    let g = s.log.lock().expect("log");
+    reindex(s);
+    drop(g);
+}
+
+pub fn reindex(s: &Store) {
+    let g = s.idx.lock().expect("idx");
+    drop(g);
+}
+
+// The opposite order, taken directly: s.idx then s.log.
+pub fn rebuild(s: &Store) {
+    let gi = s.idx.lock().expect("idx");
+    let gl = s.log.lock().expect("log");
+    drop((gi, gl));
+}

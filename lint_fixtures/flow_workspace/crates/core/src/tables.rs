@@ -1,0 +1,6 @@
+//! Fixture: a helper returning an unordered map. The violation is at the
+//! call site that iterates the result (`pipeline::plan`), not here.
+
+pub fn snapshot() -> HashMap<String, usize> {
+    HashMap::new()
+}

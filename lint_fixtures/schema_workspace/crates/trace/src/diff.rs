@@ -1,0 +1,14 @@
+//! Fixture: the diff-policy table the S3 check parses — one
+//! `("name", MetricPolicy::…)` entry per counter/gauge.
+
+pub enum MetricPolicy {
+    Exact,
+    Noise,
+}
+
+pub const METRIC_POLICY: &[(&str, MetricPolicy)] = &[
+    ("app.requests", MetricPolicy::Exact),
+    ("app.queue_depth", MetricPolicy::Noise),
+    // expect: S3 on the next entry — its emitter was deleted.
+    ("app.stale", MetricPolicy::Exact),
+];
